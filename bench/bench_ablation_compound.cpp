@@ -1,0 +1,66 @@
+// Ablation: cost of compound synthesis steps (paper, section III.A).
+//
+// A compound retiming + logic-minimisation step is verified by a single
+// transitivity rule whose cost is constant (pointer operations on shared
+// structure), so the compound step costs the sum of its parts.  We measure
+// the two steps and the composition separately; the composition row should
+// be negligible no matter the circuit size.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_gen/fig2.h"
+#include "hash/compound.h"
+#include "hash/logic_opt.h"
+#include "hash/retime_step.h"
+#include "theories/retiming_thm.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  eda::thy::retiming_thm();
+  std::printf("Ablation — compound step cost = sum of parts\n");
+  std::printf("(rules = kernel theorem constructions, the paper's cost "
+              "unit)\n\n");
+  std::printf("%6s %12s %9s %12s %9s %12s %9s\n", "n", "retime (s)",
+              "rules", "minimise (s)", "rules", "compose (s)", "rules");
+
+  for (int n : {2, 4, 8, 16, 24, 32}) {
+    auto fig2 = eda::bench_gen::make_fig2(n);
+
+    std::uint64_t c0 = eda::kernel::Thm::theorems_constructed();
+    auto t0 = std::chrono::steady_clock::now();
+    eda::hash::FormalRetimeResult rt =
+        eda::hash::formal_retime(fig2.rtl, fig2.good_cut);
+    double retime_sec = seconds_since(t0);
+    std::uint64_t c1 = eda::kernel::Thm::theorems_constructed();
+
+    t0 = std::chrono::steady_clock::now();
+    eda::hash::FormalOptResult op = eda::hash::formal_logic_opt(rt.retimed);
+    double opt_sec = seconds_since(t0);
+    std::uint64_t c2 = eda::kernel::Thm::theorems_constructed();
+
+    t0 = std::chrono::steady_clock::now();
+    eda::kernel::Thm compound =
+        eda::hash::compose_steps(rt.theorem, op.theorem);
+    double compose_sec = seconds_since(t0);
+    std::uint64_t c3 = eda::kernel::Thm::theorems_constructed();
+    (void)compound;
+
+    std::printf("%6d %12.4f %9llu %12.4f %9llu %12.6f %9llu\n", n,
+                retime_sec, static_cast<unsigned long long>(c1 - c0),
+                opt_sec, static_cast<unsigned long long>(c2 - c1),
+                compose_sec, static_cast<unsigned long long>(c3 - c2));
+  }
+  std::printf("\nthe compose column is constant in both time and rule "
+              "applications,\nindependent of circuit size — the "
+              "combinability argument, quantified.\n");
+  return 0;
+}

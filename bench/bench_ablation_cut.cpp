@@ -1,0 +1,40 @@
+// Ablation: HASH runtime vs the size of the moved sub-function f.
+//
+// The paper (section V) observes: "the time consumption depends on the
+// size of the circuit but is quite independent from the cut.  Due to step
+// 3 it becomes a little slower for large sized functions f."  We sweep the
+// number of incrementer stages included in f on the deep pipeline variant
+// of the figure-2 circuit and report the formal-step runtime.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_gen/fig2.h"
+#include "hash/retime_step.h"
+#include "theories/retiming_thm.h"
+
+int main() {
+  eda::thy::retiming_thm();  // prove once, outside the measurement
+
+  const int n_bits = 8;
+  const int stages = 10;
+  std::printf("Ablation — HASH runtime vs cut size |f| "
+              "(fig. 2 deep pipeline, %d-bit, %d stages)\n\n",
+              n_bits, stages);
+  std::printf("%6s %10s %12s\n", "|f|", "chi", "HASH (s)");
+
+  auto deep = eda::bench_gen::make_fig2_deep(n_bits, stages);
+  for (std::size_t m = 1; m <= deep.inc_nodes.size(); ++m) {
+    eda::hash::Cut cut;
+    cut.f_nodes.assign(deep.inc_nodes.begin(),
+                       deep.inc_nodes.begin() + static_cast<long>(m));
+    auto t0 = std::chrono::steady_clock::now();
+    eda::hash::FormalRetimeResult res =
+        eda::hash::formal_retime(deep.rtl, cut);
+    double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("%6zu %10zu %12.4f\n", m, res.chi.size(), sec);
+  }
+  return 0;
+}

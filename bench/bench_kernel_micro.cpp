@@ -1,0 +1,94 @@
+// Microbenchmarks backing the paper's cost model for formal synthesis:
+// primitive rule applications are cheap pointer operations (section III),
+// and TRANS in particular is constant-time on shared structure.
+
+#include <benchmark/benchmark.h>
+
+#include "kernel/terms.h"
+#include "kernel/thm.h"
+#include "logic/bool_thms.h"
+#include "logic/rewrite.h"
+
+namespace k = eda::kernel;
+namespace l = eda::logic;
+using k::Term;
+using k::Thm;
+
+namespace {
+
+Term big_term(int depth) {
+  Term t = Term::var("x", k::bool_ty());
+  for (int i = 0; i < depth; ++i) t = k::mk_eq(t, t);
+  return t;
+}
+
+}  // namespace
+
+static void BM_Refl(benchmark::State& state) {
+  Term t = big_term(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Thm::refl(t));
+  }
+}
+BENCHMARK(BM_Refl)->Arg(1)->Arg(64)->Arg(1024);
+
+static void BM_TransOnSharedStructure(benchmark::State& state) {
+  Term big = big_term(static_cast<int>(state.range(0)));
+  Term p = Term::var("p", big.type());
+  Thm ab = Thm::assume(k::mk_eq(big, p));
+  Thm bc = Thm::assume(k::mk_eq(p, big));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Thm::trans(ab, bc));
+  }
+}
+BENCHMARK(BM_TransOnSharedStructure)->Arg(1)->Arg(64)->Arg(1024);
+
+static void BM_MkComb(benchmark::State& state) {
+  Term f = Term::var("f", k::fun_ty(k::bool_ty(), k::bool_ty()));
+  Term x = Term::var("x", k::bool_ty());
+  Thm fr = Thm::refl(f);
+  Thm xr = Thm::refl(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Thm::mk_comb(fr, xr));
+  }
+}
+BENCHMARK(BM_MkComb);
+
+static void BM_Beta(benchmark::State& state) {
+  Term x = Term::var("x", k::bool_ty());
+  Term body = big_term(static_cast<int>(state.range(0)));
+  Term redex = Term::comb(Term::abs(x, k::mk_eq(x, body)), x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Thm::beta(redex));
+  }
+}
+BENCHMARK(BM_Beta)->Arg(8)->Arg(128);
+
+static void BM_AlphaCompare(benchmark::State& state) {
+  Term x = Term::var("x", k::bool_ty());
+  Term y = Term::var("y", k::bool_ty());
+  Term t1 = Term::abs(x, big_term(static_cast<int>(state.range(0))));
+  Term t2 = Term::abs(y, big_term(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t1 == t2);
+  }
+}
+BENCHMARK(BM_AlphaCompare)->Arg(16)->Arg(256);
+
+static void BM_RewrConv(benchmark::State& state) {
+  l::init_bool();
+  Term x = Term::var("x", k::bool_ty());
+  Thm xx = Thm::assume(l::mk_conj(x, x));
+  Thm rule = l::gen(
+      x, Thm::deduct_antisym(l::conjunct1(xx),
+                             l::conj(Thm::assume(x), Thm::assume(x))));
+  Term target = l::mk_conj(Term::var("p", k::bool_ty()),
+                           Term::var("p", k::bool_ty()));
+  l::Conv conv = l::rewr_conv(rule);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv(target));
+  }
+}
+BENCHMARK(BM_RewrConv);
+
+BENCHMARK_MAIN();

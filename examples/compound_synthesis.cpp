@@ -1,0 +1,47 @@
+// Compound synthesis steps (paper, section III.A): a retiming step and a
+// logic-minimisation step, each verified by construction, composed into a
+// single correctness theorem by one transitivity rule.
+//
+// This is the capability the specialised post-synthesis verifiers lack:
+// there is a dedicated checker for retiming and one for minimisation, but
+// none for their composition — whereas in formal synthesis the compound
+// theorem costs the sum of the parts.
+
+#include <cstdio>
+
+#include "bench_gen/fig2.h"
+#include "hash/compound.h"
+#include "hash/logic_opt.h"
+#include "hash/retime_step.h"
+#include "kernel/printer.h"
+#include "theories/retiming_thm.h"
+
+int main() {
+  using namespace eda;
+  thy::retiming_thm();
+
+  bench_gen::Fig2 fig2 = bench_gen::make_fig2(6);
+
+  // Step 1: retiming.
+  hash::FormalRetimeResult rt = hash::formal_retime(fig2.rtl, fig2.good_cut);
+  std::printf("step 1 (retiming):     |- AUT h0 q0 = AUT h1 q1   [%d comb nodes]\n",
+              rt.retimed.comb_node_count());
+
+  // Step 2: logic minimisation of the retimed circuit.
+  hash::FormalOptResult op = hash::formal_logic_opt(rt.retimed);
+  std::printf("step 2 (minimisation): |- AUT h1 q1 = AUT h2 q1   [%d comb nodes]\n",
+              op.optimized.comb_node_count());
+
+  // Composition: one TRANS application.
+  kernel::Thm compound = hash::compose_steps(rt.theorem, op.theorem);
+  std::printf("\ncompound theorem:\n  %s\n\n",
+              kernel::pretty(compound).c_str());
+
+  bool same = circuit::simulation_equivalent(fig2.rtl, op.optimized, 500, 2);
+  std::printf("original vs final simulation agreement: %s\n",
+              same ? "yes" : "NO (bug!)");
+  std::printf("oracle provenance of the compound theorem:");
+  for (const auto& tag : compound.oracles()) std::printf(" %s", tag.c_str());
+  std::printf("\n");
+  return same ? 0 : 1;
+}

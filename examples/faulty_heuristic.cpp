@@ -1,0 +1,37 @@
+// The paper's figure-4 scenario: a *wrong* cut from a faulty heuristic.
+//
+// Choosing f = {comparator, mux} makes f depend on the primary inputs and
+// on the incrementer (a g-node), so the combinational part cannot be split
+// into the pattern of the universal theorem.  The formal synthesis step
+// raises an exception — and, crucially, no theorem (and hence no circuit)
+// is ever produced.  A faulty heuristic can waste time, never correctness.
+
+#include <cstdio>
+
+#include "bench_gen/fig2.h"
+#include "hash/retime_step.h"
+
+int main() {
+  using namespace eda;
+  bench_gen::Fig2 fig2 = bench_gen::make_fig2(8);
+
+  std::printf("Attempting retiming with the false cut {comparator, mux} "
+              "(paper, fig. 4)...\n\n");
+  try {
+    hash::FormalRetimeResult res =
+        hash::formal_retime(fig2.rtl, fig2.false_cut);
+    (void)res;
+    std::printf("UNEXPECTED: the false cut produced a theorem!\n");
+    return 1;
+  } catch (const hash::CutError& e) {
+    std::printf("Rejected, as the LCF discipline demands:\n  %s\n\n",
+                e.what());
+  }
+
+  std::printf("Retrying with the legal cut {+1} (fig. 3)...\n");
+  hash::FormalRetimeResult ok = hash::formal_retime(fig2.rtl, fig2.good_cut);
+  std::printf("Success: theorem with %zu hypotheses derived; retimed "
+              "netlist has %zu register(s).\n",
+              ok.theorem.hyps().size(), ok.retimed.regs().size());
+  return 0;
+}

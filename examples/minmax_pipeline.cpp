@@ -1,0 +1,62 @@
+// End-to-end flow on a pipelined datapath: the conventional Leiserson–Saxe
+// heuristic finds the min-period retiming, and the formal layer *performs*
+// it — every register move is an instance of the universal theorem, the
+// step theorems are composed by transitivity, and the final theorem
+// relates the original netlist to the optimally retimed one.
+//
+// This demonstrates the paper's separation of concerns: "the heuristic has
+// nothing to do with logic, and switching from one heuristic to another
+// requires no change in the theorem or in the retiming procedure."
+
+#include <cstdio>
+
+#include "bench_gen/iwls.h"
+#include "retime/elementary.h"
+#include "retime/graph.h"
+#include "theories/retiming_thm.h"
+
+int main() {
+  using namespace eda;
+  thy::retiming_thm();
+
+  // A front-loaded pipeline: both registers bunched at the input side, the
+  // whole adder/multiplier/xor chain combinational behind them.  Balancing
+  // needs only forward moves.
+  circuit::Rtl rtl;
+  auto x = rtl.add_input("x", 8);
+  auto k = rtl.add_const(8, 0x1D);
+  auto k2 = rtl.add_const(8, 0x5A);
+  auto r1 = rtl.add_reg("r1", 8, 0);
+  auto r2 = rtl.add_reg("r2", 8, 0);
+  auto s1 = rtl.add_op(circuit::Op::Add, {r2, k});    // delay 2
+  auto s2 = rtl.add_op(circuit::Op::Mul, {s1, s1});   // delay 4
+  auto s3 = rtl.add_op(circuit::Op::Xor, {s2, k2});   // delay 1
+  rtl.set_reg_next(r1, x);
+  rtl.set_reg_next(r2, r1);
+  rtl.add_output("y", s3);
+  rtl.validate();
+
+  int before = retime::clock_period(rtl);
+  std::printf("clock period before retiming: %d\n", before);
+
+  auto chain = retime::formal_min_period_retime(rtl);
+  if (!chain) {
+    std::printf("optimal retiming needs backward moves — not supported by "
+                "the forward instantiation; stopping.\n");
+    return 0;
+  }
+  int after = retime::clock_period(chain->final_rtl);
+  std::printf("clock period after  retiming: %d (%d formal steps)\n", after,
+              chain->steps);
+  std::printf("correctness theorem hypotheses: %zu, oracles:",
+              chain->theorem.hyps().size());
+  for (const auto& tag : chain->theorem.oracles()) {
+    std::printf(" %s", tag.c_str());
+  }
+  std::printf("\n");
+
+  bool same =
+      circuit::simulation_equivalent(rtl, chain->final_rtl, 500, 3);
+  std::printf("simulation agreement: %s\n", same ? "yes" : "NO (bug!)");
+  return same && after <= before ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Redundancy elimination and netlist export: build a circuit that has
+// accumulated dead state (a debug counter and an orphaned pipeline pair),
+// remove it with a machine-checked proof, then export the result as BLIF
+// and structural Verilog.
+//
+// The removal theorem is itself a compound derivation — permute the dead
+// registers to the tail (ENCODING_THM), re-associate the state tuple
+// (ENCODING_THM again), drop the dead component (DEAD_STATE_THM) — glued
+// by the same transitivity rule as any other HASH step chain.
+
+#include <cstdio>
+
+#include "circuit/bitblast.h"
+#include "hash/redundancy.h"
+#include "io/blif.h"
+#include "kernel/printer.h"
+
+int main() {
+  using namespace eda;
+  using circuit::Op;
+
+  circuit::Rtl rtl;
+  auto i = rtl.add_input("i", 4);
+  auto acc = rtl.add_reg("acc", 4, 1);
+  auto dbg = rtl.add_reg("debug_ctr", 4, 0);     // free-running, never read
+  auto p = rtl.add_reg("orphan_a", 4, 5);        // reads orphan_b
+  auto q = rtl.add_reg("orphan_b", 4, 6);        // reads orphan_a
+  rtl.set_reg_next(acc, rtl.add_op(Op::Add, {acc, i}));
+  rtl.set_reg_next(dbg, rtl.add_op(Op::Add, {dbg, rtl.add_const(4, 1)}));
+  rtl.set_reg_next(p, rtl.add_op(Op::Xor, {q, i}));
+  rtl.set_reg_next(q, rtl.add_op(Op::Add, {p, rtl.add_const(4, 2)}));
+  rtl.add_output("y", rtl.add_op(Op::Or, {acc, i}));
+  rtl.validate();
+
+  std::printf("before: %zu registers, %d comb nodes\n", rtl.regs().size(),
+              rtl.comb_node_count());
+
+  hash::FormalDeadRemovalResult res = hash::formal_remove_dead_registers(rtl);
+  std::printf("after:  %zu register(s), %d comb nodes — removed:",
+              res.stripped.regs().size(), res.stripped.comb_node_count());
+  for (auto r : res.removed) std::printf(" %s", rtl.node(r).name.c_str());
+  std::printf("\n\ncorrectness theorem (pure — no oracle needed):\n  %s\n",
+              kernel::pretty(res.theorem).c_str());
+
+  circuit::GateNetlist gates = circuit::bit_blast(res.stripped);
+  std::printf("\nbit-blasted: %d gates, %d flip-flops\n", gates.gate_count(),
+              gates.ff_count());
+
+  std::string blif = io::write_blif(gates, "stripped");
+  std::printf("\n--- BLIF (first lines) ---\n");
+  std::size_t shown = 0, pos = 0;
+  while (shown < 8 && pos != std::string::npos) {
+    auto next = blif.find('\n', pos);
+    std::printf("%s\n", blif.substr(pos, next - pos).c_str());
+    pos = next == std::string::npos ? next : next + 1;
+    ++shown;
+  }
+  std::printf("... (%zu bytes total; Verilog export: %zu bytes)\n",
+              blif.size(),
+              io::write_verilog(gates, "stripped").size());
+  return 0;
+}

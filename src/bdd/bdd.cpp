@@ -1,0 +1,231 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <limits>
+
+namespace eda::bdd {
+
+namespace {
+constexpr int kTermVar = std::numeric_limits<int>::max();
+}
+
+BddManager::BddManager(int num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(node_limit) {
+  nodes_.push_back({kTermVar, 0, 0});  // FALSE
+  nodes_.push_back({kTermVar, 1, 1});  // TRUE
+}
+
+int BddManager::top_var(BddId f) const {
+  return nodes_[static_cast<std::size_t>(f)].var;
+}
+
+BddId BddManager::mk(int var, BddId lo, BddId hi) {
+  if (lo == hi) return lo;
+  NodeKey key{var, lo, hi};
+  if (auto it = unique_.find(key); it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_) {
+    throw BddError("BDD node limit exceeded");
+  }
+  nodes_.push_back({var, lo, hi});
+  BddId id = static_cast<BddId>(nodes_.size() - 1);
+  unique_.emplace(key, id);
+  return id;
+}
+
+BddId BddManager::var(int index) {
+  if (index < 0 || index >= num_vars_) throw BddError("var out of range");
+  return mk(index, 0, 1);
+}
+
+BddId BddManager::nvar(int index) { return mk(index, 1, 0); }
+
+BddId BddManager::ite(BddId f, BddId g, BddId h) {
+  if (f == 1) return g;
+  if (f == 0) return h;
+  if (g == h) return g;
+  if (g == 1 && h == 0) return f;
+  std::array<BddId, 3> key{f, g, h};
+  if (auto it = ite_cache_.find(key); it != ite_cache_.end()) {
+    return it->second;
+  }
+  int v = std::min({top_var(f), top_var(g), top_var(h)});
+  auto cof = [&](BddId x, bool hi) {
+    const Node& n = nodes_[static_cast<std::size_t>(x)];
+    if (n.var != v) return x;
+    return hi ? n.hi : n.lo;
+  };
+  BddId lo = ite(cof(f, false), cof(g, false), cof(h, false));
+  BddId hi = ite(cof(f, true), cof(g, true), cof(h, true));
+  BddId out = mk(v, lo, hi);
+  ite_cache_.emplace(key, out);
+  return out;
+}
+
+BddId BddManager::exists_rec(BddId f, const std::vector<int>& vars,
+                             std::unordered_map<BddId, BddId>& memo) {
+  if (f <= 1) return f;
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  const Node n = nodes_[static_cast<std::size_t>(f)];
+  // Skip past quantified variables above/at this level.
+  BddId lo = exists_rec(n.lo, vars, memo);
+  BddId hi = exists_rec(n.hi, vars, memo);
+  BddId out;
+  if (std::binary_search(vars.begin(), vars.end(), n.var)) {
+    out = lor(lo, hi);
+  } else {
+    out = mk(n.var, lo, hi);
+  }
+  memo.emplace(f, out);
+  return out;
+}
+
+BddId BddManager::exists(BddId f, const std::vector<int>& vars) {
+  std::vector<int> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  std::unordered_map<BddId, BddId> memo;
+  return exists_rec(f, sorted, memo);
+}
+
+BddId BddManager::and_exists_rec(
+    BddId f, BddId g, const std::vector<int>& vars,
+    std::unordered_map<std::uint64_t, BddId>& memo) {
+  if (f == 0 || g == 0) return 0;
+  if (f == 1 && g == 1) return 1;
+  // Terminal-ish shortcut: plain conjunction once no quantified variable
+  // can appear.
+  int v = std::min(top_var(f), top_var(g));
+  if (v == kTermVar) return land(f, g);
+  std::uint64_t key = (static_cast<std::uint64_t>(f) << 32) |
+                      static_cast<std::uint64_t>(g);
+  if (auto it = memo.find(key); it != memo.end()) return it->second;
+  auto cof = [&](BddId x, bool hi) {
+    const Node& n = nodes_[static_cast<std::size_t>(x)];
+    if (n.var != v) return x;
+    return hi ? n.hi : n.lo;
+  };
+  BddId lo = and_exists_rec(cof(f, false), cof(g, false), vars, memo);
+  BddId out;
+  if (std::binary_search(vars.begin(), vars.end(), v)) {
+    if (lo == 1) {
+      out = 1;  // early termination
+    } else {
+      BddId hi = and_exists_rec(cof(f, true), cof(g, true), vars, memo);
+      out = lor(lo, hi);
+    }
+  } else {
+    BddId hi = and_exists_rec(cof(f, true), cof(g, true), vars, memo);
+    out = mk(v, lo, hi);
+  }
+  memo.emplace(key, out);
+  return out;
+}
+
+BddId BddManager::and_exists(BddId f, BddId g, const std::vector<int>& vars) {
+  std::vector<int> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  std::unordered_map<std::uint64_t, BddId> memo;
+  return and_exists_rec(f, g, sorted, memo);
+}
+
+BddId BddManager::cofactor(BddId f, int var, bool value) {
+  return compose(f, var, value ? 1 : 0);
+}
+
+BddId BddManager::rename(BddId f, const std::map<int, int>& var_map) {
+  // Renaming must preserve order between mapped variables; the maps used
+  // here (next-state <-> present-state) do, so a recursive rebuild works.
+  std::unordered_map<BddId, BddId> memo;
+  std::function<BddId(BddId)> rec = [&](BddId x) -> BddId {
+    if (x <= 1) return x;
+    if (auto it = memo.find(x); it != memo.end()) return it->second;
+    const Node n = nodes_[static_cast<std::size_t>(x)];
+    BddId lo = rec(n.lo), hi = rec(n.hi);
+    int v = n.var;
+    if (auto it = var_map.find(v); it != var_map.end()) v = it->second;
+    BddId out = ite(mk(v, 0, 1), hi, lo);
+    memo.emplace(x, out);
+    return out;
+  };
+  return rec(f);
+}
+
+BddId BddManager::compose(BddId f, int var, BddId g) {
+  std::unordered_map<BddId, BddId> memo;
+  std::function<BddId(BddId)> rec = [&](BddId x) -> BddId {
+    if (x <= 1) return x;
+    if (auto it = memo.find(x); it != memo.end()) return it->second;
+    const Node n = nodes_[static_cast<std::size_t>(x)];
+    BddId out;
+    if (n.var == var) {
+      out = ite(g, n.hi, n.lo);
+    } else if (n.var > var) {
+      out = x;  // var cannot appear below
+    } else {
+      out = ite(mk(n.var, 0, 1), rec(n.hi), rec(n.lo));
+    }
+    memo.emplace(x, out);
+    return out;
+  };
+  return rec(f);
+}
+
+std::vector<int> BddManager::support(BddId f) {
+  std::vector<char> seen(static_cast<std::size_t>(num_vars_), 0);
+  std::unordered_map<BddId, char> visited;
+  std::function<void(BddId)> rec = [&](BddId x) {
+    if (x <= 1 || visited.count(x) > 0) return;
+    visited.emplace(x, 1);
+    const Node& n = nodes_[static_cast<std::size_t>(x)];
+    seen[static_cast<std::size_t>(n.var)] = 1;
+    rec(n.lo);
+    rec(n.hi);
+  };
+  rec(f);
+  std::vector<int> out;
+  for (int v = 0; v < num_vars_; ++v) {
+    if (seen[static_cast<std::size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t BddManager::size(BddId f) {
+  std::unordered_map<BddId, char> visited;
+  std::function<void(BddId)> rec = [&](BddId x) {
+    if (x <= 1 || visited.count(x) > 0) return;
+    visited.emplace(x, 1);
+    const Node& n = nodes_[static_cast<std::size_t>(x)];
+    rec(n.lo);
+    rec(n.hi);
+  };
+  rec(f);
+  return visited.size() + 2;
+}
+
+bool BddManager::eval(BddId f, const std::vector<bool>& assignment) const {
+  BddId cur = f;
+  while (cur > 1) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    cur = assignment[static_cast<std::size_t>(n.var)] ? n.hi : n.lo;
+  }
+  return cur == 1;
+}
+
+std::vector<bool> BddManager::any_sat(BddId f) const {
+  if (f == 0) throw BddError("any_sat: unsatisfiable");
+  std::vector<bool> out(static_cast<std::size_t>(num_vars_), false);
+  BddId cur = f;
+  while (cur > 1) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    if (n.hi != 0) {
+      out[static_cast<std::size_t>(n.var)] = true;
+      cur = n.hi;
+    } else {
+      cur = n.lo;
+    }
+  }
+  return out;
+}
+
+}  // namespace eda::bdd

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include <array>
+#include <functional>
+
+#include "kernel/error.h"
+
+namespace eda::bdd {
+
+/// Node handle; 0 is the FALSE terminal, 1 the TRUE terminal.
+using BddId = int;
+
+class BddError : public kernel::KernelError {
+ public:
+  explicit BddError(const std::string& what) : kernel::KernelError(what) {}
+};
+
+/// Reduced ordered BDD manager with a unique table and an ite computed
+/// table.  Variable order is the index order (0 at the top).  This is the
+/// substrate for the tautology checker, the SMV-style model checker and
+/// the van Eijk traversal baselines — the data structure whose exponential
+/// growth the paper's tables demonstrate.
+class BddManager {
+ public:
+  explicit BddManager(int num_vars, std::size_t node_limit = 50'000'000);
+
+  int num_vars() const { return num_vars_; }
+  std::size_t node_table_size() const { return nodes_.size(); }
+
+  BddId false_bdd() const { return 0; }
+  BddId true_bdd() const { return 1; }
+  BddId literal(bool v) const { return v ? 1 : 0; }
+  BddId var(int index);
+  BddId nvar(int index);
+
+  BddId ite(BddId f, BddId g, BddId h);
+  BddId land(BddId a, BddId b) { return ite(a, b, 0); }
+  BddId lor(BddId a, BddId b) { return ite(a, 1, b); }
+  BddId lxor(BddId a, BddId b) { return ite(a, lnot(b), b); }
+  BddId lnot(BddId a) { return ite(a, 0, 1); }
+  BddId lxnor(BddId a, BddId b) { return lnot(lxor(a, b)); }
+  BddId implies(BddId a, BddId b) { return ite(a, b, 1); }
+
+  /// Existential quantification over a set of variables.
+  BddId exists(BddId f, const std::vector<int>& vars);
+  /// Relational product  exists vars. f /\ g  (single pass, the core of
+  /// symbolic image computation).
+  BddId and_exists(BddId f, BddId g, const std::vector<int>& vars);
+  /// Cofactor f|_{var=value}.
+  BddId cofactor(BddId f, int var, bool value);
+  /// Simultaneous variable-to-variable renaming.
+  BddId rename(BddId f, const std::map<int, int>& var_map);
+  /// Substitute a function for a variable: f[var := g].
+  BddId compose(BddId f, int var, BddId g);
+
+  /// Support variables of f.
+  std::vector<int> support(BddId f);
+  /// DAG size of f.
+  std::size_t size(BddId f);
+  /// Evaluate under a full assignment.
+  bool eval(BddId f, const std::vector<bool>& assignment) const;
+  /// Any satisfying assignment (empty optional when f = FALSE semantics:
+  /// throws on FALSE; callers check first).
+  std::vector<bool> any_sat(BddId f) const;
+
+ private:
+  struct Node {
+    int var;
+    BddId lo, hi;
+  };
+  struct NodeKey {
+    int var;
+    BddId lo, hi;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::size_t h = static_cast<std::size_t>(k.var);
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::size_t>(k.lo);
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::size_t>(k.hi);
+      return h;
+    }
+  };
+  struct TripleHash {
+    std::size_t operator()(const std::array<BddId, 3>& k) const {
+      std::size_t h = static_cast<std::size_t>(k[0]);
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::size_t>(k[1]);
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::size_t>(k[2]);
+      return h;
+    }
+  };
+
+  BddId mk(int var, BddId lo, BddId hi);
+  int top_var(BddId f) const;
+  BddId exists_rec(BddId f, const std::vector<int>& vars,
+                   std::unordered_map<BddId, BddId>& memo);
+  BddId and_exists_rec(BddId f, BddId g, const std::vector<int>& vars,
+                       std::unordered_map<std::uint64_t, BddId>& memo);
+
+  int num_vars_;
+  std::size_t node_limit_;
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, BddId, NodeKeyHash> unique_;
+  std::unordered_map<std::array<BddId, 3>, BddId, TripleHash> ite_cache_;
+};
+
+}  // namespace eda::bdd

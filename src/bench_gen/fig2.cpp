@@ -1,0 +1,96 @@
+#include "bench_gen/fig2.h"
+
+#include "bench_gen/iwls.h"
+
+namespace eda::bench_gen {
+
+using circuit::Op;
+using circuit::Rtl;
+using circuit::SignalId;
+
+Fig2 make_fig2(int n_bits) {
+  Fig2 out;
+  Rtl& c = out.rtl;
+  SignalId a = c.add_input("a", n_bits);
+  SignalId b = c.add_input("b", n_bits);
+  SignalId r = c.add_reg("R", n_bits, 0);
+  SignalId one = c.add_const(n_bits, 1);
+  SignalId zero = c.add_const(n_bits, 0);
+  SignalId inc = c.add_op(Op::Add, {r, one});     // the "+1" component
+  SignalId cmp = c.add_op(Op::Eq, {a, b});        // the comparator
+  SignalId y = c.add_op(Op::Mux, {cmp, zero, inc});
+  c.add_output("y", y);
+  c.set_reg_next(r, y);
+  c.validate();
+  out.good_cut.f_nodes = {inc};
+  out.false_cut.f_nodes = {cmp, y};
+  return out;
+}
+
+Fig2Deep make_fig2_deep(int n_bits, int stages) {
+  if (stages < 1) throw circuit::RtlError("make_fig2_deep: stages >= 1");
+  Fig2Deep out;
+  Rtl& c = out.rtl;
+  SignalId a = c.add_input("a", n_bits);
+  SignalId b = c.add_input("b", n_bits);
+  SignalId r = c.add_reg("R", n_bits, 0);
+  SignalId one = c.add_const(n_bits, 1);
+  SignalId zero = c.add_const(n_bits, 0);
+  SignalId cur = r;
+  for (int k = 0; k < stages; ++k) {
+    cur = c.add_op(Op::Add, {cur, one});
+    out.inc_nodes.push_back(cur);
+  }
+  SignalId cmp = c.add_op(Op::Eq, {a, b});
+  SignalId y = c.add_op(Op::Mux, {cmp, zero, cur});
+  c.add_output("y", y);
+  c.set_reg_next(r, y);
+  c.validate();
+  return out;
+}
+
+Fig2Bits make_fig2_bitlevel(int n_bits) {
+  Fig2Bits out;
+  Rtl& c = out.rtl;
+  std::vector<SignalId> a, b, r;
+  for (int k = 0; k < n_bits; ++k) {
+    a.push_back(c.add_input("a" + std::to_string(k), 1));
+  }
+  for (int k = 0; k < n_bits; ++k) {
+    b.push_back(c.add_input("b" + std::to_string(k), 1));
+  }
+  for (int k = 0; k < n_bits; ++k) {
+    r.push_back(c.add_reg("r" + std::to_string(k), 1, 0));
+  }
+  SignalId one = c.add_const(1, 1);
+  SignalId zero = c.add_const(1, 0);
+
+  // Ripple incrementer over the register bits: s_k = r_k ^ c_k,
+  // c_{k+1} = r_k & c_k, c_0 = 1.
+  std::vector<SignalId> inc(static_cast<std::size_t>(n_bits));
+  SignalId carry = one;
+  for (int k = 0; k < n_bits; ++k) {
+    inc[static_cast<std::size_t>(k)] =
+        c.add_op(Op::Xor, {r[static_cast<std::size_t>(k)], carry});
+    carry = c.add_op(Op::And, {r[static_cast<std::size_t>(k)], carry});
+  }
+  // Comparator: AND over per-bit equality flags.
+  SignalId all_eq = c.add_op(Op::Eq, {a[0], b[0]});
+  for (int k = 1; k < n_bits; ++k) {
+    SignalId ek = c.add_op(Op::Eq, {a[static_cast<std::size_t>(k)],
+                                    b[static_cast<std::size_t>(k)]});
+    all_eq = c.add_op(Op::FlagAnd, {all_eq, ek});
+  }
+  // Output muxes and register feedback.
+  for (int k = 0; k < n_bits; ++k) {
+    SignalId y = c.add_op(Op::Mux, {all_eq, zero,
+                                    inc[static_cast<std::size_t>(k)]});
+    c.add_output("y" + std::to_string(k), y);
+    c.set_reg_next(r[static_cast<std::size_t>(k)], y);
+  }
+  c.validate();
+  out.cut = max_forward_cut(c);
+  return out;
+}
+
+}  // namespace eda::bench_gen

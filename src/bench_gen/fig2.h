@@ -1,0 +1,61 @@
+#pragma once
+
+#include "circuit/rtl.h"
+#include "hash/compile.h"
+
+namespace eda::bench_gen {
+
+/// The scalable example circuit of the paper's figure 2, parameterised by
+/// the data bitwidth n.
+///
+/// Reconstruction (the 1997 scan is partly illegible; the structure below
+/// matches the text: three combinational parts "+1", "=" and MUX, with the
+/// registers shifted across the incrementer, and initial values 0):
+///
+///   inputs  a, b : n bits
+///   register R (init 0) holding the previous output y
+///   cmp = (a = b)                      -- the comparator
+///   inc = R + 1  (mod 2^n)             -- the incrementer "+1"
+///   y   = if cmp then 0 else inc       -- the MUX
+///   output y;  R' = y
+///
+/// Forward retiming with f = {+1} (the paper's cut, fig. 3) moves R across
+/// the incrementer: the new register holds inc with initial value f(0) = 1.
+struct Fig2 {
+  circuit::Rtl rtl;
+  /// The incrementer node — the legal cut {+1}.
+  hash::Cut good_cut;
+  /// The paper's fig. 4 false cut {=, MUX}: the MUX depends on the
+  /// incrementer (a g-node) and on primary inputs, so the retiming pattern
+  /// cannot match.
+  hash::Cut false_cut;
+};
+
+Fig2 make_fig2(int n_bits);
+
+/// A deeper pipeline variant used for multi-step retiming and the
+/// cut-size ablation: `stages` incrementer stages between the register and
+/// the MUX, any prefix of which can be chosen as f.
+struct Fig2Deep {
+  circuit::Rtl rtl;
+  /// inc_nodes[k] is the (k+1)-th incrementer; a legal cut is any prefix
+  /// {inc_nodes[0..m)} with m >= 1.
+  std::vector<circuit::SignalId> inc_nodes;
+};
+
+Fig2Deep make_fig2_deep(int n_bits, int stages);
+
+/// Bit-level version of the figure-2 circuit: n one-bit registers, an
+/// explicit ripple-carry incrementer (XOR/AND chain), a bitwise comparator
+/// tree and per-bit muxes.  Used by the RT-level vs bit-level ablation
+/// (paper, section V: "operating at the RT-level reduces the complexity
+/// of steps 1-3").  `cut` is the maximal legal forward cut — exactly the
+/// incrementer cone.
+struct Fig2Bits {
+  circuit::Rtl rtl;
+  hash::Cut cut;
+};
+
+Fig2Bits make_fig2_bitlevel(int n_bits);
+
+}  // namespace eda::bench_gen

@@ -1,0 +1,145 @@
+#include "bench_gen/iwls.h"
+
+#include <set>
+
+namespace eda::bench_gen {
+
+using circuit::Op;
+using circuit::Rtl;
+using circuit::SignalId;
+
+hash::Cut max_forward_cut(const circuit::Rtl& rtl) {
+  std::set<SignalId> F;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+      SignalId s = static_cast<SignalId>(idx);
+      const circuit::Node& n = rtl.node(s);
+      bool comb = n.op != Op::Input && n.op != Op::Reg && n.op != Op::Const;
+      if (!comb || rtl.is_flag(s) || F.count(s) > 0) continue;
+      bool ok = true;
+      for (SignalId o : n.operands) {
+        const circuit::Node& on = rtl.node(o);
+        if (on.op == Op::Reg || on.op == Op::Const || F.count(o) > 0) continue;
+        ok = false;
+        break;
+      }
+      if (ok) {
+        F.insert(s);
+        changed = true;
+      }
+    }
+  }
+  hash::Cut cut;
+  cut.f_nodes.assign(F.begin(), F.end());
+  return cut;
+}
+
+BenchCircuit make_serial_multiplier(const std::string& name, int n_bits) {
+  BenchCircuit out;
+  out.name = name;
+  Rtl& c = out.rtl;
+  SignalId x = c.add_input("x", n_bits);
+  SignalId acc = c.add_reg("acc", n_bits, 0);
+  SignalId coef = c.add_reg("coef", n_bits, 3);
+  SignalId prod = c.add_op(Op::Mul, {acc, coef});
+  SignalId sum = c.add_op(Op::Add, {prod, x});
+  c.set_reg_next(acc, sum);
+  c.set_reg_next(coef, coef);  // coefficient holds
+  c.add_output("y", sum);
+  c.validate();
+  out.cut = max_forward_cut(c);
+  return out;
+}
+
+BenchCircuit make_controller(const std::string& name, int state_bits,
+                             int timer_bits) {
+  BenchCircuit out;
+  out.name = name;
+  Rtl& c = out.rtl;
+  SignalId go = c.add_input("go", 1);
+  SignalId cmd = c.add_input("cmd", state_bits);
+  SignalId st = c.add_reg("state", state_bits, 0);
+  SignalId tm = c.add_reg("timer", timer_bits, 0);
+  SignalId one_t = c.add_const(timer_bits, 1);
+  SignalId zero_t = c.add_const(timer_bits, 0);
+  SignalId limit = c.add_const(timer_bits, (1u << (timer_bits - 1)) + 1);
+  SignalId one_s = c.add_const(state_bits, 1);
+  SignalId one1 = c.add_const(1, 1);
+
+  SignalId t_inc = c.add_op(Op::Add, {tm, one_t});       // retimable
+  SignalId s_inc = c.add_op(Op::Add, {st, one_s});       // retimable
+  SignalId expired = c.add_op(Op::Eq, {t_inc, limit});
+  SignalId go_set = c.add_op(Op::Eq, {go, one1});
+  SignalId adv = c.add_op(Op::FlagAnd, {expired, go_set});
+  SignalId t_next = c.add_op(Op::Mux, {expired, zero_t, t_inc});
+  SignalId s_next = c.add_op(Op::Mux, {adv, s_inc, st});
+  SignalId s_cmd = c.add_op(Op::Eq, {s_next, cmd});
+  SignalId out_word = c.add_op(Op::Mux, {s_cmd, s_inc, s_next});
+
+  c.set_reg_next(tm, t_next);
+  c.set_reg_next(st, s_next);
+  c.add_output("state_out", out_word);
+  c.validate();
+  out.cut = max_forward_cut(c);
+  return out;
+}
+
+BenchCircuit make_pipeline_alu(const std::string& name, int width,
+                               int depth) {
+  BenchCircuit out;
+  out.name = name;
+  Rtl& c = out.rtl;
+  SignalId a = c.add_input("a", width);
+  SignalId b = c.add_input("b", width);
+  SignalId sel = c.add_input("sel", 1);
+  SignalId one1 = c.add_const(1, 1);
+  SignalId k1 = c.add_const(width, 0x5);
+  SignalId sel_f = c.add_op(Op::Eq, {sel, one1});
+
+  std::vector<SignalId> regs;
+  for (int d = 0; d < depth; ++d) {
+    regs.push_back(c.add_reg("p" + std::to_string(d), width,
+                             static_cast<std::uint64_t>(d)));
+  }
+  // Stage 0 consumes the inputs; later stages transform the previous stage.
+  SignalId s0_add = c.add_op(Op::Add, {a, b});
+  SignalId s0_xor = c.add_op(Op::Xor, {a, b});
+  SignalId s0 = c.add_op(Op::Mux, {sel_f, s0_add, s0_xor});
+  c.set_reg_next(regs[0], s0);
+  for (int d = 1; d < depth; ++d) {
+    SignalId up = c.add_op(Op::Add, {regs[static_cast<std::size_t>(d - 1)], k1});
+    SignalId mix =
+        c.add_op(Op::Xor, {up, regs[static_cast<std::size_t>(d - 1)]});
+    c.set_reg_next(regs[static_cast<std::size_t>(d)], mix);
+  }
+  SignalId final_inc =
+      c.add_op(Op::Add, {regs.back(), k1});
+  c.add_output("y", final_inc);
+  c.validate();
+  out.cut = max_forward_cut(c);
+  return out;
+}
+
+std::vector<BenchCircuit> iwls_benchmarks() {
+  std::vector<BenchCircuit> out;
+  // Multiplier family — the paper's "fractional multipliers with different
+  // bitwidths"; s344 really is a 4-bit multiplier in ISCAS'89.
+  out.push_back(make_serial_multiplier("s344", 4));
+  out.push_back(make_serial_multiplier("s349", 4));
+  out.push_back(make_serial_multiplier("mult8", 8));
+  out.push_back(make_serial_multiplier("mult16", 16));
+  out.push_back(make_serial_multiplier("mult32", 32));
+  // Controller family (s382 is the ISCAS'89 traffic light controller).
+  out.push_back(make_controller("s382", 3, 4));
+  out.push_back(make_controller("s526", 4, 5));
+  out.push_back(make_controller("s820", 5, 6));
+  // Pipelined datapaths.
+  out.push_back(make_pipeline_alu("s641", 8, 3));
+  out.push_back(make_pipeline_alu("s713", 8, 4));
+  out.push_back(make_pipeline_alu("s1238", 16, 5));
+  return out;
+}
+
+}  // namespace eda::bench_gen

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/rtl.h"
+#include "hash/compile.h"
+
+namespace eda::bench_gen {
+
+/// A benchmark circuit with a canonical legal forward-retiming cut (the
+/// maximal retimable cut — the paper's worst case for HASH timing).
+struct BenchCircuit {
+  std::string name;
+  circuit::Rtl rtl;
+  hash::Cut cut;
+};
+
+/// Serial (add-shift style) fractional multiplier with accumulator:
+///   acc' = acc * coef + x (mod 2^n).  The paper's s-series multipliers
+/// (different bitwidths) are instances of this shape.
+BenchCircuit make_serial_multiplier(const std::string& name, int n_bits);
+
+/// Counter/timer controller in the style of the small ISCAS'89 FSMs
+/// (traffic-light-like): a timer that counts to a limit and a state word
+/// updated through a mux cascade.
+BenchCircuit make_controller(const std::string& name, int state_bits,
+                             int timer_bits);
+
+/// Pipelined datapath: `depth` register stages with an add/xor/mux ALU
+/// between each pair of stages.
+BenchCircuit make_pipeline_alu(const std::string& name, int width, int depth);
+
+/// The maximal legal forward cut: the closure of combinational word nodes
+/// whose fan-in lies in registers, constants and the cut itself.
+hash::Cut max_forward_cut(const circuit::Rtl& rtl);
+
+/// The synthetic stand-ins for the paper's Table II IWLS'91 set (see
+/// DESIGN.md for the substitution rationale).
+std::vector<BenchCircuit> iwls_benchmarks();
+
+}  // namespace eda::bench_gen

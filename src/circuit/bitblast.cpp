@@ -1,0 +1,367 @@
+#include "circuit/bitblast.h"
+
+namespace eda::circuit {
+
+LitId GateNetlist::add_const(bool v) {
+  GateNode n;
+  n.op = v ? GateOp::Const1 : GateOp::Const0;
+  nodes_.push_back(n);
+  return static_cast<LitId>(nodes_.size() - 1);
+}
+
+LitId GateNetlist::add_input(std::string name) {
+  GateNode n;
+  n.op = GateOp::Input;
+  n.name = std::move(name);
+  nodes_.push_back(std::move(n));
+  LitId l = static_cast<LitId>(nodes_.size() - 1);
+  inputs_.push_back(l);
+  return l;
+}
+
+LitId GateNetlist::add_dff(std::string name, bool init) {
+  GateNode n;
+  n.op = GateOp::Dff;
+  n.init = init;
+  n.name = std::move(name);
+  nodes_.push_back(std::move(n));
+  LitId l = static_cast<LitId>(nodes_.size() - 1);
+  dffs_.push_back(l);
+  return l;
+}
+
+LitId GateNetlist::add_gate(GateOp op, LitId a, LitId b) {
+  auto check = [&](LitId l) {
+    if (l < 0 || static_cast<std::size_t>(l) >= nodes_.size()) {
+      throw RtlError("GateNetlist::add_gate: dangling literal");
+    }
+  };
+  GateNode n;
+  n.op = op;
+  switch (op) {
+    case GateOp::And:
+    case GateOp::Or:
+    case GateOp::Xor:
+      check(a);
+      check(b);
+      n.a = a;
+      n.b = b;
+      break;
+    case GateOp::Not:
+      check(a);
+      n.a = a;
+      break;
+    default:
+      throw RtlError("GateNetlist::add_gate: not a gate op");
+  }
+  nodes_.push_back(n);
+  return static_cast<LitId>(nodes_.size() - 1);
+}
+
+void GateNetlist::set_dff_next(LitId dff, LitId next) {
+  GateNode& n = nodes_.at(static_cast<std::size_t>(dff));
+  if (n.op != GateOp::Dff) throw RtlError("set_dff_next: not a DFF");
+  if (next < 0 || static_cast<std::size_t>(next) >= nodes_.size()) {
+    throw RtlError("set_dff_next: dangling literal");
+  }
+  n.next = next;
+}
+
+void GateNetlist::add_output(std::string name, LitId lit) {
+  if (lit < 0 || static_cast<std::size_t>(lit) >= nodes_.size()) {
+    throw RtlError("add_output: dangling literal");
+  }
+  outputs_.emplace_back(std::move(name), lit);
+}
+
+int GateNetlist::gate_count() const {
+  int c = 0;
+  for (const GateNode& n : nodes_) {
+    if (n.op == GateOp::And || n.op == GateOp::Or || n.op == GateOp::Xor ||
+        n.op == GateOp::Not) {
+      ++c;
+    }
+  }
+  return c;
+}
+
+void GateNetlist::validate() const {
+  for (LitId d : dffs_) {
+    if (node(d).next < 0) throw RtlError("GateNetlist: DFF without next");
+  }
+  for (std::size_t idx = 0; idx < nodes_.size(); ++idx) {
+    const GateNode& n = nodes_[idx];
+    if (n.a >= 0 && static_cast<std::size_t>(n.a) >= idx) {
+      throw RtlError("GateNetlist: combinational cycle");
+    }
+    if (n.b >= 0 && static_cast<std::size_t>(n.b) >= idx) {
+      throw RtlError("GateNetlist: combinational cycle");
+    }
+  }
+}
+
+namespace {
+
+/// Builder producing the bit vectors for each word-level signal.
+struct Blaster {
+  const Rtl& rtl;
+  GateNetlist net;
+  // For each Rtl signal: its bit literals (flags use a single literal).
+  std::vector<std::vector<LitId>> bits;
+  LitId zero, one;
+
+  explicit Blaster(const Rtl& r) : rtl(r) {
+    zero = net.add_const(false);
+    one = net.add_const(true);
+    bits.resize(r.nodes().size());
+  }
+
+  LitId land(LitId a, LitId b) { return net.add_gate(GateOp::And, a, b); }
+  LitId lor(LitId a, LitId b) { return net.add_gate(GateOp::Or, a, b); }
+  LitId lxor(LitId a, LitId b) { return net.add_gate(GateOp::Xor, a, b); }
+  LitId lnot(LitId a) { return net.add_gate(GateOp::Not, a); }
+  LitId lxnor(LitId a, LitId b) { return lnot(lxor(a, b)); }
+  LitId lmux(LitId sel, LitId t, LitId f) {
+    return lor(land(sel, t), land(lnot(sel), f));
+  }
+
+  std::vector<LitId> ripple_add(const std::vector<LitId>& a,
+                                const std::vector<LitId>& b, LitId carry_in) {
+    std::vector<LitId> out(a.size());
+    LitId c = carry_in;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      LitId s = lxor(lxor(a[k], b[k]), c);
+      LitId carry = lor(land(a[k], b[k]), land(c, lxor(a[k], b[k])));
+      out[k] = s;
+      c = carry;
+    }
+    return out;
+  }
+
+  std::vector<LitId> negate(const std::vector<LitId>& b) {
+    // two's complement: ~b + 1
+    std::vector<LitId> nb(b.size());
+    for (std::size_t k = 0; k < b.size(); ++k) nb[k] = lnot(b[k]);
+    std::vector<LitId> zero_vec(b.size(), zero);
+    return ripple_add(nb, zero_vec, one);
+  }
+
+  void blast_node(SignalId s) {
+    const Node& n = rtl.node(s);
+    auto& out = bits[static_cast<std::size_t>(s)];
+    auto in = [&](int k) -> const std::vector<LitId>& {
+      return bits[static_cast<std::size_t>(
+          n.operands[static_cast<std::size_t>(k)])];
+    };
+    switch (n.op) {
+      case Op::Input: {
+        out.resize(static_cast<std::size_t>(n.width));
+        for (int k = 0; k < n.width; ++k) {
+          out[static_cast<std::size_t>(k)] =
+              net.add_input(n.name + "[" + std::to_string(k) + "]");
+        }
+        break;
+      }
+      case Op::Reg: {
+        out.resize(static_cast<std::size_t>(n.width));
+        for (int k = 0; k < n.width; ++k) {
+          bool init = ((n.value >> k) & 1) != 0;
+          out[static_cast<std::size_t>(k)] =
+              net.add_dff(n.name + "[" + std::to_string(k) + "]", init);
+        }
+        break;
+      }
+      case Op::Const: {
+        if (n.width == 0) {
+          out = {n.value ? one : zero};
+          break;
+        }
+        out.resize(static_cast<std::size_t>(n.width));
+        for (int k = 0; k < n.width; ++k) {
+          out[static_cast<std::size_t>(k)] = ((n.value >> k) & 1) ? one : zero;
+        }
+        break;
+      }
+      case Op::Add:
+        out = ripple_add(in(0), in(1), zero);
+        break;
+      case Op::Sub: {
+        std::vector<LitId> nb(in(1).size());
+        for (std::size_t k = 0; k < nb.size(); ++k) nb[k] = lnot(in(1)[k]);
+        out = ripple_add(in(0), nb, one);
+        break;
+      }
+      case Op::Mul: {
+        // Shift-add array multiplier (the paper's fractional-multiplier
+        // benchmarks are built from these).
+        std::size_t w = in(0).size();
+        std::vector<LitId> acc(w, zero);
+        for (std::size_t k = 0; k < w; ++k) {
+          std::vector<LitId> partial(w, zero);
+          for (std::size_t j = 0; j + k < w; ++j) {
+            partial[j + k] = land(in(0)[j], in(1)[k]);
+          }
+          acc = ripple_add(acc, partial, zero);
+        }
+        out = acc;
+        break;
+      }
+      case Op::Eq: {
+        LitId acc = one;
+        for (std::size_t k = 0; k < in(0).size(); ++k) {
+          acc = land(acc, lxnor(in(0)[k], in(1)[k]));
+        }
+        out = {acc};
+        break;
+      }
+      case Op::Lt: {
+        // a < b : ripple borrow from LSB to MSB.
+        LitId lt = zero;
+        for (std::size_t k = 0; k < in(0).size(); ++k) {
+          LitId eq = lxnor(in(0)[k], in(1)[k]);
+          LitId bk_gt = land(lnot(in(0)[k]), in(1)[k]);
+          lt = lor(bk_gt, land(eq, lt));
+        }
+        out = {lt};
+        break;
+      }
+      case Op::Mux: {
+        LitId sel = in(0)[0];
+        out.resize(in(1).size());
+        for (std::size_t k = 0; k < in(1).size(); ++k) {
+          out[k] = lmux(sel, in(1)[k], in(2)[k]);
+        }
+        break;
+      }
+      case Op::And:
+      case Op::Or:
+      case Op::Xor: {
+        out.resize(in(0).size());
+        for (std::size_t k = 0; k < in(0).size(); ++k) {
+          GateOp g = n.op == Op::And   ? GateOp::And
+                     : n.op == Op::Or ? GateOp::Or
+                                      : GateOp::Xor;
+          out[k] = net.add_gate(g, in(0)[k], in(1)[k]);
+        }
+        break;
+      }
+      case Op::Not: {
+        out.resize(in(0).size());
+        for (std::size_t k = 0; k < in(0).size(); ++k) out[k] = lnot(in(0)[k]);
+        break;
+      }
+      case Op::FlagAnd: out = {land(in(0)[0], in(1)[0])}; break;
+      case Op::FlagOr: out = {lor(in(0)[0], in(1)[0])}; break;
+      case Op::FlagNot: out = {lnot(in(0)[0])}; break;
+    }
+  }
+};
+
+}  // namespace
+
+GateNetlist bit_blast(const Rtl& rtl) {
+  rtl.validate();
+  Blaster b(rtl);
+  for (std::size_t s = 0; s < rtl.nodes().size(); ++s) {
+    b.blast_node(static_cast<SignalId>(s));
+  }
+  // Hook up DFF next-values and outputs.
+  for (SignalId r : rtl.regs()) {
+    const Node& n = rtl.node(r);
+    const auto& q_bits = b.bits[static_cast<std::size_t>(r)];
+    const auto& d_bits = b.bits[static_cast<std::size_t>(n.next)];
+    for (std::size_t k = 0; k < q_bits.size(); ++k) {
+      b.net.set_dff_next(q_bits[k], d_bits[k]);
+    }
+  }
+  for (const OutputPort& p : rtl.outputs()) {
+    const auto& o_bits = b.bits[static_cast<std::size_t>(p.signal)];
+    for (std::size_t k = 0; k < o_bits.size(); ++k) {
+      b.net.add_output(p.name + "[" + std::to_string(k) + "]", o_bits[k]);
+    }
+  }
+  b.net.validate();
+  return std::move(b.net);
+}
+
+// --- Gate simulator ----------------------------------------------------------
+
+GateSimulator::GateSimulator(const GateNetlist& net) : net_(net) {
+  net_.validate();
+  reset();
+}
+
+void GateSimulator::reset() {
+  state_.clear();
+  for (LitId d : net_.dffs()) state_.push_back(net_.node(d).init);
+}
+
+std::pair<std::vector<bool>, std::vector<bool>> GateSimulator::eval(
+    const std::vector<bool>& inputs, const std::vector<bool>& state) const {
+  const auto& nodes = net_.nodes();
+  std::vector<char> val(nodes.size(), 0);
+  for (std::size_t k = 0; k < net_.inputs().size(); ++k) {
+    val[static_cast<std::size_t>(net_.inputs()[k])] = inputs[k] ? 1 : 0;
+  }
+  for (std::size_t k = 0; k < net_.dffs().size(); ++k) {
+    val[static_cast<std::size_t>(net_.dffs()[k])] = state[k] ? 1 : 0;
+  }
+  for (std::size_t idx = 0; idx < nodes.size(); ++idx) {
+    const GateNode& n = nodes[idx];
+    switch (n.op) {
+      case GateOp::Const0: val[idx] = 0; break;
+      case GateOp::Const1: val[idx] = 1; break;
+      case GateOp::Input:
+      case GateOp::Dff:
+        break;
+      case GateOp::And:
+        val[idx] = val[static_cast<std::size_t>(n.a)] &
+                   val[static_cast<std::size_t>(n.b)];
+        break;
+      case GateOp::Or:
+        val[idx] = val[static_cast<std::size_t>(n.a)] |
+                   val[static_cast<std::size_t>(n.b)];
+        break;
+      case GateOp::Xor:
+        val[idx] = val[static_cast<std::size_t>(n.a)] ^
+                   val[static_cast<std::size_t>(n.b)];
+        break;
+      case GateOp::Not:
+        val[idx] = val[static_cast<std::size_t>(n.a)] ^ 1;
+        break;
+    }
+  }
+  std::vector<bool> outs;
+  outs.reserve(net_.outputs().size());
+  for (const auto& [name, lit] : net_.outputs()) {
+    outs.push_back(val[static_cast<std::size_t>(lit)] != 0);
+  }
+  std::vector<bool> next;
+  next.reserve(net_.dffs().size());
+  for (LitId d : net_.dffs()) {
+    next.push_back(val[static_cast<std::size_t>(net_.node(d).next)] != 0);
+  }
+  return {std::move(outs), std::move(next)};
+}
+
+std::vector<bool> GateSimulator::step(const std::vector<bool>& inputs) {
+  auto [outs, next] = eval(inputs, state_);
+  state_ = std::move(next);
+  return outs;
+}
+
+std::vector<bool> to_bits(std::uint64_t v, int width) {
+  std::vector<bool> out(static_cast<std::size_t>(width));
+  for (int k = 0; k < width; ++k) out[static_cast<std::size_t>(k)] = ((v >> k) & 1) != 0;
+  return out;
+}
+
+std::uint64_t from_bits(const std::vector<bool>& bits) {
+  std::uint64_t v = 0;
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    if (bits[k]) v |= (1ULL << k);
+  }
+  return v;
+}
+
+}  // namespace eda::circuit

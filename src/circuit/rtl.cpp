@@ -1,0 +1,312 @@
+#include "circuit/rtl.h"
+
+#include <random>
+
+namespace eda::circuit {
+
+bool op_is_flag(Op op) {
+  switch (op) {
+    case Op::Eq:
+    case Op::Lt:
+    case Op::FlagAnd:
+    case Op::FlagOr:
+    case Op::FlagNot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Input: return "input";
+    case Op::Reg: return "reg";
+    case Op::Const: return "const";
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Eq: return "eq";
+    case Op::Lt: return "lt";
+    case Op::Mux: return "mux";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Xor: return "xor";
+    case Op::Not: return "not";
+    case Op::FlagAnd: return "fand";
+    case Op::FlagOr: return "for";
+    case Op::FlagNot: return "fnot";
+  }
+  return "?";
+}
+
+SignalId Rtl::push(Node n) {
+  nodes_.push_back(std::move(n));
+  return static_cast<SignalId>(nodes_.size() - 1);
+}
+
+SignalId Rtl::add_input(std::string name, int width) {
+  if (width < 1 || width > 62) throw RtlError("add_input: bad width");
+  Node n;
+  n.op = Op::Input;
+  n.width = width;
+  n.name = std::move(name);
+  SignalId s = push(std::move(n));
+  inputs_.push_back(s);
+  return s;
+}
+
+SignalId Rtl::add_reg(std::string name, int width, std::uint64_t init) {
+  if (width < 1 || width > 62) throw RtlError("add_reg: bad width");
+  Node n;
+  n.op = Op::Reg;
+  n.width = width;
+  n.value = init & ((width >= 62) ? ~0ULL : ((1ULL << width) - 1));
+  n.name = std::move(name);
+  SignalId s = push(std::move(n));
+  regs_.push_back(s);
+  return s;
+}
+
+SignalId Rtl::add_const(int width, std::uint64_t value) {
+  if (width < 1 || width > 62) throw RtlError("add_const: bad width");
+  Node n;
+  n.op = Op::Const;
+  n.width = width;
+  n.value = value & ((1ULL << width) - 1);
+  return push(std::move(n));
+}
+
+SignalId Rtl::add_const_flag(bool value) {
+  Node n;
+  n.op = Op::Const;
+  n.width = 0;
+  n.value = value ? 1 : 0;
+  return push(std::move(n));
+}
+
+SignalId Rtl::add_op(Op op, std::vector<SignalId> operands) {
+  auto check_exists = [&](SignalId s) {
+    if (s < 0 || static_cast<std::size_t>(s) >= nodes_.size()) {
+      throw RtlError("add_op: dangling operand");
+    }
+  };
+  for (SignalId s : operands) check_exists(s);
+  auto word = [&](SignalId s) {
+    if (is_flag(s)) throw RtlError("add_op: flag used as word operand");
+    return node(s).width;
+  };
+  auto flag = [&](SignalId s) {
+    if (!is_flag(s)) throw RtlError("add_op: word used as flag operand");
+  };
+  Node n;
+  n.op = op;
+  n.operands = operands;
+  switch (op) {
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor: {
+      if (operands.size() != 2) throw RtlError("add_op: binary op arity");
+      int w = word(operands[0]);
+      if (word(operands[1]) != w) throw RtlError("add_op: width mismatch");
+      n.width = w;
+      break;
+    }
+    case Op::Not: {
+      if (operands.size() != 1) throw RtlError("add_op: unary op arity");
+      n.width = word(operands[0]);
+      break;
+    }
+    case Op::Eq:
+    case Op::Lt: {
+      if (operands.size() != 2) throw RtlError("add_op: compare arity");
+      int w = word(operands[0]);
+      if (word(operands[1]) != w) throw RtlError("add_op: width mismatch");
+      n.width = 0;
+      break;
+    }
+    case Op::Mux: {
+      if (operands.size() != 3) throw RtlError("add_op: mux arity");
+      flag(operands[0]);
+      int w = word(operands[1]);
+      if (word(operands[2]) != w) throw RtlError("add_op: mux width mismatch");
+      n.width = w;
+      break;
+    }
+    case Op::FlagAnd:
+    case Op::FlagOr: {
+      if (operands.size() != 2) throw RtlError("add_op: flag binop arity");
+      flag(operands[0]);
+      flag(operands[1]);
+      n.width = 0;
+      break;
+    }
+    case Op::FlagNot: {
+      if (operands.size() != 1) throw RtlError("add_op: flag not arity");
+      flag(operands[0]);
+      n.width = 0;
+      break;
+    }
+    case Op::Input:
+    case Op::Reg:
+    case Op::Const:
+      throw RtlError("add_op: use the dedicated constructors");
+  }
+  return push(std::move(n));
+}
+
+void Rtl::set_reg_next(SignalId reg, SignalId next) {
+  Node& n = nodes_.at(static_cast<std::size_t>(reg));
+  if (n.op != Op::Reg) throw RtlError("set_reg_next: not a register");
+  if (is_flag(next)) throw RtlError("set_reg_next: flag cannot be stored");
+  if (node(next).width != n.width) {
+    throw RtlError("set_reg_next: width mismatch");
+  }
+  n.next = next;
+}
+
+void Rtl::add_output(std::string name, SignalId sig) {
+  if (sig < 0 || static_cast<std::size_t>(sig) >= nodes_.size()) {
+    throw RtlError("add_output: dangling signal");
+  }
+  outputs_.push_back({std::move(name), sig});
+}
+
+std::uint64_t Rtl::mask(SignalId s) const {
+  int w = node(s).width;
+  if (w == 0) return 1;
+  return (1ULL << w) - 1;
+}
+
+int Rtl::comb_node_count() const {
+  int count = 0;
+  for (const Node& n : nodes_) {
+    if (n.op != Op::Input && n.op != Op::Reg && n.op != Op::Const) ++count;
+  }
+  return count;
+}
+
+void Rtl::reorder_registers(const std::vector<std::size_t>& perm) {
+  const std::size_t n = regs_.size();
+  if (perm.size() != n) {
+    throw RtlError("reorder_registers: permutation arity mismatch");
+  }
+  std::vector<SignalId> reordered(n, -1);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (perm[k] >= n || reordered[perm[k]] != -1) {
+      throw RtlError("reorder_registers: not a bijection");
+    }
+    reordered[perm[k]] = regs_[k];
+  }
+  regs_ = std::move(reordered);
+}
+
+void Rtl::validate() const {
+  for (SignalId r : regs_) {
+    const Node& n = node(r);
+    if (n.next < 0) {
+      throw RtlError("validate: register " + n.name + " has no next value");
+    }
+  }
+  if (outputs_.empty()) throw RtlError("validate: no outputs");
+  // Combinational operands must precede their users except for register
+  // next pointers (which close the sequential loop).
+  for (std::size_t idx = 0; idx < nodes_.size(); ++idx) {
+    for (SignalId o : nodes_[idx].operands) {
+      if (static_cast<std::size_t>(o) >= idx) {
+        throw RtlError("validate: combinational cycle");
+      }
+    }
+  }
+}
+
+// --- Simulator ---------------------------------------------------------------
+
+Simulator::Simulator(const Rtl& rtl) : rtl_(rtl) {
+  rtl_.validate();
+  reset();
+}
+
+void Simulator::reset() {
+  state_.clear();
+  for (SignalId r : rtl_.regs()) state_.push_back(rtl_.node(r).value);
+}
+
+std::vector<std::uint64_t> Simulator::step(
+    const std::vector<std::uint64_t>& inputs) {
+  if (inputs.size() != rtl_.inputs().size()) {
+    throw RtlError("Simulator::step: input arity mismatch");
+  }
+  const auto& nodes = rtl_.nodes();
+  std::vector<std::uint64_t> val(nodes.size(), 0);
+  // Seed inputs and register outputs.
+  for (std::size_t k = 0; k < rtl_.inputs().size(); ++k) {
+    SignalId s = rtl_.inputs()[k];
+    val[static_cast<std::size_t>(s)] = inputs[k] & rtl_.mask(s);
+  }
+  for (std::size_t k = 0; k < rtl_.regs().size(); ++k) {
+    val[static_cast<std::size_t>(rtl_.regs()[k])] = state_[k];
+  }
+  // Evaluate in index order (topological by construction).
+  for (std::size_t idx = 0; idx < nodes.size(); ++idx) {
+    const Node& n = nodes[idx];
+    auto in = [&](int k) {
+      return val[static_cast<std::size_t>(n.operands[static_cast<std::size_t>(k)])];
+    };
+    std::uint64_t m = (n.width == 0) ? 1 : ((1ULL << n.width) - 1);
+    switch (n.op) {
+      case Op::Input:
+      case Op::Reg:
+        break;  // already seeded
+      case Op::Const:
+        val[idx] = n.value;
+        break;
+      case Op::Add: val[idx] = (in(0) + in(1)) & m; break;
+      case Op::Sub: val[idx] = (in(0) - in(1)) & m; break;
+      case Op::Mul: val[idx] = (in(0) * in(1)) & m; break;
+      case Op::Eq: val[idx] = in(0) == in(1) ? 1 : 0; break;
+      case Op::Lt: val[idx] = in(0) < in(1) ? 1 : 0; break;
+      case Op::Mux: val[idx] = in(0) ? in(1) : in(2); break;
+      case Op::And: val[idx] = in(0) & in(1); break;
+      case Op::Or: val[idx] = in(0) | in(1); break;
+      case Op::Xor: val[idx] = in(0) ^ in(1); break;
+      case Op::Not: val[idx] = (~in(0)) & m; break;
+      case Op::FlagAnd: val[idx] = in(0) & in(1); break;
+      case Op::FlagOr: val[idx] = in(0) | in(1); break;
+      case Op::FlagNot: val[idx] = in(0) ^ 1; break;
+    }
+  }
+  std::vector<std::uint64_t> outs;
+  outs.reserve(rtl_.outputs().size());
+  for (const OutputPort& p : rtl_.outputs()) {
+    outs.push_back(val[static_cast<std::size_t>(p.signal)]);
+  }
+  // Latch registers.
+  for (std::size_t k = 0; k < rtl_.regs().size(); ++k) {
+    state_[k] = val[static_cast<std::size_t>(rtl_.node(rtl_.regs()[k]).next)];
+  }
+  return outs;
+}
+
+bool simulation_equivalent(const Rtl& a, const Rtl& b, int cycles,
+                           std::uint32_t seed) {
+  if (a.inputs().size() != b.inputs().size() ||
+      a.outputs().size() != b.outputs().size()) {
+    return false;
+  }
+  Simulator sa(a), sb(b);
+  std::mt19937_64 rng(seed);
+  for (int c = 0; c < cycles; ++c) {
+    std::vector<std::uint64_t> ins;
+    ins.reserve(a.inputs().size());
+    for (SignalId s : a.inputs()) {
+      ins.push_back(rng() & a.mask(s));
+    }
+    if (sa.step(ins) != sb.step(ins)) return false;
+  }
+  return true;
+}
+
+}  // namespace eda::circuit

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/error.h"
+
+namespace eda::circuit {
+
+/// Signal identifier within an Rtl netlist (index into the node table).
+using SignalId = int;
+
+/// Word-level RTL operators.  Arithmetic is modulo 2^width; comparison
+/// operators produce 1-bit flags; MUX selects with a flag.
+enum class Op {
+  Input,   // primary input (word)
+  Reg,     // register output; init value + next-value signal
+  Const,   // literal
+  Add,     // (a + b) mod 2^w
+  Sub,     // (a - b) mod 2^w
+  Mul,     // (a * b) mod 2^w
+  Eq,      // flag: a == b
+  Lt,      // flag: a < b (unsigned)
+  Mux,     // sel(flag) ? a : b
+  And,     // bitwise
+  Or,      // bitwise
+  Xor,     // bitwise
+  Not,     // bitwise complement (width-masked)
+  FlagAnd, // flag /\ flag
+  FlagOr,  // flag \/ flag
+  FlagNot, // ~flag
+};
+
+bool op_is_flag(Op op);
+const char* op_name(Op op);
+
+/// One node of the netlist.  `width == 0` marks a flag (boolean) signal.
+struct Node {
+  Op op = Op::Const;
+  int width = 1;                  // 0 for flags
+  std::vector<SignalId> operands; // combinational fan-in
+  std::uint64_t value = 0;        // Const literal or Reg initial value
+  SignalId next = -1;             // Reg only: next-value signal
+  std::string name;               // Inputs/Regs/debug
+};
+
+struct OutputPort {
+  std::string name;
+  SignalId signal;
+};
+
+class RtlError : public kernel::KernelError {
+ public:
+  explicit RtlError(const std::string& what) : kernel::KernelError(what) {}
+};
+
+/// A synchronous word-level circuit: primary inputs, registers with initial
+/// values, a combinational DAG over them, and named outputs.  This is the
+/// structural description that both the conventional and the formal
+/// synthesis steps operate on.
+class Rtl {
+ public:
+  SignalId add_input(std::string name, int width);
+  SignalId add_reg(std::string name, int width, std::uint64_t init);
+  SignalId add_const(int width, std::uint64_t value);
+  /// Constant flag (boolean literal), used by the logic-optimisation pass.
+  SignalId add_const_flag(bool value);
+  /// Generic combinational node; operand widths/kinds are checked.
+  SignalId add_op(Op op, std::vector<SignalId> operands);
+  void set_reg_next(SignalId reg, SignalId next);
+  void add_output(std::string name, SignalId sig);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(SignalId s) const { return nodes_.at(static_cast<std::size_t>(s)); }
+  const std::vector<SignalId>& inputs() const { return inputs_; }
+  const std::vector<SignalId>& regs() const { return regs_; }
+  const std::vector<OutputPort>& outputs() const { return outputs_; }
+
+  bool is_flag(SignalId s) const { return node(s).width == 0; }
+  int width(SignalId s) const { return node(s).width; }
+  std::uint64_t mask(SignalId s) const;
+
+  /// Number of combinational operator nodes (everything except Input, Reg,
+  /// Const).
+  int comb_node_count() const;
+
+  /// Re-order the register bank: register k moves to position perm[k] of
+  /// the state vector (perm must be a bijection on 0..#regs-1).  The node
+  /// graph is untouched — only the order of regs(), i.e. the layout of the
+  /// compiled state tuple, changes.  This is the netlist side of the
+  /// formal register-permutation encoding step.
+  void reorder_registers(const std::vector<std::size_t>& perm);
+
+  /// Check the netlist is complete and well-formed: every register has a
+  /// next-value of the right width, outputs resolve, and the combinational
+  /// part is acyclic (node indices are naturally topological here since
+  /// operands must exist before use).
+  void validate() const;
+
+ private:
+  SignalId push(Node n);
+  std::vector<Node> nodes_;
+  std::vector<SignalId> inputs_;
+  std::vector<SignalId> regs_;
+  std::vector<OutputPort> outputs_;
+};
+
+/// Cycle-accurate simulator for Rtl.
+class Simulator {
+ public:
+  explicit Simulator(const Rtl& rtl);
+
+  /// Reset registers to their initial values.
+  void reset();
+  /// Evaluate one clock cycle: given input values (same order as
+  /// rtl.inputs()), return output values (same order as rtl.outputs()) and
+  /// advance the registers.
+  std::vector<std::uint64_t> step(const std::vector<std::uint64_t>& inputs);
+  /// Current register contents (same order as rtl.regs()).
+  const std::vector<std::uint64_t>& reg_state() const { return state_; }
+
+ private:
+  const Rtl& rtl_;
+  std::vector<std::uint64_t> state_;
+};
+
+/// Run both circuits on the same random input streams and report whether
+/// their outputs agree on every cycle.  Inputs are matched by position;
+/// both circuits must have the same input/output arity and widths.
+bool simulation_equivalent(const Rtl& a, const Rtl& b, int cycles,
+                           std::uint32_t seed);
+
+}  // namespace eda::circuit

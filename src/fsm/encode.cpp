@@ -1,0 +1,125 @@
+#include "fsm/encode.h"
+
+#include <random>
+
+namespace eda::fsm {
+
+using circuit::Op;
+using circuit::Rtl;
+using circuit::SignalId;
+
+const char* encoding_name(Encoding e) {
+  switch (e) {
+    case Encoding::Binary: return "binary";
+    case Encoding::Gray: return "gray";
+    case Encoding::OneHot: return "one-hot";
+  }
+  return "?";
+}
+
+namespace {
+
+int binary_width(int n) {
+  int w = 1;
+  while ((1 << w) < n) ++w;
+  return w;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> state_codes(const Fsm& fsm, Encoding enc) {
+  const int n = fsm.state_count();
+  std::vector<std::uint64_t> codes(static_cast<std::size_t>(n));
+  switch (enc) {
+    case Encoding::Binary:
+      for (int s = 0; s < n; ++s) {
+        codes[static_cast<std::size_t>(s)] = static_cast<std::uint64_t>(s);
+      }
+      break;
+    case Encoding::Gray:
+      for (int s = 0; s < n; ++s) {
+        auto u = static_cast<std::uint64_t>(s);
+        codes[static_cast<std::size_t>(s)] = u ^ (u >> 1);
+      }
+      break;
+    case Encoding::OneHot:
+      if (n > 63) throw FsmError("state_codes: one-hot limited to 63 states");
+      for (int s = 0; s < n; ++s) {
+        codes[static_cast<std::size_t>(s)] = 1ULL << s;
+      }
+      break;
+  }
+  return codes;
+}
+
+Rtl synthesize(const Fsm& fsm, Encoding enc) {
+  fsm.validate_deterministic();
+  const int n = fsm.state_count();
+  const int sw = enc == Encoding::OneHot ? n : binary_width(n);
+  std::vector<std::uint64_t> codes = state_codes(fsm, enc);
+
+  Rtl rtl;
+  SignalId in = rtl.add_input("in", fsm.input_bits());
+  SignalId st = rtl.add_reg(
+      "state", sw, codes[static_cast<std::size_t>(fsm.reset_state())]);
+
+  // Priority-mux chains over the rows, last row lowest priority.  For a
+  // complete deterministic machine exactly one guard fires per cycle, so
+  // the base values (hold state / emit 0) are never selected.
+  SignalId next = st;
+  SignalId out = rtl.add_const(fsm.output_bits(), 0);
+  const auto& rows = fsm.transitions();
+  for (std::size_t k = rows.size(); k-- > 0;) {
+    const Transition& t = rows[k];
+    // state == code(from)
+    SignalId eq_state = rtl.add_op(
+        Op::Eq, {st, rtl.add_const(sw, codes[static_cast<std::size_t>(t.from)])});
+    // in & care == pattern
+    std::uint64_t care = 0, bits = 0;
+    const std::size_t w = t.in_pattern.size();
+    for (std::size_t j = 0; j < w; ++j) {
+      char ch = t.in_pattern[j];
+      if (ch == '-') continue;
+      care |= 1ULL << (w - 1 - j);
+      if (ch == '1') bits |= 1ULL << (w - 1 - j);
+    }
+    SignalId masked =
+        rtl.add_op(Op::And, {in, rtl.add_const(fsm.input_bits(), care)});
+    SignalId eq_in =
+        rtl.add_op(Op::Eq, {masked, rtl.add_const(fsm.input_bits(), bits)});
+    SignalId cond = rtl.add_op(Op::FlagAnd, {eq_state, eq_in});
+    next = rtl.add_op(
+        Op::Mux,
+        {cond, rtl.add_const(sw, codes[static_cast<std::size_t>(t.to)]),
+         next});
+    out = rtl.add_op(
+        Op::Mux,
+        {cond, rtl.add_const(fsm.output_bits(), Fsm::output_value(t)), out});
+  }
+  rtl.set_reg_next(st, next);
+  rtl.add_output("out", out);
+  rtl.validate();
+  return rtl;
+}
+
+bool netlist_matches_fsm(const Rtl& rtl, const Fsm& fsm, int cycles,
+                         std::uint32_t seed) {
+  circuit::Simulator sim(rtl);
+  sim.reset();
+  std::mt19937 rng(seed);
+  std::uint64_t in_mask = (1ULL << fsm.input_bits()) - 1;
+  std::vector<std::uint64_t> ins;
+  ins.reserve(static_cast<std::size_t>(cycles));
+  for (int k = 0; k < cycles; ++k) ins.push_back(rng() & in_mask);
+  std::vector<std::uint64_t> want = fsm.simulate(ins);
+  for (int k = 0; k < cycles; ++k) {
+    std::vector<std::uint64_t> got =
+        sim.step({ins[static_cast<std::size_t>(k)]});
+    if (got.size() != 1 || got[0] != want[static_cast<std::size_t>(k)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace eda::fsm

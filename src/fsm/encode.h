@@ -1,0 +1,38 @@
+#pragma once
+
+#include "circuit/rtl.h"
+#include "fsm/fsm.h"
+
+namespace eda::fsm {
+
+/// State-assignment styles for FSM synthesis.  The choice changes the
+/// register count and the combinational structure but never the behaviour
+/// — the synthesis tests check all styles against the symbolic machine,
+/// and the formal XOR/permutation steps can re-code the result further.
+enum class Encoding {
+  Binary,  // ceil(log2 n) bits, states numbered in id order
+  Gray,    // ceil(log2 n) bits, reflected Gray sequence
+  OneHot,  // n bits, bit k set for state k
+};
+
+const char* encoding_name(Encoding e);
+
+/// The code assigned to each state under an encoding.
+std::vector<std::uint64_t> state_codes(const Fsm& fsm, Encoding enc);
+
+/// Synthesise the machine to a word-level netlist:
+///   input  "in"    : input_bits wide
+///   output "out"   : output_bits wide
+///   one state register ("state", reset state's code as initial value)
+/// Transition rows become priority-mux chains guarded by
+///   (state == code(from)) AND (in & care_mask == pattern_bits).
+/// The resulting Rtl feeds directly into the formal synthesis steps
+/// (retiming, re-encoding, dead-register removal).
+circuit::Rtl synthesize(const Fsm& fsm, Encoding enc);
+
+/// Run the netlist and the symbolic machine side by side on a random
+/// input stream and compare outputs (the synthesis correctness oracle).
+bool netlist_matches_fsm(const circuit::Rtl& rtl, const Fsm& fsm,
+                         int cycles, std::uint32_t seed);
+
+}  // namespace eda::fsm

@@ -1,0 +1,170 @@
+#include "fsm/fsm.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace eda::fsm {
+
+Fsm::Fsm(int input_bits, int output_bits)
+    : input_bits_(input_bits), output_bits_(output_bits) {
+  if (input_bits < 1 || input_bits > 16) {
+    throw FsmError("Fsm: input_bits must be in [1, 16]");
+  }
+  if (output_bits < 1 || output_bits > 63) {
+    throw FsmError("Fsm: output_bits must be in [1, 63]");
+  }
+}
+
+StateId Fsm::add_state(const std::string& name) {
+  if (auto s = find_state(name)) return *s;
+  names_.push_back(name);
+  return static_cast<StateId>(names_.size()) - 1;
+}
+
+std::optional<StateId> Fsm::find_state(const std::string& name) const {
+  for (std::size_t k = 0; k < names_.size(); ++k) {
+    if (names_[k] == name) return static_cast<StateId>(k);
+  }
+  return std::nullopt;
+}
+
+void Fsm::add_transition(const std::string& in_pattern, StateId from,
+                         StateId to, const std::string& out_pattern) {
+  if (static_cast<int>(in_pattern.size()) != input_bits_) {
+    throw FsmError("add_transition: input pattern '" + in_pattern +
+                   "' has wrong width");
+  }
+  if (static_cast<int>(out_pattern.size()) != output_bits_) {
+    throw FsmError("add_transition: output pattern '" + out_pattern +
+                   "' has wrong width");
+  }
+  auto check = [](const std::string& p) {
+    for (char ch : p) {
+      if (ch != '0' && ch != '1' && ch != '-') {
+        throw FsmError(std::string("add_transition: bad pattern char '") +
+                       ch + "'");
+      }
+    }
+  };
+  check(in_pattern);
+  check(out_pattern);
+  if (from < 0 || from >= state_count() || to < 0 || to >= state_count()) {
+    throw FsmError("add_transition: state out of range");
+  }
+  rows_.push_back(Transition{in_pattern, from, to, out_pattern});
+}
+
+void Fsm::set_reset_state(StateId s) {
+  if (s < 0 || s >= state_count()) {
+    throw FsmError("set_reset_state: out of range");
+  }
+  reset_ = s;
+}
+
+const std::string& Fsm::state_name(StateId s) const {
+  if (s < 0 || s >= state_count()) throw FsmError("state_name: out of range");
+  return names_[static_cast<std::size_t>(s)];
+}
+
+bool Fsm::matches(const std::string& pattern, std::uint64_t bits) {
+  const std::size_t w = pattern.size();
+  for (std::size_t k = 0; k < w; ++k) {
+    char ch = pattern[k];
+    if (ch == '-') continue;
+    std::uint64_t bit = (bits >> (w - 1 - k)) & 1;  // MSB first
+    if ((ch == '1') != (bit == 1)) return false;
+  }
+  return true;
+}
+
+const Transition& Fsm::step(StateId s, std::uint64_t bits) const {
+  for (const Transition& t : rows_) {
+    if (t.from == s && matches(t.in_pattern, bits)) return t;
+  }
+  throw FsmError("step: no transition from state '" + state_name(s) +
+                 "' on input " + std::to_string(bits) +
+                 " (incomplete machine)");
+}
+
+std::uint64_t Fsm::output_value(const Transition& t) {
+  std::uint64_t v = 0;
+  for (char ch : t.out_pattern) v = (v << 1) | (ch == '1' ? 1 : 0);
+  return v;
+}
+
+void Fsm::validate_deterministic() const {
+  const std::uint64_t space = 1ULL << input_bits_;
+  for (StateId s = 0; s < state_count(); ++s) {
+    for (std::uint64_t in = 0; in < space; ++in) {
+      int hits = 0;
+      for (const Transition& t : rows_) {
+        if (t.from == s && matches(t.in_pattern, in)) ++hits;
+      }
+      if (hits == 0) {
+        throw FsmError("validate: state '" + state_name(s) +
+                       "' has no transition on input " + std::to_string(in));
+      }
+      if (hits > 1) {
+        throw FsmError("validate: state '" + state_name(s) +
+                       "' has overlapping rows on input " +
+                       std::to_string(in));
+      }
+    }
+  }
+}
+
+std::vector<StateId> Fsm::reachable_states() const {
+  const std::uint64_t space = 1ULL << input_bits_;
+  std::set<StateId> seen{reset_};
+  std::deque<StateId> work{reset_};
+  while (!work.empty()) {
+    StateId s = work.front();
+    work.pop_front();
+    for (std::uint64_t in = 0; in < space; ++in) {
+      StateId nxt = step(s, in).to;
+      if (seen.insert(nxt).second) work.push_back(nxt);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<std::uint64_t> Fsm::simulate(
+    const std::vector<std::uint64_t>& ins) const {
+  std::vector<std::uint64_t> outs;
+  outs.reserve(ins.size());
+  StateId s = reset_;
+  for (std::uint64_t in : ins) {
+    const Transition& t = step(s, in);
+    outs.push_back(output_value(t));
+    s = t.to;
+  }
+  return outs;
+}
+
+bool fsm_equivalent(const Fsm& a, const Fsm& b) {
+  if (a.input_bits() != b.input_bits() ||
+      a.output_bits() != b.output_bits()) {
+    return false;
+  }
+  const std::uint64_t space = 1ULL << a.input_bits();
+  std::set<std::pair<StateId, StateId>> seen;
+  std::deque<std::pair<StateId, StateId>> work;
+  work.emplace_back(a.reset_state(), b.reset_state());
+  seen.insert(work.front());
+  while (!work.empty()) {
+    auto [sa, sb] = work.front();
+    work.pop_front();
+    for (std::uint64_t in = 0; in < space; ++in) {
+      const Transition& ta = a.step(sa, in);
+      const Transition& tb = b.step(sb, in);
+      if (Fsm::output_value(ta) != Fsm::output_value(tb)) return false;
+      auto nxt = std::make_pair(ta.to, tb.to);
+      if (seen.insert(nxt).second) work.push_back(nxt);
+    }
+  }
+  return true;
+}
+
+}  // namespace eda::fsm

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/error.h"
+
+namespace eda::fsm {
+
+class FsmError : public kernel::KernelError {
+ public:
+  explicit FsmError(const std::string& what) : kernel::KernelError(what) {}
+};
+
+/// State index within an Fsm.
+using StateId = int;
+
+/// One row of a KISS2-style transition table.  `in_pattern` is a string of
+/// '0'/'1'/'-' over the input bits (MSB first, length = input_bits);
+/// `out_pattern` likewise over the output bits, except that '-' in an
+/// output means "unspecified" and is emitted as 0.
+struct Transition {
+  std::string in_pattern;
+  StateId from = -1;
+  StateId to = -1;
+  std::string out_pattern;
+};
+
+/// An explicit Mealy machine in the style of the SIS/KISS2 ecosystem the
+/// paper's baselines come from: named symbolic states, bit-vector inputs
+/// and outputs, pattern-matched transitions.  This is the substrate for
+/// state minimisation and state encoding — the two Automata-theory
+/// transformations the paper lists besides retiming — and for the
+/// IWLS-style controller benchmarks.
+class Fsm {
+ public:
+  Fsm(int input_bits, int output_bits);
+
+  /// Add (or look up) a state by name; returns its id.
+  StateId add_state(const std::string& name);
+  std::optional<StateId> find_state(const std::string& name) const;
+
+  void add_transition(const std::string& in_pattern, StateId from,
+                      StateId to, const std::string& out_pattern);
+
+  void set_reset_state(StateId s);
+  StateId reset_state() const { return reset_; }
+
+  int input_bits() const { return input_bits_; }
+  int output_bits() const { return output_bits_; }
+  int state_count() const { return static_cast<int>(names_.size()); }
+  const std::string& state_name(StateId s) const;
+  const std::vector<Transition>& transitions() const { return rows_; }
+
+  /// True when `bits` (an input valuation) matches the pattern.
+  static bool matches(const std::string& pattern, std::uint64_t bits);
+
+  /// The transition taken from `s` on concrete input `bits`: the unique
+  /// matching row.  Throws FsmError when no row matches (incomplete
+  /// machine); `validate_deterministic` rejects overlapping rows upfront.
+  const Transition& step(StateId s, std::uint64_t bits) const;
+
+  /// Output bits emitted by a transition ('-' = 0).
+  static std::uint64_t output_value(const Transition& t);
+
+  /// Check every (state, input) pair resolves to at most one row and that
+  /// the machine is complete (every pair has a row).  Exponential in
+  /// input_bits; guarded to <= 16 bits, which covers every benchmark here.
+  void validate_deterministic() const;
+
+  /// States reachable from the reset state (BFS over concrete inputs).
+  std::vector<StateId> reachable_states() const;
+
+  /// Run the machine on an input stream from the reset state.
+  std::vector<std::uint64_t> simulate(const std::vector<std::uint64_t>& ins) const;
+
+ private:
+  int input_bits_;
+  int output_bits_;
+  StateId reset_ = 0;
+  std::vector<std::string> names_;
+  std::vector<Transition> rows_;
+};
+
+/// I/O-equivalence of two machines by BFS over the product of reachable
+/// state pairs and all concrete inputs (exact, exponential in input bits;
+/// the cross-check oracle for minimisation and encoding tests).
+bool fsm_equivalent(const Fsm& a, const Fsm& b);
+
+}  // namespace eda::fsm

@@ -1,0 +1,94 @@
+#include "fsm/kiss2.h"
+
+#include <sstream>
+#include <vector>
+
+namespace eda::fsm {
+
+namespace {
+
+struct Row {
+  std::string in, from, to, out;
+};
+
+}  // namespace
+
+Fsm parse_kiss2(std::istream& in) {
+  int ibits = -1, obits = -1;
+  std::string reset_name;
+  std::vector<Row> rows;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments and whitespace.
+    if (auto pos = line.find('#'); pos != std::string::npos) {
+      line.erase(pos);
+    }
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+    if (tok == ".i") {
+      ls >> ibits;
+    } else if (tok == ".o") {
+      ls >> obits;
+    } else if (tok == ".p" || tok == ".s") {
+      int ignored;
+      ls >> ignored;  // row/state counts are recomputed
+    } else if (tok == ".r") {
+      ls >> reset_name;
+    } else if (tok == ".e" || tok == ".end") {
+      break;
+    } else if (tok[0] == '.') {
+      throw FsmError("parse_kiss2: unknown directive '" + tok + "'");
+    } else {
+      Row r;
+      r.in = tok;
+      if (!(ls >> r.from >> r.to >> r.out)) {
+        throw FsmError("parse_kiss2: malformed row '" + line + "'");
+      }
+      rows.push_back(std::move(r));
+    }
+  }
+  if (ibits < 1 || obits < 1) {
+    throw FsmError("parse_kiss2: missing .i or .o directive");
+  }
+
+  Fsm fsm(ibits, obits);
+  for (const Row& r : rows) {
+    StateId from = fsm.add_state(r.from);
+    StateId to = fsm.add_state(r.to);
+    fsm.add_transition(r.in, from, to, r.out);
+  }
+  if (fsm.state_count() == 0) throw FsmError("parse_kiss2: no transitions");
+  if (!reset_name.empty() && reset_name != "*") {
+    auto s = fsm.find_state(reset_name);
+    if (!s) {
+      throw FsmError("parse_kiss2: reset state '" + reset_name +
+                     "' never appears in a row");
+    }
+    fsm.set_reset_state(*s);
+  }
+  return fsm;
+}
+
+Fsm parse_kiss2_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_kiss2(in);
+}
+
+std::string write_kiss2(const Fsm& fsm) {
+  std::ostringstream out;
+  out << ".i " << fsm.input_bits() << "\n";
+  out << ".o " << fsm.output_bits() << "\n";
+  out << ".p " << fsm.transitions().size() << "\n";
+  out << ".s " << fsm.state_count() << "\n";
+  out << ".r " << fsm.state_name(fsm.reset_state()) << "\n";
+  for (const Transition& t : fsm.transitions()) {
+    out << t.in_pattern << ' ' << fsm.state_name(t.from) << ' '
+        << fsm.state_name(t.to) << ' ' << t.out_pattern << "\n";
+  }
+  out << ".e\n";
+  return out.str();
+}
+
+}  // namespace eda::fsm

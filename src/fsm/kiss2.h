@@ -1,0 +1,22 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fsm/fsm.h"
+
+namespace eda::fsm {
+
+/// KISS2 is the FSM interchange format of the SIS ecosystem (the paper's
+/// baseline [13]); the IWLS'91 controllers circulated in it.  Supported
+/// directives: .i .o .p .s .r and transition rows
+///   <in-pattern> <from> <to> <out-pattern>
+/// with '*' accepted as an alias for the reset state in .r, '#' comments
+/// and blank lines ignored, and .e terminating the description.
+Fsm parse_kiss2(std::istream& in);
+Fsm parse_kiss2_string(const std::string& text);
+
+/// Serialise a machine back to KISS2 (states by name, reset in .r).
+std::string write_kiss2(const Fsm& fsm);
+
+}  // namespace eda::fsm

@@ -1,0 +1,120 @@
+#include "fsm/minimize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace eda::fsm {
+
+Fsm remove_unreachable(const Fsm& in) {
+  std::vector<StateId> reach = in.reachable_states();
+  std::set<StateId> keep(reach.begin(), reach.end());
+  Fsm out(in.input_bits(), in.output_bits());
+  std::map<StateId, StateId> remap;
+  for (StateId s = 0; s < in.state_count(); ++s) {
+    if (keep.count(s) > 0) remap[s] = out.add_state(in.state_name(s));
+  }
+  for (const Transition& t : in.transitions()) {
+    if (keep.count(t.from) > 0 && keep.count(t.to) > 0) {
+      out.add_transition(t.in_pattern, remap.at(t.from), remap.at(t.to),
+                         t.out_pattern);
+    }
+  }
+  out.set_reset_state(remap.at(in.reset_state()));
+  return out;
+}
+
+MinimizeResult minimize(const Fsm& in) {
+  in.validate_deterministic();
+  Fsm r = remove_unreachable(in);
+  const int n = r.state_count();
+  const std::uint64_t space = 1ULL << r.input_bits();
+
+  // Pre-resolve the transition function on concrete inputs.
+  std::vector<std::vector<StateId>> next(
+      static_cast<std::size_t>(n), std::vector<StateId>(space));
+  std::vector<std::vector<std::uint64_t>> outv(
+      static_cast<std::size_t>(n), std::vector<std::uint64_t>(space));
+  for (StateId s = 0; s < n; ++s) {
+    for (std::uint64_t i = 0; i < space; ++i) {
+      const Transition& t = r.step(s, i);
+      next[static_cast<std::size_t>(s)][i] = t.to;
+      outv[static_cast<std::size_t>(s)][i] = Fsm::output_value(t);
+    }
+  }
+
+  // Initial partition: states with identical output rows share a block.
+  std::vector<int> block(static_cast<std::size_t>(n));
+  {
+    std::map<std::vector<std::uint64_t>, int> sig;
+    for (StateId s = 0; s < n; ++s) {
+      auto [it, inserted] =
+          sig.emplace(outv[static_cast<std::size_t>(s)],
+                      static_cast<int>(sig.size()));
+      block[static_cast<std::size_t>(s)] = it->second;
+    }
+  }
+
+  // Refine: split blocks whose members disagree on successor blocks.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::pair<int, std::vector<int>>, int> sig;
+    std::vector<int> nb(static_cast<std::size_t>(n));
+    for (StateId s = 0; s < n; ++s) {
+      std::vector<int> succ(space);
+      for (std::uint64_t i = 0; i < space; ++i) {
+        succ[i] = block[static_cast<std::size_t>(
+            next[static_cast<std::size_t>(s)][i])];
+      }
+      auto key = std::make_pair(block[static_cast<std::size_t>(s)],
+                                std::move(succ));
+      auto [it, inserted] = sig.emplace(std::move(key),
+                                        static_cast<int>(sig.size()));
+      nb[static_cast<std::size_t>(s)] = it->second;
+    }
+    if (nb != block) {
+      block = std::move(nb);
+      changed = true;
+    }
+  }
+
+  // Build the quotient machine: one state per block, representative rows.
+  int nblocks = *std::max_element(block.begin(), block.end()) + 1;
+  Fsm out(r.input_bits(), r.output_bits());
+  std::vector<StateId> rep(static_cast<std::size_t>(nblocks), -1);
+  for (StateId s = 0; s < n; ++s) {
+    int b = block[static_cast<std::size_t>(s)];
+    if (rep[static_cast<std::size_t>(b)] < 0) {
+      rep[static_cast<std::size_t>(b)] = s;
+      out.add_state(r.state_name(s));
+    }
+  }
+  for (int b = 0; b < nblocks; ++b) {
+    StateId s = rep[static_cast<std::size_t>(b)];
+    for (const Transition& t : r.transitions()) {
+      if (t.from != s) continue;
+      out.add_transition(t.in_pattern, b,
+                         block[static_cast<std::size_t>(t.to)],
+                         t.out_pattern);
+    }
+  }
+  out.set_reset_state(block[static_cast<std::size_t>(r.reset_state())]);
+
+  // Class map back onto the *input* machine's ids (unreachable -> -1).
+  MinimizeResult res{std::move(out), std::vector<StateId>(
+                                         static_cast<std::size_t>(
+                                             in.state_count()), -1)};
+  std::map<std::string, StateId> by_name;
+  for (StateId s = 0; s < r.state_count(); ++s) by_name[r.state_name(s)] = s;
+  for (StateId s = 0; s < in.state_count(); ++s) {
+    auto it = by_name.find(in.state_name(s));
+    if (it != by_name.end()) {
+      res.state_class[static_cast<std::size_t>(s)] =
+          block[static_cast<std::size_t>(it->second)];
+    }
+  }
+  return res;
+}
+
+}  // namespace eda::fsm

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "fsm/fsm.h"
+
+namespace eda::fsm {
+
+/// Result of state minimisation: the reduced machine plus the class each
+/// original state fell into (class ids are the new machine's state ids;
+/// unreachable states map to -1).
+struct MinimizeResult {
+  Fsm fsm;
+  std::vector<StateId> state_class;
+};
+
+/// Remove states unreachable from reset, keeping names and row order.
+Fsm remove_unreachable(const Fsm& in);
+
+/// Classic Moore partition refinement on the reachable sub-machine:
+/// initial partition by per-input output rows, refined by successor blocks
+/// to the coarsest bisimulation.  The result is the unique minimal
+/// deterministic machine; `fsm_equivalent(in, out)` always holds and is
+/// asserted by the tests.  Exponential only in input bits (<= 16 by class
+/// invariant), linear-ish in states x inputs per round.
+MinimizeResult minimize(const Fsm& in);
+
+}  // namespace eda::fsm

@@ -1,0 +1,633 @@
+#include "hash/backward.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "hash/eval.h"
+#include "hash/term_build.h"
+#include "logic/bool_thms.h"
+#include "logic/rewrite.h"
+#include "theories/numeral.h"
+#include "theories/pair_theory.h"
+#include "theories/retiming_thm.h"
+
+namespace eda::hash {
+
+using circuit::Node;
+using circuit::Op;
+using circuit::Rtl;
+using circuit::SignalId;
+using kernel::KernelError;
+using kernel::num_ty;
+using kernel::prod_ty;
+using kernel::Term;
+using kernel::Thm;
+using kernel::Type;
+
+namespace {
+
+using detail::proj;
+using detail::tuple_type;
+using detail::TermBuilder;
+
+bool is_comb(const Node& n) {
+  return n.op != Op::Input && n.op != Op::Reg && n.op != Op::Const;
+}
+
+/// Checks the backward-cut pattern and returns chi in deterministic order:
+/// first the non-f, non-constant operands of f-nodes (by id), then any
+/// register next-value that bypasses the cut entirely (identity components).
+std::vector<SignalId> backward_chi(const Rtl& rtl,
+                                   const std::set<SignalId>& F) {
+  for (SignalId s : F) {
+    const Node& n = rtl.node(s);
+    if (!is_comb(n)) {
+      throw BackwardError(
+          "backward cut may only contain combinational operator nodes");
+    }
+  }
+  // Dual of the forward legality check: every f-node output may feed only
+  // f-nodes or register next-value slots.  Feeding an output port or a
+  // g-node means the value is consumed before the registers, so no f/g
+  // split of the transition function exists (the mirrored fig.-4 failure).
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    SignalId s = static_cast<SignalId>(idx);
+    const Node& n = rtl.nodes()[idx];
+    if (!is_comb(n) || F.count(s) > 0) continue;
+    for (SignalId o : n.operands) {
+      if (F.count(o) > 0) {
+        throw BackwardError(
+            "backward cut: node " + std::to_string(o) +
+            " in f feeds combinational node " + std::to_string(s) +
+            " outside the registers — the cut does not match the retiming "
+            "pattern (paper, fig. 4 mirrored)");
+      }
+    }
+  }
+  for (const circuit::OutputPort& o : rtl.outputs()) {
+    if (F.count(o.signal) > 0) {
+      throw BackwardError("backward cut: node " + std::to_string(o.signal) +
+                          " in f feeds primary output '" + o.name + "'");
+    }
+  }
+
+  std::vector<SignalId> chi;
+  std::set<SignalId> seen;
+  auto add_leaf = [&](SignalId s) {
+    const Node& n = rtl.node(s);
+    if (n.op == Op::Const) return;  // constants are cloned into f
+    if (seen.insert(s).second) {
+      if (rtl.is_flag(s)) {
+        throw BackwardError(
+            "backward cut: flag signal " + std::to_string(s) +
+            " would have to be registered; flags cannot be registered");
+      }
+      chi.push_back(s);
+    }
+  };
+  // Reachable f-cone leaves, in id order of the f-nodes then operand order.
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    SignalId s = static_cast<SignalId>(idx);
+    if (F.count(s) == 0) continue;
+    for (SignalId o : rtl.node(s).operands) {
+      if (F.count(o) == 0) add_leaf(o);
+    }
+  }
+  // Identity components: registers whose next bypasses f.
+  for (SignalId r : rtl.regs()) {
+    SignalId nx = rtl.node(r).next;
+    if (F.count(nx) == 0) {
+      if (rtl.node(nx).op == Op::Const) {
+        throw BackwardError(
+            "backward cut: register '" + rtl.node(r).name +
+            "' is fed by a constant outside the cut; include the constant's "
+            "consumer in f or exclude the register");
+      }
+      add_leaf(nx);
+    }
+  }
+  if (chi.empty()) {
+    throw BackwardError("backward cut leaves no positions to register");
+  }
+  return chi;
+}
+
+/// Machine evaluation of an f-cone signal under a partial assignment of
+/// values to the chi leaves.  Returns nullopt when the value depends on an
+/// unassigned leaf.  Mirrors Simulator semantics exactly; the formal step
+/// re-derives the same values inside the logic.
+std::optional<std::uint64_t> eval_cone(
+    const Rtl& rtl, SignalId s, const std::set<SignalId>& F,
+    const std::map<SignalId, std::uint64_t>& leaves) {
+  if (auto it = leaves.find(s); it != leaves.end()) return it->second;
+  const Node& n = rtl.node(s);
+  if (n.op == Op::Const) return n.value;
+  if (F.count(s) == 0) return std::nullopt;  // unassigned chi leaf
+  std::vector<std::uint64_t> in(n.operands.size());
+  for (std::size_t k = 0; k < n.operands.size(); ++k) {
+    auto v = eval_cone(rtl, n.operands[k], F, leaves);
+    if (!v) return std::nullopt;
+    in[k] = *v;
+  }
+  std::uint64_t m = (n.width == 0) ? 1 : ((n.width >= 64) ? ~0ULL
+                                         : ((1ULL << n.width) - 1));
+  switch (n.op) {
+    case Op::Add: return (in[0] + in[1]) & m;
+    case Op::Sub: return (in[0] - in[1]) & m;
+    case Op::Mul: return (in[0] * in[1]) & m;
+    case Op::Eq: return in[0] == in[1] ? 1 : 0;
+    case Op::Lt: return in[0] < in[1] ? 1 : 0;
+    case Op::Mux: return in[0] ? in[1] : in[2];
+    case Op::And: return in[0] & in[1];
+    case Op::Or: return in[0] | in[1];
+    case Op::Xor: return in[0] ^ in[1];
+    case Op::Not: return (~in[0]) & m;
+    case Op::FlagAnd: return in[0] & in[1];
+    case Op::FlagOr: return in[0] | in[1];
+    case Op::FlagNot: return in[0] ^ 1;
+    default:
+      throw BackwardError("eval_cone: unexpected node kind");
+  }
+}
+
+/// Modular inverse of odd `a` modulo 2^64 (Newton iteration); masking the
+/// result gives the inverse modulo any smaller power of two.
+std::uint64_t inv_pow2(std::uint64_t a) {
+  std::uint64_t x = a;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) x *= 2 - a * x;
+  return x;
+}
+
+/// One constraint-propagation attempt: drive target value `v` down the
+/// cone rooted at `s`, pinning a chi leaf when the path reaches one.
+/// Returns true if it pinned something or verified the equation; false if
+/// the shape is not invertible here (caller falls back to search).
+bool invert_into(const Rtl& rtl, SignalId s, std::uint64_t v,
+                 const std::set<SignalId>& F,
+                 std::map<SignalId, std::uint64_t>& pinned,
+                 const std::set<SignalId>& is_leaf) {
+  // Ground already?
+  if (auto got = eval_cone(rtl, s, F, pinned)) {
+    if (*got != v) {
+      throw BackwardError(
+          "backward retiming: register contents are not in the image of f "
+          "(cone evaluates to " + std::to_string(*got) + ", register holds " +
+          std::to_string(v) + ")");
+    }
+    return true;
+  }
+  if (is_leaf.count(s) > 0) {
+    std::uint64_t m = rtl.width(s) >= 64 ? ~0ULL
+                                         : ((1ULL << rtl.width(s)) - 1);
+    if ((v & m) != v) {
+      throw BackwardError("backward retiming: required initial value " +
+                          std::to_string(v) + " does not fit in " +
+                          std::to_string(rtl.width(s)) + " bits");
+    }
+    pinned.emplace(s, v);
+    return true;
+  }
+  const Node& n = rtl.node(s);
+  std::uint64_t m = (n.width >= 64) ? ~0ULL : ((1ULL << n.width) - 1);
+  auto ground = [&](std::size_t k) {
+    return eval_cone(rtl, n.operands[k], F, pinned);
+  };
+  switch (n.op) {
+    case Op::Add: {
+      if (auto c = ground(0)) {
+        return invert_into(rtl, n.operands[1], (v - *c) & m, F, pinned,
+                           is_leaf);
+      }
+      if (auto c = ground(1)) {
+        return invert_into(rtl, n.operands[0], (v - *c) & m, F, pinned,
+                           is_leaf);
+      }
+      return false;
+    }
+    case Op::Sub: {
+      if (auto a = ground(0)) {  // a - x = v  =>  x = a - v
+        return invert_into(rtl, n.operands[1], (*a - v) & m, F, pinned,
+                           is_leaf);
+      }
+      if (auto b = ground(1)) {  // x - b = v  =>  x = v + b
+        return invert_into(rtl, n.operands[0], (v + *b) & m, F, pinned,
+                           is_leaf);
+      }
+      return false;
+    }
+    case Op::Xor: {
+      if (auto c = ground(0)) {
+        return invert_into(rtl, n.operands[1], (v ^ *c) & m, F, pinned,
+                           is_leaf);
+      }
+      if (auto c = ground(1)) {
+        return invert_into(rtl, n.operands[0], (v ^ *c) & m, F, pinned,
+                           is_leaf);
+      }
+      return false;
+    }
+    case Op::Not:
+      return invert_into(rtl, n.operands[0], (~v) & m, F, pinned, is_leaf);
+    case Op::Mul: {
+      // Invertible iff the ground factor is odd (unit modulo 2^w).
+      auto try_side = [&](std::size_t g, std::size_t x) -> std::optional<bool> {
+        auto c = ground(g);
+        if (!c) return std::nullopt;
+        if ((*c & 1) == 0) return false;
+        std::uint64_t inv = inv_pow2(*c) & m;
+        return invert_into(rtl, n.operands[x], (v * inv) & m, F, pinned,
+                           is_leaf);
+      };
+      if (auto r = try_side(0, 1)) return *r;
+      if (auto r = try_side(1, 0)) return *r;
+      return false;
+    }
+    case Op::Mux: {
+      if (auto sel = ground(0)) {
+        return invert_into(rtl, n.operands[*sel ? 1 : 2], v, F, pinned,
+                           is_leaf);
+      }
+      return false;
+    }
+    default:
+      return false;  // Eq/Lt/And/Or/flag ops: not uniquely invertible
+  }
+}
+
+struct ConventionalBackward {
+  Rtl rtl;
+  std::vector<SignalId> chi;  // chi leaves of the *input* circuit
+  std::map<SignalId, SignalId> comb_map;  // original comb node -> new signal
+};
+
+ConventionalBackward conventional_backward_impl(
+    const Rtl& rtl, const std::set<SignalId>& F,
+    const std::vector<SignalId>& chi, const std::vector<std::uint64_t>& q0) {
+  Rtl out;
+  std::map<SignalId, SignalId> in_map;   // original input -> new input
+  for (SignalId in : rtl.inputs()) {
+    in_map.emplace(in, out.add_input(rtl.node(in).name, rtl.node(in).width));
+  }
+  // The chi registers.
+  std::map<SignalId, SignalId> chi_reg;  // chi leaf (orig id) -> new reg
+  for (std::size_t j = 0; j < chi.size(); ++j) {
+    const Node& leaf = rtl.node(chi[j]);
+    std::string name = leaf.name.empty() ? "chi" + std::to_string(j)
+                                         : leaf.name + "_r";
+    chi_reg.emplace(chi[j], out.add_reg(name, leaf.width, q0[j]));
+  }
+  // f recomputed over the chi registers: each original register output is
+  // replaced by its f-cone (or by the chi register directly for identity
+  // components).
+  std::map<SignalId, SignalId> fctx;  // f-cone context
+  for (const auto& [leaf, reg] : chi_reg) fctx.emplace(leaf, reg);
+  std::function<SignalId(SignalId)> build_f = [&](SignalId s) -> SignalId {
+    if (auto it = fctx.find(s); it != fctx.end()) return it->second;
+    const Node& n = rtl.node(s);
+    SignalId ns;
+    if (n.op == Op::Const) {
+      ns = n.width == 0 ? out.add_const_flag(n.value != 0)
+                        : out.add_const(n.width, n.value);
+    } else {
+      std::vector<SignalId> ops;
+      ops.reserve(n.operands.size());
+      for (SignalId o : n.operands) ops.push_back(build_f(o));
+      ns = out.add_op(n.op, std::move(ops));
+    }
+    fctx.emplace(s, ns);
+    return ns;
+  };
+  std::map<SignalId, SignalId> reg_map;  // original reg -> replacement
+  for (SignalId r : rtl.regs()) reg_map.emplace(r, build_f(rtl.node(r).next));
+
+  // g-part: every non-f combinational node, in original topological order.
+  std::map<SignalId, SignalId> gctx;
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    SignalId s = static_cast<SignalId>(idx);
+    const Node& n = rtl.nodes()[idx];
+    if (n.op == Op::Const) {
+      gctx.emplace(s, n.width == 0 ? out.add_const_flag(n.value != 0)
+                                   : out.add_const(n.width, n.value));
+      continue;
+    }
+    if (n.op == Op::Input) {
+      gctx.emplace(s, in_map.at(s));
+      continue;
+    }
+    if (n.op == Op::Reg) {
+      gctx.emplace(s, reg_map.at(s));
+      continue;
+    }
+    if (F.count(s) > 0) continue;  // f-nodes live behind the registers now
+    std::vector<SignalId> ops;
+    ops.reserve(n.operands.size());
+    for (SignalId o : n.operands) ops.push_back(gctx.at(o));
+    gctx.emplace(s, out.add_op(n.op, std::move(ops)));
+  }
+  for (const circuit::OutputPort& o : rtl.outputs()) {
+    out.add_output(o.name, gctx.at(o.signal));
+  }
+  // chi register nexts: the g-image of each leaf signal.
+  for (std::size_t j = 0; j < chi.size(); ++j) {
+    out.set_reg_next(chi_reg.at(chi[j]), gctx.at(chi[j]));
+  }
+  out.validate();
+
+  std::map<SignalId, SignalId> comb_map;
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    SignalId s = static_cast<SignalId>(idx);
+    if (!is_comb(rtl.nodes()[idx])) continue;
+    if (F.count(s) > 0) {
+      if (auto it = fctx.find(s); it != fctx.end()) comb_map.emplace(s, it->second);
+    } else if (auto it = gctx.find(s); it != gctx.end()) {
+      comb_map.emplace(s, it->second);
+    }
+  }
+  return ConventionalBackward{std::move(out), chi, std::move(comb_map)};
+}
+
+}  // namespace
+
+BackwardSplit compile_backward_split(const Rtl& rtl, const BackwardCut& cut) {
+  init_hash_constants();
+  rtl.validate();
+  if (rtl.inputs().empty() || rtl.regs().empty()) {
+    throw KernelError("compile_backward_split: need inputs and registers");
+  }
+  std::set<SignalId> F(cut.f_nodes.begin(), cut.f_nodes.end());
+  std::vector<SignalId> chi = backward_chi(rtl, F);
+
+  // ---- f : chi -> state ----------------------------------------------------
+  std::vector<Type> chi_tys(chi.size(), num_ty());
+  Type chi_ty = tuple_type(chi_tys);
+  Term cv = Term::var("c", chi_ty);
+  TermBuilder fb{rtl, {}, nullptr, {}};
+  fb.allowed = &F;
+  fb.leaf = [&](SignalId s) -> std::optional<Term> {
+    for (std::size_t j = 0; j < chi.size(); ++j) {
+      if (chi[j] == s) return proj(cv, j, chi.size());
+    }
+    return std::nullopt;
+  };
+  std::vector<Term> state_terms;
+  for (SignalId r : rtl.regs()) state_terms.push_back(fb.build(rtl.node(r).next));
+  Term f = Term::abs(cv, thy::mk_tuple(state_terms));
+
+  // ---- g : (inputs # state) -> (outputs # chi) -----------------------------
+  std::vector<Type> in_tys;
+  for (SignalId s : rtl.inputs()) in_tys.push_back(detail::signal_type(rtl, s));
+  Type in_ty = tuple_type(in_tys);
+  std::vector<Type> st_tys(rtl.regs().size(), num_ty());
+  Type st_ty = tuple_type(st_tys);
+  Term pg = Term::var("p", prod_ty(in_ty, st_ty));
+  Term in_tuple = thy::mk_fst(pg);
+  Term st_tuple = thy::mk_snd(pg);
+  std::size_t nin = rtl.inputs().size(), nreg = rtl.regs().size();
+
+  std::set<SignalId> g_allowed;
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    SignalId s = static_cast<SignalId>(idx);
+    if (is_comb(rtl.node(s)) && F.count(s) == 0) g_allowed.insert(s);
+  }
+  TermBuilder gb{rtl, {}, nullptr, {}};
+  gb.allowed = &g_allowed;
+  gb.leaf = [&](SignalId s) -> std::optional<Term> {
+    const Node& n = rtl.node(s);
+    if (n.op == Op::Input) {
+      for (std::size_t k = 0; k < nin; ++k) {
+        if (rtl.inputs()[k] == s) return proj(in_tuple, k, nin);
+      }
+    }
+    if (n.op == Op::Reg) {
+      for (std::size_t k = 0; k < nreg; ++k) {
+        if (rtl.regs()[k] == s) return proj(st_tuple, k, nreg);
+      }
+    }
+    return std::nullopt;
+  };
+  std::vector<Term> outs;
+  for (const circuit::OutputPort& o : rtl.outputs()) {
+    outs.push_back(gb.build(o.signal));
+  }
+  std::vector<Term> chi_terms;
+  for (SignalId c : chi) chi_terms.push_back(gb.build(c));
+  Term g = Term::abs(pg, thy::mk_pair(thy::mk_tuple(outs),
+                                      thy::mk_tuple(chi_terms)));
+
+  return BackwardSplit{f, g, chi};
+}
+
+std::vector<std::uint64_t> solve_initial_state(
+    const Rtl& rtl, const BackwardCut& cut,
+    const std::vector<SignalId>& chi) {
+  std::set<SignalId> F(cut.f_nodes.begin(), cut.f_nodes.end());
+  std::set<SignalId> is_leaf(chi.begin(), chi.end());
+  std::map<SignalId, std::uint64_t> pinned;
+
+  struct Equation {
+    SignalId cone;
+    std::uint64_t target;
+  };
+  std::vector<Equation> eqs;
+  for (SignalId r : rtl.regs()) {
+    eqs.push_back({rtl.node(r).next, rtl.node(r).value});
+  }
+
+  // Constraint propagation to a fixpoint: each pass may ground more leaves
+  // and thereby enable inversion of further equations.
+  std::vector<bool> solved(eqs.size(), false);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t k = 0; k < eqs.size(); ++k) {
+      if (solved[k]) continue;
+      if (invert_into(rtl, eqs[k].cone, eqs[k].target, F, pinned, is_leaf)) {
+        solved[k] = true;
+        progress = true;
+      }
+    }
+  }
+
+  // Brute-force the leaves the propagation could not determine.
+  std::vector<SignalId> open;
+  for (SignalId c : chi) {
+    if (pinned.count(c) == 0) open.push_back(c);
+  }
+  if (!open.empty()) {
+    int total_bits = 0;
+    for (SignalId c : open) total_bits += rtl.width(c);
+    if (total_bits > 22) {
+      throw BackwardError(
+          "backward retiming: cannot determine initial values — f is not "
+          "invertible here and the residual search space has " +
+          std::to_string(total_bits) + " bits");
+    }
+    std::uint64_t space = 1ULL << total_bits;
+    bool found = false;
+    for (std::uint64_t code = 0; code < space && !found; ++code) {
+      std::uint64_t rest = code;
+      for (SignalId c : open) {
+        int w = rtl.width(c);
+        pinned[c] = rest & ((w >= 64) ? ~0ULL : ((1ULL << w) - 1));
+        rest >>= w;
+      }
+      found = true;
+      for (const Equation& e : eqs) {
+        auto v = eval_cone(rtl, e.cone, F, pinned);
+        if (!v || *v != e.target) {
+          found = false;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      throw BackwardError(
+          "backward retiming: the register contents are not in the image of "
+          "f — no initial state exists for the moved registers");
+    }
+  } else {
+    // Everything pinned by propagation; verify all equations hold.
+    for (const Equation& e : eqs) {
+      auto v = eval_cone(rtl, e.cone, F, pinned);
+      if (!v || *v != e.target) {
+        throw BackwardError(
+            "backward retiming: the register contents are not in the image "
+            "of f — no initial state exists for the moved registers");
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> q0;
+  q0.reserve(chi.size());
+  for (SignalId c : chi) q0.push_back(pinned.at(c));
+  return q0;
+}
+
+Rtl conventional_backward_retime(const Rtl& rtl, const BackwardCut& cut) {
+  return conventional_backward_retime_mapped(rtl, cut).rtl;
+}
+
+RetimeMapping conventional_backward_retime_mapped(const Rtl& rtl,
+                                                  const BackwardCut& cut) {
+  std::set<SignalId> F(cut.f_nodes.begin(), cut.f_nodes.end());
+  std::vector<SignalId> chi = backward_chi(rtl, F);
+  std::vector<std::uint64_t> q0 = solve_initial_state(rtl, cut, chi);
+  ConventionalBackward cb = conventional_backward_impl(rtl, F, chi, q0);
+  RetimeMapping mapping;
+  mapping.rtl = std::move(cb.rtl);
+  mapping.comb_map = std::move(cb.comb_map);
+  return mapping;
+}
+
+FormalBackwardResult formal_backward_retime(const Rtl& rtl,
+                                            const BackwardCut& cut) {
+  // Step 1: split into f (register feeders) and g (the rest).
+  BackwardSplit split = compile_backward_split(rtl, cut);
+  std::set<SignalId> F(cut.f_nodes.begin(), cut.f_nodes.end());
+
+  // Step 2: solve f(q0) = q by machine arithmetic (heuristic; re-checked in
+  // the logic below).
+  std::vector<std::uint64_t> q0 = solve_initial_state(rtl, cut, split.chi);
+  Rtl retimed_rtl = conventional_backward_impl(rtl, F, split.chi, q0).rtl;
+
+  CompiledCircuit orig = compile(rtl);
+  CompiledCircuit retimed = compile(retimed_rtl);
+
+  std::vector<Term> q0_parts;
+  q0_parts.reserve(q0.size());
+  for (std::uint64_t v : q0) q0_parts.push_back(thy::mk_numeral(v));
+  Term q0_term = thy::mk_tuple(q0_parts);
+  if (!(q0_term == retimed.q)) {
+    throw KernelError(
+        "formal_backward_retime: solved initial state disagrees with the "
+        "retimed netlist");
+  }
+
+  // Step 3: instantiate RETIMING_THM with (f, g, q0); the input circuit is
+  // the *right-hand* side of the equation.
+  Thm inst = logic::pspec_list({split.f, split.g, q0_term},
+                               thy::retiming_thm());
+  auto [iv, rest] = logic::dest_forall(inst.concl());
+  Thm inst1 = logic::spec(iv, inst);
+  auto [tv, body] = logic::dest_forall(inst1.concl());
+  (void)rest;
+  (void)body;
+  Thm inst2 = logic::spec(tv, inst1);
+  Term lhs = kernel::eq_lhs(inst2.concl());
+  Term rhs = kernel::eq_rhs(inst2.concl());
+  auto [aut_head, largs] = kernel::strip_comb(lhs);
+  auto [aut_head2, rargs] = kernel::strip_comb(rhs);
+  if (largs.size() != 4 || rargs.size() != 4) {
+    throw KernelError("formal_backward_retime: unexpected theorem shape");
+  }
+
+  logic::Conv reduce = logic::top_depth_conv(logic::orelsec(
+      logic::beta_conv,
+      logic::orelsec(logic::rewr_conv(thy::fst_pair()),
+                     logic::rewr_conv(thy::snd_pair()))));
+
+  // h1 (registers before f) must reduce to the *retimed* netlist.
+  Thm red1 = reduce(largs[0]);
+  if (!(kernel::eq_rhs(red1.concl()) == retimed.h)) {
+    throw KernelError(
+        "formal_backward_retime: the joined form does not reduce to the "
+        "backward-retimed transition function");
+  }
+  Thm th_l = Thm::trans(red1, Thm::alpha(kernel::eq_rhs(red1.concl()),
+                                         retimed.h));
+
+  // h2 (registers after f) must reduce to the *input* netlist.
+  Thm red2 = reduce(rargs[0]);
+  if (!(kernel::eq_rhs(red2.concl()) == orig.h)) {
+    throw KernelError(
+        "formal_backward_retime: the split does not reduce to the original "
+        "transition function");
+  }
+  Thm th_r = Thm::trans(red2, Thm::alpha(kernel::eq_rhs(red2.concl()),
+                                         orig.h));
+
+  // Step 4: evaluate f(q0) inside the logic; it must equal the input
+  // circuit's register contents (this *proves* the solver's answer).
+  Thm eval_thm = ground_eval(rargs[1]);
+  if (!(kernel::eq_rhs(eval_thm.concl()) == orig.q)) {
+    throw BackwardError(
+        "formal_backward_retime: f(q0) does not evaluate to the register "
+        "contents — the solved initial state is wrong");
+  }
+
+  // Assemble:  AUT h_orig q i t = AUT h_retimed q0 i t.
+  Thm lchain = Thm::mk_comb(
+      Thm::mk_comb(Thm::mk_comb(logic::ap_term(aut_head, th_l),
+                                Thm::refl(largs[1])),
+                   Thm::refl(largs[2])),
+      Thm::refl(largs[3]));
+  Thm rchain = Thm::mk_comb(
+      Thm::mk_comb(Thm::mk_comb(logic::ap_term(aut_head2, th_r), eval_thm),
+                   Thm::refl(rargs[2])),
+      Thm::refl(rargs[3]));
+  // rchain : AUT h2 (f q0) i t = AUT h_orig q i t
+  // inst2  : AUT h1 q0 i t     = AUT h2 (f q0) i t
+  // lchain : AUT h1 q0 i t     = AUT h_retimed q0 i t
+  Thm final_thm =
+      Thm::trans(Thm::trans(logic::sym(rchain), logic::sym(inst2)), lchain);
+  final_thm = logic::gen_list({iv, tv}, final_thm);
+
+  return FormalBackwardResult{final_thm,    std::move(retimed_rtl),
+                              split.f,      split.g,
+                              split.chi,    std::move(q0)};
+}
+
+BackwardCut inverse_of_forward_cut(const RetimeMapping& mapping,
+                                   const Cut& forward_cut) {
+  BackwardCut inv;
+  for (SignalId s : forward_cut.f_nodes) {
+    if (auto it = mapping.comb_map.find(s); it != mapping.comb_map.end()) {
+      inv.f_nodes.push_back(it->second);
+    }
+  }
+  return inv;
+}
+
+}  // namespace eda::hash

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/compile.h"
+#include "hash/retime_step.h"
+#include "kernel/thm.h"
+
+namespace eda::hash {
+
+/// The cut for a *backward* retiming move: the set of combinational nodes
+/// forming the sub-function `f` that the registers are moved backward
+/// across.  The paper (section IV.A) notes that backward retiming uses the
+/// same universal theorem right-to-left, but is harder because one has to
+/// *find* initial values q0 with f(q0) = q — the current register contents
+/// must be in the image of f.
+///
+/// Duality with the forward cut: forward requires every f-node to read only
+/// registers (f sits just after the register bank); backward requires every
+/// f-node to feed only registers (f sits just before the register bank).
+struct BackwardCut {
+  std::vector<circuit::SignalId> f_nodes;
+};
+
+/// Raised when a backward cut does not match the right-hand-side pattern of
+/// RETIMING_THM (an f-node feeds an output port or a g-node), or when the
+/// register contents are not in the image of f so no initial state exists,
+/// or when the solver cannot determine one.  As with forward retiming, a
+/// bad cut or a bad solver can make the step *fail* but can never make it
+/// produce an incorrect theorem.
+class BackwardError : public CutError {
+ public:
+  explicit BackwardError(const std::string& what) : CutError(what) {}
+};
+
+/// The split of a circuit already in the retimed (RHS) shape:
+///   g : (inputs # state) -> (outputs # chi)   (reads the registers)
+///   f : chi -> state                          (feeds the registers)
+/// `chi` lists the signals at which the registers will sit after the
+/// backward move: the non-f signals feeding the cut, plus any register
+/// next-value that bypasses the cut (identity components of f).
+struct BackwardSplit {
+  kernel::Term f;
+  kernel::Term g;
+  std::vector<circuit::SignalId> chi;
+};
+
+/// Build the f/g split for a backward move.  Throws BackwardError when the
+/// cut does not match the pattern (the fig.-4 failure mode, mirrored).
+BackwardSplit compile_backward_split(const circuit::Rtl& rtl,
+                                     const BackwardCut& cut);
+
+/// Solve f(q0) = q for the new initial values q0 (one per chi component,
+/// in chi order).  Identity components pin their leaf directly; cone
+/// components are inverted where the ops allow it (add/sub/xor/not/mul-odd
+/// against ground operands, mux with a decided select) and brute-forced
+/// over the remaining leaves when the joint search space is small.  Throws
+/// BackwardError when no solution exists or none can be found.
+///
+/// This is *heuristic machine arithmetic* — the formal step re-derives
+/// f(q0) = q inside the logic, so a bug here cannot corrupt the theorem.
+std::vector<std::uint64_t> solve_initial_state(
+    const circuit::Rtl& rtl, const BackwardCut& cut,
+    const std::vector<circuit::SignalId>& chi);
+
+/// Result of one formal backward-retiming step.
+struct FormalBackwardResult {
+  /// |- !i t. AUTOMATON h q i t = AUTOMATON h' q0 i t, where (h, q) is the
+  /// compiled input circuit (RHS shape) and (h', q0) the compiled
+  /// backward-retimed circuit.  Derived by instantiating RETIMING_THM with
+  /// (f, g, q0) and flipping it with SYM.
+  kernel::Thm theorem;
+  /// The backward-retimed netlist: registers at the chi positions with the
+  /// solved initial values, f recomputed combinationally after them.
+  circuit::Rtl retimed;
+  kernel::Term f_term;
+  kernel::Term g_term;
+  std::vector<circuit::SignalId> chi;
+  /// The solved initial values (chi order), as proved by the theorem.
+  std::vector<std::uint64_t> q0;
+};
+
+/// Perform one formal backward-retiming step:
+///   1. split into g (register readers) and f (register feeders) according
+///      to `cut` (throws BackwardError on a false cut);
+///   2. solve f(q0) = q for the new initial values (throws when the
+///      register contents are not reachable through f);
+///   3. instantiate RETIMING_THM with f, g, q0 and orient it right-to-left;
+///   4. evaluate f(q0) in the logic and discharge the initial-state side of
+///      the match.
+FormalBackwardResult formal_backward_retime(const circuit::Rtl& rtl,
+                                            const BackwardCut& cut);
+
+/// The conventional (unverified) counterpart of the same netlist transform.
+circuit::Rtl conventional_backward_retime(const circuit::Rtl& rtl,
+                                          const BackwardCut& cut);
+
+/// Same, but also returns where each original combinational node went
+/// (g-nodes keep their role; f-nodes map to their copy recomputed after
+/// the moved registers).  Multi-step chains mixing forward and backward
+/// moves use this to track cut sets across steps.
+RetimeMapping conventional_backward_retime_mapped(const circuit::Rtl& rtl,
+                                                  const BackwardCut& cut);
+
+/// The backward cut on `forward_retime(rtl, cut)`'s result that undoes that
+/// forward move (the images of the forward cut's f-nodes, read off the
+/// RetimeMapping).  Round-tripping forward∘backward is the natural
+/// correctness probe for the pair of steps and is property-tested.
+BackwardCut inverse_of_forward_cut(const RetimeMapping& mapping,
+                                   const Cut& forward_cut);
+
+}  // namespace eda::hash

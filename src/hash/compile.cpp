@@ -1,0 +1,228 @@
+#include "hash/compile.h"
+
+#include "hash/term_build.h"
+
+#include <map>
+#include <set>
+
+#include "kernel/signature.h"
+#include "logic/bool_thms.h"
+#include "theories/numeral.h"
+#include "theories/pair_theory.h"
+
+namespace eda::hash {
+
+using circuit::Node;
+using circuit::Op;
+using circuit::Rtl;
+using circuit::SignalId;
+using kernel::bool_ty;
+using kernel::fun_ty;
+using kernel::KernelError;
+using kernel::num_ty;
+using kernel::prod_ty;
+using kernel::Term;
+using kernel::Type;
+
+void init_hash_constants() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  thy::init_numeral();
+  thy::init_pair();
+  auto& sig = kernel::Signature::instance();
+  Type n2 = fun_ty(num_ty(), fun_ty(num_ty(), num_ty()));
+  sig.declare_const("BITAND", n2);
+  sig.declare_const("BITOR", n2);
+  sig.declare_const("BITXOR", n2);
+}
+
+namespace {
+
+using detail::proj;
+using detail::signal_type;
+using detail::tuple_type;
+using detail::TermBuilder;
+
+Type input_tuple_type(const Rtl& rtl) {
+  std::vector<Type> tys;
+  for (SignalId s : rtl.inputs()) tys.push_back(signal_type(rtl, s));
+  return tuple_type(tys);
+}
+
+Type state_tuple_type(const Rtl& rtl) {
+  std::vector<Type> tys(rtl.regs().size(), num_ty());
+  return tuple_type(tys);
+}
+
+}  // namespace
+
+CompiledCircuit compile(const Rtl& rtl) {
+  init_hash_constants();
+  rtl.validate();
+  if (rtl.inputs().empty()) {
+    throw KernelError("compile: circuit needs at least one input");
+  }
+  if (rtl.regs().empty()) {
+    throw KernelError("compile: circuit needs at least one register");
+  }
+  Type in_ty = input_tuple_type(rtl);
+  Type st_ty = state_tuple_type(rtl);
+  Term p = Term::var("p", prod_ty(in_ty, st_ty));
+  Term in_tuple = thy::mk_fst(p);
+  Term st_tuple = thy::mk_snd(p);
+
+  TermBuilder tb{rtl, {}, nullptr, {}};
+  std::size_t nin = rtl.inputs().size(), nreg = rtl.regs().size();
+  tb.leaf = [&](SignalId s) -> std::optional<Term> {
+    const Node& n = rtl.node(s);
+    if (n.op == Op::Input) {
+      for (std::size_t k = 0; k < nin; ++k) {
+        if (rtl.inputs()[k] == s) return proj(in_tuple, k, nin);
+      }
+    }
+    if (n.op == Op::Reg) {
+      for (std::size_t k = 0; k < nreg; ++k) {
+        if (rtl.regs()[k] == s) return proj(st_tuple, k, nreg);
+      }
+    }
+    return std::nullopt;
+  };
+
+  std::vector<Term> outs;
+  for (const circuit::OutputPort& o : rtl.outputs()) {
+    outs.push_back(tb.build(o.signal));
+  }
+  std::vector<Term> nexts;
+  for (SignalId r : rtl.regs()) nexts.push_back(tb.build(rtl.node(r).next));
+
+  Term body = thy::mk_pair(thy::mk_tuple(outs), thy::mk_tuple(nexts));
+  CompiledCircuit out{Term::abs(p, body), Term::var("tmp", num_ty()), in_ty,
+                      st_ty, thy::mk_tuple(outs).type()};
+  std::vector<Term> inits;
+  for (SignalId r : rtl.regs()) inits.push_back(thy::mk_numeral(rtl.node(r).value));
+  out.q = thy::mk_tuple(inits);
+  return out;
+}
+
+SplitCircuit compile_split(const Rtl& rtl, const Cut& cut) {
+  init_hash_constants();
+  rtl.validate();
+  if (rtl.inputs().empty() || rtl.regs().empty()) {
+    throw KernelError("compile_split: need inputs and registers");
+  }
+  std::set<SignalId> F(cut.f_nodes.begin(), cut.f_nodes.end());
+  for (SignalId s : F) {
+    const Node& n = rtl.node(s);
+    if (n.op == Op::Input || n.op == Op::Reg || n.op == Op::Const) {
+      throw CutError("compile_split: cut may only contain combinational "
+                     "operator nodes");
+    }
+    // Legality: f computes from registers (and constants) only.
+    for (SignalId o : n.operands) {
+      const Node& on = rtl.node(o);
+      bool ok = on.op == Op::Reg || on.op == Op::Const || F.count(o) > 0;
+      if (!ok) {
+        throw CutError(
+            "compile_split: node " + std::to_string(s) + " (" +
+            circuit::op_name(n.op) + ") in f depends on signal " +
+            std::to_string(o) + " (" + circuit::op_name(on.op) +
+            ") outside the registers — the cut does not match the "
+            "retiming pattern (paper, fig. 4)");
+      }
+    }
+    if (rtl.is_flag(s)) {
+      throw CutError("compile_split: flags cannot be registered; f must "
+                     "produce word signals");
+    }
+  }
+
+  // chi: every register or f-node whose value is consumed outside f.
+  std::set<SignalId> used_by_g;
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    const Node& n = rtl.nodes()[idx];
+    bool comb = n.op != Op::Input && n.op != Op::Reg && n.op != Op::Const;
+    if (comb && F.count(static_cast<SignalId>(idx)) > 0) continue;
+    for (SignalId o : n.operands) used_by_g.insert(o);
+  }
+  for (const circuit::OutputPort& o : rtl.outputs()) used_by_g.insert(o.signal);
+  for (SignalId r : rtl.regs()) used_by_g.insert(rtl.node(r).next);
+
+  std::vector<SignalId> chi;
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    SignalId s = static_cast<SignalId>(idx);
+    bool candidate = rtl.node(s).op == Op::Reg || F.count(s) > 0;
+    if (candidate && used_by_g.count(s) > 0) chi.push_back(s);
+  }
+  if (chi.empty()) {
+    throw CutError("compile_split: the cut leaves no registered signals");
+  }
+
+  // ---- f : state -> chi ----------------------------------------------------
+  Type st_ty = state_tuple_type(rtl);
+  std::vector<Type> chi_tys(chi.size(), num_ty());
+  Type chi_ty = tuple_type(chi_tys);
+  Term sv = Term::var("s", st_ty);
+  std::size_t nreg = rtl.regs().size();
+
+  TermBuilder fb{rtl, {}, nullptr, {}};
+  fb.allowed = &F;
+  fb.leaf = [&](SignalId s) -> std::optional<Term> {
+    if (rtl.node(s).op == Op::Reg) {
+      for (std::size_t k = 0; k < nreg; ++k) {
+        if (rtl.regs()[k] == s) return proj(sv, k, nreg);
+      }
+    }
+    return std::nullopt;
+  };
+  std::vector<Term> chi_terms;
+  for (SignalId c : chi) chi_terms.push_back(fb.build(c));
+  Term f = Term::abs(sv, thy::mk_tuple(chi_terms));
+
+  // ---- g : (inputs # chi) -> (outputs # state) -----------------------------
+  Type in_ty = input_tuple_type(rtl);
+  Term pg = Term::var("p", prod_ty(in_ty, chi_ty));
+  Term in_tuple = thy::mk_fst(pg);
+  Term chi_tuple = thy::mk_snd(pg);
+  std::size_t nin = rtl.inputs().size();
+
+  std::set<SignalId> g_allowed;
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    SignalId s = static_cast<SignalId>(idx);
+    const Node& n = rtl.node(s);
+    bool comb = n.op != Op::Input && n.op != Op::Reg && n.op != Op::Const;
+    if (comb && F.count(s) == 0) g_allowed.insert(s);
+  }
+  TermBuilder gb{rtl, {}, nullptr, {}};
+  gb.allowed = &g_allowed;
+  gb.leaf = [&](SignalId s) -> std::optional<Term> {
+    // chi members (registers and f-outputs) come in through the pair.
+    for (std::size_t k = 0; k < chi.size(); ++k) {
+      if (chi[k] == s) return proj(chi_tuple, k, chi.size());
+    }
+    const Node& n = rtl.node(s);
+    if (n.op == Op::Input) {
+      for (std::size_t k = 0; k < nin; ++k) {
+        if (rtl.inputs()[k] == s) return proj(in_tuple, k, nin);
+      }
+    }
+    if (n.op == Op::Reg) {
+      // A register consumed by g but not in chi would be a compiler bug:
+      // chi collects exactly the g-visible registers.
+      throw CutError("compile_split: register escapes the cut");
+    }
+    return std::nullopt;
+  };
+  std::vector<Term> outs;
+  for (const circuit::OutputPort& o : rtl.outputs()) {
+    outs.push_back(gb.build(o.signal));
+  }
+  std::vector<Term> nexts;
+  for (SignalId r : rtl.regs()) nexts.push_back(gb.build(rtl.node(r).next));
+  Term g = Term::abs(pg, thy::mk_pair(thy::mk_tuple(outs),
+                                      thy::mk_tuple(nexts)));
+
+  return SplitCircuit{f, g, chi};
+}
+
+}  // namespace eda::hash

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/rtl.h"
+#include "kernel/terms.h"
+
+namespace eda::hash {
+
+/// The cut produced by a retiming heuristic: the set of combinational nodes
+/// forming the sub-function `f` that the registers are moved across
+/// (forward retiming).  Any heuristic — or a human — may produce this; a
+/// wrong cut can never produce a wrong theorem (paper, section IV.C).
+struct Cut {
+  std::vector<circuit::SignalId> f_nodes;
+};
+
+/// Raised when a cut does not satisfy the pattern of the universal
+/// retiming theorem (fig. 4 of the paper): some f-node depends on a primary
+/// input or on a g-node, so no f/g split of the transition function exists.
+class CutError : public kernel::KernelError {
+ public:
+  explicit CutError(const std::string& what) : kernel::KernelError(what) {}
+};
+
+/// A circuit compiled into the Automata theory: its transition/output
+/// function `h : (inputs # state) -> (outputs # state)` as a single lambda
+/// term, and its initial state tuple `q` (numerals).
+struct CompiledCircuit {
+  kernel::Term h;
+  kernel::Term q;
+  kernel::Type input_ty;
+  kernel::Type state_ty;
+  kernel::Type output_ty;
+};
+
+/// Deep-embed a word-level circuit as a HOL term.  Words become `num`
+/// (arithmetic is wrapped with MOD 2^w), flags become `bool`, the input /
+/// register / output tuples are right-nested pairs in declaration order.
+CompiledCircuit compile(const circuit::Rtl& rtl);
+
+/// The split of the combinational part demanded by the retiming pattern:
+///   f : state -> chi        (the part the registers move across)
+///   g : (inputs # chi) -> (outputs # state)
+/// together with the chi layout (which original signal each new register
+/// carries).  Throws CutError when the cut is illegal.
+struct SplitCircuit {
+  kernel::Term f;
+  kernel::Term g;
+  /// Original signals (registers passed through, or f-node outputs) that
+  /// form the components of chi, in order.
+  std::vector<circuit::SignalId> chi;
+};
+
+SplitCircuit compile_split(const circuit::Rtl& rtl, const Cut& cut);
+
+/// Initialise the (axiom-free) bitwise constants BITAND/BITOR/BITXOR used
+/// by the compiler; ground instances are evaluated by the compute oracle.
+void init_hash_constants();
+
+}  // namespace eda::hash

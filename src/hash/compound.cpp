@@ -1,0 +1,31 @@
+#include "hash/compound.h"
+
+#include "logic/bool_thms.h"
+
+namespace eda::hash {
+
+using kernel::KernelError;
+using kernel::Term;
+using kernel::Thm;
+
+Thm compose_steps(const Thm& s1, const Thm& s2) {
+  // Strip !i t from both, aligning the bound variables of s2 with s1's.
+  auto [i1, body1] = logic::dest_forall(s1.concl());
+  auto [t1, eq1] = logic::dest_forall(body1);
+  (void)eq1;
+  Thm a = logic::spec(t1, logic::spec(i1, s1));
+  Thm b = logic::spec(t1, logic::spec(i1, s2));
+  Thm chained = Thm::trans(a, b);
+  return logic::gen_list({i1, t1}, chained);
+}
+
+Thm compose_chain(const std::vector<Thm>& steps) {
+  if (steps.empty()) throw KernelError("compose_chain: no steps");
+  Thm out = steps.front();
+  for (std::size_t k = 1; k < steps.size(); ++k) {
+    out = compose_steps(out, steps[k]);
+  }
+  return out;
+}
+
+}  // namespace eda::hash

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "kernel/thm.h"
+
+namespace eda::hash {
+
+/// Compose two synthesis-step theorems by transitivity (paper, section
+/// III.A): from
+///   |- !i t. AUTOMATON h0 q0 i t = AUTOMATON h1 q1 i t
+///   |- !i t. AUTOMATON h1 q1 i t = AUTOMATON h2 q2 i t
+/// derive
+///   |- !i t. AUTOMATON h0 q0 i t = AUTOMATON h2 q2 i t.
+///
+/// The cost is a constant number of kernel rule applications (on shared
+/// structure), so a compound synthesis step costs the sum of its parts —
+/// the combinability argument that specialised post-synthesis verifiers
+/// cannot match.
+kernel::Thm compose_steps(const kernel::Thm& s1, const kernel::Thm& s2);
+
+/// Compose a whole sequence of steps (left to right).
+kernel::Thm compose_chain(const std::vector<kernel::Thm>& steps);
+
+}  // namespace eda::hash

@@ -1,0 +1,365 @@
+#include "hash/encode_step.h"
+
+#include <map>
+#include <set>
+
+#include "hash/eval.h"
+#include "hash/term_build.h"
+#include "kernel/signature.h"
+#include "logic/bool_thms.h"
+#include "logic/rewrite.h"
+#include "theories/encoding_thm.h"
+#include "theories/numeral.h"
+#include "theories/pair_theory.h"
+
+namespace eda::hash {
+
+using circuit::Node;
+using circuit::Op;
+using circuit::Rtl;
+using circuit::SignalId;
+using kernel::fun_ty;
+using kernel::KernelError;
+using kernel::num_ty;
+using kernel::Term;
+using kernel::Thm;
+using kernel::Type;
+
+namespace {
+
+using detail::proj;
+using detail::tuple_type;
+
+Type state_ty(std::size_t nregs) {
+  std::vector<Type> tys(nregs, num_ty());
+  return tuple_type(tys);
+}
+
+Term bitxor_tm(const Term& a, const Term& b) {
+  init_hash_constants();
+  Type n2 = fun_ty(num_ty(), fun_ty(num_ty(), num_ty()));
+  return Term::comb(Term::comb(Term::constant("BITXOR", n2), a), b);
+}
+
+/// The reduction used everywhere in this module: beta, literal-pair
+/// projections, XOR cancellation, and surjective-pairing collapse.
+logic::Conv encode_reduce() {
+  return logic::top_depth_conv(logic::orelsec(
+      logic::beta_conv,
+      logic::orelsec(
+          logic::rewr_conv(thy::fst_pair()),
+          logic::orelsec(
+              logic::rewr_conv(thy::snd_pair()),
+              logic::orelsec(logic::rewr_conv(bitxor_cancel()),
+                             logic::rewr_conv(thy::pair_surj()))))));
+}
+
+/// Common tail of both steps: instantiate ENCODING_THM, discharge the
+/// retraction, reduce both sides onto the compiled netlists and assemble
+///   |- !i t. AUT h q i t = AUT h' q' i t.
+FormalEncodeResult instantiate_encoding(const Rtl& rtl, Rtl encoded_rtl,
+                                        const Term& enc, const Term& dec) {
+  CompiledCircuit orig = compile(rtl);
+  CompiledCircuit enc_cc = compile(encoded_rtl);
+
+  Thm retraction = prove_retraction(enc, dec);
+  Thm inst = logic::pspec_list({enc, dec, orig.h, orig.q},
+                               thy::encoding_thm());
+  Thm eq = logic::mp(inst, retraction);  // !i t. AUT h q i t = AUT h2 (enc q) i t
+
+  auto [iv, rest] = logic::dest_forall(eq.concl());
+  Thm eq1 = logic::spec(iv, eq);
+  auto [tv, body] = logic::dest_forall(eq1.concl());
+  (void)rest;
+  (void)body;
+  Thm eq2 = logic::spec(tv, eq1);
+  Term rhs = kernel::eq_rhs(eq2.concl());
+  auto [aut_head, rargs] = kernel::strip_comb(rhs);
+  if (rargs.size() != 4) {
+    throw KernelError("instantiate_encoding: unexpected theorem shape");
+  }
+
+  logic::Conv reduce = logic::top_depth_conv(logic::orelsec(
+      logic::beta_conv,
+      logic::orelsec(logic::rewr_conv(thy::fst_pair()),
+                     logic::rewr_conv(thy::snd_pair()))));
+  Thm red = reduce(rargs[0]);  // h2 = <joined encoded form>
+  if (!(kernel::eq_rhs(red.concl()) == enc_cc.h)) {
+    throw EncodeError(
+        "instantiate_encoding: the encoded transition function does not "
+        "match the re-encoded netlist");
+  }
+  Thm th_h = Thm::trans(red, Thm::alpha(kernel::eq_rhs(red.concl()),
+                                        enc_cc.h));
+
+  Thm eval_thm = ground_eval(rargs[1]);  // enc q = q'
+  if (!(kernel::eq_rhs(eval_thm.concl()) == enc_cc.q)) {
+    throw EncodeError(
+        "instantiate_encoding: evaluated initial state disagrees with the "
+        "re-encoded netlist");
+  }
+
+  Thm rchain = Thm::mk_comb(
+      Thm::mk_comb(Thm::mk_comb(logic::ap_term(aut_head, th_h), eval_thm),
+                   Thm::refl(rargs[2])),
+      Thm::refl(rargs[3]));
+  Thm final_thm = Thm::trans(eq2, rchain);
+  final_thm = logic::gen_list({iv, tv}, final_thm);
+
+  return FormalEncodeResult{final_thm, std::move(encoded_rtl), enc, dec,
+                            retraction};
+}
+
+}  // namespace
+
+FormalSignalEncodeResult formal_output_xor(
+    const Rtl& rtl, const std::vector<std::uint64_t>& masks) {
+  init_hash_constants();
+  rtl.validate();
+  const std::size_t n = rtl.outputs().size();
+  if (masks.size() != n) {
+    throw EncodeError("formal_output_xor: mask arity " +
+                      std::to_string(masks.size()) + " != output count " +
+                      std::to_string(n));
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    SignalId o = rtl.outputs()[k].signal;
+    if (rtl.is_flag(o)) {
+      throw EncodeError("formal_output_xor: output '" +
+                        rtl.outputs()[k].name + "' is a flag");
+    }
+    if ((masks[k] & rtl.mask(o)) != masks[k]) {
+      throw EncodeError("formal_output_xor: mask does not fit output '" +
+                        rtl.outputs()[k].name + "'");
+    }
+  }
+
+  // enc = \o. (o_0 XOR m_0, ..., o_{n-1} XOR m_{n-1}).
+  std::vector<Type> out_tys(n, num_ty());
+  Type out_ty = tuple_type(out_tys);
+  Term ov = Term::var("o", out_ty);
+  std::vector<Term> parts;
+  parts.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    parts.push_back(bitxor_tm(proj(ov, k, n), thy::mk_numeral(masks[k])));
+  }
+  Term enc = Term::abs(ov, thy::mk_tuple(parts));
+
+  // Netlist: identical graph plus one XOR per output port.
+  Rtl out;
+  std::map<SignalId, SignalId> ctx;
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    SignalId s = static_cast<SignalId>(idx);
+    const Node& nd = rtl.nodes()[idx];
+    switch (nd.op) {
+      case Op::Input:
+        ctx.emplace(s, out.add_input(nd.name, nd.width));
+        break;
+      case Op::Reg:
+        ctx.emplace(s, out.add_reg(nd.name, nd.width, nd.value));
+        break;
+      case Op::Const:
+        ctx.emplace(s, nd.width == 0 ? out.add_const_flag(nd.value != 0)
+                                     : out.add_const(nd.width, nd.value));
+        break;
+      default: {
+        std::vector<SignalId> ops;
+        ops.reserve(nd.operands.size());
+        for (SignalId o : nd.operands) ops.push_back(ctx.at(o));
+        ctx.emplace(s, out.add_op(nd.op, std::move(ops)));
+      }
+    }
+  }
+  for (SignalId r : rtl.regs()) {
+    out.set_reg_next(ctx.at(r), ctx.at(rtl.node(r).next));
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const circuit::OutputPort& port = rtl.outputs()[k];
+    SignalId cm = out.add_const(rtl.width(port.signal), masks[k]);
+    out.add_output(port.name,
+                   out.add_op(Op::Xor, {ctx.at(port.signal), cm}));
+  }
+  out.validate();
+
+  CompiledCircuit orig = compile(rtl);
+  CompiledCircuit wrapped = compile(out);
+
+  Thm inst = logic::pspec_list({enc, orig.h, orig.q},
+                               thy::output_encoding_thm());
+  auto [iv, rest] = logic::dest_forall(inst.concl());
+  Thm inst1 = logic::spec(iv, inst);
+  auto [tv, body] = logic::dest_forall(inst1.concl());
+  (void)rest;
+  (void)body;
+  Thm inst2 = logic::spec(tv, inst1);
+  // inst2 : AUT h2 q i t = enc (AUT h q i t)
+  Term lhs = kernel::eq_lhs(inst2.concl());
+  auto [aut_head, largs] = kernel::strip_comb(lhs);
+  if (largs.size() != 4) {
+    throw KernelError("formal_output_xor: unexpected theorem shape");
+  }
+  logic::Conv reduce = logic::top_depth_conv(logic::orelsec(
+      logic::beta_conv,
+      logic::orelsec(logic::rewr_conv(thy::fst_pair()),
+                     logic::rewr_conv(thy::snd_pair()))));
+  Thm red = reduce(largs[0]);
+  if (!(kernel::eq_rhs(red.concl()) == wrapped.h)) {
+    throw EncodeError(
+        "formal_output_xor: the wrapped transition function does not match "
+        "the re-encoded netlist");
+  }
+  Thm th_h = Thm::trans(red, Thm::alpha(kernel::eq_rhs(red.concl()),
+                                        wrapped.h));
+  Thm lchain = Thm::mk_comb(
+      Thm::mk_comb(Thm::mk_comb(logic::ap_term(aut_head, th_h),
+                                Thm::refl(largs[1])),
+                   Thm::refl(largs[2])),
+      Thm::refl(largs[3]));
+  Thm final_thm = Thm::trans(logic::sym(lchain), inst2);
+  final_thm = logic::gen_list({iv, tv}, final_thm);
+
+  return FormalSignalEncodeResult{final_thm, std::move(out), enc};
+}
+
+Thm bitxor_cancel() {
+  init_hash_constants();
+  auto& sig = kernel::Signature::instance();
+  if (auto cached = sig.find_theorem("BITXOR_CANCEL")) return *cached;
+  Term a = Term::var("a", num_ty());
+  Term b = Term::var("b", num_ty());
+  Term prop = logic::mk_forall(
+      a, logic::mk_forall(
+             b, kernel::mk_eq(bitxor_tm(bitxor_tm(a, b), b), a)));
+  Thm ax = sig.new_axiom("BITXOR_CANCEL", prop);
+  return ax;
+}
+
+Thm prove_retraction(const Term& enc, const Term& dec) {
+  Type c = kernel::dom_ty(enc.type());
+  Term sv = Term::var("s", c);
+  Term composed = Term::comb(dec, Term::comb(enc, sv));
+  Thm red = encode_reduce()(composed);
+  if (!(kernel::eq_rhs(red.concl()) == sv)) {
+    throw EncodeError(
+        "prove_retraction: dec o enc does not reduce to the identity "
+        "(got " + kernel::eq_rhs(red.concl()).to_string() + ")");
+  }
+  return logic::gen(sv, red);
+}
+
+FormalEncodeResult formal_permute_registers(
+    const Rtl& rtl, const std::vector<std::size_t>& perm) {
+  init_hash_constants();
+  rtl.validate();
+  const std::size_t n = rtl.regs().size();
+  if (perm.size() != n) {
+    throw EncodeError("formal_permute_registers: permutation arity " +
+                      std::to_string(perm.size()) + " != register count " +
+                      std::to_string(n));
+  }
+  std::vector<std::size_t> inv(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (perm[k] >= n || inv[perm[k]] != n) {
+      throw EncodeError("formal_permute_registers: not a bijection");
+    }
+    inv[perm[k]] = k;
+  }
+
+  // enc : s |-> tuple with component j = s_{inv[j]};  dec is the inverse.
+  Type st = state_ty(n);
+  Term sv = Term::var("s", st);
+  std::vector<Term> enc_parts(n, sv);
+  for (std::size_t j = 0; j < n; ++j) enc_parts[j] = proj(sv, inv[j], n);
+  Term enc = Term::abs(sv, thy::mk_tuple(enc_parts));
+  Term xv = Term::var("x", st);
+  std::vector<Term> dec_parts(n, xv);
+  for (std::size_t k = 0; k < n; ++k) dec_parts[k] = proj(xv, perm[k], n);
+  Term dec = Term::abs(xv, thy::mk_tuple(dec_parts));
+
+  Rtl permuted = rtl;
+  permuted.reorder_registers(perm);
+
+  return instantiate_encoding(rtl, std::move(permuted), enc, dec);
+}
+
+FormalEncodeResult formal_xor_reencode(const Rtl& rtl,
+                                       const std::vector<std::uint64_t>& masks) {
+  init_hash_constants();
+  rtl.validate();
+  const std::size_t n = rtl.regs().size();
+  if (masks.size() != n) {
+    throw EncodeError("formal_xor_reencode: mask arity " +
+                      std::to_string(masks.size()) + " != register count " +
+                      std::to_string(n));
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    SignalId r = rtl.regs()[k];
+    std::uint64_t m = rtl.mask(r);
+    if ((masks[k] & m) != masks[k]) {
+      throw EncodeError("formal_xor_reencode: mask " +
+                        std::to_string(masks[k]) +
+                        " does not fit register '" + rtl.node(r).name + "'");
+    }
+  }
+
+  // enc = dec = \s. (s_0 XOR m_0, ..., s_{n-1} XOR m_{n-1}).
+  Type st = state_ty(n);
+  auto mk_coder = [&](const char* v) {
+    Term sv = Term::var(v, st);
+    std::vector<Term> parts;
+    parts.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      parts.push_back(bitxor_tm(proj(sv, k, n), thy::mk_numeral(masks[k])));
+    }
+    return Term::abs(sv, thy::mk_tuple(parts));
+  };
+  Term enc = mk_coder("s");
+  Term dec = mk_coder("x");
+
+  // Netlist: registers store encoded values; a decode XOR follows each
+  // register, an encode XOR precedes each next-value input.
+  Rtl out;
+  std::map<SignalId, SignalId> ctx;  // original signal -> new signal
+  for (SignalId in : rtl.inputs()) {
+    ctx.emplace(in, out.add_input(rtl.node(in).name, rtl.node(in).width));
+  }
+  std::map<SignalId, SignalId> new_reg;    // original reg -> new reg node
+  std::map<SignalId, SignalId> mask_const; // original reg -> mask constant
+  for (std::size_t k = 0; k < n; ++k) {
+    SignalId r = rtl.regs()[k];
+    const Node& rn = rtl.node(r);
+    SignalId nr = out.add_reg(rn.name, rn.width, rn.value ^ masks[k]);
+    SignalId cm = out.add_const(rn.width, masks[k]);
+    SignalId decoded = out.add_op(Op::Xor, {nr, cm});
+    new_reg.emplace(r, nr);
+    mask_const.emplace(r, cm);
+    ctx.emplace(r, decoded);  // consumers read the decoded value
+  }
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    SignalId s = static_cast<SignalId>(idx);
+    const Node& nd = rtl.nodes()[idx];
+    if (nd.op == Op::Input || nd.op == Op::Reg) continue;
+    if (nd.op == Op::Const) {
+      ctx.emplace(s, nd.width == 0 ? out.add_const_flag(nd.value != 0)
+                                   : out.add_const(nd.width, nd.value));
+      continue;
+    }
+    std::vector<SignalId> ops;
+    ops.reserve(nd.operands.size());
+    for (SignalId o : nd.operands) ops.push_back(ctx.at(o));
+    ctx.emplace(s, out.add_op(nd.op, std::move(ops)));
+  }
+  for (const circuit::OutputPort& o : rtl.outputs()) {
+    out.add_output(o.name, ctx.at(o.signal));
+  }
+  for (SignalId r : rtl.regs()) {
+    SignalId encoded_next =
+        out.add_op(Op::Xor, {ctx.at(rtl.node(r).next), mask_const.at(r)});
+    out.set_reg_next(new_reg.at(r), encoded_next);
+  }
+  out.validate();
+
+  return instantiate_encoding(rtl, std::move(out), enc, dec);
+}
+
+}  // namespace eda::hash

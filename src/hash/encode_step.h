@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/compile.h"
+#include "kernel/thm.h"
+
+namespace eda::hash {
+
+/// Raised when an encoding request is malformed (not a bijection, wrong
+/// arity, masks for flags, …) or when the instantiated theorem does not
+/// match the transformed netlist.
+class EncodeError : public kernel::KernelError {
+ public:
+  explicit EncodeError(const std::string& what)
+      : kernel::KernelError(what) {}
+};
+
+/// Result of one formal state-re-encoding step (an instance of
+/// ENCODING_THM; paper section VI lists state encoding among the
+/// Automata-theory transformations HASH provides).
+struct FormalEncodeResult {
+  /// |- !i t. AUTOMATON h q i t = AUTOMATON h' q' i t, where (h, q) is the
+  /// compiled input circuit and (h', q') the compiled re-encoded circuit.
+  /// Derived by instantiating ENCODING_THM with enc/dec/h/q and discharging
+  /// the retraction obligation !s. dec (enc s) = s *inside the logic*.
+  kernel::Thm theorem;
+  /// The re-encoded netlist; compile(encoded) is exactly (h', q').
+  circuit::Rtl encoded;
+  /// The encoding and decoding functions used.
+  kernel::Term enc_term;
+  kernel::Term dec_term;
+  /// The proved retraction theorem |- !s. dec (enc s) = s.
+  kernel::Thm retraction;
+};
+
+/// Re-order the register bank: old register k moves to position perm[k] of
+/// the state tuple (perm must be a bijection on 0..n-1).  The netlist graph
+/// is untouched; only the state layout — and therefore the compiled
+/// transition function's projections — changes.  The retraction obligation
+/// is discharged by pure pair reasoning (FST/SND reduction + surjective
+/// pairing).
+FormalEncodeResult formal_permute_registers(const circuit::Rtl& rtl,
+                                            const std::vector<std::size_t>& perm);
+
+/// Value-level re-encoding: register k stores its value XOR masks[k]
+/// (masks.size() == #registers; a zero mask leaves that register's coding
+/// unchanged but still routes it through the decode/encode pair so the
+/// netlist matches the theorem's shape exactly).  Initial values are
+/// re-encoded, a decoder XOR is inserted after each register and an
+/// encoder XOR before it.  The retraction obligation is discharged from
+/// the BITXOR_CANCEL axiom of the bitops theory.
+FormalEncodeResult formal_xor_reencode(const circuit::Rtl& rtl,
+                                       const std::vector<std::uint64_t>& masks);
+
+/// Result of one formal *signal* (output) re-encoding step, an instance of
+/// OUTPUT_ENCODING_THM.  The theorem is a commutation, not an equivalence:
+///   |- !i t. AUTOMATON h' q i t = enc (AUTOMATON h q i t)
+/// so it certifies that the new circuit emits exactly the re-coded output
+/// stream (it does not compose with compose_steps, by design).
+struct FormalSignalEncodeResult {
+  kernel::Thm theorem;
+  circuit::Rtl encoded;
+  kernel::Term enc_term;
+};
+
+/// Re-code every output: output k is XORed with masks[k]
+/// (masks.size() == #outputs).  The paper's "signal encoding".
+FormalSignalEncodeResult formal_output_xor(const circuit::Rtl& rtl,
+                                           const std::vector<std::uint64_t>& masks);
+
+/// |- !a b. BITXOR (BITXOR a b) b = a — the bitops-theory axiom backing
+/// the XOR re-encoding (BITAND/BITOR/BITXOR are otherwise uninterpreted
+/// except for the ground-arithmetic compute oracle; see DESIGN.md's axiom
+/// inventory).
+kernel::Thm bitxor_cancel();
+
+/// Prove |- !s. dec (enc s) = s for the structural encodings built by this
+/// module (exposed for tests): beta/projection reduction, BITXOR_CANCEL,
+/// and surjective-pairing collapse.  Throws EncodeError if the composition
+/// does not reduce to the identity.
+kernel::Thm prove_retraction(const kernel::Term& enc, const kernel::Term& dec);
+
+}  // namespace eda::hash

@@ -1,0 +1,54 @@
+#include "hash/eval.h"
+
+#include "kernel/signature.h"
+#include "logic/bool_thms.h"
+#include "logic/rewrite.h"
+#include "theories/numeral.h"
+#include "theories/pair_theory.h"
+
+namespace eda::hash {
+
+using kernel::Term;
+using kernel::Thm;
+
+namespace {
+
+/// One evaluation step at a node.
+Thm eval_step(const Term& t) {
+  // Beta redexes.
+  if (t.is_comb() && t.rator().is_abs()) return logic::beta_conv(t);
+  // Pair projections of literal pairs.
+  static const logic::Conv fst_c = logic::rewr_conv(thy::fst_pair());
+  static const logic::Conv snd_c = logic::rewr_conv(thy::snd_pair());
+  static const logic::Conv cond_t = logic::rewr_conv(
+      kernel::Signature::instance().theorem("COND_T"));
+  static const logic::Conv cond_f = logic::rewr_conv(
+      kernel::Signature::instance().theorem("COND_F"));
+  auto [head, args] = kernel::strip_comb(t);
+  if (head.is_const()) {
+    const std::string& name = head.name();
+    if (name == "FST" && args.size() == 1 && thy::is_pair(args[0])) {
+      return fst_c(t);
+    }
+    if (name == "SND" && args.size() == 1 && thy::is_pair(args[0])) {
+      return snd_c(t);
+    }
+    if (name == "COND" && args.size() == 3) {
+      if (args[0] == logic::truth_tm()) return cond_t(t);
+      if (args[0] == logic::falsity_tm()) return cond_f(t);
+      throw logic::ConvError("eval_step: undecided conditional");
+    }
+  }
+  // Ground arithmetic / predicates through the tagged oracle.
+  return thy::num_compute_conv(t);
+}
+
+}  // namespace
+
+logic::Conv ground_eval_conv() {
+  return logic::top_depth_conv(eval_step);
+}
+
+Thm ground_eval(const Term& t) { return ground_eval_conv()(t); }
+
+}  // namespace eda::hash

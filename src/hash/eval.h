@@ -1,0 +1,20 @@
+#pragma once
+
+#include "logic/conv.h"
+
+namespace eda::hash {
+
+/// Ground-evaluation conversion used for step 4 of the retiming procedure
+/// (determining the new initial register values f(q)):
+/// beta-reduction, pair projections, conditionals over decided tests, and
+/// ground numeral arithmetic (via the tagged NUM_COMPUTE oracle), iterated
+/// to a normal form.
+///
+/// Applied to `f q` with a lambda f and a numeral tuple q, it returns
+/// `|- f q = q'` with q' a numeral tuple.
+logic::Conv ground_eval_conv();
+
+/// Evaluate a closed term to its ground normal form and return the theorem.
+kernel::Thm ground_eval(const kernel::Term& t);
+
+}  // namespace eda::hash

@@ -1,0 +1,221 @@
+#include "hash/logic_opt.h"
+
+#include <map>
+
+#include "hash/eval.h"
+#include "logic/bool_simp.h"
+#include "logic/rewrite.h"
+#include "theories/automata_theory.h"
+#include "theories/numeral.h"
+
+namespace eda::hash {
+
+using circuit::Node;
+using circuit::Op;
+using circuit::Rtl;
+using circuit::SignalId;
+using kernel::KernelError;
+using kernel::Term;
+using kernel::Thm;
+
+namespace {
+
+/// Key for structural hashing of netlist nodes.
+struct NodeKey {
+  Op op;
+  int width;
+  std::vector<SignalId> operands;
+  std::uint64_t value;
+  auto operator<=>(const NodeKey&) const = default;
+};
+
+bool is_const_node(const Rtl& out, SignalId s) {
+  return out.node(s).op == Op::Const;
+}
+
+}  // namespace
+
+Rtl conventional_logic_opt(const Rtl& rtl) {
+  rtl.validate();
+  Rtl out;
+  std::map<SignalId, SignalId> remap;
+  std::map<NodeKey, SignalId> cse;
+
+  auto intern_const = [&](int width, std::uint64_t v) {
+    NodeKey key{Op::Const, width, {}, v};
+    if (auto it = cse.find(key); it != cse.end()) return it->second;
+    SignalId s = width == 0 ? out.add_const_flag(v != 0)
+                            : out.add_const(width, v);
+    cse.emplace(key, s);
+    return s;
+  };
+
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    SignalId s = static_cast<SignalId>(idx);
+    const Node& n = rtl.node(s);
+    switch (n.op) {
+      case Op::Input:
+        remap.emplace(s, out.add_input(n.name, n.width));
+        continue;
+      case Op::Reg:
+        remap.emplace(s, out.add_reg(n.name, n.width, n.value));
+        continue;
+      case Op::Const:
+        remap.emplace(s, intern_const(n.width, n.value));
+        continue;
+      default:
+        break;
+    }
+    std::vector<SignalId> ops;
+    ops.reserve(n.operands.size());
+    for (SignalId o : n.operands) ops.push_back(remap.at(o));
+    auto cval = [&](std::size_t k) { return out.node(ops[k]).value; };
+    auto all_const = [&]() {
+      for (SignalId o : ops) {
+        if (!is_const_node(out, o)) return false;
+      }
+      return true;
+    };
+
+    // Constant folding (covers every operator).
+    if (all_const()) {
+      std::uint64_t m = (n.width == 0) ? 1 : ((1ULL << n.width) - 1);
+      std::uint64_t v = 0;
+      switch (n.op) {
+        case Op::Add: v = (cval(0) + cval(1)) & m; break;
+        case Op::Sub: v = (cval(0) - cval(1)) & m; break;
+        case Op::Mul: v = (cval(0) * cval(1)) & m; break;
+        case Op::Eq: v = cval(0) == cval(1); break;
+        case Op::Lt: v = cval(0) < cval(1); break;
+        case Op::Mux: v = cval(0) ? cval(1) : cval(2); break;
+        case Op::And: v = cval(0) & cval(1); break;
+        case Op::Or: v = cval(0) | cval(1); break;
+        case Op::Xor: v = cval(0) ^ cval(1); break;
+        case Op::Not: v = (~cval(0)) & m; break;
+        case Op::FlagAnd: v = cval(0) & cval(1); break;
+        case Op::FlagOr: v = cval(0) | cval(1); break;
+        case Op::FlagNot: v = cval(0) ^ 1; break;
+        default: v = 0; break;
+      }
+      remap.emplace(s, intern_const(n.width, v));
+      continue;
+    }
+
+    // Identity simplifications mirrored by simp_conv on the term side.
+    std::optional<SignalId> replaced;
+    switch (n.op) {
+      case Op::Mux:
+        if (is_const_node(out, ops[0])) {
+          replaced = cval(0) ? ops[1] : ops[2];
+        } else if (ops[1] == ops[2]) {
+          replaced = ops[1];  // COND_ID
+        }
+        break;
+      case Op::Eq:
+        if (ops[0] == ops[1]) replaced = intern_const(0, 1);  // REFL_CLAUSE
+        break;
+      case Op::FlagAnd:
+        if (is_const_node(out, ops[0])) {
+          replaced = cval(0) ? ops[1] : intern_const(0, 0);
+        } else if (is_const_node(out, ops[1])) {
+          replaced = cval(1) ? ops[0] : intern_const(0, 0);
+        } else if (ops[0] == ops[1]) {
+          replaced = ops[0];
+        }
+        break;
+      case Op::FlagOr:
+        if (is_const_node(out, ops[0])) {
+          replaced = cval(0) ? intern_const(0, 1) : ops[1];
+        } else if (is_const_node(out, ops[1])) {
+          replaced = cval(1) ? intern_const(0, 1) : ops[0];
+        } else if (ops[0] == ops[1]) {
+          replaced = ops[0];
+        }
+        break;
+      case Op::FlagNot:
+        if (out.node(ops[0]).op == Op::FlagNot) {
+          replaced = out.node(ops[0]).operands[0];  // NOT_NOT
+        }
+        break;
+      default:
+        break;
+    }
+    if (replaced) {
+      remap.emplace(s, *replaced);
+      continue;
+    }
+
+    // Structural hashing.
+    NodeKey key{n.op, n.width, ops, 0};
+    if (auto it = cse.find(key); it != cse.end()) {
+      remap.emplace(s, it->second);
+      continue;
+    }
+    SignalId ns = out.add_op(n.op, ops);
+    cse.emplace(key, ns);
+    remap.emplace(s, ns);
+  }
+
+  for (SignalId r : rtl.regs()) {
+    out.set_reg_next(remap.at(r), remap.at(rtl.node(r).next));
+  }
+  for (const circuit::OutputPort& o : rtl.outputs()) {
+    out.add_output(o.name, remap.at(o.signal));
+  }
+  out.validate();
+  return out;
+}
+
+logic::Conv simp_conv() {
+  logic::init_bool();
+  // Ground arithmetic folding + boolean/conditional clauses, to fixpoint.
+  logic::Conv clauses = logic::rewrites_conv(logic::bool_simp_clauses());
+  logic::Conv step = logic::orelsec(
+      clauses, [](const Term& t) { return thy::num_compute_conv(t); });
+  // COND with decided condition.
+  auto& sig = kernel::Signature::instance();
+  logic::Conv cond = logic::orelsec(logic::rewr_conv(sig.theorem("COND_T")),
+                                    logic::rewr_conv(sig.theorem("COND_F")));
+  return logic::top_depth_conv(logic::orelsec(step, cond));
+}
+
+FormalOptResult formal_logic_opt(const Rtl& rtl) {
+  Rtl optimized = conventional_logic_opt(rtl);
+  CompiledCircuit before = compile(rtl);
+  CompiledCircuit after = compile(optimized);
+  if (!(before.q == after.q)) {
+    throw KernelError("formal_logic_opt: initial state changed");
+  }
+
+  // Reduce both transition functions to a common simplification normal
+  // form; the equality theorem is their transitive join.
+  logic::Conv simp = logic::abs_conv(simp_conv());
+  Thm red_before = simp(before.h);
+  Thm red_after = simp(after.h);
+  Term nf1 = kernel::eq_rhs(red_before.concl());
+  Term nf2 = kernel::eq_rhs(red_after.concl());
+  if (!(nf1 == nf2)) {
+    throw KernelError(
+        "formal_logic_opt: normal forms diverge; the conventional pass "
+        "performed a rewrite the logic side cannot justify");
+  }
+  Thm h_eq = Thm::trans(red_before,
+                        Thm::trans(Thm::alpha(nf1, nf2),
+                                   logic::sym(red_after)));
+
+  // Congruence into the automaton application, then generalise.
+  Term i = Term::var("i", kernel::fun_ty(kernel::num_ty(), before.input_ty));
+  Term t = Term::var("t", kernel::num_ty());
+  Term lhs = thy::mk_automaton(before.h, before.q, i, t);
+  auto [head, args] = kernel::strip_comb(lhs);
+  (void)args;
+  Thm chain = Thm::mk_comb(
+      Thm::mk_comb(Thm::mk_comb(logic::ap_term(head, h_eq),
+                                Thm::refl(before.q)),
+                   Thm::refl(i)),
+      Thm::refl(t));
+  Thm final_thm = logic::gen_list({i, t}, chain);
+  return FormalOptResult{final_thm, std::move(optimized)};
+}
+
+}  // namespace eda::hash

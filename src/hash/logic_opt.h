@@ -1,0 +1,34 @@
+#pragma once
+
+#include "hash/compile.h"
+#include "kernel/thm.h"
+#include "logic/conv.h"
+
+namespace eda::hash {
+
+/// Result of one formal logic-minimisation step.
+struct FormalOptResult {
+  /// |- !i t. AUTOMATON h q i t = AUTOMATON h' q i t
+  kernel::Thm theorem;
+  circuit::Rtl optimized;
+};
+
+/// Conventional combinational clean-up pass on the netlist: structural
+/// hashing (CSE), constant folding, conditional and boolean identity
+/// simplification (mux with constant/equal arms, and/or/not with constants,
+/// x == x, idempotence).  Word-level arithmetic identities under the MOD
+/// wrap are deliberately *not* rewritten (they would need range lemmas on
+/// the formal side).
+circuit::Rtl conventional_logic_opt(const circuit::Rtl& rtl);
+
+/// The formal counterpart: runs the conventional pass, then proves inside
+/// the kernel that the two compiled transition functions are equal, by
+/// reducing both to a common simplification normal form.  Composing this
+/// with a retiming step via hash::compose_steps gives the paper's compound
+/// retiming/minimisation step at the cost of one transitivity application.
+FormalOptResult formal_logic_opt(const circuit::Rtl& rtl);
+
+/// The simplification conversion itself (exposed for tests/benches).
+logic::Conv simp_conv();
+
+}  // namespace eda::hash

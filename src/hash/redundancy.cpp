@@ -1,0 +1,316 @@
+#include "hash/redundancy.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "hash/compound.h"
+#include "hash/encode_step.h"
+#include "hash/eval.h"
+#include "hash/term_build.h"
+#include "logic/bool_thms.h"
+#include "logic/rewrite.h"
+#include "theories/encoding_thm.h"
+#include "theories/numeral.h"
+#include "theories/pair_theory.h"
+
+namespace eda::hash {
+
+using circuit::Node;
+using circuit::Op;
+using circuit::Rtl;
+using circuit::SignalId;
+using kernel::KernelError;
+using kernel::num_ty;
+using kernel::prod_ty;
+using kernel::Term;
+using kernel::Thm;
+using kernel::Type;
+
+namespace {
+
+using detail::proj;
+using detail::tuple_type;
+using detail::TermBuilder;
+
+/// Registers appearing in the combinational cone of `s`.
+void cone_regs(const Rtl& rtl, SignalId s, std::set<SignalId>& out,
+               std::set<SignalId>& visited) {
+  if (!visited.insert(s).second) return;
+  const Node& n = rtl.node(s);
+  if (n.op == Op::Reg) {
+    out.insert(s);
+    return;
+  }
+  for (SignalId o : n.operands) cone_regs(rtl, o, out, visited);
+}
+
+/// Signals needed to compute the outputs and the live registers' nexts.
+std::set<SignalId> needed_signals(const Rtl& rtl,
+                                  const std::set<SignalId>& live) {
+  std::set<SignalId> needed;
+  std::function<void(SignalId)> visit = [&](SignalId s) {
+    if (!needed.insert(s).second) return;
+    const Node& n = rtl.node(s);
+    if (n.op == Op::Reg) {
+      if (live.count(s) > 0) visit(n.next);
+      return;
+    }
+    for (SignalId o : n.operands) visit(o);
+  };
+  for (const circuit::OutputPort& o : rtl.outputs()) visit(o.signal);
+  return needed;
+}
+
+}  // namespace
+
+std::vector<SignalId> find_dead_registers(const Rtl& rtl) {
+  rtl.validate();
+  // reg -> registers its next-state cone reads.
+  std::map<SignalId, std::set<SignalId>> deps;
+  for (SignalId r : rtl.regs()) {
+    std::set<SignalId> visited;
+    cone_regs(rtl, rtl.node(r).next, deps[r], visited);
+  }
+  // Seed: registers read by the output cones.
+  std::set<SignalId> live;
+  {
+    std::set<SignalId> visited;
+    for (const circuit::OutputPort& o : rtl.outputs()) {
+      cone_regs(rtl, o.signal, live, visited);
+    }
+  }
+  // Fixpoint: a register read by a live register is live.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (SignalId r : rtl.regs()) {
+      if (live.count(r) == 0) continue;
+      for (SignalId d : deps[r]) {
+        if (live.insert(d).second) changed = true;
+      }
+    }
+  }
+  std::vector<SignalId> dead;
+  for (SignalId r : rtl.regs()) {
+    if (live.count(r) == 0) dead.push_back(r);
+  }
+  return dead;
+}
+
+Rtl conventional_remove_dead(const Rtl& rtl) {
+  std::vector<SignalId> dead = find_dead_registers(rtl);
+  std::set<SignalId> dead_set(dead.begin(), dead.end());
+  std::set<SignalId> live;
+  for (SignalId r : rtl.regs()) {
+    if (dead_set.count(r) == 0) live.insert(r);
+  }
+  std::set<SignalId> needed = needed_signals(rtl, live);
+
+  Rtl out;
+  std::map<SignalId, SignalId> ctx;
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    SignalId s = static_cast<SignalId>(idx);
+    const Node& n = rtl.nodes()[idx];
+    if (n.op == Op::Input) {
+      // Keep every input — the equivalence statement needs equal arity.
+      ctx.emplace(s, out.add_input(n.name, n.width));
+      continue;
+    }
+    if (needed.count(s) == 0) continue;
+    if (n.op == Op::Reg) {
+      ctx.emplace(s, out.add_reg(n.name, n.width, n.value));
+      continue;
+    }
+    if (n.op == Op::Const) {
+      ctx.emplace(s, n.width == 0 ? out.add_const_flag(n.value != 0)
+                                  : out.add_const(n.width, n.value));
+      continue;
+    }
+    std::vector<SignalId> ops;
+    ops.reserve(n.operands.size());
+    for (SignalId o : n.operands) ops.push_back(ctx.at(o));
+    ctx.emplace(s, out.add_op(n.op, std::move(ops)));
+  }
+  for (SignalId r : rtl.regs()) {
+    if (dead_set.count(r) > 0) continue;
+    out.set_reg_next(ctx.at(r), ctx.at(rtl.node(r).next));
+  }
+  for (const circuit::OutputPort& o : rtl.outputs()) {
+    out.add_output(o.name, ctx.at(o.signal));
+  }
+  out.validate();
+  return out;
+}
+
+FormalDeadRemovalResult formal_remove_dead_registers(const Rtl& rtl) {
+  init_hash_constants();
+  std::vector<SignalId> dead = find_dead_registers(rtl);
+  if (dead.empty()) {
+    throw RedundancyError("formal_remove_dead_registers: no dead registers");
+  }
+  const std::size_t n = rtl.regs().size();
+  const std::size_t kd = dead.size();
+  const std::size_t m = n - kd;
+  if (m == 0) {
+    throw RedundancyError(
+        "formal_remove_dead_registers: every register is dead; the stripped "
+        "circuit would be stateless (keep one or rewrite the outputs)");
+  }
+
+  // ---- Step 1: permute the dead registers to the tail. ---------------------
+  std::set<SignalId> dead_set(dead.begin(), dead.end());
+  std::vector<std::size_t> perm(n);
+  std::size_t next_live = 0, next_dead = m;
+  for (std::size_t k = 0; k < n; ++k) {
+    perm[k] = dead_set.count(rtl.regs()[k]) > 0 ? next_dead++ : next_live++;
+  }
+  bool identity = true;
+  for (std::size_t k = 0; k < n; ++k) identity = identity && perm[k] == k;
+
+  std::optional<FormalEncodeResult> pe;
+  const Rtl* rtl_p = &rtl;
+  if (!identity) {
+    pe = formal_permute_registers(rtl, perm);
+    rtl_p = &pe->encoded;
+  }
+
+  Rtl stripped = conventional_remove_dead(*rtl_p);
+  CompiledCircuit cc_p = compile(*rtl_p);
+  CompiledCircuit cc_s = compile(stripped);
+
+  // ---- Step 2: re-associate the flat state into (live # dead). -------------
+  std::vector<Type> live_tys(m, num_ty()), dead_tys(kd, num_ty());
+  Type c_ty = tuple_type(live_tys);
+  Type e_ty = tuple_type(dead_tys);
+  Type flat_ty = cc_p.state_ty;
+
+  Term sv = Term::var("s", flat_ty);
+  std::vector<Term> live_parts, dead_parts;
+  for (std::size_t k = 0; k < m; ++k) live_parts.push_back(proj(sv, k, n));
+  for (std::size_t j = 0; j < kd; ++j) {
+    dead_parts.push_back(proj(sv, m + j, n));
+  }
+  Term enc = Term::abs(
+      sv, thy::mk_pair(thy::mk_tuple(live_parts), thy::mk_tuple(dead_parts)));
+  Term xv = Term::var("x", prod_ty(c_ty, e_ty));
+  std::vector<Term> flat_parts;
+  for (std::size_t k = 0; k < m; ++k) {
+    flat_parts.push_back(proj(thy::mk_fst(xv), k, m));
+  }
+  for (std::size_t j = 0; j < kd; ++j) {
+    flat_parts.push_back(proj(thy::mk_snd(xv), j, kd));
+  }
+  Term dec = Term::abs(xv, thy::mk_tuple(flat_parts));
+
+  Thm retraction = prove_retraction(enc, dec);
+  Thm enc_inst = logic::mp(
+      logic::pspec_list({enc, dec, cc_p.h, cc_p.q}, thy::encoding_thm()),
+      retraction);
+  auto [iv, rest] = logic::dest_forall(enc_inst.concl());
+  Thm enc1 = logic::spec(iv, enc_inst);
+  auto [tv, body] = logic::dest_forall(enc1.concl());
+  (void)rest;
+  (void)body;
+  Thm enc2 = logic::spec(tv, enc1);
+  // enc2 : AUT h_p q_p i t = AUT h_e (enc q_p) i t
+  Term rhs = kernel::eq_rhs(enc2.concl());
+  auto [aut_head, rargs] = kernel::strip_comb(rhs);
+  if (rargs.size() != 4) {
+    throw KernelError("formal_remove_dead_registers: theorem shape");
+  }
+
+  // ---- Step 3: the dead-state instance. -------------------------------------
+  // hd : (inputs # (live # dead)) -> dead, read off the permuted netlist.
+  std::vector<Type> in_tys;
+  for (SignalId s : rtl_p->inputs()) {
+    in_tys.push_back(detail::signal_type(*rtl_p, s));
+  }
+  Type in_ty = tuple_type(in_tys);
+  Term pf = Term::var("p", prod_ty(in_ty, prod_ty(c_ty, e_ty)));
+  Term in_tuple = thy::mk_fst(pf);
+  Term live_tuple = thy::mk_fst(thy::mk_snd(pf));
+  Term dead_tuple = thy::mk_snd(thy::mk_snd(pf));
+  std::size_t nin = rtl_p->inputs().size();
+
+  TermBuilder hb{*rtl_p, {}, nullptr, {}};
+  hb.leaf = [&](SignalId s) -> std::optional<Term> {
+    const Node& nd = rtl_p->node(s);
+    if (nd.op == Op::Input) {
+      for (std::size_t k = 0; k < nin; ++k) {
+        if (rtl_p->inputs()[k] == s) return proj(in_tuple, k, nin);
+      }
+    }
+    if (nd.op == Op::Reg) {
+      for (std::size_t k = 0; k < n; ++k) {
+        if (rtl_p->regs()[k] == s) {
+          return k < m ? proj(live_tuple, k, m)
+                       : proj(dead_tuple, k - m, kd);
+        }
+      }
+    }
+    return std::nullopt;
+  };
+  std::vector<Term> dead_nexts;
+  for (std::size_t j = 0; j < kd; ++j) {
+    SignalId r = rtl_p->regs()[m + j];
+    dead_nexts.push_back(hb.build(rtl_p->node(r).next));
+  }
+  Term hd = Term::abs(pf, thy::mk_tuple(dead_nexts));
+
+  std::vector<Term> qd_parts;
+  for (std::size_t j = 0; j < kd; ++j) {
+    qd_parts.push_back(
+        thy::mk_numeral(rtl_p->node(rtl_p->regs()[m + j]).value));
+  }
+  Term qd = thy::mk_tuple(qd_parts);
+
+  Term padded = thy::mk_padded_h(cc_s.h, hd);
+  Thm dead_inst = logic::pspec_list({cc_s.h, hd, cc_s.q, qd},
+                                    thy::dead_state_thm());
+  dead_inst = logic::spec_list({iv, tv}, dead_inst);
+  // dead_inst : AUT padded (q_live, qd) i t = AUT h1 q_live i t
+
+  // ---- Bridge: h_e and padded share a beta/projection normal form. ---------
+  logic::Conv reduce = logic::top_depth_conv(logic::orelsec(
+      logic::beta_conv,
+      logic::orelsec(logic::rewr_conv(thy::fst_pair()),
+                     logic::rewr_conv(thy::snd_pair()))));
+  Thm red_e = reduce(rargs[0]);
+  Thm red_p = reduce(padded);
+  Term norm_e = kernel::eq_rhs(red_e.concl());
+  Term norm_p = kernel::eq_rhs(red_p.concl());
+  if (!(norm_e == norm_p)) {
+    throw KernelError(
+        "formal_remove_dead_registers: the re-associated and padded "
+        "transition functions do not share a normal form");
+  }
+  Thm bridge = Thm::trans(Thm::trans(red_e, Thm::alpha(norm_e, norm_p)),
+                          logic::sym(red_p));
+
+  Thm eval_thm = ground_eval(rargs[1]);  // enc q_p = (q_live, qd)
+  Term qpair = thy::mk_pair(cc_s.q, qd);
+  if (!(kernel::eq_rhs(eval_thm.concl()) == qpair)) {
+    throw KernelError(
+        "formal_remove_dead_registers: evaluated initial state does not "
+        "split into (live, dead)");
+  }
+  Thm eval_fix = Thm::trans(
+      eval_thm, Thm::alpha(kernel::eq_rhs(eval_thm.concl()), qpair));
+
+  // AUT h_e (enc q_p) i t = AUT padded (q_live, qd) i t.
+  Thm to_padded = Thm::mk_comb(
+      Thm::mk_comb(Thm::mk_comb(logic::ap_term(aut_head, bridge), eval_fix),
+                   Thm::refl(rargs[2])),
+      Thm::refl(rargs[3]));
+
+  Thm chain = Thm::trans(Thm::trans(enc2, to_padded), dead_inst);
+  chain = logic::gen_list({iv, tv}, chain);
+
+  Thm full = identity ? chain : compose_steps(pe->theorem, chain);
+
+  return FormalDeadRemovalResult{full, std::move(stripped), std::move(dead)};
+}
+
+}  // namespace eda::hash

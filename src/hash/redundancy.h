@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "hash/compile.h"
+#include "kernel/thm.h"
+
+namespace eda::hash {
+
+/// Raised when dead-register removal cannot proceed (no dead registers, or
+/// removal would leave the circuit stateless).
+class RedundancyError : public kernel::KernelError {
+ public:
+  explicit RedundancyError(const std::string& what)
+      : kernel::KernelError(what) {}
+};
+
+/// Registers whose values never reach a primary output: the *live* set is
+/// the backward closure of the output cones through register next-state
+/// cones; everything else is dead.  Dead registers may read each other and
+/// themselves (free-running counters, orphaned pipeline tails) — the
+/// analysis handles such cycles because liveness, not deadness, is the
+/// fixpoint.  Returned in register-bank order.
+std::vector<circuit::SignalId> find_dead_registers(const circuit::Rtl& rtl);
+
+/// Result of one formal dead-register-elimination step (the paper's
+/// "elimination of redundant parts", section VI).
+struct FormalDeadRemovalResult {
+  /// |- !i t. AUTOMATON h q i t = AUTOMATON h' q' i t, where (h, q) is the
+  /// compiled input circuit and (h', q') the compiled stripped circuit.
+  /// Derived as a *compound* step, showcasing the transitivity argument:
+  ///   1. ENCODING_THM instance: permute the dead registers to the tail;
+  ///   2. ENCODING_THM instance: re-associate the state tuple into
+  ///      (live-tuple # dead-tuple);
+  ///   3. DEAD_STATE_THM instance: drop the dead component.
+  kernel::Thm theorem;
+  /// The stripped netlist: dead registers and the combinational nodes only
+  /// they consumed are gone.
+  circuit::Rtl stripped;
+  /// The removed registers (ids in the *input* netlist, bank order).
+  std::vector<circuit::SignalId> removed;
+};
+
+/// Remove every dead register, formally.  Throws RedundancyError when
+/// there is nothing to remove or when all registers are dead (the stripped
+/// circuit must keep at least one register).
+FormalDeadRemovalResult formal_remove_dead_registers(const circuit::Rtl& rtl);
+
+/// The conventional (unverified) counterpart of the same netlist transform.
+circuit::Rtl conventional_remove_dead(const circuit::Rtl& rtl);
+
+}  // namespace eda::hash

@@ -1,0 +1,130 @@
+#include "hash/term_build.h"
+
+#include "logic/bool_thms.h"
+#include "theories/num_theory.h"
+#include "theories/numeral.h"
+#include "theories/pair_theory.h"
+
+namespace eda::hash::detail {
+
+using circuit::Node;
+using circuit::Op;
+using circuit::Rtl;
+using circuit::SignalId;
+using kernel::bool_ty;
+using kernel::fun_ty;
+using kernel::KernelError;
+using kernel::num_ty;
+using kernel::prod_ty;
+using kernel::Term;
+using kernel::Type;
+
+Type signal_type(const Rtl& rtl, SignalId s) {
+  return rtl.is_flag(s) ? bool_ty() : num_ty();
+}
+
+Type tuple_type(const std::vector<Type>& tys) {
+  if (tys.empty()) throw KernelError("tuple_type: empty");
+  Type out = tys.back();
+  for (std::size_t i = tys.size() - 1; i-- > 0;) out = prod_ty(tys[i], out);
+  return out;
+}
+
+Term proj(const Term& tuple, std::size_t k, std::size_t n) {
+  Term cur = tuple;
+  for (std::size_t i = 0; i < k; ++i) cur = thy::mk_snd(cur);
+  if (k + 1 < n) cur = thy::mk_fst(cur);
+  return cur;
+}
+
+namespace {
+
+Term mk_bit_binop(const char* name, const Term& a, const Term& b) {
+  init_hash_constants();
+  Type n2 = fun_ty(num_ty(), fun_ty(num_ty(), num_ty()));
+  return Term::comb(Term::comb(Term::constant(name, n2), a), b);
+}
+
+}  // namespace
+
+Term TermBuilder::modulus(int width) {
+  return thy::mk_arith("EXP", thy::mk_numeral(2),
+                       thy::mk_numeral(static_cast<std::uint64_t>(width)));
+}
+
+Term TermBuilder::wrap(const Term& t, int width) {
+  return thy::mk_arith("MOD", t, modulus(width));
+}
+
+Term TermBuilder::build(SignalId s) {
+  if (auto it = memo.find(s); it != memo.end()) return it->second;
+  Term out = build_uncached(s);
+  memo.emplace(s, out);
+  return out;
+}
+
+Term TermBuilder::build_uncached(SignalId s) {
+  if (auto t = leaf(s)) return *t;
+  const Node& n = rtl.node(s);
+  switch (n.op) {
+    case Op::Input:
+    case Op::Reg:
+      throw CutError("compile: signal '" + n.name +
+                     "' is not available in this sub-function (the cut "
+                     "does not match the retiming pattern)");
+    case Op::Const:
+      if (n.width == 0) {
+        return n.value ? logic::truth_tm() : logic::falsity_tm();
+      }
+      return thy::mk_numeral(n.value);
+    default:
+      break;
+  }
+  if (allowed != nullptr && allowed->count(s) == 0) {
+    throw CutError("compile: combinational node " + std::to_string(s) + " (" +
+                   circuit::op_name(n.op) +
+                   ") is on the wrong side of the cut");
+  }
+  auto in = [&](int k) {
+    return build(n.operands[static_cast<std::size_t>(k)]);
+  };
+  switch (n.op) {
+    case Op::Add:
+      return wrap(thy::mk_arith("+", in(0), in(1)), n.width);
+    case Op::Sub: {
+      // (a + 2^w - b) mod 2^w;  a + 2^w >= b so HOL's truncating
+      // subtraction is exact here.
+      Term shifted = thy::mk_arith("+", in(0), modulus(n.width));
+      return wrap(thy::mk_arith("-", shifted, in(1)), n.width);
+    }
+    case Op::Mul:
+      return wrap(thy::mk_arith("*", in(0), in(1)), n.width);
+    case Op::Eq:
+      return kernel::mk_eq(in(0), in(1));
+    case Op::Lt:
+      return thy::mk_arith("<", in(0), in(1));
+    case Op::Mux:
+      return logic::mk_cond(in(0), in(1), in(2));
+    case Op::And:
+      return mk_bit_binop("BITAND", in(0), in(1));
+    case Op::Or:
+      return mk_bit_binop("BITOR", in(0), in(1));
+    case Op::Xor:
+      return mk_bit_binop("BITXOR", in(0), in(1));
+    case Op::Not: {
+      // All-ones minus x: exact since x <= mask.
+      std::uint64_t m = (1ULL << n.width) - 1;
+      return thy::mk_arith("-", thy::mk_numeral(m), in(0));
+    }
+    case Op::FlagAnd:
+      return logic::mk_conj(in(0), in(1));
+    case Op::FlagOr:
+      return logic::mk_disj(in(0), in(1));
+    case Op::FlagNot:
+      return logic::mk_neg(in(0));
+    default:
+      throw KernelError("compile: unhandled op");
+  }
+}
+
+}  // namespace eda::hash::detail

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "circuit/rtl.h"
+#include "hash/compile.h"
+#include "kernel/terms.h"
+
+namespace eda::hash::detail {
+
+/// HOL type of a signal: `num` for words, `bool` for flags.
+kernel::Type signal_type(const circuit::Rtl& rtl, circuit::SignalId s);
+
+/// Right-nested product of the given component types.
+kernel::Type tuple_type(const std::vector<kernel::Type>& tys);
+
+/// Projection of component k out of an n-tuple term (right-nested pairs).
+kernel::Term proj(const kernel::Term& tuple, std::size_t k, std::size_t n);
+
+/// Recursive signal-to-term builder with sharing via memoisation.  Both the
+/// whole-circuit compiler and the f/g splitters (forward and backward) use
+/// it; they differ only in the leaf-resolution callback and the set of
+/// combinational nodes they are allowed to traverse.
+struct TermBuilder {
+  const circuit::Rtl& rtl;
+  /// Leaf resolution: inputs / registers / chi members.  Returning nullopt
+  /// means "not a leaf here" and the node is compiled structurally.
+  std::function<std::optional<kernel::Term>(circuit::SignalId)> leaf;
+  /// When set, only these combinational nodes may be compiled structurally;
+  /// hitting any other raises CutError (the false-cut failure mode).
+  const std::set<circuit::SignalId>* allowed = nullptr;
+  std::map<circuit::SignalId, kernel::Term> memo;
+
+  kernel::Term modulus(int width);
+  kernel::Term wrap(const kernel::Term& t, int width);
+  kernel::Term build(circuit::SignalId s);
+  kernel::Term build_uncached(circuit::SignalId s);
+};
+
+}  // namespace eda::hash::detail

@@ -1,0 +1,335 @@
+#include "io/blif.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace eda::io {
+
+using circuit::GateNetlist;
+using circuit::GateNode;
+using circuit::GateOp;
+using circuit::LitId;
+
+namespace {
+
+std::string lit_name(const GateNetlist& net, LitId l) {
+  const GateNode& n = net.node(l);
+  if ((n.op == GateOp::Input || n.op == GateOp::Dff) && !n.name.empty()) {
+    return n.name;
+  }
+  return "n" + std::to_string(l);
+}
+
+}  // namespace
+
+std::string write_blif(const GateNetlist& net, const std::string& model_name) {
+  net.validate();
+  std::ostringstream out;
+  out << ".model " << model_name << "\n";
+  out << ".inputs";
+  for (LitId l : net.inputs()) out << ' ' << lit_name(net, l);
+  out << "\n.outputs";
+  for (const auto& [name, lit] : net.outputs()) out << ' ' << name;
+  out << "\n";
+  for (LitId d : net.dffs()) {
+    const GateNode& n = net.node(d);
+    out << ".latch " << lit_name(net, n.next) << ' ' << lit_name(net, d)
+        << ' ' << (n.init ? 1 : 0) << "\n";
+  }
+  for (std::size_t idx = 0; idx < net.nodes().size(); ++idx) {
+    LitId l = static_cast<LitId>(idx);
+    const GateNode& n = net.nodes()[idx];
+    std::string me = lit_name(net, l);
+    switch (n.op) {
+      case GateOp::Input:
+      case GateOp::Dff:
+        break;
+      case GateOp::Const0:
+        out << ".names " << me << "\n";
+        break;
+      case GateOp::Const1:
+        out << ".names " << me << "\n1\n";
+        break;
+      case GateOp::Not:
+        out << ".names " << lit_name(net, n.a) << ' ' << me << "\n0 1\n";
+        break;
+      case GateOp::And:
+        out << ".names " << lit_name(net, n.a) << ' ' << lit_name(net, n.b)
+            << ' ' << me << "\n11 1\n";
+        break;
+      case GateOp::Or:
+        out << ".names " << lit_name(net, n.a) << ' ' << lit_name(net, n.b)
+            << ' ' << me << "\n1- 1\n-1 1\n";
+        break;
+      case GateOp::Xor:
+        out << ".names " << lit_name(net, n.a) << ' ' << lit_name(net, n.b)
+            << ' ' << me << "\n10 1\n01 1\n";
+        break;
+    }
+  }
+  // Output ports alias their driving literals.
+  for (const auto& [name, lit] : net.outputs()) {
+    out << ".names " << lit_name(net, lit) << ' ' << name << "\n1 1\n";
+  }
+  out << ".end\n";
+  return out.str();
+}
+
+namespace {
+
+struct Cover {
+  std::vector<std::string> ins;  // input signal names
+  std::string out;
+  std::vector<std::string> rows;  // input-plane cubes
+  char out_value = '1';           // '1' = on-set cover, '0' = off-set cover
+};
+
+struct BlifDoc {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  struct Latch {
+    std::string in, out;
+    bool init;
+  };
+  std::vector<Latch> latches;
+  std::map<std::string, Cover> covers;  // by output name
+};
+
+BlifDoc read_doc(std::istream& in) {
+  BlifDoc doc;
+  Cover* open_cover = nullptr;
+  std::string raw, line;
+  auto flush_continuations = [&](std::string s) {
+    while (!s.empty() && s.back() == '\\') {
+      s.pop_back();
+      std::string next;
+      if (std::getline(in, next)) s += next;
+    }
+    return s;
+  };
+  while (std::getline(in, raw)) {
+    line = flush_continuations(raw);
+    if (auto pos = line.find('#'); pos != std::string::npos) line.erase(pos);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+    if (tok == ".model") {
+      // name ignored
+    } else if (tok == ".inputs") {
+      std::string s;
+      while (ls >> s) doc.inputs.push_back(s);
+      open_cover = nullptr;
+    } else if (tok == ".outputs") {
+      std::string s;
+      while (ls >> s) doc.outputs.push_back(s);
+      open_cover = nullptr;
+    } else if (tok == ".latch") {
+      BlifDoc::Latch l;
+      std::string init;
+      if (!(ls >> l.in >> l.out)) throw IoError("parse_blif: bad .latch");
+      // Optional type/clock fields before the init value are not emitted
+      // by us; accept 0/1/2/3 (2/3 = unknown -> 0) as the last token.
+      std::vector<std::string> rest;
+      std::string s;
+      while (ls >> s) rest.push_back(s);
+      l.init = !rest.empty() && rest.back() == "1";
+      doc.latches.push_back(l);
+      open_cover = nullptr;
+    } else if (tok == ".names") {
+      std::vector<std::string> sig;
+      std::string s;
+      while (ls >> s) sig.push_back(s);
+      if (sig.empty()) throw IoError("parse_blif: .names with no signals");
+      Cover c;
+      c.out = sig.back();
+      sig.pop_back();
+      c.ins = std::move(sig);
+      if (c.ins.size() > 16) {
+        throw IoError("parse_blif: cover fan-in above 16 unsupported");
+      }
+      auto [it, inserted] = doc.covers.emplace(c.out, std::move(c));
+      if (!inserted) {
+        throw IoError("parse_blif: signal '" + it->first +
+                      "' defined twice");
+      }
+      open_cover = &it->second;
+    } else if (tok == ".end") {
+      break;
+    } else if (tok[0] == '.') {
+      throw IoError("parse_blif: unsupported directive '" + tok + "'");
+    } else {
+      // A cover row: input cube plus output value (or bare "1" for const).
+      if (open_cover == nullptr) {
+        throw IoError("parse_blif: cover row outside .names");
+      }
+      std::string cube, ov;
+      if (open_cover->ins.empty()) {
+        cube = "";
+        ov = tok;
+      } else {
+        cube = tok;
+        if (!(ls >> ov)) throw IoError("parse_blif: bad row '" + line + "'");
+        if (cube.size() != open_cover->ins.size()) {
+          throw IoError("parse_blif: cube width mismatch in '" + line + "'");
+        }
+      }
+      if (ov != "1" && ov != "0") {
+        throw IoError("parse_blif: output plane must be 0 or 1");
+      }
+      if (open_cover->rows.empty()) {
+        open_cover->out_value = ov[0];
+      } else if (open_cover->out_value != ov[0]) {
+        throw IoError("parse_blif: mixed on/off-set covers unsupported");
+      }
+      open_cover->rows.push_back(cube);
+    }
+  }
+  return doc;
+}
+
+}  // namespace
+
+GateNetlist parse_blif(std::istream& in) {
+  BlifDoc doc = read_doc(in);
+  GateNetlist net;
+  std::map<std::string, LitId> sig;
+
+  for (const std::string& s : doc.inputs) sig[s] = net.add_input(s);
+  for (const BlifDoc::Latch& l : doc.latches) {
+    sig[l.out] = net.add_dff(l.out, l.init);
+  }
+
+  // Resolve covers recursively (they may reference each other forward).
+  std::set<std::string> in_progress;
+  std::function<LitId(const std::string&)> resolve =
+      [&](const std::string& name) -> LitId {
+    if (auto it = sig.find(name); it != sig.end()) return it->second;
+    auto cit = doc.covers.find(name);
+    if (cit == doc.covers.end()) {
+      throw IoError("parse_blif: undriven signal '" + name + "'");
+    }
+    if (!in_progress.insert(name).second) {
+      throw IoError("parse_blif: combinational cycle through '" + name +
+                    "'");
+    }
+    const Cover& c = cit->second;
+    std::vector<LitId> ins;
+    ins.reserve(c.ins.size());
+    for (const std::string& s : c.ins) ins.push_back(resolve(s));
+
+    LitId value;
+    if (c.ins.empty()) {
+      value = net.add_const(c.out_value == '1' && !c.rows.empty());
+    } else if (c.rows.empty()) {
+      value = net.add_const(false);  // empty on-set
+    } else {
+      // OR of AND-cubes over the input literals.
+      LitId acc = -1;
+      for (const std::string& row : c.rows) {
+        LitId cube = -1;
+        for (std::size_t k = 0; k < row.size(); ++k) {
+          if (row[k] == '-') continue;
+          LitId lit = ins[k];
+          if (row[k] == '0') lit = net.add_gate(GateOp::Not, lit);
+          cube = cube < 0 ? lit : net.add_gate(GateOp::And, cube, lit);
+        }
+        if (cube < 0) cube = net.add_const(true);  // all-don't-care cube
+        acc = acc < 0 ? cube : net.add_gate(GateOp::Or, acc, cube);
+      }
+      value = acc;
+      if (c.out_value == '0') value = net.add_gate(GateOp::Not, value);
+    }
+    in_progress.erase(name);
+    sig[name] = value;
+    return value;
+  };
+
+  for (const BlifDoc::Latch& l : doc.latches) {
+    net.set_dff_next(sig.at(l.out), resolve(l.in));
+  }
+  for (const std::string& o : doc.outputs) net.add_output(o, resolve(o));
+  net.validate();
+  return net;
+}
+
+GateNetlist parse_blif_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_blif(in);
+}
+
+std::string write_verilog(const GateNetlist& net,
+                          const std::string& module_name) {
+  net.validate();
+  std::ostringstream out;
+  out << "module " << module_name << " (\n  input wire clk,\n"
+      << "  input wire rst";
+  for (LitId l : net.inputs()) {
+    out << ",\n  input wire " << lit_name(net, l);
+  }
+  for (const auto& [name, lit] : net.outputs()) {
+    out << ",\n  output wire " << name;
+  }
+  out << "\n);\n\n";
+  for (LitId d : net.dffs()) {
+    out << "  reg " << lit_name(net, d) << ";\n";
+  }
+  for (std::size_t idx = 0; idx < net.nodes().size(); ++idx) {
+    const GateNode& n = net.nodes()[idx];
+    if (n.op == GateOp::Input || n.op == GateOp::Dff) continue;
+    out << "  wire " << lit_name(net, static_cast<LitId>(idx)) << ";\n";
+  }
+  out << "\n";
+  for (std::size_t idx = 0; idx < net.nodes().size(); ++idx) {
+    LitId l = static_cast<LitId>(idx);
+    const GateNode& n = net.nodes()[idx];
+    std::string me = lit_name(net, l);
+    switch (n.op) {
+      case GateOp::Input:
+      case GateOp::Dff:
+        break;
+      case GateOp::Const0:
+        out << "  assign " << me << " = 1'b0;\n";
+        break;
+      case GateOp::Const1:
+        out << "  assign " << me << " = 1'b1;\n";
+        break;
+      case GateOp::Not:
+        out << "  assign " << me << " = ~" << lit_name(net, n.a) << ";\n";
+        break;
+      case GateOp::And:
+        out << "  assign " << me << " = " << lit_name(net, n.a) << " & "
+            << lit_name(net, n.b) << ";\n";
+        break;
+      case GateOp::Or:
+        out << "  assign " << me << " = " << lit_name(net, n.a) << " | "
+            << lit_name(net, n.b) << ";\n";
+        break;
+      case GateOp::Xor:
+        out << "  assign " << me << " = " << lit_name(net, n.a) << " ^ "
+            << lit_name(net, n.b) << ";\n";
+        break;
+    }
+  }
+  out << "\n  always @(posedge clk) begin\n";
+  out << "    if (rst) begin\n";
+  for (LitId d : net.dffs()) {
+    out << "      " << lit_name(net, d) << " <= 1'b"
+        << (net.node(d).init ? 1 : 0) << ";\n";
+  }
+  out << "    end else begin\n";
+  for (LitId d : net.dffs()) {
+    out << "      " << lit_name(net, d) << " <= "
+        << lit_name(net, net.node(d).next) << ";\n";
+  }
+  out << "    end\n  end\n\n";
+  for (const auto& [name, lit] : net.outputs()) {
+    out << "  assign " << name << " = " << lit_name(net, lit) << ";\n";
+  }
+  out << "\nendmodule\n";
+  return out.str();
+}
+
+}  // namespace eda::io

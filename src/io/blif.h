@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/bitblast.h"
+
+namespace eda::io {
+
+class IoError : public kernel::KernelError {
+ public:
+  explicit IoError(const std::string& what) : kernel::KernelError(what) {}
+};
+
+/// BLIF (Berkeley Logic Interchange Format) writer/parser for the
+/// gate-level netlist — the format SIS consumed and in which the IWLS'91
+/// benchmarks circulated.  Writing emits one `.names` cover per gate
+/// (2-input AND/OR/XOR, NOT, constants) and one `.latch <in> <out> <init>`
+/// per flip-flop; parsing accepts the generated subset plus arbitrary
+/// single-output `.names` covers with up to 16 inputs (sums of products
+/// with '-' don't-cares), which it decomposes back into 2-input gates.
+std::string write_blif(const circuit::GateNetlist& net,
+                       const std::string& model_name);
+
+circuit::GateNetlist parse_blif(std::istream& in);
+circuit::GateNetlist parse_blif_string(const std::string& text);
+
+/// Structural Verilog-2001 writer for the same netlist (assign/always
+/// style, one flop per `always @(posedge clk)` with a synchronous reset
+/// to the initial values).  Output is for inspection/export; no parser.
+std::string write_verilog(const circuit::GateNetlist& net,
+                          const std::string& module_name);
+
+}  // namespace eda::io

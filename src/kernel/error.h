@@ -1,0 +1,18 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace eda::kernel {
+
+/// Error thrown by the trusted kernel when an ill-formed object would be
+/// constructed (ill-typed term, inapplicable inference rule, signature
+/// clash).  Following the LCF discipline, *every* failure mode of the core
+/// surfaces as this exception; it is the mechanism by which a faulty
+/// synthesis heuristic is rejected (paper, section IV.C).
+class KernelError : public std::runtime_error {
+ public:
+  explicit KernelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace eda::kernel

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "kernel/terms.h"
+#include "kernel/thm.h"
+
+namespace eda::kernel {
+
+/// Pretty-printer with fixity knowledge for the theories in this
+/// repository.  Purely presentational; nothing in the trusted core depends
+/// on it.  Renders:
+///   * infixes:  = <=> /\ \/ ==> + - * DIV MOD EXP < <= and the pair comma
+///   * binders:  `!`, `?`, lambda
+///   * numerals: NUMERAL (BIT1 (BIT0 _0)) as decimal
+///   * COND c a b  as  (if c then a else b)
+std::string pretty(const Term& t);
+std::string pretty(const Thm& th);
+
+/// Pretty with the top-level type appended, e.g. `x + 1 : num`.
+std::string pretty_typed(const Term& t);
+
+}  // namespace eda::kernel

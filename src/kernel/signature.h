@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "kernel/thm.h"
+
+namespace eda::kernel {
+
+/// The global logical signature: registered type operators, term constants
+/// with their generic types, installed axioms and constant definitions.
+///
+/// Theories (bool, pair, num, automata, ...) extend the signature at
+/// initialisation time.  All registration calls are *idempotent when
+/// identical* — re-declaring the same constant at the same generic type (or
+/// re-installing an alpha-equivalent axiom under the same name) returns the
+/// original entry, while any conflicting redefinition throws.  This keeps
+/// the kernel sound while letting independent modules initialise the
+/// theories they need in any order.
+class Signature {
+ public:
+  static Signature& instance();
+
+  Signature(const Signature&) = delete;
+  Signature& operator=(const Signature&) = delete;
+
+  // --- Type operators -------------------------------------------------------
+
+  void declare_type(const std::string& name, std::size_t arity);
+  bool has_type(const std::string& name) const;
+  std::size_t type_arity(const std::string& name) const;
+  /// Recursively check that all operators in `ty` are declared with the
+  /// right arity.
+  void check_type(const Type& ty) const;
+
+  // --- Constants -------------------------------------------------------------
+
+  void declare_const(const std::string& name, const Type& generic_ty);
+  bool has_const(const std::string& name) const;
+  Type const_type(const std::string& name) const;
+  /// Constant instance at its generic type.
+  Term mk_const(const std::string& name) const;
+  /// Constant instance at a concrete type, checked to be a substitution
+  /// instance of the generic type.
+  Term mk_const_at(const std::string& name, const Type& concrete) const;
+
+  // --- Definitions and axioms ------------------------------------------------
+
+  /// Definitional extension:  introduces constant `name` with defining
+  /// theorem `|- name = rhs`.  Requires `rhs` closed.  Sound: a model of the
+  /// old signature extends to the new one by interpreting `name` as `rhs`.
+  Thm new_definition(const std::string& name, const Term& rhs);
+
+  /// Install an axiom under a theorem name.  Used only by the theory
+  /// modules to install the documented axiom bases (bool/pair/num); the
+  /// complete list is visible via `axioms()`.
+  Thm new_axiom(const std::string& thm_name, const Term& prop);
+
+  /// Look up a previously installed axiom or definition by name.
+  std::optional<Thm> find_theorem(const std::string& thm_name) const;
+  Thm theorem(const std::string& thm_name) const;
+
+  /// Store a *derived* theorem under a name (a convenience registry; it does
+  /// not bypass the kernel since the Thm was already constructed legally).
+  void store_theorem(const std::string& thm_name, const Thm& th);
+
+  /// All installed axioms, for auditing.
+  const std::map<std::string, Thm>& axioms() const { return axioms_; }
+
+ private:
+  Signature();
+
+  std::map<std::string, std::size_t> type_ops_;
+  std::map<std::string, Type> consts_;
+  std::map<std::string, Thm> axioms_;      // new_axiom results
+  std::map<std::string, Thm> theorems_;    // definitions + stored theorems
+};
+
+}  // namespace eda::kernel

@@ -1,0 +1,552 @@
+#include "kernel/terms.h"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace eda::kernel {
+
+namespace {
+
+std::size_t combine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+// --- Hashing (alpha-invariant) --------------------------------------------
+//
+// Bound variables hash by de-Bruijn index so that alpha-equivalent terms get
+// equal hashes, matching operator==.  Comb nodes reuse child hashes; Abs
+// nodes re-traverse their body with the binder pushed onto the environment
+// (abstractions are rare and shallow in circuit terms, so this stays cheap).
+
+static std::size_t hash_name_ty(std::size_t tag, const std::string& name,
+                                const Type& ty) {
+  return combine(combine(tag, std::hash<std::string>{}(name)), ty.hash());
+}
+
+Term Term::var(std::string name, Type ty) {
+  if (name.empty()) throw KernelError("Term::var: empty name");
+  std::size_t h = hash_name_ty(0xB1, name, ty);
+  return Term(std::make_shared<Node>(Kind::Var, std::move(name), std::move(ty),
+                                     nullptr, nullptr, h));
+}
+
+Term Term::constant(std::string name, Type ty) {
+  if (name.empty()) throw KernelError("Term::constant: empty name");
+  std::size_t h = hash_name_ty(0xC0, name, ty);
+  return Term(std::make_shared<Node>(Kind::Const, std::move(name),
+                                     std::move(ty), nullptr, nullptr, h));
+}
+
+namespace {
+
+// Alpha-invariant hash with an explicit binder environment and a
+// per-binder-frame memo (see definition below).
+std::size_t hash_with_env(const Term& t, std::vector<Term>& binders,
+                          std::map<const void*, std::size_t>& memo);
+
+}  // namespace
+
+Term Term::comb(Term f, Term x) {
+  if (!is_fun_ty(f.type())) {
+    throw KernelError("Term::comb: operator is not a function: " +
+                      f.to_string() + " : " + f.type().to_string());
+  }
+  if (dom_ty(f.type()) != x.type()) {
+    throw KernelError("Term::comb: type mismatch applying " + f.to_string() +
+                      " : " + f.type().to_string() + " to " + x.to_string() +
+                      " : " + x.type().to_string());
+  }
+  std::size_t h = combine(combine(0xAF, f.hash()), x.hash());
+  return Term(std::make_shared<Node>(Kind::Comb, std::string(),
+                                     cod_ty(f.type()), f.node_, x.node_, h));
+}
+
+Term Term::abs(Term v, Term body) {
+  if (!v.is_var()) throw KernelError("Term::abs: binder must be a variable");
+  Term tmp(std::make_shared<Node>(Kind::Abs, std::string(),
+                                  fun_ty(v.type(), body.type()), v.node_,
+                                  body.node_, 0));
+  std::vector<Term> binders;
+  // Alpha-invariant hash for the whole abstraction (bound occurrences hash
+  // by de-Bruijn index), keeping hashes consistent with operator==.
+  std::map<const void*, std::size_t> memo;
+  std::size_t h = hash_with_env(tmp, binders, memo);
+  return Term(std::make_shared<Node>(Kind::Abs, std::string(),
+                                     tmp.node_->ty, v.node_, body.node_, h));
+}
+
+namespace {
+
+// The memo is valid for one fixed binder stack; crossing an Abs switches
+// to a fresh memo for the body (the de-Bruijn indices below differ).  On
+// binder-free shared structure — the common case in compiled circuits —
+// every DAG node is hashed once.
+std::size_t hash_with_env(const Term& t, std::vector<Term>& binders,
+                          std::map<const void*, std::size_t>& memo) {
+  if (auto hit = memo.find(t.node_id()); hit != memo.end()) {
+    return hit->second;
+  }
+  std::size_t h = 0;
+  switch (t.kind()) {
+    case Term::Kind::Var: {
+      h = hash_name_ty(0xB1, t.name(), t.type());
+      for (std::size_t i = binders.size(); i-- > 0;) {
+        const Term& b = binders[i];
+        if (b.name() == t.name() && b.type() == t.type()) {
+          h = combine(combine(0xB0, binders.size() - 1 - i),
+                      t.type().hash());
+          break;
+        }
+      }
+      break;
+    }
+    case Term::Kind::Const:
+      h = hash_name_ty(0xC0, t.name(), t.type());
+      break;
+    case Term::Kind::Comb:
+      h = combine(combine(0xAF, hash_with_env(t.rator(), binders, memo)),
+                  hash_with_env(t.rand(), binders, memo));
+      break;
+    case Term::Kind::Abs: {
+      binders.push_back(t.bound_var());
+      std::map<const void*, std::size_t> fresh;
+      std::size_t hb = hash_with_env(t.body(), binders, fresh);
+      binders.pop_back();
+      h = combine(combine(0xAB, t.bound_var().type().hash()), hb);
+      break;
+    }
+  }
+  memo.emplace(t.node_id(), h);
+  return h;
+}
+
+}  // namespace
+
+const std::string& Term::name() const {
+  if (!is_var() && !is_const()) {
+    throw KernelError("Term::name: not a variable or constant");
+  }
+  return node_->name;
+}
+
+Term Term::rator() const {
+  if (!is_comb()) throw KernelError("Term::rator: not an application");
+  return Term::from(node_->a);
+}
+
+Term Term::rand() const {
+  if (!is_comb()) throw KernelError("Term::rand: not an application");
+  return Term::from(node_->b);
+}
+
+Term Term::bound_var() const {
+  if (!is_abs()) throw KernelError("Term::bound_var: not an abstraction");
+  return Term::from(node_->a);
+}
+
+Term Term::body() const {
+  if (!is_abs()) throw KernelError("Term::body: not an abstraction");
+  return Term::from(node_->b);
+}
+
+// --- Alpha comparison ------------------------------------------------------
+
+int alpha_compare_impl(const Term& a, const Term& b,
+                       std::vector<std::pair<const void*, const void*>>& env);
+
+int Term::compare(const Term& a, const Term& b) {
+  std::vector<std::pair<const void*, const void*>> env;
+  return alpha_compare_impl(a, b, env);
+}
+
+bool Term::operator==(const Term& other) const {
+  if (node_ == other.node_) return true;
+  if (node_->hash != other.node_->hash) return false;
+  return compare(*this, other) == 0;
+}
+
+namespace {
+
+// Innermost binder index for a variable occurrence, matching by name and
+// type so that structurally-distinct but equal Var nodes bind correctly
+// (with shadowing semantics).  `side` selects binder column 0 or 1.
+std::ptrdiff_t binder_index(const Term& v,
+                            const std::vector<std::array<Term, 2>>& env,
+                            int side) {
+  for (std::size_t i = env.size(); i-- > 0;) {
+    const Term& b = env[i][static_cast<std::size_t>(side)];
+    if (b.name() == v.name() && b.type() == v.type()) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+// `asym` counts enclosing binder pairs whose two columns differ (by name or
+// type).  When it is zero, every pending binder maps a variable to itself on
+// both sides, so pointer-identical subterms are alpha-equal and the walk can
+// stop — this keeps comparison linear in the term *DAG*, not its tree
+// unfolding (terms built by the rules share structure aggressively).
+int alpha_compare_env(const Term& a, const Term& b,
+                      std::vector<std::array<Term, 2>>& env, int asym) {
+  if (asym == 0 && a.identical(b)) return 0;
+  if (a.kind() != b.kind()) {
+    return static_cast<int>(a.kind()) < static_cast<int>(b.kind()) ? -1 : 1;
+  }
+  switch (a.kind()) {
+    case Term::Kind::Var: {
+      std::ptrdiff_t ia = binder_index(a, env, 0);
+      std::ptrdiff_t ib = binder_index(b, env, 1);
+      if (ia != ib) return ia < ib ? -1 : 1;
+      if (ia >= 0) return Type::compare(a.type(), b.type());
+      if (int c = a.name().compare(b.name()); c != 0) return c < 0 ? -1 : 1;
+      return Type::compare(a.type(), b.type());
+    }
+    case Term::Kind::Const: {
+      if (int c = a.name().compare(b.name()); c != 0) return c < 0 ? -1 : 1;
+      return Type::compare(a.type(), b.type());
+    }
+    case Term::Kind::Comb: {
+      if (int c = alpha_compare_env(a.rator(), b.rator(), env, asym); c != 0)
+        return c;
+      return alpha_compare_env(a.rand(), b.rand(), env, asym);
+    }
+    case Term::Kind::Abs: {
+      Term va = a.bound_var(), vb = b.bound_var();
+      if (int c = Type::compare(va.type(), vb.type()); c != 0) return c;
+      env.push_back({va, vb});
+      bool same = va.name() == vb.name() && va.type() == vb.type();
+      int c = alpha_compare_env(a.body(), b.body(), env, asym + (same ? 0 : 1));
+      env.pop_back();
+      return c;
+    }
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace
+
+int alpha_compare_impl(const Term& a, const Term& b,
+                       std::vector<std::pair<const void*, const void*>>& env) {
+  (void)env;
+  std::vector<std::array<Term, 2>> e;
+  return alpha_compare_env(a, b, e, 0);
+}
+
+std::string Term::to_string() const {
+  switch (kind()) {
+    case Kind::Var:
+      return node_->name;
+    case Kind::Const:
+      return node_->name;
+    case Kind::Comb: {
+      Term f = Term::from(node_->a), x = Term::from(node_->b);
+      std::string fs = f.to_string();
+      if (f.is_abs()) fs = "(" + fs + ")";
+      std::string xs = x.to_string();
+      if (x.is_comb() || x.is_abs()) xs = "(" + xs + ")";
+      return fs + " " + xs;
+    }
+    case Kind::Abs: {
+      Term v = Term::from(node_->a), b = Term::from(node_->b);
+      return "\\" + v.to_string() + ". " + b.to_string();
+    }
+  }
+  return "?";
+}
+
+// --- Free variables --------------------------------------------------------
+
+namespace {
+
+// `visited` is valid for one fixed bound stack; an Abs recurses into its
+// body with a fresh set.  Shared binder-free structure is walked once.
+void collect_free_vars_rec(const Term& t, std::vector<Term>& bound,
+                           std::set<Term>& out,
+                           std::set<const void*>& visited) {
+  if (!visited.insert(t.node_id()).second) return;
+  switch (t.kind()) {
+    case Term::Kind::Var:
+      for (const Term& b : bound) {
+        if (b.name() == t.name() && b.type() == t.type()) return;
+      }
+      out.insert(t);
+      return;
+    case Term::Kind::Const:
+      return;
+    case Term::Kind::Comb:
+      collect_free_vars_rec(t.rator(), bound, out, visited);
+      collect_free_vars_rec(t.rand(), bound, out, visited);
+      return;
+    case Term::Kind::Abs: {
+      bound.push_back(t.bound_var());
+      std::set<const void*> fresh;
+      collect_free_vars_rec(t.body(), bound, out, fresh);
+      bound.pop_back();
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void collect_free_vars(const Term& t, std::set<Term>& out) {
+  std::vector<Term> bound;
+  std::set<const void*> visited;
+  collect_free_vars_rec(t, bound, out, visited);
+}
+
+std::set<Term> free_vars(const Term& t) {
+  std::set<Term> out;
+  collect_free_vars(t, out);
+  return out;
+}
+
+bool is_free_in(const Term& v, const Term& t) {
+  std::set<Term> fv = free_vars(t);
+  return fv.count(v) > 0;
+}
+
+namespace {
+// Type variables are independent of the binder environment, so one visited
+// set keeps the walk linear in the term DAG.
+void collect_term_type_vars_rec(const Term& t, std::set<std::string>& out,
+                                std::set<const void*>& visited) {
+  if (!visited.insert(t.node_id()).second) return;
+  switch (t.kind()) {
+    case Term::Kind::Var:
+    case Term::Kind::Const:
+      t.type().collect_vars(out);
+      return;
+    case Term::Kind::Comb:
+      collect_term_type_vars_rec(t.rator(), out, visited);
+      collect_term_type_vars_rec(t.rand(), out, visited);
+      return;
+    case Term::Kind::Abs:
+      collect_term_type_vars_rec(t.bound_var(), out, visited);
+      collect_term_type_vars_rec(t.body(), out, visited);
+      return;
+  }
+}
+}  // namespace
+
+void collect_term_type_vars(const Term& t, std::set<std::string>& out) {
+  std::set<const void*> visited;
+  collect_term_type_vars_rec(t, out, visited);
+}
+
+// --- Substitution ----------------------------------------------------------
+
+Term variant(const std::set<Term>& avoid, const Term& v) {
+  if (!v.is_var()) throw KernelError("variant: not a variable");
+  std::set<std::string> names;
+  for (const Term& a : avoid) names.insert(a.name());
+  std::string name = v.name();
+  while (names.count(name) > 0) name += "'";
+  if (name == v.name()) return v;
+  return Term::var(name, v.type());
+}
+
+namespace {
+
+/// Memoised substitution core.  The memo is keyed on shared node identity
+/// and is valid only for one fixed theta: whenever an Abs case builds a
+/// *different* substitution for its body (shadowing removal, pruning or
+/// renaming), that body is processed with a fresh memo.  Under heavily
+/// shared binder-free structure — exactly what the circuit compiler and
+/// the instantiation rules produce — each DAG node is visited once.
+Term vsubst_memo(const TermSubst& theta, const Term& t,
+                 std::map<const void*, Term>& memo) {
+  if (auto hit = memo.find(t.node_id()); hit != memo.end()) {
+    return hit->second;
+  }
+  auto remember = [&](Term out) {
+    memo.emplace(t.node_id(), out);
+    return out;
+  };
+  switch (t.kind()) {
+    case Term::Kind::Var: {
+      auto it = theta.find(t);
+      if (it == theta.end()) return t;
+      if (it->second.type() != t.type()) {
+        throw KernelError("vsubst: type mismatch substituting for " +
+                          t.to_string());
+      }
+      return it->second;
+    }
+    case Term::Kind::Const:
+      return t;
+    case Term::Kind::Comb: {
+      Term f = vsubst_memo(theta, t.rator(), memo);
+      Term x = vsubst_memo(theta, t.rand(), memo);
+      if (f.identical(t.rator()) && x.identical(t.rand())) return remember(t);
+      return remember(Term::comb(f, x));
+    }
+    case Term::Kind::Abs: {
+      const Term v = t.bound_var();
+      // Remove any binding of the bound variable itself.
+      TermSubst inner = theta;
+      inner.erase(v);
+      if (inner.empty()) return remember(t);
+      // Drop bindings whose key is not free in the body (cheap win and
+      // avoids spurious capture detection).
+      std::set<Term> body_fv = free_vars(t.body());
+      for (auto it = inner.begin(); it != inner.end();) {
+        if (body_fv.count(it->first) == 0) {
+          it = inner.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (inner.empty()) return remember(t);
+      // Capture check: does v occur free in any image?
+      bool capture = false;
+      for (const auto& [key, img] : inner) {
+        if (is_free_in(v, img)) {
+          capture = true;
+          break;
+        }
+      }
+      if (!capture) {
+        std::map<const void*, Term> fresh;
+        Term b = vsubst_memo(inner, t.body(), fresh);
+        if (b.identical(t.body())) return remember(t);
+        return remember(Term::abs(v, b));
+      }
+      // Rename the binder away from everything in sight.
+      std::set<Term> avoid = body_fv;
+      for (const auto& [key, img] : inner) collect_free_vars(img, avoid);
+      Term v2 = variant(avoid, v);
+      TermSubst rename;
+      rename.emplace(v, v2);
+      std::map<const void*, Term> fresh1;
+      Term body2 = vsubst_memo(rename, t.body(), fresh1);
+      std::map<const void*, Term> fresh2;
+      return remember(Term::abs(v2, vsubst_memo(inner, body2, fresh2)));
+    }
+  }
+  return t;  // unreachable
+}
+
+}  // namespace
+
+Term vsubst(const TermSubst& theta, const Term& t) {
+  if (theta.empty()) return t;
+  std::map<const void*, Term> memo;
+  return vsubst_memo(theta, t, memo);
+}
+
+namespace {
+
+/// Memoised core of type_inst.  Type instantiation is context-free (the
+/// per-Abs clash analysis depends only on the subterm), so one memo keyed
+/// on node identity is sound for the whole call and keeps the walk linear
+/// in the term DAG.
+Term type_inst_memo(const TypeSubst& theta, const Term& t,
+                    std::map<const void*, Term>& memo) {
+  if (auto hit = memo.find(t.node_id()); hit != memo.end()) {
+    return hit->second;
+  }
+  auto remember = [&](Term out) {
+    memo.emplace(t.node_id(), out);
+    return out;
+  };
+  switch (t.kind()) {
+    case Term::Kind::Var:
+      return remember(Term::var(t.name(), type_subst(theta, t.type())));
+    case Term::Kind::Const:
+      return remember(Term::constant(t.name(), type_subst(theta, t.type())));
+    case Term::Kind::Comb:
+      return remember(Term::comb(type_inst_memo(theta, t.rator(), memo),
+                                 type_inst_memo(theta, t.rand(), memo)));
+    case Term::Kind::Abs: {
+      Term v = t.bound_var();
+      Term v2 = Term::var(v.name(), type_subst(theta, v.type()));
+      // Capture check: a free variable of the body, distinct from the
+      // binder, may coincide with the instantiated binder.
+      std::set<Term> body_fv = free_vars(t.body());
+      bool clash = false;
+      for (const Term& u : body_fv) {
+        if (u == v) continue;
+        Term u2 = Term::var(u.name(), type_subst(theta, u.type()));
+        if (u2 == v2) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) {
+        return remember(Term::abs(v2, type_inst_memo(theta, t.body(), memo)));
+      }
+      // Rename the binder (at its *original* type) first, then instantiate.
+      std::set<Term> avoid = body_fv;
+      Term v_fresh = variant(avoid, v);
+      TermSubst rename;
+      rename.emplace(v, v_fresh);
+      Term body2 = vsubst(rename, t.body());
+      return remember(
+          Term::abs(Term::var(v_fresh.name(), type_subst(theta, v.type())),
+                    type_inst_memo(theta, body2, memo)));
+    }
+  }
+  return t;  // unreachable
+}
+
+}  // namespace
+
+Term type_inst(const TypeSubst& theta, const Term& t) {
+  if (theta.empty()) return t;
+  std::map<const void*, Term> memo;
+  return type_inst_memo(theta, t, memo);
+}
+
+// --- Equality helpers ------------------------------------------------------
+
+Term eq_const(const Type& ty) {
+  return Term::constant("=", fun_ty(ty, fun_ty(ty, bool_ty())));
+}
+
+Term mk_eq(const Term& a, const Term& b) {
+  if (a.type() != b.type()) {
+    throw KernelError("mk_eq: sides have different types: " +
+                      a.type().to_string() + " vs " + b.type().to_string());
+  }
+  return Term::comb(Term::comb(eq_const(a.type()), a), b);
+}
+
+bool is_eq(const Term& t) {
+  return t.is_comb() && t.rator().is_comb() && t.rator().rator().is_const() &&
+         t.rator().rator().name() == "=";
+}
+
+Term eq_lhs(const Term& t) {
+  if (!is_eq(t)) throw KernelError("eq_lhs: not an equality: " + t.to_string());
+  return t.rator().rand();
+}
+
+Term eq_rhs(const Term& t) {
+  if (!is_eq(t)) throw KernelError("eq_rhs: not an equality: " + t.to_string());
+  return t.rand();
+}
+
+std::pair<Term, std::vector<Term>> strip_comb(const Term& t) {
+  std::vector<Term> args;
+  Term f = t;
+  while (f.is_comb()) {
+    args.push_back(f.rand());
+    f = f.rator();
+  }
+  std::reverse(args.begin(), args.end());
+  return {f, args};
+}
+
+Term list_comb(Term f, const std::vector<Term>& args) {
+  for (const Term& a : args) f = Term::comb(std::move(f), a);
+  return f;
+}
+
+}  // namespace eda::kernel

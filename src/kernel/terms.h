@@ -1,0 +1,135 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+
+namespace eda::kernel {
+
+/// A term of higher-order logic: variable, constant instance, application
+/// or lambda abstraction.  Immutable, shared representation; all
+/// constructors type-check and throw KernelError on violation, so every
+/// `Term` value is well-typed by construction.
+class Term {
+ public:
+  enum class Kind { Var, Const, Comb, Abs };
+
+  /// A variable `name : ty`.
+  static Term var(std::string name, Type ty);
+  /// An instance of a constant at a (possibly specialized) type.  The kernel
+  /// does not consult the signature here; `Signature::mk_const` is the
+  /// checked entry point used by everything above the kernel.
+  static Term constant(std::string name, Type ty);
+  /// Application `f x`; requires `f : a -> b`, `x : a`.
+  static Term comb(Term f, Term x);
+  /// Abstraction `\v. body`; `v` must be a Var.
+  static Term abs(Term v, Term body);
+
+  Kind kind() const { return node_->kind; }
+  bool is_var() const { return kind() == Kind::Var; }
+  bool is_const() const { return kind() == Kind::Const; }
+  bool is_comb() const { return kind() == Kind::Comb; }
+  bool is_abs() const { return kind() == Kind::Abs; }
+
+  /// Name of a Var or Const (throws otherwise).
+  const std::string& name() const;
+  /// Type of the term (always available).
+  const Type& type() const { return node_->ty; }
+
+  /// Operator / operand of a Comb (throw otherwise).
+  Term rator() const;
+  Term rand() const;
+  /// Bound variable / body of an Abs (throw otherwise).
+  Term bound_var() const;
+  Term body() const;
+
+  /// Alpha-equivalence (`\x. x` equals `\y. y`).
+  bool operator==(const Term& other) const;
+  bool operator!=(const Term& other) const { return !(*this == other); }
+  /// Total order modulo alpha-equivalence; used to keep hypothesis sets
+  /// canonical inside theorems.
+  static int compare(const Term& a, const Term& b);
+  bool operator<(const Term& other) const { return compare(*this, other) < 0; }
+
+  std::size_t hash() const { return node_->hash; }
+
+  /// Pointer identity of the shared representation: true implies structural
+  /// equality.  Comparison exploits this to stay linear in the *DAG* size of
+  /// heavily shared terms — the kernel's cost model ("pointers, no copying",
+  /// paper section III.A) depends on it.
+  bool identical(const Term& other) const { return node_ == other.node_; }
+
+  /// Stable identity of the shared node, usable as a memoisation key while
+  /// the Term (or any copy) is alive.  Substitution uses it to visit each
+  /// *DAG* node once instead of exploding shared structure into a tree.
+  const void* node_id() const { return node_.get(); }
+
+  /// Render with minimal fixity knowledge (full printer lives in printer.h).
+  std::string to_string() const;
+
+ private:
+  struct Node {
+    Kind kind;
+    std::string name;        // Var / Const
+    Type ty;                 // type of the whole term
+    std::shared_ptr<const Node> a, b;  // Comb: rator/rand; Abs: var/body
+    std::size_t hash;
+
+    Node(Kind k, std::string n, Type t, std::shared_ptr<const Node> x,
+         std::shared_ptr<const Node> y, std::size_t h)
+        : kind(k), name(std::move(n)), ty(std::move(t)), a(std::move(x)),
+          b(std::move(y)), hash(h) {}
+  };
+  explicit Term(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  static Term from(std::shared_ptr<const Node> n) { return Term(std::move(n)); }
+  std::shared_ptr<const Node> node_;
+
+  friend int alpha_compare_impl(const Term&, const Term&,
+                                std::vector<std::pair<const void*, const void*>>&);
+};
+
+/// Term-for-variable substitution.  Keys must be Var terms; the map is
+/// ordered by Term::compare.
+using TermSubst = std::map<Term, Term>;
+
+/// Free variables of a term, added to `out`.
+void collect_free_vars(const Term& t, std::set<Term>& out);
+std::set<Term> free_vars(const Term& t);
+bool is_free_in(const Term& v, const Term& t);
+
+/// All type variables occurring anywhere in the term.
+void collect_term_type_vars(const Term& t, std::set<std::string>& out);
+
+/// Capture-avoiding substitution of terms for free variables.  Every key
+/// must be a Var whose type equals its image's type; bound variables are
+/// renamed as needed.
+Term vsubst(const TermSubst& theta, const Term& t);
+
+/// Instantiate type variables throughout a term, renaming bound term
+/// variables when instantiation would cause capture.
+Term type_inst(const TypeSubst& theta, const Term& t);
+
+/// A variant of variable `v` (same type, primed name) that is not free in
+/// any of `avoid`.
+Term variant(const std::set<Term>& avoid, const Term& v);
+
+// --- Equality-specific helpers (the `=` constant is primitive) ------------
+
+/// The equality constant at element type `ty`: `(=) : ty -> ty -> bool`.
+Term eq_const(const Type& ty);
+/// `a = b` as a term (types must agree).
+Term mk_eq(const Term& a, const Term& b);
+bool is_eq(const Term& t);
+Term eq_lhs(const Term& t);
+Term eq_rhs(const Term& t);
+
+/// Strip an application spine: `f x y z` -> (f, [x, y, z]).
+std::pair<Term, std::vector<Term>> strip_comb(const Term& t);
+/// Build an application spine.
+Term list_comb(Term f, const std::vector<Term>& args);
+
+}  // namespace eda::kernel

@@ -1,0 +1,193 @@
+#include "kernel/types.h"
+
+#include <functional>
+
+namespace eda::kernel {
+
+namespace {
+
+std::size_t combine(std::size_t seed, std::size_t v) {
+  // boost::hash_combine recipe.
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+Type Type::var(std::string name) {
+  if (name.empty()) throw KernelError("Type::var: empty name");
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::Var;
+  node->hash = combine(0x51, std::hash<std::string>{}(name));
+  node->name = std::move(name);
+  return Type(std::move(node));
+}
+
+Type Type::app(std::string op, std::vector<Type> args) {
+  if (op.empty()) throw KernelError("Type::app: empty operator name");
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::App;
+  std::size_t h = combine(0xA9, std::hash<std::string>{}(op));
+  for (const Type& a : args) h = combine(h, a.hash());
+  node->hash = h;
+  node->name = std::move(op);
+  node->args = std::move(args);
+  return Type(std::move(node));
+}
+
+bool Type::operator==(const Type& other) const {
+  return compare(*this, other) == 0;
+}
+
+int Type::compare(const Type& a, const Type& b) {
+  if (a.node_ == b.node_) return 0;
+  if (a.kind() != b.kind()) return a.kind() == Kind::Var ? -1 : 1;
+  if (int c = a.name().compare(b.name()); c != 0) return c < 0 ? -1 : 1;
+  const auto& xs = a.args();
+  const auto& ys = b.args();
+  if (xs.size() != ys.size()) return xs.size() < ys.size() ? -1 : 1;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (int c = compare(xs[i], ys[i]); c != 0) return c;
+  }
+  return 0;
+}
+
+void Type::collect_vars(std::set<std::string>& out) const {
+  if (is_var()) {
+    out.insert(name());
+  } else {
+    for (const Type& a : args()) a.collect_vars(out);
+  }
+}
+
+bool Type::has_vars() const {
+  if (is_var()) return true;
+  for (const Type& a : args()) {
+    if (a.has_vars()) return true;
+  }
+  return false;
+}
+
+std::string Type::to_string() const {
+  if (is_var()) return name();
+  if (name() == "fun" && args().size() == 2) {
+    const Type& a = args()[0];
+    std::string lhs = a.to_string();
+    if (a.is_app() && (a.name() == "fun" || a.name() == "prod")) {
+      lhs = "(" + lhs + ")";
+    }
+    return lhs + " -> " + args()[1].to_string();
+  }
+  if (name() == "prod" && args().size() == 2) {
+    const Type& a = args()[0];
+    const Type& b = args()[1];
+    std::string lhs = a.to_string();
+    if (a.is_app() && (a.name() == "fun" || a.name() == "prod")) {
+      lhs = "(" + lhs + ")";
+    }
+    std::string rhs = b.to_string();
+    if (b.is_app() && b.name() == "fun") rhs = "(" + rhs + ")";
+    return lhs + " # " + rhs;
+  }
+  if (args().empty()) return name();
+  std::string s = "(";
+  for (std::size_t i = 0; i < args().size(); ++i) {
+    if (i > 0) s += ", ";
+    s += args()[i].to_string();
+  }
+  s += ") " + name();
+  return s;
+}
+
+Type type_subst(const TypeSubst& theta, const Type& ty) {
+  if (theta.empty()) return ty;
+  if (ty.is_var()) {
+    auto it = theta.find(ty.name());
+    return it == theta.end() ? ty : it->second;
+  }
+  bool changed = false;
+  std::vector<Type> args;
+  args.reserve(ty.args().size());
+  for (const Type& a : ty.args()) {
+    Type a2 = type_subst(theta, a);
+    if (a2 != a) changed = true;
+    args.push_back(std::move(a2));
+  }
+  if (!changed) return ty;
+  return Type::app(ty.name(), std::move(args));
+}
+
+bool type_match(const Type& pattern, const Type& concrete, TypeSubst& theta) {
+  if (pattern.is_var()) {
+    auto [it, inserted] = theta.emplace(pattern.name(), concrete);
+    return inserted || it->second == concrete;
+  }
+  if (!concrete.is_app() || pattern.name() != concrete.name() ||
+      pattern.args().size() != concrete.args().size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < pattern.args().size(); ++i) {
+    if (!type_match(pattern.args()[i], concrete.args()[i], theta)) return false;
+  }
+  return true;
+}
+
+Type bool_ty() {
+  static const Type t = Type::app("bool", {});
+  return t;
+}
+
+Type fun_ty(const Type& a, const Type& b) { return Type::app("fun", {a, b}); }
+
+Type prod_ty(const Type& a, const Type& b) { return Type::app("prod", {a, b}); }
+
+Type num_ty() {
+  static const Type t = Type::app("num", {});
+  return t;
+}
+
+Type alpha_ty() {
+  static const Type t = Type::var("'a");
+  return t;
+}
+Type beta_ty() {
+  static const Type t = Type::var("'b");
+  return t;
+}
+Type gamma_ty() {
+  static const Type t = Type::var("'c");
+  return t;
+}
+Type delta_ty() {
+  static const Type t = Type::var("'d");
+  return t;
+}
+
+bool is_fun_ty(const Type& ty) {
+  return ty.is_app() && ty.name() == "fun" && ty.args().size() == 2;
+}
+
+Type dom_ty(const Type& ty) {
+  if (!is_fun_ty(ty)) throw KernelError("dom_ty: not a function type: " + ty.to_string());
+  return ty.args()[0];
+}
+
+Type cod_ty(const Type& ty) {
+  if (!is_fun_ty(ty)) throw KernelError("cod_ty: not a function type: " + ty.to_string());
+  return ty.args()[1];
+}
+
+bool is_prod_ty(const Type& ty) {
+  return ty.is_app() && ty.name() == "prod" && ty.args().size() == 2;
+}
+
+Type fst_ty(const Type& ty) {
+  if (!is_prod_ty(ty)) throw KernelError("fst_ty: not a product type: " + ty.to_string());
+  return ty.args()[0];
+}
+
+Type snd_ty(const Type& ty) {
+  if (!is_prod_ty(ty)) throw KernelError("snd_ty: not a product type: " + ty.to_string());
+  return ty.args()[1];
+}
+
+}  // namespace eda::kernel

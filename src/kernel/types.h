@@ -1,0 +1,99 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kernel/error.h"
+
+namespace eda::kernel {
+
+/// A simple type of higher-order logic: either a type variable or the
+/// application of an n-ary type operator to argument types.  Values are
+/// immutable and cheap to copy (shared representation).
+///
+/// The primitive operators installed by the kernel are `bool` (arity 0) and
+/// `fun` (arity 2); theories register further operators (`prod`, `num`, ...)
+/// through the Signature.
+class Type {
+ public:
+  enum class Kind { Var, App };
+
+  /// Make a type variable, e.g. `Type::var("'a")`.
+  static Type var(std::string name);
+  /// Make an operator application, e.g. `Type::app("fun", {a, b})`.
+  /// Arity checking against the signature happens in Signature::check.
+  static Type app(std::string op, std::vector<Type> args);
+
+  Kind kind() const { return node_->kind; }
+  bool is_var() const { return node_->kind == Kind::Var; }
+  bool is_app() const { return node_->kind == Kind::App; }
+
+  /// Variable name or operator name.
+  const std::string& name() const { return node_->name; }
+  /// Operator arguments (empty for variables and nullary operators).
+  const std::vector<Type>& args() const { return node_->args; }
+
+  bool operator==(const Type& other) const;
+  bool operator!=(const Type& other) const { return !(*this == other); }
+  /// Total structural order (for use as a map key).
+  static int compare(const Type& a, const Type& b);
+  bool operator<(const Type& other) const { return compare(*this, other) < 0; }
+
+  std::size_t hash() const { return node_->hash; }
+
+  /// Collect the names of all type variables occurring in this type.
+  void collect_vars(std::set<std::string>& out) const;
+  bool has_vars() const;
+
+  /// Render as text, e.g. `('a -> bool) # num`.
+  std::string to_string() const;
+
+ private:
+  struct Node {
+    Kind kind;
+    std::string name;
+    std::vector<Type> args;
+    std::size_t hash;
+  };
+  explicit Type(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+/// Substitution of types for type-variable names.
+using TypeSubst = std::map<std::string, Type>;
+
+/// Apply a type substitution.
+Type type_subst(const TypeSubst& theta, const Type& ty);
+
+/// Match `pattern` against `concrete`, extending `theta`; returns false on
+/// mismatch (including conflicting bindings).
+bool type_match(const Type& pattern, const Type& concrete, TypeSubst& theta);
+
+// --- Convenience constructors for pervasive types ------------------------
+
+Type bool_ty();
+/// Function type `a -> b`.
+Type fun_ty(const Type& a, const Type& b);
+/// Product type `a # b` (registered by the pair theory).
+Type prod_ty(const Type& a, const Type& b);
+/// Natural numbers (registered by the num theory).
+Type num_ty();
+
+/// The canonical type variables 'a, 'b, 'c, 'd used by polymorphic constants.
+Type alpha_ty();
+Type beta_ty();
+Type gamma_ty();
+Type delta_ty();
+
+/// Destructor helpers; throw KernelError when the shape does not match.
+bool is_fun_ty(const Type& ty);
+Type dom_ty(const Type& ty);
+Type cod_ty(const Type& ty);
+bool is_prod_ty(const Type& ty);
+Type fst_ty(const Type& ty);
+Type snd_ty(const Type& ty);
+
+}  // namespace eda::kernel

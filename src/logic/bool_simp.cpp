@@ -1,0 +1,210 @@
+#include "logic/bool_simp.h"
+
+#include "kernel/signature.h"
+
+namespace eda::logic {
+
+using kernel::alpha_ty;
+using kernel::bool_ty;
+using kernel::fun_ty;
+using kernel::mk_eq;
+using kernel::Signature;
+using kernel::Term;
+using kernel::Thm;
+
+namespace {
+
+Term pb() { return Term::var("p", bool_ty()); }
+Term T() { return truth_tm(); }
+Term F() { return falsity_tm(); }
+
+/// Cache a derived theorem under a name in the signature registry.
+Thm cached(const char* name, const std::function<Thm()>& derive) {
+  init_bool();
+  Signature& sig = Signature::instance();
+  if (auto th = sig.find_theorem(name)) return *th;
+  Thm th = derive();
+  sig.store_theorem(name, th);
+  return th;
+}
+
+}  // namespace
+
+Thm and_t_left() {
+  return cached("AND_T_LEFT", [] {
+    Term p = pb();
+    Thm fwd = conjunct2(Thm::assume(mk_conj(T(), p)));
+    Thm bwd = conj(truth(), Thm::assume(p));
+    return gen(p, Thm::deduct_antisym(bwd, fwd));
+  });
+}
+
+Thm and_t_right() {
+  return cached("AND_T_RIGHT", [] {
+    Term p = pb();
+    Thm fwd = conjunct1(Thm::assume(mk_conj(p, T())));
+    Thm bwd = conj(Thm::assume(p), truth());
+    return gen(p, Thm::deduct_antisym(bwd, fwd));
+  });
+}
+
+Thm and_f_left() {
+  return cached("AND_F_LEFT", [] {
+    Term p = pb();
+    Thm fwd = conjunct1(Thm::assume(mk_conj(F(), p)));  // {F/\p} |- F
+    Thm bwd = conj(Thm::assume(F()), contr(p, Thm::assume(F())));
+    return gen(p, Thm::deduct_antisym(bwd, fwd));
+  });
+}
+
+Thm and_f_right() {
+  return cached("AND_F_RIGHT", [] {
+    Term p = pb();
+    Thm fwd = conjunct2(Thm::assume(mk_conj(p, F())));
+    Thm bwd = conj(contr(p, Thm::assume(F())), Thm::assume(F()));
+    return gen(p, Thm::deduct_antisym(bwd, fwd));
+  });
+}
+
+Thm and_idem() {
+  return cached("AND_IDEM", [] {
+    Term p = pb();
+    Thm fwd = conjunct1(Thm::assume(mk_conj(p, p)));
+    Thm bwd = conj(Thm::assume(p), Thm::assume(p));
+    return gen(p, Thm::deduct_antisym(bwd, fwd));
+  });
+}
+
+Thm or_t_left() {
+  return cached("OR_T_LEFT", [] {
+    Term p = pb();
+    return gen(p, Thm::deduct_antisym(disj1(truth(), p), truth()));
+  });
+}
+
+Thm or_t_right() {
+  return cached("OR_T_RIGHT", [] {
+    Term p = pb();
+    return gen(p, Thm::deduct_antisym(disj2(p, truth()), truth()));
+  });
+}
+
+Thm or_f_left() {
+  return cached("OR_F_LEFT", [] {
+    Term p = pb();
+    Thm bwd = disj2(F(), Thm::assume(p));
+    Thm fwd = disj_cases(Thm::assume(mk_disj(F(), p)),
+                         contr(p, Thm::assume(F())), Thm::assume(p));
+    return gen(p, Thm::deduct_antisym(bwd, fwd));
+  });
+}
+
+Thm or_f_right() {
+  return cached("OR_F_RIGHT", [] {
+    Term p = pb();
+    Thm bwd = disj1(Thm::assume(p), F());
+    Thm fwd = disj_cases(Thm::assume(mk_disj(p, F())), Thm::assume(p),
+                         contr(p, Thm::assume(F())));
+    return gen(p, Thm::deduct_antisym(bwd, fwd));
+  });
+}
+
+Thm or_idem() {
+  return cached("OR_IDEM", [] {
+    Term p = pb();
+    Thm bwd = disj1(Thm::assume(p), p);
+    Thm fwd = disj_cases(Thm::assume(mk_disj(p, p)), Thm::assume(p),
+                         Thm::assume(p));
+    return gen(p, Thm::deduct_antisym(bwd, fwd));
+  });
+}
+
+Thm not_t() {
+  return cached("NOT_T", [] {
+    Thm bwd = contr(mk_neg(T()), Thm::assume(F()));     // {F} |- ~T
+    Thm fwd = mp(not_elim(Thm::assume(mk_neg(T()))), truth());  // {~T} |- F
+    return Thm::deduct_antisym(bwd, fwd);
+  });
+}
+
+Thm not_f() {
+  return cached("NOT_F", [] {
+    return eqt_intro(not_intro(disch(F(), Thm::assume(F()))));
+  });
+}
+
+Thm not_not() {
+  return cached("NOT_NOT", [] {
+    Term p = pb();
+    Term goal_lhs = mk_neg(mk_neg(p));
+    Term eqb = kernel::eq_const(bool_ty());
+    // Case c: from p = c derive (~~p = p) = (~~c = c) by congruence, prove
+    // the constant instance, transport back.
+    auto by_case = [&](const Thm& asm_th, const Thm& const_proof) {
+      Thm cong = Thm::mk_comb(
+          ap_term(eqb, ap_term(Term::constant("~", fun_ty(bool_ty(),
+                                                          bool_ty())),
+                               ap_term(Term::constant("~", fun_ty(bool_ty(),
+                                                                  bool_ty())),
+                                       asm_th))),
+          asm_th);
+      return Thm::eq_mp(sym(cong), const_proof);
+    };
+    // ~~T = T  and  ~~F = F.
+    Term neg_c = Term::constant("~", fun_ty(bool_ty(), bool_ty()));
+    Thm nnt = Thm::trans(ap_term(neg_c, not_t()), not_f());
+    Thm nnf = Thm::trans(ap_term(neg_c, not_f()), not_t());
+    Thm cases = spec(p, Signature::instance().theorem("BOOL_CASES_AX"));
+    Thm th1 = by_case(Thm::assume(mk_eq(p, T())), nnt);
+    Thm th2 = by_case(Thm::assume(mk_eq(p, F())), nnf);
+    (void)goal_lhs;
+    return gen(p, disj_cases(cases, th1, th2));
+  });
+}
+
+Thm refl_clause() {
+  return cached("REFL_CLAUSE", [] {
+    Term x = Term::var("x", alpha_ty());
+    return gen(x, eqt_intro(Thm::refl(x)));
+  });
+}
+
+Thm cond_id() {
+  return cached("COND_ID", [] {
+    Signature& sig = Signature::instance();
+    Term c = Term::var("c", bool_ty());
+    Term x = Term::var("x", alpha_ty());
+    Term cond_c = Term::constant(
+        "COND", fun_ty(bool_ty(),
+                       fun_ty(alpha_ty(), fun_ty(alpha_ty(), alpha_ty()))));
+    auto by_case = [&](const Term& value, const Thm& clause) {
+      Thm asm_th = Thm::assume(mk_eq(c, value));
+      Thm cong = Thm::mk_comb(
+          Thm::mk_comb(ap_term(cond_c, asm_th), Thm::refl(x)), Thm::refl(x));
+      // cong : COND c x x = COND <value> x x
+      return Thm::trans(cong, spec_list({x, x}, clause));
+    };
+    Thm th1 = by_case(truth_tm(), sig.theorem("COND_T"));
+    Thm th2 = by_case(falsity_tm(), sig.theorem("COND_F"));
+    Thm cases = spec(c, sig.theorem("BOOL_CASES_AX"));
+    return gen_list({c, x}, disj_cases(cases, th1, th2));
+  });
+}
+
+Thm bool_cases_on(const Term& b,
+                  const std::function<Thm(const Thm&)>& prove) {
+  init_bool();
+  Thm cases = spec(b, Signature::instance().theorem("BOOL_CASES_AX"));
+  Thm th1 = prove(Thm::assume(mk_eq(b, truth_tm())));
+  Thm th2 = prove(Thm::assume(mk_eq(b, falsity_tm())));
+  return disj_cases(cases, th1, th2);
+}
+
+std::vector<Thm> bool_simp_clauses() {
+  return {and_t_left(), and_t_right(), and_f_left(), and_f_right(),
+          and_idem(),   or_t_left(),   or_t_right(),  or_f_left(),
+          or_f_right(), or_idem(),     not_t(),       not_f(),
+          not_not(),    refl_clause(), cond_id()};
+}
+
+}  // namespace eda::logic

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "logic/bool_thms.h"
+
+namespace eda::logic {
+
+/// Derived boolean simplification clauses (HOL's AND_CLAUSES & friends),
+/// proved from the kernel rules — these power the formal logic-minimisation
+/// synthesis step and the bit-level initial-value evaluation.
+/// All are cached after the first derivation.
+
+/// |- !p. (T /\ p) = p        |- !p. (p /\ T) = p
+/// |- !p. (F /\ p) = F        |- !p. (p /\ F) = F
+/// |- !p. (p /\ p) = p
+Thm and_t_left();
+Thm and_t_right();
+Thm and_f_left();
+Thm and_f_right();
+Thm and_idem();
+
+/// |- !p. (T \/ p) = T        |- !p. (p \/ T) = T
+/// |- !p. (F \/ p) = p        |- !p. (p \/ F) = p
+/// |- !p. (p \/ p) = p
+Thm or_t_left();
+Thm or_t_right();
+Thm or_f_left();
+Thm or_f_right();
+Thm or_idem();
+
+/// |- ~T = F                   |- ~F = T
+/// |- !p. ~~p = p
+Thm not_t();
+Thm not_f();
+Thm not_not();
+
+/// |- !x. (x = x) = T
+Thm refl_clause();
+
+/// |- !c x. (if c then x else x) = x   (COND_ID)
+Thm cond_id();
+
+/// Case split helper: from b, prove goal by rewriting under the assumption
+/// b = T, then under b = F, and join with BOOL_CASES_AX.  `prove` receives
+/// the assumption theorem (b = T or b = F) and must return A |- goal.
+Thm bool_cases_on(const Term& b,
+                  const std::function<Thm(const Thm&)>& prove);
+
+/// All clauses above as a rewrite rule list (for rewrite_conv).
+std::vector<Thm> bool_simp_clauses();
+
+}  // namespace eda::logic

@@ -1,0 +1,581 @@
+#include "logic/bool_thms.h"
+
+#include <mutex>
+
+#include "kernel/signature.h"
+
+namespace eda::logic {
+
+using kernel::bool_ty;
+using kernel::eq_lhs;
+using kernel::eq_rhs;
+using kernel::fun_ty;
+using kernel::is_eq;
+using kernel::KernelError;
+using kernel::mk_eq;
+using kernel::Signature;
+using kernel::TermSubst;
+using kernel::TypeSubst;
+
+namespace {
+
+Type bool2() { return fun_ty(bool_ty(), fun_ty(bool_ty(), bool_ty())); }
+
+Thm get_def(const std::string& name) {
+  return Signature::instance().theorem("DEF:" + name);
+}
+
+/// Fresh boolean-or-other variable avoiding the free variables of the given
+/// terms (by name).
+Term fresh_var(const std::string& base, const Type& ty,
+               const std::vector<Term>& avoid_terms) {
+  std::set<Term> avoid;
+  for (const Term& t : avoid_terms) kernel::collect_free_vars(t, avoid);
+  return kernel::variant(avoid, Term::var(base, ty));
+}
+
+std::vector<Term> all_hyps_and(const Thm& th, std::vector<Term> extra) {
+  std::vector<Term> out = th.hyps();
+  for (Term& t : extra) out.push_back(std::move(t));
+  return out;
+}
+
+}  // namespace
+
+void init_bool() {
+  // Re-entrancy-safe guard rather than call_once: the body itself uses the
+  // public term builders, which call init_bool().  The logic library is
+  // single-threaded by design (like the HOL systems it models).
+  static bool done = false;
+  if (done) return;
+  done = true;
+  [] {
+    Signature& sig = Signature::instance();
+    Term p = Term::var("p", bool_ty());
+    Term q = Term::var("q", bool_ty());
+    Term r = Term::var("r", bool_ty());
+
+    // T = ((\p. p) = (\p. p))
+    Term idb = Term::abs(p, p);
+    sig.new_definition("T", mk_eq(idb, idb));
+    Term T = Term::constant("T", bool_ty());
+
+    // /\ = \p q. (\f. f p q) = (\f. f T T)
+    Term f = Term::var("f", bool2());
+    Term fpq = Term::comb(Term::comb(f, p), q);
+    Term fTT = Term::comb(Term::comb(f, T), T);
+    sig.new_definition(
+        "/\\", Term::abs(p, Term::abs(q, mk_eq(Term::abs(f, fpq),
+                                               Term::abs(f, fTT)))));
+
+    // ==> = \p q. (p /\ q) = p
+    sig.new_definition(
+        "==>", Term::abs(p, Term::abs(q, mk_eq(mk_conj(p, q), p))));
+
+    // ! = \P. P = (\x. T)
+    Type a = kernel::alpha_ty();
+    Term P = Term::var("P", fun_ty(a, bool_ty()));
+    Term x = Term::var("x", a);
+    sig.new_definition("!", Term::abs(P, mk_eq(P, Term::abs(x, T))));
+
+    // ? = \P. !q. (!x. P x ==> q) ==> q
+    Term Px = Term::comb(P, x);
+    sig.new_definition(
+        "?", Term::abs(P, mk_forall(q, mk_imp(mk_forall(x, mk_imp(Px, q)),
+                                              q))));
+
+    // \/ = \p q. !r. (p ==> r) ==> (q ==> r) ==> r
+    sig.new_definition(
+        "\\/",
+        Term::abs(p, Term::abs(q, mk_forall(r, mk_imp(mk_imp(p, r),
+                                                      mk_imp(mk_imp(q, r),
+                                                             r))))));
+
+    // F = !p. p
+    sig.new_definition("F", mk_forall(p, p));
+    Term F = Term::constant("F", bool_ty());
+
+    // ~ = \p. p ==> F
+    sig.new_definition("~", Term::abs(p, mk_imp(p, F)));
+
+    // COND (axiomatised conditional; HOL defines it via the choice
+    // operator, which this kernel omits — see DESIGN.md substitutions).
+    sig.declare_const("COND",
+                      fun_ty(bool_ty(), fun_ty(a, fun_ty(a, a))));
+    Term xa = Term::var("x", a);
+    Term ya = Term::var("y", a);
+    Term condT = Term::comb(
+        Term::comb(Term::comb(sig.mk_const("COND"), T), xa), ya);
+    Term condF = Term::comb(
+        Term::comb(Term::comb(sig.mk_const("COND"), F), xa), ya);
+    sig.new_axiom("COND_T",
+                  mk_forall(xa, mk_forall(ya, mk_eq(condT, xa))));
+    sig.new_axiom("COND_F",
+                  mk_forall(xa, mk_forall(ya, mk_eq(condF, ya))));
+
+    // Boolean case analysis (a standard HOL axiom; HOL derives it from the
+    // choice operator, which this kernel omits).
+    Term pb = Term::var("b", bool_ty());
+    sig.new_axiom("BOOL_CASES_AX",
+                  mk_forall(pb, mk_disj(mk_eq(pb, T), mk_eq(pb, F))));
+  }();
+}
+
+// --- Builders ---------------------------------------------------------------
+
+Term truth_tm() {
+  init_bool();
+  return Term::constant("T", bool_ty());
+}
+
+Term falsity_tm() {
+  init_bool();
+  return Term::constant("F", bool_ty());
+}
+
+namespace {
+
+Term mk_bool_binop(const char* name, const Term& a, const Term& b) {
+  init_bool();
+  Term c = Term::constant(name, bool2());
+  return Term::comb(Term::comb(c, a), b);
+}
+
+bool is_binop(const char* name, const Term& t) {
+  return t.is_comb() && t.rator().is_comb() && t.rator().rator().is_const() &&
+         t.rator().rator().name() == name;
+}
+
+std::pair<Term, Term> dest_binop(const char* name, const Term& t) {
+  if (!is_binop(name, t)) {
+    throw KernelError(std::string("dest_binop: not a ") + name + ": " +
+                      t.to_string());
+  }
+  return {t.rator().rand(), t.rand()};
+}
+
+Term mk_binder(const char* name, const Term& v, const Term& body) {
+  init_bool();
+  if (!v.is_var()) throw KernelError("mk_binder: not a variable");
+  Type binder_ty = fun_ty(fun_ty(v.type(), bool_ty()), bool_ty());
+  return Term::comb(Term::constant(name, binder_ty), Term::abs(v, body));
+}
+
+bool is_binder(const char* name, const Term& t) {
+  return t.is_comb() && t.rator().is_const() && t.rator().name() == name &&
+         t.rand().is_abs();
+}
+
+std::pair<Term, Term> dest_binder(const char* name, const Term& t) {
+  if (!is_binder(name, t)) {
+    throw KernelError(std::string("dest_binder: not a ") + name + ": " +
+                      t.to_string());
+  }
+  return {t.rand().bound_var(), t.rand().body()};
+}
+
+}  // namespace
+
+Term mk_conj(const Term& a, const Term& b) { return mk_bool_binop("/\\", a, b); }
+Term mk_disj(const Term& a, const Term& b) { return mk_bool_binop("\\/", a, b); }
+Term mk_imp(const Term& a, const Term& b) { return mk_bool_binop("==>", a, b); }
+
+Term mk_neg(const Term& a) {
+  init_bool();
+  return Term::comb(Term::constant("~", fun_ty(bool_ty(), bool_ty())), a);
+}
+
+Term mk_forall(const Term& v, const Term& body) {
+  return mk_binder("!", v, body);
+}
+Term mk_exists(const Term& v, const Term& body) {
+  return mk_binder("?", v, body);
+}
+
+Term mk_cond(const Term& c, const Term& a, const Term& b) {
+  init_bool();
+  if (a.type() != b.type()) throw KernelError("mk_cond: branch type mismatch");
+  Type ct = fun_ty(bool_ty(), fun_ty(a.type(), fun_ty(a.type(), a.type())));
+  return Term::comb(Term::comb(Term::comb(Term::constant("COND", ct), c), a),
+                    b);
+}
+
+bool is_conj(const Term& t) { return is_binop("/\\", t); }
+bool is_disj(const Term& t) { return is_binop("\\/", t); }
+bool is_imp(const Term& t) { return is_binop("==>", t); }
+bool is_neg(const Term& t) {
+  return t.is_comb() && t.rator().is_const() && t.rator().name() == "~";
+}
+bool is_forall(const Term& t) { return is_binder("!", t); }
+bool is_exists(const Term& t) { return is_binder("?", t); }
+bool is_cond(const Term& t) {
+  auto [head, args] = kernel::strip_comb(t);
+  return head.is_const() && head.name() == "COND" && args.size() == 3;
+}
+
+std::pair<Term, Term> dest_conj(const Term& t) { return dest_binop("/\\", t); }
+std::pair<Term, Term> dest_imp(const Term& t) { return dest_binop("==>", t); }
+std::pair<Term, Term> dest_disj(const Term& t) { return dest_binop("\\/", t); }
+
+Term dest_neg(const Term& t) {
+  if (!is_neg(t)) throw KernelError("dest_neg: not a negation");
+  return t.rand();
+}
+
+std::pair<Term, Term> dest_forall(const Term& t) { return dest_binder("!", t); }
+std::pair<Term, Term> dest_exists(const Term& t) { return dest_binder("?", t); }
+
+Term list_mk_forall(const std::vector<Term>& vs, const Term& body) {
+  Term out = body;
+  for (auto it = vs.rbegin(); it != vs.rend(); ++it) {
+    out = mk_forall(*it, out);
+  }
+  return out;
+}
+
+std::pair<std::vector<Term>, Term> strip_forall(const Term& t) {
+  std::vector<Term> vs;
+  Term cur = t;
+  while (is_forall(cur)) {
+    auto [v, body] = dest_forall(cur);
+    vs.push_back(v);
+    cur = body;
+  }
+  return {vs, cur};
+}
+
+// --- Rules -------------------------------------------------------------------
+
+Thm unfold_def(const Thm& def, const std::vector<Term>& args) {
+  Thm th = def;
+  for (const Term& a : args) {
+    th = ap_thm(th, a);
+    th = conv_concl_rhs(beta_conv, th);
+  }
+  return th;
+}
+
+Thm truth() {
+  init_bool();
+  Thm t_def = get_def("T");
+  Term idb = eq_lhs(eq_rhs(t_def.concl()));
+  return Thm::eq_mp(sym(t_def), Thm::refl(idb));
+}
+
+Thm sym(const Thm& th) {
+  if (!is_eq(th.concl())) throw KernelError("sym: not an equation");
+  Term l = eq_lhs(th.concl());
+  Thm congr = Thm::mk_comb(ap_term(kernel::eq_const(l.type()), th),
+                           Thm::refl(l));
+  // congr : (l = l) = (r = l)
+  return Thm::eq_mp(congr, Thm::refl(l));
+}
+
+Thm ap_term(const Term& f, const Thm& th) {
+  return Thm::mk_comb(Thm::refl(f), th);
+}
+
+Thm ap_thm(const Thm& th, const Term& x) {
+  return Thm::mk_comb(th, Thm::refl(x));
+}
+
+Thm eqt_intro(const Thm& th) { return Thm::deduct_antisym(th, truth()); }
+
+Thm eqt_elim(const Thm& th) {
+  if (!is_eq(th.concl()) || !(eq_rhs(th.concl()) == truth_tm())) {
+    throw KernelError("eqt_elim: conclusion is not `t = T`");
+  }
+  return Thm::eq_mp(sym(th), truth());
+}
+
+namespace {
+
+/// |- (a /\ b) = ((\f. f a b) = (\f. f T T))
+Thm conj_unfold(const Term& a, const Term& b) {
+  return unfold_def(get_def("/\\"), {a, b});
+}
+
+/// |- (a ==> b) = ((a /\ b) = a)
+Thm imp_unfold(const Term& a, const Term& b) {
+  return unfold_def(get_def("==>"), {a, b});
+}
+
+/// |- (!x. p) = ((\x. p) = (\x. T)) at the right type instance.
+Thm forall_unfold(const Term& lam) {
+  Type el = kernel::dom_ty(lam.type());
+  TypeSubst theta;
+  theta.emplace("'a", el);
+  Thm def = Thm::inst_type(theta, get_def("!"));
+  return unfold_def(def, {lam});
+}
+
+Thm exists_unfold(const Term& lam) {
+  Type el = kernel::dom_ty(lam.type());
+  TypeSubst theta;
+  theta.emplace("'a", el);
+  Thm def = Thm::inst_type(theta, get_def("?"));
+  return unfold_def(def, {lam});
+}
+
+Thm or_unfold(const Term& a, const Term& b) {
+  return unfold_def(get_def("\\/"), {a, b});
+}
+
+Thm not_unfold(const Term& a) { return unfold_def(get_def("~"), {a}); }
+
+}  // namespace
+
+Thm conj(const Thm& p, const Thm& q) {
+  init_bool();
+  Term pt = p.concl(), qt = q.concl();
+  std::vector<Term> avoid = all_hyps_and(p, all_hyps_and(q, {pt, qt}));
+  Term f = fresh_var("f", bool2(), avoid);
+  Thm inner = Thm::mk_comb(
+      Thm::mk_comb(Thm::refl(f), eqt_intro(p)), eqt_intro(q));
+  Thm lam_eq = Thm::abs(f, inner);
+  Thm unfold = conj_unfold(pt, qt);
+  return Thm::eq_mp(sym(unfold), lam_eq);
+}
+
+namespace {
+
+/// Reduce exactly the three outer redexes of `(\f. f a b) (\x. \y. sel)`:
+/// the selector application, then the two projection arguments.  A *deep*
+/// beta normalisation here would also reduce redexes inside a and b and
+/// return an over-normalised conjunct that no longer matches the original
+/// term downstream (the bug showed up for quantified conjuncts, whose
+/// unfolded bodies contain `lam x` redexes).
+Thm outer_proj_reduce(const Term& t) {
+  Thm s1 = Thm::beta(t);  // f := proj
+  Term t1 = eq_rhs(s1.concl());  // ((\x. \y. sel) a) b
+  Thm s2 = Thm::mk_comb(Thm::beta(t1.rator()), Thm::refl(t1.rand()));
+  Term t2 = eq_rhs(s2.concl());  // (\y. sel[a/x]) b
+  Thm s3 = Thm::beta(t2);
+  return Thm::trans(Thm::trans(s1, s2), s3);
+}
+
+Thm conjunct_proj(const Thm& pq, bool first) {
+  init_bool();
+  auto [pt, qt] = dest_conj(pq.concl());
+  Thm unfolded = Thm::eq_mp(conj_unfold(pt, qt), pq);
+  // unfolded : (\f. f p q) = (\f. f T T)
+  Term x = Term::var("x", bool_ty());
+  Term y = Term::var("y", bool_ty());
+  Term proj = Term::abs(x, Term::abs(y, first ? x : y));
+  Thm applied = ap_thm(unfolded, proj);
+  Thm lhs_eq = outer_proj_reduce(eq_lhs(applied.concl()));  // ... = p (or q)
+  Thm rhs_eq = outer_proj_reduce(eq_rhs(applied.concl()));  // ... = T
+  Thm chain = Thm::trans(Thm::trans(sym(lhs_eq), applied), rhs_eq);
+  return eqt_elim(chain);
+}
+
+}  // namespace
+
+Thm conjunct1(const Thm& pq) { return conjunct_proj(pq, true); }
+Thm conjunct2(const Thm& pq) { return conjunct_proj(pq, false); }
+
+Thm mp(const Thm& imp, const Thm& ante) {
+  auto [pt, qt] = dest_imp(imp.concl());
+  Thm unfolded = Thm::eq_mp(imp_unfold(pt, qt), imp);  // (p /\ q) = p
+  Thm pq = Thm::eq_mp(sym(unfolded), ante);            // p /\ q
+  return conjunct2(pq);
+}
+
+Thm disch(const Term& p, const Thm& th) {
+  init_bool();
+  if (p.type() != bool_ty()) throw KernelError("disch: antecedent not bool");
+  Term q = th.concl();
+  Thm th_a = conj(Thm::assume(p), th);                  // A u {p} |- p /\ q
+  Thm th_b = conjunct1(Thm::assume(mk_conj(p, q)));     // {p/\q} |- p
+  Thm d = Thm::deduct_antisym(th_a, th_b);              // A-{p} |- (p/\q) = p
+  Thm unfold = imp_unfold(p, q);
+  return Thm::eq_mp(sym(unfold), d);
+}
+
+Thm undisch(const Thm& th) {
+  auto [pt, qt] = dest_imp(th.concl());
+  (void)qt;
+  return mp(th, Thm::assume(pt));
+}
+
+Thm gen(const Term& v, const Thm& th) {
+  init_bool();
+  Thm eq = Thm::abs(v, eqt_intro(th));  // (\v. p) = (\v. T)
+  Term lam = eq_lhs(eq.concl());
+  Thm unfold = forall_unfold(lam);      // (!v. p) = ((\v. p) = (\x. T))
+  return Thm::eq_mp(sym(unfold), eq);
+}
+
+Thm gen_list(const std::vector<Term>& vs, const Thm& th) {
+  Thm out = th;
+  for (auto it = vs.rbegin(); it != vs.rend(); ++it) out = gen(*it, out);
+  return out;
+}
+
+Thm spec(const Term& t, const Thm& th) {
+  init_bool();
+  if (!is_forall(th.concl())) {
+    throw KernelError("spec: not a universal: " + th.concl().to_string());
+  }
+  Term lam = th.concl().rand();
+  Thm unfold = forall_unfold(lam);
+  Thm eq = Thm::eq_mp(unfold, th);      // (\x. p) = (\x. T)
+  Thm applied = ap_thm(eq, t);          // (\x. p) t = (\x. T) t
+  Thm lhs_beta = Thm::beta(eq_lhs(applied.concl()));
+  Thm rhs_beta = Thm::beta(eq_rhs(applied.concl()));
+  Thm chain = Thm::trans(Thm::trans(sym(lhs_beta), applied), rhs_beta);
+  return eqt_elim(chain);
+}
+
+Thm spec_list(const std::vector<Term>& ts, const Thm& th) {
+  Thm out = th;
+  for (const Term& t : ts) out = spec(t, out);
+  return out;
+}
+
+Thm pspec(const Term& t, const Thm& th) {
+  if (!is_forall(th.concl())) {
+    throw KernelError("pspec: not a universal");
+  }
+  auto [v, body] = dest_forall(th.concl());
+  (void)body;
+  if (v.type() == t.type()) return spec(t, th);
+  kernel::TypeSubst theta;
+  if (!kernel::type_match(v.type(), t.type(), theta)) {
+    throw KernelError("pspec: " + t.type().to_string() +
+                      " does not instantiate " + v.type().to_string());
+  }
+  return spec(t, Thm::inst_type(theta, th));
+}
+
+Thm pspec_list(const std::vector<Term>& ts, const Thm& th) {
+  Thm out = th;
+  for (const Term& t : ts) out = pspec(t, out);
+  return out;
+}
+
+Thm spec_all(const Thm& th) {
+  Thm out = th;
+  std::set<Term> avoid;
+  for (const Term& h : out.hyps()) kernel::collect_free_vars(h, avoid);
+  kernel::collect_free_vars(out.concl(), avoid);
+  while (is_forall(out.concl())) {
+    auto [v, body] = dest_forall(out.concl());
+    (void)body;
+    Term v2 = kernel::variant(avoid, v);
+    avoid.insert(v2);
+    out = spec(v2, out);
+  }
+  return out;
+}
+
+Thm prove_hyp(const Thm& proof, const Thm& th) {
+  bool present = false;
+  for (const Term& h : th.hyps()) {
+    if (h == proof.concl()) {
+      present = true;
+      break;
+    }
+  }
+  if (!present) return th;
+  return Thm::eq_mp(Thm::deduct_antisym(proof, th), proof);
+}
+
+Thm contr(const Term& p, const Thm& f_thm) {
+  init_bool();
+  if (!(f_thm.concl() == falsity_tm())) {
+    throw KernelError("contr: theorem is not `|- F`");
+  }
+  Thm all_p = Thm::eq_mp(get_def("F"), f_thm);  // A |- !p. p
+  return spec(p, all_p);
+}
+
+Thm not_elim(const Thm& th) {
+  Term p = dest_neg(th.concl());
+  return Thm::eq_mp(not_unfold(p), th);
+}
+
+Thm not_intro(const Thm& th) {
+  auto [p, f] = dest_imp(th.concl());
+  if (!(f == falsity_tm())) {
+    throw KernelError("not_intro: conclusion is not `p ==> F`");
+  }
+  return Thm::eq_mp(sym(not_unfold(p)), th);
+}
+
+Thm disj1(const Thm& th, const Term& q) {
+  init_bool();
+  Term p = th.concl();
+  Term r = fresh_var("r", bool_ty(),
+                     all_hyps_and(th, {p, q}));
+  Thm th1 = mp(Thm::assume(mk_imp(p, r)), th);
+  Thm th2 = disch(mk_imp(q, r), th1);
+  Thm th3 = disch(mk_imp(p, r), th2);
+  Thm th4 = gen(r, th3);
+  Thm unfold = or_unfold(p, q);
+  return Thm::eq_mp(sym(unfold), th4);
+}
+
+Thm disj2(const Term& p, const Thm& th) {
+  init_bool();
+  Term q = th.concl();
+  Term r = fresh_var("r", bool_ty(), all_hyps_and(th, {p, q}));
+  Thm th1 = mp(Thm::assume(mk_imp(q, r)), th);
+  Thm th2 = disch(mk_imp(q, r), th1);
+  Thm th3 = disch(mk_imp(p, r), th2);
+  // Order: (p ==> r) ==> (q ==> r) ==> r.  th2 gives (q==>r) ==> r.
+  Thm th4 = gen(r, th3);
+  Thm unfold = or_unfold(p, q);
+  return Thm::eq_mp(sym(unfold), th4);
+}
+
+Thm disj_cases(const Thm& pq, const Thm& from_p, const Thm& from_q) {
+  auto [p, q] = dest_disj(pq.concl());
+  Term r = from_p.concl();
+  if (!(from_q.concl() == r)) {
+    throw KernelError("disj_cases: branch conclusions differ");
+  }
+  Thm unfolded = Thm::eq_mp(or_unfold(p, q), pq);
+  Thm inst = spec(r, unfolded);  // (p ==> r) ==> (q ==> r) ==> r
+  Thm s1 = mp(inst, disch(p, from_p));
+  return mp(s1, disch(q, from_q));
+}
+
+Thm exists_intro(const Term& ex_tm, const Term& witness, const Thm& th) {
+  init_bool();
+  if (!is_exists(ex_tm)) throw KernelError("exists_intro: not an existential");
+  Term lam = ex_tm.rand();
+  Thm bth = Thm::beta(Term::comb(lam, witness));  // lam w = p[w/x]
+  Thm th1 = Thm::eq_mp(sym(bth), th);             // A |- lam w
+  Thm unfold = exists_unfold(lam);                // (?x.p) = !q. (!x. lam x ==> q) ==> q
+  Term target = eq_rhs(unfold.concl());
+  auto [qv, body] = dest_forall(target);
+  auto [asm_tm, qv2] = dest_imp(body);
+  (void)qv2;
+  Thm asm_th = Thm::assume(asm_tm);               // !x. lam x ==> q
+  Thm at_w = spec(witness, asm_th);               // lam w ==> q
+  Thm qth = mp(at_w, th1);                        // {asm} u A |- q
+  Thm imp = disch(asm_tm, qth);
+  Thm gened = gen(qv, imp);
+  return Thm::eq_mp(sym(unfold), gened);
+}
+
+Thm choose(const Term& v, const Thm& ex_th, const Thm& th) {
+  init_bool();
+  if (!is_exists(ex_th.concl())) throw KernelError("choose: not an existential");
+  Term lam = ex_th.concl().rand();
+  Term r = th.concl();
+  Thm bth = Thm::beta(Term::comb(lam, v));        // lam v = p[v/x]
+  Term p_v = eq_rhs(bth.concl());
+  Thm d = disch(p_v, th);                         // B-{p_v} |- p_v ==> r
+  // (lam v ==> r) = (p_v ==> r)
+  Term imp_c = Term::constant("==>", bool2());
+  Thm cong = Thm::mk_comb(ap_term(imp_c, bth), Thm::refl(r));
+  Thm d2 = Thm::eq_mp(sym(cong), d);              // lam v ==> r
+  Thm gened = gen(v, d2);                         // !v. lam v ==> r
+  Thm unfolded = Thm::eq_mp(exists_unfold(lam), ex_th);
+  Thm inst = spec(r, unfolded);                   // (!x. lam x ==> r) ==> r
+  return mp(inst, gened);
+}
+
+}  // namespace eda::logic

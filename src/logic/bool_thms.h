@@ -1,0 +1,115 @@
+#pragma once
+
+#include "kernel/signature.h"
+#include "logic/conv.h"
+
+namespace eda::logic {
+
+using kernel::Term;
+using kernel::Thm;
+using kernel::Type;
+
+/// Install the boolean theory: the HOL definitions of T, /\, ==>, !, ?, \/,
+/// F, ~ in terms of equality and lambda, plus the (axiomatised) conditional
+/// COND.  Idempotent; every module that needs booleans calls this first.
+///
+/// This mirrors HOL's `bool` theory: the connectives are *defined*, and all
+/// natural-deduction rules below are *derived* from the kernel's primitive
+/// rules — nothing here extends the trusted core.
+void init_bool();
+
+// --- Term builders / destructors ------------------------------------------
+
+Term truth_tm();
+Term falsity_tm();
+Term mk_conj(const Term& a, const Term& b);
+Term mk_disj(const Term& a, const Term& b);
+Term mk_imp(const Term& a, const Term& b);
+Term mk_neg(const Term& a);
+Term mk_forall(const Term& v, const Term& body);
+Term mk_exists(const Term& v, const Term& body);
+Term mk_cond(const Term& c, const Term& a, const Term& b);
+
+bool is_conj(const Term& t);
+bool is_disj(const Term& t);
+bool is_imp(const Term& t);
+bool is_neg(const Term& t);
+bool is_forall(const Term& t);
+bool is_exists(const Term& t);
+bool is_cond(const Term& t);
+
+/// Destructors throw KernelError on shape mismatch.
+std::pair<Term, Term> dest_conj(const Term& t);
+std::pair<Term, Term> dest_imp(const Term& t);
+std::pair<Term, Term> dest_disj(const Term& t);
+Term dest_neg(const Term& t);
+std::pair<Term, Term> dest_forall(const Term& t);  // (bound var, body)
+std::pair<Term, Term> dest_exists(const Term& t);
+
+/// `!x1 ... xn. body` / peeling all leading universals.
+Term list_mk_forall(const std::vector<Term>& vs, const Term& body);
+std::pair<std::vector<Term>, Term> strip_forall(const Term& t);
+
+// --- Derived inference rules ----------------------------------------------
+
+/// |- T
+Thm truth();
+/// A |- a = b  ==>  A |- b = a
+Thm sym(const Thm& th);
+/// A |- x = y  ==>  A |- f x = f y
+Thm ap_term(const Term& f, const Thm& th);
+/// A |- f = g  ==>  A |- f x = g x
+Thm ap_thm(const Thm& th, const Term& x);
+/// A |- t  ==>  A |- t = T
+Thm eqt_intro(const Thm& th);
+/// A |- t = T  ==>  A |- t
+Thm eqt_elim(const Thm& th);
+/// A |- p, B |- q  ==>  A u B |- p /\ q
+Thm conj(const Thm& p, const Thm& q);
+Thm conjunct1(const Thm& pq);
+Thm conjunct2(const Thm& pq);
+/// A |- p ==> q,  B |- p   ==>   A u B |- q
+Thm mp(const Thm& imp, const Thm& ante);
+/// A |- q  ==>  A - {p} |- p ==> q
+Thm disch(const Term& p, const Thm& th);
+/// A |- p ==> q  ==>  A u {p} |- q
+Thm undisch(const Thm& th);
+/// A |- p  ==>  A |- !v. p   (v not free in A)
+Thm gen(const Term& v, const Thm& th);
+Thm gen_list(const std::vector<Term>& vs, const Thm& th);
+/// A |- !x. p  ==>  A |- p[t/x]
+Thm spec(const Term& t, const Thm& th);
+Thm spec_list(const std::vector<Term>& ts, const Thm& th);
+/// Polymorphic spec: first instantiates the theorem's type variables so the
+/// outer bound variable's type matches `t`, then specialises.  This is how
+/// the universal retiming theorem is instantiated with concrete circuit
+/// functions.
+Thm pspec(const Term& t, const Thm& th);
+Thm pspec_list(const std::vector<Term>& ts, const Thm& th);
+/// Strip all leading universals, specialising to (variants of) the bound
+/// variables themselves.
+Thm spec_all(const Thm& th);
+/// A |- p,  B |- q  (p in B)   ==>   A u (B - {p}) |- q
+Thm prove_hyp(const Thm& proof, const Thm& th);
+/// A |- F  ==>  A |- p   (ex falso)
+Thm contr(const Term& p, const Thm& f_thm);
+/// A |- ~p  ==>  A |- p ==> F
+Thm not_elim(const Thm& th);
+/// A |- p ==> F  ==>  A |- ~p
+Thm not_intro(const Thm& th);
+/// A |- p  ==>  A |- p \/ q   /   A |- q \/ p
+Thm disj1(const Thm& th, const Term& q);
+Thm disj2(const Term& p, const Thm& th);
+/// A |- p \/ q,  B u {p} |- r,  C u {q} |- r  ==>  A u B u C |- r
+Thm disj_cases(const Thm& pq, const Thm& from_p, const Thm& from_q);
+/// A |- p[w/x]  ==>  A |- ?x. p   (ex_tm is `?x. p`, w the witness)
+Thm exists_intro(const Term& ex_tm, const Term& witness, const Thm& th);
+/// A |- ?x. p,  B u {p[v/x]} |- q  (v fresh)  ==>  A u B |- q
+Thm choose(const Term& v, const Thm& ex_th, const Thm& th);
+
+/// Unfold a curried definition applied to arguments:
+/// from def |- c = \x1..xn. body and terms a1..an derive
+/// |- c a1 .. an = body[a1..an] (left-to-right AP_THM + beta).
+Thm unfold_def(const Thm& def, const std::vector<Term>& args);
+
+}  // namespace eda::logic

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+
+#include "kernel/terms.h"
+
+namespace eda::logic {
+
+using kernel::Term;
+using kernel::TermSubst;
+using kernel::Type;
+using kernel::TypeSubst;
+
+/// Result of first-order matching: instantiate the pattern's type variables
+/// with `types`, then its free term variables with `terms`, to obtain the
+/// concrete term.  `terms` keys are the pattern variables *after* type
+/// instantiation.
+struct MatchResult {
+  TypeSubst types;
+  TermSubst terms;
+};
+
+/// First-order matching of `pattern` against `concrete`.
+///
+/// Free variables of the pattern match arbitrary terms (of matching type,
+/// which drives type instantiation); constants match constants of the same
+/// name whose type is an instance; abstractions match abstractions.  A
+/// pattern variable may not match a term containing variables bound in the
+/// concrete term at that position (no scope extrusion).  Returns nullopt on
+/// mismatch.
+///
+/// This is *matching*, not unification — exactly what REWR_CONV and the
+/// retiming-theorem instantiation need (paper, section IV.A, step 2).
+std::optional<MatchResult> term_match(const Term& pattern,
+                                      const Term& concrete);
+
+}  // namespace eda::logic

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "logic/bool_thms.h"
+#include "logic/conv.h"
+#include "logic/match.h"
+
+namespace eda::logic {
+
+/// Rewriting conversion from one (possibly universally quantified)
+/// equational theorem: matches the left-hand side against the target term
+/// (first-order, with type instantiation) and returns the instantiated
+/// equation.  This is exactly the matching engine used to apply the
+/// universal retiming theorem (paper, fig. 3).
+Conv rewr_conv(const Thm& eq_thm);
+
+/// First applicable rule from the list.
+Conv rewrites_conv(const std::vector<Thm>& thms);
+
+/// Exhaustive rewriting with the rules only (no implicit beta).
+Conv pure_rewrite_conv(const std::vector<Thm>& thms);
+
+/// Exhaustive rewriting with the rules plus beta-reduction (HOL's
+/// REWRITE_CONV flavour).
+Conv rewrite_conv(const std::vector<Thm>& thms);
+
+/// Rewrite a theorem's conclusion.
+Thm rewrite_rule(const std::vector<Thm>& thms, const Thm& th);
+Thm pure_rewrite_rule(const std::vector<Thm>& thms, const Thm& th);
+
+/// Apply one rewriting theorem once, anywhere in the term (leftmost
+/// outermost).
+Conv once_rewrite_conv(const std::vector<Thm>& thms);
+
+}  // namespace eda::logic

@@ -1,0 +1,130 @@
+#include "retime/elementary.h"
+
+#include <algorithm>
+
+#include "hash/backward.h"
+#include "logic/bool_thms.h"
+#include "retime/min_area.h"
+#include "theories/automata_theory.h"
+
+namespace eda::retime {
+
+using circuit::Rtl;
+using circuit::SignalId;
+using hash::BackwardCut;
+using hash::Cut;
+using kernel::Thm;
+
+namespace {
+
+/// The identity step |- !i t. AUT h q i t = AUT h q i t.
+Thm identity_theorem(const Rtl& rtl) {
+  hash::CompiledCircuit cc = hash::compile(rtl);
+  kernel::Term i = kernel::Term::var(
+      "i", kernel::fun_ty(kernel::num_ty(), cc.input_ty));
+  kernel::Term t = kernel::Term::var("t", kernel::num_ty());
+  Thm refl = Thm::refl(thy::mk_automaton(cc.h, cc.q, i, t));
+  return logic::gen_list({i, t}, refl);
+}
+
+}  // namespace
+
+ChainResult formal_retime_by_labels(
+    const Rtl& rtl, const std::map<SignalId, int>& r_of_signal) {
+  int fwd_depth = 0, bwd_depth = 0;
+  for (const auto& [s, r] : r_of_signal) {
+    fwd_depth = std::max(fwd_depth, -r);
+    bwd_depth = std::max(bwd_depth, r);
+  }
+
+  ChainResult out{identity_theorem(rtl), rtl, 0};
+  if (fwd_depth == 0 && bwd_depth == 0) return out;
+
+  // Track original node -> current-netlist node across steps.
+  std::map<SignalId, SignalId> where;
+  for (const auto& [s, r] : r_of_signal) where.emplace(s, s);
+  auto update_positions = [&](const hash::RetimeMapping& remap) {
+    std::map<SignalId, SignalId> next_where;
+    for (const auto& [orig, pos] : where) {
+      if (auto it = remap.comb_map.find(pos); it != remap.comb_map.end()) {
+        next_where.emplace(orig, it->second);
+      }
+    }
+    where = std::move(next_where);
+  };
+
+  Rtl cur = rtl;
+  std::vector<Thm> steps;
+
+  // Forward phase first: applying the negative part of the labels keeps
+  // every edge weight legal (w >= r(u) - r(v) bounds the clamp), and each
+  // elementary cut F_k = { v : r(v) <= -k } has all its external fan-in
+  // registered at step k.
+  for (int k = 1; k <= fwd_depth; ++k) {
+    Cut cut;
+    for (const auto& [orig, r] : r_of_signal) {
+      if (r <= -k) cut.f_nodes.push_back(where.at(orig));
+    }
+    if (cut.f_nodes.empty()) continue;
+    hash::FormalRetimeResult step = hash::formal_retime(cur, cut);
+    update_positions(hash::conventional_retime_mapped(cur, cut));
+    cur = step.retimed;
+    steps.push_back(step.theorem);
+  }
+
+  // Backward phase: B_k = { v : r(v) >= k }, registers move from the
+  // nodes' outputs to their inputs.  May throw BackwardError when the
+  // registers' contents are not in the image of the moved logic — a real
+  // obstruction (no initial state exists), not a heuristic failure.
+  for (int k = 1; k <= bwd_depth; ++k) {
+    BackwardCut cut;
+    for (const auto& [orig, r] : r_of_signal) {
+      if (r >= k) cut.f_nodes.push_back(where.at(orig));
+    }
+    if (cut.f_nodes.empty()) continue;
+    hash::FormalBackwardResult step = hash::formal_backward_retime(cur, cut);
+    update_positions(hash::conventional_backward_retime_mapped(cur, cut));
+    cur = step.retimed;
+    steps.push_back(step.theorem);
+  }
+
+  out.final_rtl = std::move(cur);
+  out.steps = static_cast<int>(steps.size());
+  out.theorem = hash::compose_chain(steps);
+  return out;
+}
+
+std::optional<ChainResult> formal_min_period_retime(const Rtl& rtl) {
+  RetimeGraph g = graph_from_rtl(rtl);
+  RetimingResult rr = min_period_retiming(g);
+  std::map<SignalId, int> labels;
+  for (int v = 1; v < g.vertex_count(); ++v) {
+    int r = rr.r[static_cast<std::size_t>(v)];
+    if (r != 0) labels.emplace(g.vertex_signal[static_cast<std::size_t>(v)], r);
+  }
+  try {
+    return formal_retime_by_labels(rtl, labels);
+  } catch (const hash::BackwardError&) {
+    // A backward move was required whose initial state does not exist for
+    // the given register contents.
+    return std::nullopt;
+  }
+}
+
+std::optional<ChainResult> formal_min_area_retime(const Rtl& rtl) {
+  RetimeGraph g = graph_from_rtl(rtl);
+  RetimingResult rr = min_period_retiming(g);
+  MinAreaResult ma = min_area_retiming(g, rr.period);
+  std::map<SignalId, int> labels;
+  for (int v = 1; v < g.vertex_count(); ++v) {
+    int r = ma.r[static_cast<std::size_t>(v)];
+    if (r != 0) labels.emplace(g.vertex_signal[static_cast<std::size_t>(v)], r);
+  }
+  try {
+    return formal_retime_by_labels(rtl, labels);
+  } catch (const hash::BackwardError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace eda::retime

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <map>
+
+#include "hash/compound.h"
+#include "hash/retime_step.h"
+#include "retime/leiserson_saxe.h"
+
+namespace eda::retime {
+
+/// Formally-verified multi-step retiming:
+///
+/// The Leiserson–Saxe heuristic produces retiming labels r(v) on the
+/// netlist's combinational nodes.  The retiming is decomposed into
+/// elementary moves — forward cuts F_k = { v : r(v) <= -k } first (which
+/// keeps every intermediate edge weight legal), then backward cuts
+/// B_k = { v : r(v) >= k } — each applied with the *formal* step, and the
+/// step theorems composed by transitivity.
+///
+/// This is the paper's architecture end-to-end: an arbitrary conventional
+/// heuristic supplies the control information, the logic performs —and
+/// thereby proves— the transformation.
+struct ChainResult {
+  kernel::Thm theorem;      // |- !i t. AUT h0 q0 i t = AUT hN qN i t
+  circuit::Rtl final_rtl;
+  int steps = 0;
+};
+
+/// Decompose + apply + compose.  `r_of_signal` maps original combinational
+/// node ids to retiming labels: negative = forward moves, positive =
+/// backward moves (both directions of the universal theorem).  Nodes not
+/// mentioned get r = 0.  Backward moves throw hash::BackwardError when the
+/// registers' contents are not in the image of the moved logic — a real
+/// obstruction, not a heuristic failure.
+ChainResult formal_retime_by_labels(
+    const circuit::Rtl& rtl,
+    const std::map<circuit::SignalId, int>& r_of_signal);
+
+/// Convenience: run Leiserson–Saxe min-period retiming on the netlist's
+/// graph and apply it formally (both directions).  Returns nullopt only
+/// when a required backward move has no feasible initial state.
+std::optional<ChainResult> formal_min_period_retime(const circuit::Rtl& rtl);
+
+/// Convenience: min-period, then minimise registers at that period
+/// (min-area LP), then apply the labels formally.
+std::optional<ChainResult> formal_min_area_retime(const circuit::Rtl& rtl);
+
+}  // namespace eda::retime

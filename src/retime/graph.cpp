@@ -1,0 +1,140 @@
+#include "retime/graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace eda::retime {
+
+using circuit::Node;
+using circuit::Op;
+using circuit::Rtl;
+using circuit::SignalId;
+
+int op_delay(Op op) {
+  switch (op) {
+    case Op::Mul:
+      return 4;
+    case Op::Add:
+    case Op::Sub:
+      return 2;
+    case Op::Input:
+    case Op::Reg:
+    case Op::Const:
+      return 0;
+    default:
+      return 1;
+  }
+}
+
+RetimeGraph graph_from_rtl(const Rtl& rtl) {
+  RetimeGraph g;
+  g.delay.push_back(0);  // host
+  g.vertex_signal.push_back(-1);
+  std::map<SignalId, int> vertex_of;
+  for (std::size_t idx = 0; idx < rtl.nodes().size(); ++idx) {
+    SignalId s = static_cast<SignalId>(idx);
+    const Node& n = rtl.node(s);
+    bool comb = n.op != Op::Input && n.op != Op::Reg && n.op != Op::Const;
+    if (!comb) continue;
+    vertex_of.emplace(s, g.vertex_count());
+    g.delay.push_back(op_delay(n.op));
+    g.vertex_signal.push_back(s);
+  }
+
+  // Resolve a signal to (source vertex, weight): direct for comb nodes,
+  // through one register for Reg nodes (source = the producer of next),
+  // host for inputs/consts.
+  auto source_of = [&](SignalId s) -> std::pair<int, int> {
+    const Node& n = rtl.node(s);
+    if (n.op == Op::Reg) {
+      SignalId producer = n.next;
+      const Node& pn = rtl.node(producer);
+      bool comb = pn.op != Op::Input && pn.op != Op::Reg &&
+                  pn.op != Op::Const;
+      if (comb) return {vertex_of.at(producer), 1};
+      if (pn.op == Op::Reg) {
+        // Register chains: walk back accumulating weight.
+        int w = 1;
+        SignalId cur = producer;
+        while (rtl.node(cur).op == Op::Reg) {
+          cur = rtl.node(cur).next;
+          ++w;
+          if (w > static_cast<int>(rtl.nodes().size())) break;
+        }
+        const Node& cn = rtl.node(cur);
+        bool comb2 = cn.op != Op::Input && cn.op != Op::Reg &&
+                     cn.op != Op::Const;
+        return {comb2 ? vertex_of.at(cur) : 0, w};
+      }
+      return {0, 1};
+    }
+    if (n.op == Op::Input || n.op == Op::Const) return {0, 0};
+    return {vertex_of.at(s), 0};
+  };
+
+  for (const auto& [s, v] : vertex_of) {
+    for (SignalId o : rtl.node(s).operands) {
+      // Constants are freely replicable and place no retiming constraint
+      // (they may sit on either side of any cut).
+      if (rtl.node(o).op == Op::Const) continue;
+      auto [src, w] = source_of(o);
+      g.edges.push_back({src, v, w});
+    }
+  }
+  for (const circuit::OutputPort& p : rtl.outputs()) {
+    auto [src, w] = source_of(p.signal);
+    g.edges.push_back({src, 0, w});
+  }
+  return g;
+}
+
+int clock_period(const RetimeGraph& g) {
+  // Longest zero-weight path: DP over a topological order of the
+  // zero-weight subgraph.  The host vertex is split into a source and a
+  // virtual sink (index n) so that combinational input-to-output paths do
+  // not close a spurious cycle through the environment.
+  int n = g.vertex_count() + 1;
+  const int sink = n - 1;
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : g.edges) {
+    if (e.weight == 0) {
+      int to = e.to == 0 ? sink : e.to;
+      succ[static_cast<std::size_t>(e.from)].push_back(to);
+      ++indeg[static_cast<std::size_t>(to)];
+    }
+  }
+  std::vector<int> order;
+  std::vector<int> head;
+  for (int v = 0; v < n; ++v) {
+    if (indeg[static_cast<std::size_t>(v)] == 0) head.push_back(v);
+  }
+  while (!head.empty()) {
+    int v = head.back();
+    head.pop_back();
+    order.push_back(v);
+    for (int s : succ[static_cast<std::size_t>(v)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) head.push_back(s);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    throw circuit::RtlError("clock_period: zero-weight cycle");
+  }
+  std::vector<int> arrive(static_cast<std::size_t>(n), 0);
+  int best = 0;
+  for (int v : order) {
+    int dv = v == sink ? 0 : g.delay[static_cast<std::size_t>(v)];
+    arrive[static_cast<std::size_t>(v)] += dv;
+    best = std::max(best, arrive[static_cast<std::size_t>(v)]);
+    for (int s : succ[static_cast<std::size_t>(v)]) {
+      arrive[static_cast<std::size_t>(s)] =
+          std::max(arrive[static_cast<std::size_t>(s)],
+                   arrive[static_cast<std::size_t>(v)]);
+    }
+  }
+  return best;
+}
+
+int clock_period(const Rtl& rtl) { return clock_period(graph_from_rtl(rtl)); }
+
+}  // namespace eda::retime

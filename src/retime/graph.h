@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "circuit/rtl.h"
+
+namespace eda::retime {
+
+/// Leiserson–Saxe retiming graph: vertices are combinational operations
+/// with propagation delays, edges carry register counts.  Vertex 0 is the
+/// host (environment) vertex, which must not be retimed (r(host) = 0).
+struct Edge {
+  int from;
+  int to;
+  int weight;  // registers on the connection
+};
+
+struct RetimeGraph {
+  std::vector<int> delay;  // delay[v]; delay[0] = 0 (host)
+  std::vector<Edge> edges;
+  /// For graphs built from an Rtl: which netlist node each vertex is.
+  std::vector<circuit::SignalId> vertex_signal;  // [0] unused (host)
+
+  int vertex_count() const { return static_cast<int>(delay.size()); }
+};
+
+/// Build the retiming graph of a netlist: one vertex per combinational
+/// node (unit delay per operator by default, multipliers weighted heavier),
+/// an edge of weight 0 for a direct connection and weight 1 through a
+/// register; the host sources the inputs and sinks the outputs.
+RetimeGraph graph_from_rtl(const circuit::Rtl& rtl);
+
+/// Clock period of a graph: the longest pure-combinational (zero-weight)
+/// path delay.  Throws if a zero-weight cycle exists.
+int clock_period(const RetimeGraph& g);
+
+/// Clock period of a netlist (register-to-register / IO critical path,
+/// using the same delay model as graph_from_rtl).
+int clock_period(const circuit::Rtl& rtl);
+
+/// Per-operator delay used by the model.
+int op_delay(circuit::Op op);
+
+}  // namespace eda::retime

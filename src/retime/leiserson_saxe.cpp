@@ -1,0 +1,181 @@
+#include "retime/leiserson_saxe.h"
+
+#include <array>
+#include <functional>
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace eda::retime {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+}  // namespace
+
+WD compute_wd(const RetimeGraph& g) {
+  int n = g.vertex_count();
+  WD wd;
+  wd.W.assign(static_cast<std::size_t>(n),
+              std::vector<int>(static_cast<std::size_t>(n), kInf));
+  wd.D.assign(static_cast<std::size_t>(n),
+              std::vector<int>(static_cast<std::size_t>(n), -kInf));
+  auto relax = [&](int u, int v, int w, int d) {
+    auto& W = wd.W;
+    auto& D = wd.D;
+    std::size_t ui = static_cast<std::size_t>(u), vi = static_cast<std::size_t>(v);
+    if (w < W[ui][vi] || (w == W[ui][vi] && d > D[ui][vi])) {
+      W[ui][vi] = w;
+      D[ui][vi] = d;
+    }
+  };
+  for (int v = 0; v < n; ++v) {
+    relax(v, v, 0, g.delay[static_cast<std::size_t>(v)]);
+  }
+  for (const Edge& e : g.edges) {
+    relax(e.from, e.to, e.weight,
+          g.delay[static_cast<std::size_t>(e.from)] +
+              g.delay[static_cast<std::size_t>(e.to)]);
+  }
+  // The host (vertex 0) is excluded as an intermediate: a path through the
+  // environment is not a combinational path, matching clock_period's
+  // source/sink split of the host.
+  for (int k = 1; k < n; ++k) {
+    for (int u = 0; u < n; ++u) {
+      std::size_t ui = static_cast<std::size_t>(u), ki = static_cast<std::size_t>(k);
+      if (wd.W[ui][ki] >= kInf) continue;
+      for (int v = 0; v < n; ++v) {
+        std::size_t vi = static_cast<std::size_t>(v);
+        if (wd.W[ki][vi] >= kInf) continue;
+        int w = wd.W[ui][ki] + wd.W[ki][vi];
+        int d = wd.D[ui][ki] + wd.D[ki][vi] -
+                g.delay[static_cast<std::size_t>(k)];
+        relax(u, v, w, d);
+      }
+    }
+  }
+  return wd;
+}
+
+namespace {
+
+/// Bellman–Ford on difference constraints x(u) - x(v) <= c, encoded as
+/// edges v -> u with weight c.  Returns shortest-path potentials from a
+/// virtual source, or nullopt on a negative cycle.
+std::optional<std::vector<int>> solve_constraints(
+    int n, const std::vector<std::array<int, 3>>& cons /* (u, v, c) */) {
+  std::vector<int> dist(static_cast<std::size_t>(n), 0);  // virtual source
+  for (int iter = 0; iter < n + 1; ++iter) {
+    bool changed = false;
+    for (const auto& [u, v, c] : cons) {
+      std::size_t ui = static_cast<std::size_t>(u), vi = static_cast<std::size_t>(v);
+      if (dist[vi] + c < dist[ui]) {
+        dist[ui] = dist[vi] + c;
+        changed = true;
+      }
+    }
+    if (!changed) return dist;
+  }
+  return std::nullopt;  // negative cycle
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> feasible_retiming(const RetimeGraph& g,
+                                                  int period) {
+  WD wd = compute_wd(g);
+  int n = g.vertex_count();
+  std::vector<std::array<int, 3>> cons;
+  for (const Edge& e : g.edges) {
+    cons.push_back({e.from, e.to, e.weight});  // r(u) - r(v) <= w(e)
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      std::size_t ui = static_cast<std::size_t>(u), vi = static_cast<std::size_t>(v);
+      if (wd.W[ui][vi] < kInf && wd.D[ui][vi] > period) {
+        cons.push_back({u, v, wd.W[ui][vi] - 1});
+      }
+    }
+  }
+  auto sol = solve_constraints(n, cons);
+  if (!sol) return std::nullopt;
+  // Normalise to r(host) = 0.
+  int base = (*sol)[0];
+  for (int& x : *sol) x -= base;
+  return sol;
+}
+
+RetimingResult min_period_retiming(const RetimeGraph& g) {
+  WD wd = compute_wd(g);
+  std::set<int> candidates;
+  int n = g.vertex_count();
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      std::size_t ui = static_cast<std::size_t>(u), vi = static_cast<std::size_t>(v);
+      if (wd.W[ui][vi] < kInf && wd.D[ui][vi] > -kInf) {
+        candidates.insert(wd.D[ui][vi]);
+      }
+    }
+  }
+  std::vector<int> cand(candidates.begin(), candidates.end());
+  // Binary search the smallest feasible candidate.
+  int lo = 0, hi = static_cast<int>(cand.size()) - 1;
+  RetimingResult best{clock_period(g), std::vector<int>(
+                                           static_cast<std::size_t>(n), 0)};
+  bool found = false;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    auto r = feasible_retiming(g, cand[static_cast<std::size_t>(mid)]);
+    if (r) {
+      best = {cand[static_cast<std::size_t>(mid)], *r};
+      found = true;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (!found) {
+    throw circuit::RtlError("min_period_retiming: no feasible period");
+  }
+  // Report the *actual* achieved period of the retimed graph, which may be
+  // smaller than the candidate bound.
+  best.period = clock_period(apply_retiming(g, best.r));
+  return best;
+}
+
+RetimeGraph apply_retiming(const RetimeGraph& g, const std::vector<int>& r) {
+  RetimeGraph out = g;
+  for (Edge& e : out.edges) {
+    e.weight += r[static_cast<std::size_t>(e.to)] -
+                r[static_cast<std::size_t>(e.from)];
+    if (e.weight < 0) {
+      throw circuit::RtlError("apply_retiming: negative edge weight");
+    }
+  }
+  return out;
+}
+
+int brute_force_min_period(const RetimeGraph& g, int bound) {
+  int n = g.vertex_count();
+  std::vector<int> r(static_cast<std::size_t>(n), 0);
+  int best = kInf;
+  // Enumerate r in [-bound, bound]^(n-1), host fixed at 0.
+  std::function<void(int)> rec = [&](int v) {
+    if (v == n) {
+      try {
+        best = std::min(best, clock_period(apply_retiming(g, r)));
+      } catch (const circuit::RtlError&) {
+        // illegal (negative weight or zero-weight cycle) — skip
+      }
+      return;
+    }
+    for (int x = -bound; x <= bound; ++x) {
+      r[static_cast<std::size_t>(v)] = x;
+      rec(v + 1);
+    }
+    r[static_cast<std::size_t>(v)] = 0;
+  };
+  rec(1);
+  return best;
+}
+
+}  // namespace eda::retime

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+
+#include "retime/graph.h"
+
+namespace eda::retime {
+
+/// The W/D matrices of Leiserson–Saxe:
+///   W(u,v) = minimum register count over u->v paths,
+///   D(u,v) = maximum total path delay among paths achieving W(u,v)
+/// (kInf / -kInf sentinels for unconnected pairs).  Shared by min-period
+/// and min-area retiming.
+struct WD {
+  std::vector<std::vector<int>> W, D;
+};
+
+WD compute_wd(const RetimeGraph& g);
+
+/// Result of min-period retiming.
+struct RetimingResult {
+  int period;                 // achieved clock period
+  std::vector<int> r;         // retiming value per vertex (r[0] = 0)
+};
+
+/// Minimum-period retiming (Leiserson, Rose & Saxe 1983 / the paper's
+/// reference [11]): compute the W and D matrices, binary-search the
+/// candidate periods among the D values, and test feasibility of each by
+/// Bellman–Ford on the constraint graph
+///   r(u) - r(v) <= w(e)                 for every edge e : u -> v
+///   r(u) - r(v) <= W(u,v) - 1           whenever D(u,v) > period.
+RetimingResult min_period_retiming(const RetimeGraph& g);
+
+/// Feasibility test for one candidate period (exposed for tests): returns
+/// the retiming labels if the period is achievable.
+std::optional<std::vector<int>> feasible_retiming(const RetimeGraph& g,
+                                                  int period);
+
+/// Apply a retiming: w_r(e) = w(e) + r(head) - r(tail); throws if any edge
+/// weight would go negative (illegal retiming).
+RetimeGraph apply_retiming(const RetimeGraph& g, const std::vector<int>& r);
+
+/// Brute-force minimum period over all retimings with |r(v)| <= bound
+/// (exponential; for cross-checking the algorithm on small graphs).
+int brute_force_min_period(const RetimeGraph& g, int bound);
+
+}  // namespace eda::retime

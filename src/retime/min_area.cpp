@@ -1,0 +1,101 @@
+#include "retime/min_area.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+namespace eda::retime {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+}  // namespace
+
+long long total_registers(const RetimeGraph& g) {
+  long long total = 0;
+  for (const Edge& e : g.edges) total += e.weight;
+  return total;
+}
+
+MinAreaResult min_area_retiming(const RetimeGraph& g, int period) {
+  const int n = g.vertex_count();
+  WD wd = compute_wd(g);
+
+  // Objective: sum_e (w + r(to) - r(from)) = const + sum_v a_v r(v) with
+  // a_v = indeg(v) - outdeg(v).  LP dual: transshipment with node
+  // imbalance a_v (positive = demand) and one uncapacitated arc per
+  // difference constraint r(u) - r(v) <= b, cost b.
+  std::vector<std::int64_t> imbalance(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : g.edges) {
+    imbalance[static_cast<std::size_t>(e.to)] += 1;    // indegree
+    imbalance[static_cast<std::size_t>(e.from)] -= 1;  // outdegree
+  }
+
+  MinCostFlow flow(n);
+  for (const Edge& e : g.edges) {
+    flow.add_arc(e.from, e.to, MinCostFlow::kInfCap, e.weight);
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      std::size_t ui = static_cast<std::size_t>(u);
+      std::size_t vi = static_cast<std::size_t>(v);
+      if (u != v && wd.W[ui][vi] < kInf && wd.D[ui][vi] > period) {
+        flow.add_arc(u, v, MinCostFlow::kInfCap, wd.W[ui][vi] - 1);
+      }
+    }
+  }
+
+  auto cost = flow.solve(imbalance);
+  if (!cost) {
+    throw FlowError("min_area_retiming: period " + std::to_string(period) +
+                    " is infeasible");
+  }
+
+  // Optimal labels from the residual potentials: d(v) satisfies
+  // d(v) <= d(u) + b for every residual constraint arc, so r = -d solves
+  // r(u) - r(v) <= b; complementary slackness makes it optimal.
+  std::vector<std::int64_t> d = flow.residual_potentials();
+  std::vector<int> r(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    r[static_cast<std::size_t>(v)] = static_cast<int>(
+        -(d[static_cast<std::size_t>(v)] - d[0]));  // r(host) = 0
+  }
+
+  RetimeGraph after = apply_retiming(g, r);
+  MinAreaResult res;
+  res.r = std::move(r);
+  res.register_count = total_registers(after);
+  res.period = clock_period(after);
+  if (res.period > period) {
+    throw FlowError("min_area_retiming: internal error — recovered labels "
+                    "violate the period bound");
+  }
+  return res;
+}
+
+long long brute_force_min_area(const RetimeGraph& g, int period, int bound) {
+  const int n = g.vertex_count();
+  std::vector<int> r(static_cast<std::size_t>(n), 0);
+  long long best = std::numeric_limits<long long>::max();
+  std::function<void(int)> rec = [&](int v) {
+    if (v == n) {
+      try {
+        RetimeGraph after = apply_retiming(g, r);
+        if (clock_period(after) <= period) {
+          best = std::min(best, total_registers(after));
+        }
+      } catch (const circuit::RtlError&) {
+        // illegal retiming — skip
+      }
+      return;
+    }
+    for (int x = -bound; x <= bound; ++x) {
+      r[static_cast<std::size_t>(v)] = x;
+      rec(v + 1);
+    }
+    r[static_cast<std::size_t>(v)] = 0;
+  };
+  rec(1);  // host fixed at 0
+  return best;
+}
+
+}  // namespace eda::retime

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "retime/leiserson_saxe.h"
+#include "retime/mincost_flow.h"
+
+namespace eda::retime {
+
+/// Result of minimum-area retiming.
+struct MinAreaResult {
+  std::vector<int> r;            // retiming labels, r[0] = 0 (host)
+  long long register_count;      // total edge registers after retiming
+  int period;                    // achieved clock period (<= requested)
+};
+
+/// Total register count of a graph (sum of edge weights) — the area
+/// objective in the edge-count model of Leiserson–Saxe.  The mirror-vertex
+/// fanout-sharing refinement is out of scope and documented in DESIGN.md.
+long long total_registers(const RetimeGraph& g);
+
+/// Minimum-area retiming subject to a clock-period bound (Leiserson–Saxe
+/// 1991, section 8): minimise sum_e w_r(e) subject to w_r(e) >= 0 and the
+/// W/D period constraints.  Solved exactly through the LP dual, a
+/// min-cost transshipment on the constraint graph: each constraint
+/// r(u) - r(v) <= b becomes an uncapacitated arc u -> v of cost b, node
+/// imbalances are indegree - outdegree of the register-weighted edges, and
+/// the optimal labels are recovered from the residual potentials.
+/// Throws FlowError when the period is infeasible.
+MinAreaResult min_area_retiming(const RetimeGraph& g, int period);
+
+/// Exhaustive reference: minimum register count over all legal retimings
+/// with |r(v)| <= bound achieving the period (exponential; for tests).
+long long brute_force_min_area(const RetimeGraph& g, int period, int bound);
+
+}  // namespace eda::retime

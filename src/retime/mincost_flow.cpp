@@ -1,0 +1,173 @@
+#include "retime/mincost_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace eda::retime {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}  // namespace
+
+MinCostFlow::MinCostFlow(int nodes) : n_(nodes), graph_(static_cast<std::size_t>(nodes)) {}
+
+void MinCostFlow::add_arc(int u, int v, std::int64_t cap, std::int64_t cost) {
+  if (u < 0 || u >= n_ || v < 0 || v >= n_) {
+    throw FlowError("add_arc: node out of range");
+  }
+  auto& gu = graph_[static_cast<std::size_t>(u)];
+  auto& gv = graph_[static_cast<std::size_t>(v)];
+  arc_index_.emplace_back(u, gu.size());
+  original_cap_.push_back(cap);
+  gu.push_back(Arc{v, cap, cost, gv.size()});
+  gv.push_back(Arc{u, 0, -cost, gu.size() - 1});
+}
+
+std::optional<std::int64_t> MinCostFlow::solve(
+    const std::vector<std::int64_t>& imbalance) {
+  if (static_cast<int>(imbalance.size()) != n_) {
+    throw FlowError("solve: imbalance arity mismatch");
+  }
+  std::int64_t total = 0;
+  for (std::int64_t b : imbalance) total += b;
+  if (total != 0) throw FlowError("solve: imbalances must sum to zero");
+
+  // Initial potentials by Bellman–Ford (costs may be negative).
+  std::vector<std::int64_t> pot(static_cast<std::size_t>(n_), 0);
+  for (int round = 0; round <= n_; ++round) {
+    bool changed = false;
+    for (int u = 0; u < n_; ++u) {
+      for (const Arc& a : graph_[static_cast<std::size_t>(u)]) {
+        if (a.cap <= 0) continue;
+        std::int64_t cand = pot[static_cast<std::size_t>(u)] + a.cost;
+        if (cand < pot[static_cast<std::size_t>(a.to)]) {
+          if (round == n_) {
+            throw FlowError("solve: negative-cost cycle — the LP is "
+                            "unbounded (infeasible period constraints)");
+          }
+          pot[static_cast<std::size_t>(a.to)] = cand;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::vector<std::int64_t> excess(imbalance.size());
+  for (std::size_t k = 0; k < imbalance.size(); ++k) excess[k] = -imbalance[k];
+  // excess > 0: supply still to ship; excess < 0: unmet demand.
+
+  std::int64_t cost_total = 0;
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(n_));
+  std::vector<std::pair<int, std::size_t>> parent(
+      static_cast<std::size_t>(n_));
+
+  while (true) {
+    int src = -1;
+    for (int v = 0; v < n_; ++v) {
+      if (excess[static_cast<std::size_t>(v)] > 0) {
+        src = v;
+        break;
+      }
+    }
+    if (src < 0) break;
+
+    // Dijkstra with reduced costs from src.
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[static_cast<std::size_t>(src)] = 0;
+    using Item = std::pair<std::int64_t, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    pq.emplace(0, src);
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[static_cast<std::size_t>(u)]) continue;
+      auto& gu = graph_[static_cast<std::size_t>(u)];
+      for (std::size_t k = 0; k < gu.size(); ++k) {
+        const Arc& a = gu[k];
+        if (a.cap <= 0) continue;
+        std::int64_t rc = a.cost + pot[static_cast<std::size_t>(u)] -
+                          pot[static_cast<std::size_t>(a.to)];
+        std::int64_t nd = d + rc;
+        if (nd < dist[static_cast<std::size_t>(a.to)]) {
+          dist[static_cast<std::size_t>(a.to)] = nd;
+          parent[static_cast<std::size_t>(a.to)] = {u, k};
+          pq.emplace(nd, a.to);
+        }
+      }
+    }
+
+    // Nearest reachable deficit node.
+    int dst = -1;
+    std::int64_t best = kInf;
+    for (int v = 0; v < n_; ++v) {
+      if (excess[static_cast<std::size_t>(v)] < 0 &&
+          dist[static_cast<std::size_t>(v)] < best) {
+        best = dist[static_cast<std::size_t>(v)];
+        dst = v;
+      }
+    }
+    if (dst < 0) return std::nullopt;  // supply cannot reach any demand
+
+    // Bottleneck along the path.
+    std::int64_t push = std::min(excess[static_cast<std::size_t>(src)],
+                                 -excess[static_cast<std::size_t>(dst)]);
+    for (int v = dst; v != src;) {
+      auto [u, k] = parent[static_cast<std::size_t>(v)];
+      push = std::min(push, graph_[static_cast<std::size_t>(u)][k].cap);
+      v = u;
+    }
+    // Apply.
+    for (int v = dst; v != src;) {
+      auto [u, k] = parent[static_cast<std::size_t>(v)];
+      Arc& a = graph_[static_cast<std::size_t>(u)][k];
+      a.cap -= push;
+      graph_[static_cast<std::size_t>(a.to)][a.rev].cap += push;
+      cost_total += push * a.cost;
+      v = u;
+    }
+    excess[static_cast<std::size_t>(src)] -= push;
+    excess[static_cast<std::size_t>(dst)] += push;
+
+    // Update potentials; nodes beyond the augmenting sink are capped at
+    // the sink distance so reduced costs stay non-negative.
+    for (int v = 0; v < n_; ++v) {
+      pot[static_cast<std::size_t>(v)] +=
+          std::min(dist[static_cast<std::size_t>(v)], best);
+    }
+  }
+  return cost_total;
+}
+
+std::vector<std::int64_t> MinCostFlow::residual_potentials() const {
+  // Bellman–Ford from a virtual source with 0-cost arcs to every node,
+  // over the residual graph.
+  std::vector<std::int64_t> d(static_cast<std::size_t>(n_), 0);
+  for (int round = 0; round <= n_; ++round) {
+    bool changed = false;
+    for (int u = 0; u < n_; ++u) {
+      for (const Arc& a : graph_[static_cast<std::size_t>(u)]) {
+        if (a.cap <= 0) continue;
+        std::int64_t cand = d[static_cast<std::size_t>(u)] + a.cost;
+        if (cand < d[static_cast<std::size_t>(a.to)]) {
+          if (round == n_) {
+            throw FlowError("residual_potentials: negative residual cycle "
+                            "(flow not optimal?)");
+          }
+          d[static_cast<std::size_t>(a.to)] = cand;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return d;
+}
+
+std::int64_t MinCostFlow::arc_flow(std::size_t k) const {
+  auto [u, slot] = arc_index_.at(k);
+  return original_cap_.at(k) - graph_[static_cast<std::size_t>(u)][slot].cap;
+}
+
+}  // namespace eda::retime

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "kernel/error.h"
+
+namespace eda::retime {
+
+class FlowError : public kernel::KernelError {
+ public:
+  explicit FlowError(const std::string& what) : kernel::KernelError(what) {}
+};
+
+/// Minimum-cost flow by successive shortest paths with node potentials
+/// (Bellman–Ford bootstrap for negative arc costs, Dijkstra with reduced
+/// costs afterwards).  Substrate for min-area retiming, whose LP dual is a
+/// transshipment problem (Leiserson–Saxe 1991, section 8).
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int nodes);
+
+  /// Directed arc u -> v.  Use cap = kInfCap for uncapacitated arcs.
+  static constexpr std::int64_t kInfCap = (1LL << 60);
+  void add_arc(int u, int v, std::int64_t cap, std::int64_t cost);
+
+  /// Satisfy the given node imbalances (positive = demand, negative =
+  /// supply; must sum to zero).  Returns the minimum total cost, or
+  /// nullopt when the demands cannot be met.  Throws FlowError on a
+  /// negative-cost cycle reachable through uncapacitated arcs (unbounded).
+  std::optional<std::int64_t> solve(const std::vector<std::int64_t>& imbalance);
+
+  /// After solve(): an optimal dual solution — shortest distances in the
+  /// final residual graph from a virtual source connected to every node
+  /// with zero cost.  Complementary slackness makes these the optimal LP
+  /// dual values for the transshipment problem.
+  std::vector<std::int64_t> residual_potentials() const;
+
+  /// After solve(): flow on the k-th added arc.
+  std::int64_t arc_flow(std::size_t k) const;
+
+ private:
+  struct Arc {
+    int to;
+    std::int64_t cap;
+    std::int64_t cost;
+    std::size_t rev;  // index of the reverse arc in graph_[to]
+  };
+  int n_;
+  std::vector<std::vector<Arc>> graph_;
+  std::vector<std::pair<int, std::size_t>> arc_index_;  // k -> (node, slot)
+  std::vector<std::int64_t> original_cap_;
+};
+
+}  // namespace eda::retime

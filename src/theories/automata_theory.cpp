@@ -1,0 +1,184 @@
+#include "theories/automata_theory.h"
+
+#include "kernel/signature.h"
+#include "logic/bool_thms.h"
+#include "logic/conv.h"
+#include "logic/rewrite.h"
+
+namespace eda::thy {
+
+using kernel::alpha_ty;
+using kernel::beta_ty;
+using kernel::fun_ty;
+using kernel::gamma_ty;
+using kernel::KernelError;
+using kernel::num_ty;
+using kernel::prod_ty;
+using kernel::Signature;
+using kernel::Term;
+using kernel::Thm;
+using kernel::Type;
+using logic::ap_thm;
+using logic::gen_list;
+using logic::spec_list;
+using logic::sym;
+using logic::unfold_def;
+
+namespace {
+
+struct AutomataVars {
+  Type a, b, c, hty, ity;
+  Term h, q, i, t;
+};
+
+AutomataVars generic_vars() {
+  AutomataVars v{alpha_ty(),
+                 beta_ty(),
+                 gamma_ty(),
+                 Type::var("'x"),
+                 Type::var("'x"),
+                 Term::var("h", kernel::bool_ty()),
+                 Term::var("q", kernel::bool_ty()),
+                 Term::var("i", kernel::bool_ty()),
+                 Term::var("t", num_ty())};
+  v.hty = fun_ty(prod_ty(v.a, v.c), prod_ty(v.b, v.c));
+  v.ity = fun_ty(num_ty(), v.a);
+  v.h = Term::var("h", v.hty);
+  v.q = Term::var("q", v.c);
+  v.i = Term::var("i", v.ity);
+  return v;
+}
+
+Thm get(const std::string& name) {
+  return Signature::instance().theorem(name);
+}
+
+}  // namespace
+
+void init_automata() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  init_pair();
+  init_num();
+  Signature& sig = Signature::instance();
+
+  AutomataVars v = generic_vars();
+
+  // STATE = \h q i. PRIM_REC q (\s t. SND (h (i t, s)))
+  Term s = Term::var("s", v.c);
+  Term it = Term::comb(v.i, v.t);
+  Term step = Term::abs(
+      s, Term::abs(v.t, mk_snd(Term::comb(v.h, mk_pair(it, s)))));
+  Type pr_ty = fun_ty(v.c, fun_ty(fun_ty(v.c, fun_ty(num_ty(), v.c)),
+                                  fun_ty(num_ty(), v.c)));
+  Term prim_rec = Term::constant("PRIM_REC", pr_ty);
+  Term state_body = Term::comb(Term::comb(prim_rec, v.q), step);
+  Thm state_def = sig.new_definition(
+      "STATE", Term::abs(v.h, Term::abs(v.q, Term::abs(v.i, state_body))));
+
+  // AUTOMATON = \h q i t. FST (h (i t, STATE h q i t))
+  Term state_hqit = mk_state(v.h, v.q, v.i, v.t);
+  Term aut_body = mk_fst(Term::comb(v.h, mk_pair(it, state_hqit)));
+  Thm aut_def = sig.new_definition(
+      "AUTOMATON",
+      Term::abs(v.h,
+                Term::abs(v.q, Term::abs(v.i, Term::abs(v.t, aut_body)))));
+
+  // ---- STATE_0 : !h q i. STATE h q i _0 = q -------------------------------
+  Thm unfolded = unfold_def(state_def, {v.h, v.q, v.i});
+  // unfolded : STATE h q i = PRIM_REC q step
+  kernel::TypeSubst to_state;
+  to_state.emplace("'a", v.c);
+  Thm pr0 = spec_list({v.q, step},
+                      Thm::inst_type(to_state, get("PRIM_REC_0")));
+  Thm st0 = Thm::trans(ap_thm(unfolded, zero_tm()), pr0);
+  sig.store_theorem("STATE_0", gen_list({v.h, v.q, v.i}, st0));
+
+  // ---- STATE_SUC -----------------------------------------------------------
+  Thm prs = spec_list({v.q, step, v.t},
+                      Thm::inst_type(to_state, get("PRIM_REC_SUC")));
+  Thm st_suc = Thm::trans(ap_thm(unfolded, mk_suc(v.t)), prs);
+  // rhs: (\s t. SND (h (i t, s))) (PRIM_REC q step t) t — beta twice.
+  st_suc = logic::conv_concl_rhs(
+      logic::thenc(logic::rator_conv(logic::beta_conv), logic::beta_conv),
+      st_suc);
+  // Fold PRIM_REC q step t back into STATE h q i t.
+  Thm fold = sym(ap_thm(unfolded, v.t));
+  st_suc = logic::conv_concl_rhs(
+      logic::once_depth_conv(logic::rewr_conv(fold)), st_suc);
+  sig.store_theorem("STATE_SUC", gen_list({v.h, v.q, v.i, v.t}, st_suc));
+
+  // ---- AUTOMATON_EXPAND ----------------------------------------------------
+  Thm expand = unfold_def(aut_def, {v.h, v.q, v.i, v.t});
+  sig.store_theorem("AUTOMATON_EXPAND",
+                    gen_list({v.h, v.q, v.i, v.t}, expand));
+}
+
+namespace {
+
+/// Deduce (input, output, state) types from h : (a # c) -> (b # c).
+std::tuple<Type, Type, Type> dest_hty(const Type& hty) {
+  if (!kernel::is_fun_ty(hty)) {
+    throw KernelError("automata: h is not a function: " + hty.to_string());
+  }
+  Type dom = kernel::dom_ty(hty), cod = kernel::cod_ty(hty);
+  if (!kernel::is_prod_ty(dom) || !kernel::is_prod_ty(cod)) {
+    throw KernelError("automata: h must map pairs to pairs: " +
+                      hty.to_string());
+  }
+  Type a = kernel::fst_ty(dom), c = kernel::snd_ty(dom);
+  Type b = kernel::fst_ty(cod), c2 = kernel::snd_ty(cod);
+  if (c != c2) {
+    throw KernelError(
+        "automata: state type mismatch in h (the false-cut failure mode): " +
+        c.to_string() + " vs " + c2.to_string());
+  }
+  return {a, b, c};
+}
+
+Term mk_aut_const(const char* name, const Term& h, bool output) {
+  auto [a, b, c] = dest_hty(h.type());
+  Type result = output ? b : c;
+  Type ct = fun_ty(h.type(),
+                   fun_ty(c, fun_ty(fun_ty(num_ty(), a),
+                                    fun_ty(num_ty(), result))));
+  return Term::constant(name, ct);
+}
+
+}  // namespace
+
+Term mk_automaton(const Term& h, const Term& q, const Term& i,
+                  const Term& t) {
+  init_automata();
+  return Term::comb(Term::comb(mk_automaton_fn(h, q), i), t);
+}
+
+Term mk_automaton_fn(const Term& h, const Term& q) {
+  init_automata();
+  return Term::comb(Term::comb(mk_aut_const("AUTOMATON", h, true), h), q);
+}
+
+Term mk_state(const Term& h, const Term& q, const Term& i, const Term& t) {
+  init_automata();
+  Term c = mk_aut_const("STATE", h, false);
+  return Term::comb(
+      Term::comb(Term::comb(Term::comb(c, h), q), i), t);
+}
+
+Thm state_0() {
+  init_automata();
+  return get("STATE_0");
+}
+
+Thm state_suc() {
+  init_automata();
+  return get("STATE_SUC");
+}
+
+Thm automaton_expand() {
+  init_automata();
+  return get("AUTOMATON_EXPAND");
+}
+
+}  // namespace eda::thy

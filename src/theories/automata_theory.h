@@ -1,0 +1,40 @@
+#pragma once
+
+#include "theories/num_theory.h"
+#include "theories/pair_theory.h"
+
+namespace eda::thy {
+
+/// The `Automata` theory of the paper (Eisenbiegler & Kumar, "An automata
+/// theory dedicated towards formal circuit synthesis"): a synchronous
+/// circuit is a pair of a combinational transition/output function
+///   h : (input # state) -> (output # state)
+/// and an initial state q.  `AUTOMATON h q` lifts the pair to a function
+/// from input streams (num -> input) to output streams (num -> output);
+/// the registers are implicit in the primitive recursion.
+///
+/// Definitions (over PRIM_REC from the num theory):
+///   STATE h q i     = PRIM_REC q (\s t. SND (h (i t, s)))
+///   AUTOMATON h q i t = FST (h (i t, STATE h q i t))
+void init_automata();
+
+/// `AUTOMATON h q i t` / `STATE h q i t` as terms; types are inferred from
+/// the arguments (h must have type (a # c) -> (b # c)).
+kernel::Term mk_automaton(const kernel::Term& h, const kernel::Term& q,
+                          const kernel::Term& i, const kernel::Term& t);
+kernel::Term mk_state(const kernel::Term& h, const kernel::Term& q,
+                      const kernel::Term& i, const kernel::Term& t);
+/// Partial application `AUTOMATON h q` (the circuit denotation itself).
+kernel::Term mk_automaton_fn(const kernel::Term& h, const kernel::Term& q);
+
+/// Derived theorems (proved in-kernel from the definitions):
+///   STATE_0      : |- !h q i.   STATE h q i _0 = q
+///   STATE_SUC    : |- !h q i t. STATE h q i (SUC t) =
+///                               SND (h (i t, STATE h q i t))
+///   AUTOMATON_EXPAND : |- !h q i t. AUTOMATON h q i t =
+///                               FST (h (i t, STATE h q i t))
+kernel::Thm state_0();
+kernel::Thm state_suc();
+kernel::Thm automaton_expand();
+
+}  // namespace eda::thy

@@ -1,0 +1,314 @@
+#include "theories/encoding_thm.h"
+
+#include "kernel/signature.h"
+#include "logic/bool_thms.h"
+#include "logic/conv.h"
+#include "logic/rewrite.h"
+
+namespace eda::thy {
+
+using kernel::alpha_ty;
+using kernel::beta_ty;
+using kernel::delta_ty;
+using kernel::fun_ty;
+using kernel::gamma_ty;
+using kernel::KernelError;
+using kernel::mk_eq;
+using kernel::num_ty;
+using kernel::prod_ty;
+using kernel::Signature;
+using kernel::Term;
+using kernel::Thm;
+using kernel::Type;
+using logic::ap_term;
+using logic::conv_concl_rhs;
+using logic::gen_list;
+using logic::once_depth_conv;
+using logic::rewr_conv;
+using logic::pspec_list;
+using logic::sym;
+using logic::thenc;
+
+namespace {
+
+/// beta followed by reduction of FST/SND applied to literal pairs — the
+/// workhorse for "applying" the lambda-shaped transition functions.
+logic::Conv apply_reduce() {
+  return logic::top_depth_conv(logic::orelsec(
+      logic::beta_conv, logic::orelsec(rewr_conv(fst_pair()),
+                                       rewr_conv(snd_pair()))));
+}
+
+/// The FST constant at pair type x # y (as a function term, for AP_TERM).
+Term fst_at(const Type& x, const Type& y) {
+  return mk_fst(Term::var("_p", prod_ty(x, y))).rator();
+}
+
+}  // namespace
+
+Term mk_encoded_h(const Term& enc, const Term& dec, const Term& h) {
+  // enc : c -> d,  dec : d -> c,  h : (a#c) -> (b#c);  h' : (a#d) -> (b#d).
+  Type c = kernel::dom_ty(enc.type());
+  Type d = kernel::cod_ty(enc.type());
+  if (kernel::dom_ty(dec.type()) != d || kernel::cod_ty(dec.type()) != c) {
+    throw KernelError("mk_encoded_h: dec must invert enc's typing");
+  }
+  Type hdom = kernel::dom_ty(h.type());
+  Type a = kernel::fst_ty(hdom);
+  if (kernel::snd_ty(hdom) != c) {
+    throw KernelError("mk_encoded_h: h's state type must be enc's domain");
+  }
+  Term p = Term::var("p", prod_ty(a, d));
+  Term happ = Term::comb(
+      h, mk_pair(mk_fst(p), Term::comb(dec, mk_snd(p))));
+  Term body = mk_pair(mk_fst(happ), Term::comb(enc, mk_snd(happ)));
+  return Term::abs(p, body);
+}
+
+Term mk_padded_h(const Term& h, const Term& hd) {
+  // h : (a#c) -> (b#c),  hd : (a#(c#e)) -> e;  h2 : (a#(c#e)) -> (b#(c#e)).
+  Type hdom = kernel::dom_ty(h.type());
+  Type a = kernel::fst_ty(hdom);
+  Type c = kernel::snd_ty(hdom);
+  Type hddom = kernel::dom_ty(hd.type());
+  Type e = kernel::cod_ty(hd.type());
+  if (kernel::fst_ty(hddom) != a ||
+      kernel::fst_ty(kernel::snd_ty(hddom)) != c ||
+      kernel::snd_ty(kernel::snd_ty(hddom)) != e) {
+    throw KernelError("mk_padded_h: hd must read (input # (live # dead))");
+  }
+  Term p = Term::var("p", prod_ty(a, prod_ty(c, e)));
+  Term happ = Term::comb(
+      h, mk_pair(mk_fst(p), mk_fst(mk_snd(p))));
+  Term body = mk_pair(
+      mk_fst(happ), mk_pair(mk_snd(happ), Term::comb(hd, p)));
+  return Term::abs(p, body);
+}
+
+Thm encoding_thm() {
+  init_automata();
+  Signature& sig = Signature::instance();
+  if (auto cached = sig.find_theorem("ENCODING_THM")) return *cached;
+
+  // ---- Setup. --------------------------------------------------------------
+  Type a = alpha_ty();   // input
+  Type b = beta_ty();    // output
+  Type c = gamma_ty();   // original state type
+  Type d = delta_ty();   // encoded state type
+  Term enc = Term::var("enc", fun_ty(c, d));
+  Term dec = Term::var("dec", fun_ty(d, c));
+  Term h = Term::var("h", fun_ty(prod_ty(a, c), prod_ty(b, c)));
+  Term q = Term::var("q", c);
+  Term i = Term::var("i", fun_ty(num_ty(), a));
+  Term t = Term::var("t", num_ty());
+  Term h2 = mk_encoded_h(enc, dec, h);
+  Term encq = Term::comb(enc, q);
+
+  // The retraction hypothesis R: !s. dec (enc s) = s.
+  Term sv = Term::var("s", c);
+  Term retraction =
+      logic::mk_forall(sv, mk_eq(Term::comb(dec, Term::comb(enc, sv)), sv));
+  Thm R = Thm::assume(retraction);
+
+  // ---- Invariant P(t): STATE h2 (enc q) i t = enc (STATE h q i t). --------
+  Term s2_t = mk_state(h2, encq, i, t);
+  Term s1_t = mk_state(h, q, i, t);
+  Term inv_body = mk_eq(s2_t, Term::comb(enc, s1_t));
+  Term P = Term::abs(t, inv_body);
+
+  // Base: STATE h2 (enc q) i 0 = enc q = enc (STATE h q i 0).
+  Thm lhs0 = pspec_list({h2, encq, i}, state_0());
+  Thm rhs0 = ap_term(enc, pspec_list({h, q, i}, state_0()));
+  Thm base = Thm::trans(lhs0, sym(rhs0));
+
+  // Step: assume P(t).
+  Thm ih = Thm::assume(inv_body);
+  Term it = Term::comb(i, t);
+  Term enc_s1 = Term::comb(enc, s1_t);
+
+  // Left: STATE h2 (enc q) i (SUC t)
+  //   = SND (h2 (i t, STATE h2 (enc q) i t))         [STATE_SUC]
+  //   = SND (h2 (i t, enc s1))                       [IH]
+  //   = SND (FST (h ...), enc (SND (h (i t, dec (enc s1)))))   [beta+proj]
+  //   = enc (SND (h (i t, s1)))                      [SND_PAIR, retraction]
+  Thm left = pspec_list({h2, encq, i, t}, state_suc());
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(ih)), left);
+  Thm h2app = apply_reduce()(Term::comb(h2, mk_pair(it, enc_s1)));
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(h2app)), left);
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(snd_pair())), left);
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(R)), left);
+
+  // Right: enc (STATE h q i (SUC t)) = enc (SND (h (i t, s1))).
+  Thm right = ap_term(enc, pspec_list({h, q, i, t}, state_suc()));
+
+  Thm step_concl = Thm::trans(left, sym(right));
+  Thm step = logic::gen(t, logic::disch(inv_body, step_concl));
+
+  Thm invariant = num_induct(P, base, step);  // R |- !t. P t
+
+  // ---- Output equality. ----------------------------------------------------
+  // AUT h q i t = FST (h (i t, s1)).
+  Thm out1 = pspec_list({h, q, i, t}, automaton_expand());
+  // AUT h2 (enc q) i t = FST (h2 (i t, s2))
+  //   = FST (h2 (i t, enc s1))                         [invariant]
+  //   = FST (FST (h (i t, dec (enc s1))), enc (...))   [beta+proj]
+  //   = FST (h (i t, s1))                              [FST_PAIR, retraction]
+  Thm inv_t = logic::spec(t, invariant);
+  Thm out2 = pspec_list({h2, encq, i, t}, automaton_expand());
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(inv_t)), out2);
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(h2app)), out2);
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(fst_pair())), out2);
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(R)), out2);
+
+  Thm final = Thm::trans(out1, sym(out2));  // R |- AUT h q = AUT h2 (enc q)
+  final = gen_list({i, t}, final);
+  Thm result = logic::disch(retraction, final);
+  result = gen_list({enc, dec, h, q}, result);
+  sig.store_theorem("ENCODING_THM", result);
+  return result;
+}
+
+Term mk_output_encoded_h(const Term& enc, const Term& h) {
+  // enc : b -> d,  h : (a#c) -> (b#c);  h' : (a#c) -> (d#c).
+  Type b = kernel::dom_ty(enc.type());
+  Type hdom = kernel::dom_ty(h.type());
+  Type hcod = kernel::cod_ty(h.type());
+  if (kernel::fst_ty(hcod) != b) {
+    throw KernelError("mk_output_encoded_h: enc must consume h's outputs");
+  }
+  Term p = Term::var("p", hdom);
+  Term hp = Term::comb(h, p);
+  Term body = mk_pair(Term::comb(enc, mk_fst(hp)), mk_snd(hp));
+  return Term::abs(p, body);
+}
+
+Thm output_encoding_thm() {
+  init_automata();
+  Signature& sig = Signature::instance();
+  if (auto cached = sig.find_theorem("OUTPUT_ENCODING_THM")) return *cached;
+
+  Type a = alpha_ty();   // input
+  Type b = beta_ty();    // original output
+  Type c = gamma_ty();   // state
+  Type d = delta_ty();   // encoded output
+  Term enc = Term::var("enc", fun_ty(b, d));
+  Term h = Term::var("h", fun_ty(prod_ty(a, c), prod_ty(b, c)));
+  Term q = Term::var("q", c);
+  Term i = Term::var("i", fun_ty(num_ty(), a));
+  Term t = Term::var("t", num_ty());
+  Term h2 = mk_output_encoded_h(enc, h);
+
+  // ---- Invariant P(t): STATE h2 q i t = STATE h q i t. ---------------------
+  Term s2_t = mk_state(h2, q, i, t);
+  Term s1_t = mk_state(h, q, i, t);
+  Term inv_body = mk_eq(s2_t, s1_t);
+  Term P = Term::abs(t, inv_body);
+
+  Thm base = Thm::trans(pspec_list({h2, q, i}, state_0()),
+                        sym(pspec_list({h, q, i}, state_0())));
+
+  Thm ih = Thm::assume(inv_body);
+  Term it = Term::comb(i, t);
+  Thm h2app = apply_reduce()(Term::comb(h2, mk_pair(it, s1_t)));
+  // Left: STATE h2 q i (SUC t) = SND (h2 (i t, S2 t)) = SND (h2 (i t, S1 t))
+  //     = SND (enc (FST (h ...)), SND (h (i t, S1 t))) = SND (h (i t, S1 t)).
+  Thm left = pspec_list({h2, q, i, t}, state_suc());
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(ih)), left);
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(h2app)), left);
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(snd_pair())), left);
+  Thm right = pspec_list({h, q, i, t}, state_suc());
+  Thm step = logic::gen(t, logic::disch(inv_body,
+                                        Thm::trans(left, sym(right))));
+
+  Thm invariant = num_induct(P, base, step);
+
+  // ---- Output: AUT h2 q i t = enc (AUT h q i t). ---------------------------
+  Thm inv_t = logic::spec(t, invariant);
+  Thm out2 = pspec_list({h2, q, i, t}, automaton_expand());
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(inv_t)), out2);
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(h2app)), out2);
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(fst_pair())), out2);
+  // out2 : AUT h2 q i t = enc (FST (h (i t, S1 t)))
+  Thm out1 = ap_term(enc, pspec_list({h, q, i, t}, automaton_expand()));
+  // out1 : enc (AUT h q i t) = enc (FST (h (i t, S1 t)))
+  Thm final = Thm::trans(out2, sym(out1));
+  Thm result = gen_list({enc, h, q, i, t}, final);
+  sig.store_theorem("OUTPUT_ENCODING_THM", result);
+  return result;
+}
+
+Thm dead_state_thm() {
+  init_automata();
+  Signature& sig = Signature::instance();
+  if (auto cached = sig.find_theorem("DEAD_STATE_THM")) return *cached;
+
+  // ---- Setup. --------------------------------------------------------------
+  Type a = alpha_ty();     // input
+  Type b = beta_ty();      // output
+  Type c = gamma_ty();     // live state
+  Type e = delta_ty();     // dead state
+  Term h = Term::var("h", fun_ty(prod_ty(a, c), prod_ty(b, c)));
+  Term hd = Term::var("hd", fun_ty(prod_ty(a, prod_ty(c, e)), e));
+  Term q = Term::var("q", c);
+  Term qd = Term::var("qd", e);
+  Term i = Term::var("i", fun_ty(num_ty(), a));
+  Term t = Term::var("t", num_ty());
+  Term h2 = mk_padded_h(h, hd);
+  Term qpair = mk_pair(q, qd);
+
+  // ---- Invariant P(t): FST (STATE h2 (q,qd) i t) = STATE h q i t. ---------
+  Term s2_t = mk_state(h2, qpair, i, t);
+  Term s1_t = mk_state(h, q, i, t);
+  Term inv_body = mk_eq(mk_fst(s2_t), s1_t);
+  Term P = Term::abs(t, inv_body);
+
+  // Base: FST (STATE h2 (q,qd) i 0) = FST (q, qd) = q = STATE h q i 0.
+  Thm base0 = pspec_list({h2, qpair, i}, state_0());          // S2 0 = (q,qd)
+  Thm base_l = conv_concl_rhs(once_depth_conv(rewr_conv(fst_pair())),
+                              ap_term(fst_at(c, e), base0));
+  Thm base_r = pspec_list({h, q, i}, state_0());               // S1 0 = q
+  Thm base = Thm::trans(base_l, sym(base_r));
+
+  // Step: assume P(t).
+  Thm ih = Thm::assume(inv_body);
+  Term it = Term::comb(i, t);
+
+  // h2 applied to (i t, S2 t): beta only — the argument is consumed whole
+  // by FST/SND inside, which we reduce where they hit literal pairs.
+  Thm h2app = apply_reduce()(Term::comb(h2, mk_pair(it, s2_t)));
+
+  // Left: FST (STATE h2 (q,qd) i (SUC t))
+  //   = FST (SND (h2 (i t, S2 t)))                    [STATE_SUC]
+  //   = FST (SND (h (i t, FST (S2 t))), hd ...)       [h2app]  -> SND pair
+  //   = SND (h (i t, FST (S2 t)))                     [FST_PAIR]
+  //   = SND (h (i t, S1 t))                           [IH]
+  Thm suc2 = pspec_list({h2, qpair, i, t}, state_suc());
+  Thm left = ap_term(fst_at(c, e), suc2);
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(h2app)), left);
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(snd_pair())), left);
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(fst_pair())), left);
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(ih)), left);
+
+  // Right: STATE h q i (SUC t) = SND (h (i t, S1 t)).
+  Thm right = pspec_list({h, q, i, t}, state_suc());
+
+  Thm step_concl = Thm::trans(left, sym(right));
+  Thm step = logic::gen(t, logic::disch(inv_body, step_concl));
+
+  Thm invariant = num_induct(P, base, step);
+
+  // ---- Output equality. ----------------------------------------------------
+  Thm inv_t = logic::spec(t, invariant);
+  Thm out2 = pspec_list({h2, qpair, i, t}, automaton_expand());
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(h2app)), out2);
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(fst_pair())), out2);
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(inv_t)), out2);
+  Thm out1 = pspec_list({h, q, i, t}, automaton_expand());
+
+  Thm final = Thm::trans(out2, sym(out1));
+  Thm result = gen_list({h, hd, q, qd, i, t}, final);
+  sig.store_theorem("DEAD_STATE_THM", result);
+  return result;
+}
+
+}  // namespace eda::thy

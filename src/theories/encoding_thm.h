@@ -1,0 +1,75 @@
+#pragma once
+
+#include "theories/automata_theory.h"
+
+namespace eda::thy {
+
+/// The universal *state-encoding* theorem.  The paper's summary lists state
+/// encoding and signal encoding among the Automata-theory transformations
+/// HASH provides besides retiming; like RETIMING_THM it is proved once and
+/// for all, in the kernel, by induction over time:
+///
+///   ENCODING_THM:
+///   |- !enc dec h q.
+///        (!s. dec (enc s) = s) ==>
+///        !i t. AUTOMATON h q i t
+///            = AUTOMATON (\p. (FST (h (FST p, dec (SND p))),
+///                              enc (SND (h (FST p, dec (SND p))))))
+///                        (enc q) i t
+///
+/// Reading: if `enc : 'c -> 'd` re-encodes the state and `dec` restores it
+/// (a retraction — enc need not be surjective), the circuit whose registers
+/// hold the encoded state, which decodes before and re-encodes after the
+/// original transition function, is I/O-equivalent to the original.
+/// Instantiating enc/dec and discharging the retraction obligation yields a
+/// correctness theorem for one re-encoding step; the obligation is
+/// dischargeable inside the logic for the structural encodings the formal
+/// step uses (register permutations — pure pair reasoning).
+kernel::Thm encoding_thm();
+
+/// The universal *dead-state elimination* theorem (the paper's "elimination
+/// of redundant parts"): a trailing state component that no output and no
+/// live next-state function reads can be dropped, whatever its own
+/// next-state function `hd` computes (it may even read the dead component
+/// itself — a free-running counter is the canonical example):
+///
+///   DEAD_STATE_THM:
+///   |- !h hd q qd i t.
+///        AUTOMATON (\p. (FST (h (FST p, FST (SND p))),
+///                        (SND (h (FST p, FST (SND p))), hd p)))
+///                  (q, qd) i t
+///      = AUTOMATON h q i t
+///
+/// with h : ('a # 'c) -> ('b # 'c) the live part, hd : ('a # ('c # 'e)) ->
+/// 'e the dead register's next-state function, q : 'c, qd : 'e.
+kernel::Thm dead_state_thm();
+
+/// The universal *signal-encoding* theorem (the paper's "signal encoding"):
+/// re-coding the output signals commutes with the automaton —
+///
+///   OUTPUT_ENCODING_THM:
+///   |- !enc h q i t.
+///        AUTOMATON (\p. (enc (FST (h p)), SND (h p))) q i t
+///      = enc (AUTOMATON h q i t)
+///
+/// with enc : 'b -> 'd re-coding the output tuple.  Unlike RETIMING_THM and
+/// ENCODING_THM this is a commutation, not an equivalence: the new circuit
+/// computes exactly the re-coded stream, which is what a signal-encoding
+/// step must certify.  No retraction obligation — enc need not be
+/// invertible (lossy output compaction is a legal signal encoding).
+kernel::Thm output_encoding_thm();
+
+/// The encoded transition function of ENCODING_THM's right-hand side,
+/// built from the given enc/dec/h (for callers that match against it).
+kernel::Term mk_encoded_h(const kernel::Term& enc, const kernel::Term& dec,
+                          const kernel::Term& h);
+
+/// The output-encoded transition function of OUTPUT_ENCODING_THM's
+/// left-hand side.
+kernel::Term mk_output_encoded_h(const kernel::Term& enc,
+                                 const kernel::Term& h);
+
+/// The padded transition function of DEAD_STATE_THM's left-hand side.
+kernel::Term mk_padded_h(const kernel::Term& h, const kernel::Term& hd);
+
+}  // namespace eda::thy

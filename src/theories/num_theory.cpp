@@ -1,0 +1,213 @@
+#include "theories/num_theory.h"
+
+#include "kernel/signature.h"
+#include "logic/bool_thms.h"
+#include "logic/conv.h"
+
+namespace eda::thy {
+
+using kernel::alpha_ty;
+using kernel::bool_ty;
+using kernel::fun_ty;
+using kernel::KernelError;
+using kernel::mk_eq;
+using kernel::num_ty;
+using kernel::Signature;
+using kernel::Type;
+using logic::mk_conj;
+using logic::mk_forall;
+using logic::mk_imp;
+using logic::mk_neg;
+
+namespace {
+
+Type num2() { return fun_ty(num_ty(), fun_ty(num_ty(), num_ty())); }
+Type num2b() { return fun_ty(num_ty(), fun_ty(num_ty(), bool_ty())); }
+
+Term nv(const char* n) { return Term::var(n, num_ty()); }
+
+}  // namespace
+
+void init_num() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  logic::init_bool();
+  Signature& sig = Signature::instance();
+
+  sig.declare_type("num", 0);
+  sig.declare_const("_0", num_ty());
+  sig.declare_const("SUC", fun_ty(num_ty(), num_ty()));
+
+  Term m = nv("m"), n = nv("n");
+
+  // Peano axioms.
+  sig.new_axiom("NOT_SUC", mk_forall(n, mk_neg(mk_eq(mk_suc(n), zero_tm()))));
+  sig.new_axiom(
+      "SUC_INJ",
+      mk_forall(m, mk_forall(n, mk_eq(mk_eq(mk_suc(m), mk_suc(n)),
+                                      mk_eq(m, n)))));
+  Term P = Term::var("P", fun_ty(num_ty(), bool_ty()));
+  Term Pn = Term::comb(P, n);
+  Term Psn = Term::comb(P, mk_suc(n));
+  sig.new_axiom(
+      "INDUCTION",
+      mk_forall(P, mk_imp(mk_conj(Term::comb(P, zero_tm()),
+                                  mk_forall(n, mk_imp(Pn, Psn))),
+                          mk_forall(n, Pn))));
+
+  // PRIM_REC with its two recursion equations.
+  Type a = alpha_ty();
+  sig.declare_const(
+      "PRIM_REC",
+      fun_ty(a, fun_ty(fun_ty(a, fun_ty(num_ty(), a)),
+                       fun_ty(num_ty(), a))));
+  Term b = Term::var("b", a);
+  Term f = Term::var("f", fun_ty(a, fun_ty(num_ty(), a)));
+  sig.new_axiom(
+      "PRIM_REC_0",
+      mk_forall(b, mk_forall(f, mk_eq(mk_prim_rec(b, f, zero_tm()), b))));
+  Term rec_n = mk_prim_rec(b, f, n);
+  sig.new_axiom(
+      "PRIM_REC_SUC",
+      mk_forall(
+          b, mk_forall(
+                 f, mk_forall(n, mk_eq(mk_prim_rec(b, f, mk_suc(n)),
+                                       Term::comb(Term::comb(f, rec_n),
+                                                  n))))));
+
+  // Arithmetic operators with their standard recursion equations.
+  for (const char* op : {"+", "-", "*", "DIV", "MOD", "EXP"}) {
+    sig.declare_const(op, num2());
+  }
+  for (const char* op : {"<", "<="}) {
+    sig.declare_const(op, num2b());
+  }
+  auto arith = [](const char* op, const Term& x, const Term& y) {
+    return mk_arith(op, x, y);
+  };
+  // ADD
+  sig.new_axiom("ADD_0",
+                mk_forall(n, mk_eq(arith("+", zero_tm(), n), n)));
+  sig.new_axiom(
+      "ADD_SUC",
+      mk_forall(m, mk_forall(n, mk_eq(arith("+", mk_suc(m), n),
+                                      mk_suc(arith("+", m, n))))));
+  // MUL
+  sig.new_axiom("MUL_0",
+                mk_forall(n, mk_eq(arith("*", zero_tm(), n), zero_tm())));
+  sig.new_axiom(
+      "MUL_SUC",
+      mk_forall(m, mk_forall(n, mk_eq(arith("*", mk_suc(m), n),
+                                      arith("+", arith("*", m, n), n)))));
+  // SUB (truncating)
+  sig.new_axiom("SUB_0",
+                mk_forall(n, mk_eq(arith("-", n, zero_tm()), n)));
+  sig.new_axiom("SUB_0L",
+                mk_forall(n, mk_eq(arith("-", zero_tm(), n), zero_tm())));
+  sig.new_axiom(
+      "SUB_SUC",
+      mk_forall(m, mk_forall(n, mk_eq(arith("-", mk_suc(m), mk_suc(n)),
+                                      arith("-", m, n)))));
+  // EXP
+  sig.new_axiom("EXP_0",
+                mk_forall(m, mk_eq(arith("EXP", m, zero_tm()),
+                                   mk_suc(zero_tm()))));
+  sig.new_axiom(
+      "EXP_SUC",
+      mk_forall(m, mk_forall(n, mk_eq(arith("EXP", m, mk_suc(n)),
+                                      arith("*", m, arith("EXP", m, n))))));
+  // LT / LE
+  Term F = logic::falsity_tm();
+  Term T = logic::truth_tm();
+  sig.new_axiom("LT_0", mk_forall(n, mk_eq(arith("<", n, zero_tm()), F)));
+  sig.new_axiom(
+      "LT_SUC",
+      mk_forall(m, mk_forall(n, mk_eq(arith("<", m, mk_suc(n)),
+                                      logic::mk_disj(mk_eq(m, n),
+                                                     arith("<", m, n))))));
+  sig.new_axiom("LE_0", mk_forall(n, mk_eq(arith("<=", zero_tm(), n), T)));
+  sig.new_axiom(
+      "LE_SUC",
+      mk_forall(m, mk_forall(n, mk_eq(arith("<=", mk_suc(m), mk_suc(n)),
+                                      arith("<=", m, n)))));
+  sig.new_axiom("LE_SUC_0",
+                mk_forall(m, mk_eq(arith("<=", mk_suc(m), zero_tm()), F)));
+}
+
+Term zero_tm() {
+  init_num();
+  return Term::constant("_0", num_ty());
+}
+
+Term mk_suc(const Term& n) {
+  init_num();
+  return Term::comb(Term::constant("SUC", fun_ty(num_ty(), num_ty())), n);
+}
+
+Term mk_arith(const std::string& op, const Term& m, const Term& n) {
+  init_num();
+  Type ty = (op == "<" || op == "<=") ? num2b() : num2();
+  return Term::comb(Term::comb(Term::constant(op, ty), m), n);
+}
+
+Term mk_prim_rec(const Term& b, const Term& f, const Term& n) {
+  init_num();
+  Type a = b.type();
+  Type ct = fun_ty(a, fun_ty(fun_ty(a, fun_ty(num_ty(), a)),
+                             fun_ty(num_ty(), a)));
+  return Term::comb(Term::comb(Term::comb(Term::constant("PRIM_REC", ct), b),
+                               f),
+                    n);
+}
+
+Thm induction_ax() {
+  init_num();
+  return Signature::instance().theorem("INDUCTION");
+}
+
+Thm prim_rec_0() {
+  init_num();
+  return Signature::instance().theorem("PRIM_REC_0");
+}
+
+Thm prim_rec_suc() {
+  init_num();
+  return Signature::instance().theorem("PRIM_REC_SUC");
+}
+
+Thm num_induct(const Term& P, const Thm& base, const Thm& step) {
+  init_num();
+  if (!P.is_abs() || P.type() != fun_ty(num_ty(), bool_ty())) {
+    throw KernelError("num_induct: P must be a lambda of type num -> bool");
+  }
+  Thm inst = logic::spec(P, induction_ax());
+  // Beta-reduce the P applications introduced by specialisation.
+  inst = logic::conv_rule(logic::top_depth_conv(logic::beta_conv), inst);
+  return logic::mp(inst, logic::conj(base, step));
+}
+
+Thm add_zero_right() {
+  init_num();
+  Signature& sig = Signature::instance();
+  if (auto cached = sig.find_theorem("ADD_ZERO_RIGHT")) return *cached;
+
+  Term n = nv("n");
+  Term goal_body = mk_eq(mk_arith("+", n, zero_tm()), n);
+  Term P = Term::abs(n, goal_body);
+  // Base: _0 + _0 = _0 from ADD_0.
+  Thm base = logic::spec(zero_tm(), sig.theorem("ADD_0"));
+  // Step: n + _0 = n  ==>  SUC n + _0 = SUC n.
+  Thm ih = Thm::assume(goal_body);
+  Thm suc_eq =
+      logic::spec_list({n, zero_tm()}, sig.theorem("ADD_SUC"));
+  // suc_eq : SUC n + _0 = SUC (n + _0); rewrite with ih.
+  Thm chained = logic::conv_concl_rhs(
+      logic::rand_conv(logic::rewr_conv(ih)), suc_eq);
+  Thm step = logic::gen(n, logic::disch(goal_body, chained));
+  Thm out = num_induct(P, base, step);
+  sig.store_theorem("ADD_ZERO_RIGHT", out);
+  return out;
+}
+
+}  // namespace eda::thy

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "logic/rewrite.h"
+
+namespace eda::thy {
+
+using kernel::Term;
+using kernel::Thm;
+
+/// Install the theory of natural numbers: the type `num`, Peano constants
+/// `_0` and `SUC`, primitive recursion `PRIM_REC`, the arithmetic operators
+/// and their recursion equations, and the (single, higher-order) induction
+/// axiom
+///   INDUCTION: |- !P. P _0 /\ (!n. P n ==> P (SUC n)) ==> (!n. P n)
+///
+/// HOL derives all of this from the axiom of infinity; this kernel installs
+/// the standard Peano basis axiomatically (see DESIGN.md, substitutions) —
+/// precisely the theorems the HOL `num`/`arithmetic` theories export, and
+/// the only facts the retiming proof consumes.
+void init_num();
+
+/// `_0` and `SUC n`.
+Term zero_tm();
+Term mk_suc(const Term& n);
+
+/// Binary arithmetic application `m OP n` for OP in {+,-,*,DIV,MOD,EXP} and
+/// comparisons {<,<=} (comparisons have boolean type).
+Term mk_arith(const std::string& op, const Term& m, const Term& n);
+
+/// `PRIM_REC b f n` at the element type of `b`.
+Term mk_prim_rec(const Term& b, const Term& f, const Term& n);
+
+/// Axiom accessors.
+Thm induction_ax();
+Thm prim_rec_0();
+Thm prim_rec_suc();
+
+/// Induction rule: given
+///   P      — a lambda `\n. body` of type num -> bool,
+///   base   — A |- body[_0/n],
+///   step   — B |- !n. body ==> body[SUC n/n],
+/// returns A u B |- !n. body.
+Thm num_induct(const Term& P, const Thm& base, const Thm& step);
+
+/// Example derived theorem (proved by induction, exercised in tests):
+///   |- !n. n + _0 = n
+Thm add_zero_right();
+
+}  // namespace eda::thy

@@ -1,0 +1,102 @@
+#include "theories/pair_theory.h"
+
+#include "kernel/signature.h"
+
+namespace eda::thy {
+
+using kernel::alpha_ty;
+using kernel::beta_ty;
+using kernel::bool_ty;
+using kernel::fun_ty;
+using kernel::KernelError;
+using kernel::mk_eq;
+using kernel::prod_ty;
+using kernel::Signature;
+using logic::mk_forall;
+
+void init_pair() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  logic::init_bool();
+  Signature& sig = Signature::instance();
+
+  Type a = alpha_ty(), b = beta_ty();
+  sig.declare_type("prod", 2);
+  sig.declare_const(",", fun_ty(a, fun_ty(b, prod_ty(a, b))));
+  sig.declare_const("FST", fun_ty(prod_ty(a, b), a));
+  sig.declare_const("SND", fun_ty(prod_ty(a, b), b));
+
+  Term x = Term::var("x", a);
+  Term y = Term::var("y", b);
+  Term xy = mk_pair(x, y);
+  sig.new_axiom("FST_PAIR", mk_forall(x, mk_forall(y, mk_eq(mk_fst(xy), x))));
+  sig.new_axiom("SND_PAIR", mk_forall(x, mk_forall(y, mk_eq(mk_snd(xy), y))));
+  Term p = Term::var("p", prod_ty(a, b));
+  sig.new_axiom("PAIR_SURJ",
+                mk_forall(p, mk_eq(mk_pair(mk_fst(p), mk_snd(p)), p)));
+
+  // UNCURRY = \f p. f (FST p) (SND p)
+  Type c = kernel::gamma_ty();
+  Term f = Term::var("f", fun_ty(a, fun_ty(b, c)));
+  Term fp = Term::comb(Term::comb(f, mk_fst(p)), mk_snd(p));
+  sig.new_definition("UNCURRY", Term::abs(f, Term::abs(p, fp)));
+}
+
+Term mk_pair(const Term& a, const Term& b) {
+  init_pair();
+  Type ct = fun_ty(a.type(), fun_ty(b.type(), prod_ty(a.type(), b.type())));
+  return Term::comb(Term::comb(Term::constant(",", ct), a), b);
+}
+
+bool is_pair(const Term& t) {
+  return t.is_comb() && t.rator().is_comb() && t.rator().rator().is_const() &&
+         t.rator().rator().name() == ",";
+}
+
+std::pair<Term, Term> dest_pair(const Term& t) {
+  if (!is_pair(t)) throw KernelError("dest_pair: not a pair: " + t.to_string());
+  return {t.rator().rand(), t.rand()};
+}
+
+Term mk_tuple(const std::vector<Term>& ts) {
+  if (ts.empty()) throw KernelError("mk_tuple: empty tuple");
+  Term out = ts.back();
+  for (std::size_t i = ts.size() - 1; i-- > 0;) out = mk_pair(ts[i], out);
+  return out;
+}
+
+Term mk_fst(const Term& p) {
+  init_pair();
+  if (!kernel::is_prod_ty(p.type())) {
+    throw KernelError("mk_fst: not a product: " + p.type().to_string());
+  }
+  Type ct = fun_ty(p.type(), kernel::fst_ty(p.type()));
+  return Term::comb(Term::constant("FST", ct), p);
+}
+
+Term mk_snd(const Term& p) {
+  init_pair();
+  if (!kernel::is_prod_ty(p.type())) {
+    throw KernelError("mk_snd: not a product: " + p.type().to_string());
+  }
+  Type ct = fun_ty(p.type(), kernel::snd_ty(p.type()));
+  return Term::comb(Term::constant("SND", ct), p);
+}
+
+Thm fst_pair() {
+  init_pair();
+  return Signature::instance().theorem("FST_PAIR");
+}
+
+Thm snd_pair() {
+  init_pair();
+  return Signature::instance().theorem("SND_PAIR");
+}
+
+Thm pair_surj() {
+  init_pair();
+  return Signature::instance().theorem("PAIR_SURJ");
+}
+
+}  // namespace eda::thy

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "logic/bool_thms.h"
+
+namespace eda::thy {
+
+using kernel::Term;
+using kernel::Thm;
+using kernel::Type;
+
+/// Install the theory of pairs: the product type operator `prod`, the pair
+/// constructor `,`, the projections FST and SND, and UNCURRY.
+///
+/// HOL constructs `prod` definitionally from a type definition; this kernel
+/// has no type-definition rule, so the theory is installed axiomatically
+/// with exactly the theorems HOL exports (see DESIGN.md, substitutions):
+///   FST_PAIR :  |- !x y. FST (x, y) = x
+///   SND_PAIR :  |- !x y. SND (x, y) = y
+///   PAIR_SURJ:  |- !p. (FST p, SND p) = p
+/// UNCURRY is an ordinary definition on top.
+void init_pair();
+
+/// `(a, b)`.
+Term mk_pair(const Term& a, const Term& b);
+bool is_pair(const Term& t);
+std::pair<Term, Term> dest_pair(const Term& t);
+/// Right-nested tuple (a, (b, (c, ...))); singleton list yields the term
+/// itself.
+Term mk_tuple(const std::vector<Term>& ts);
+
+/// `FST p` / `SND p`.
+Term mk_fst(const Term& p);
+Term mk_snd(const Term& p);
+
+/// The installed axioms.
+Thm fst_pair();
+Thm snd_pair();
+Thm pair_surj();
+
+/// Derived: |- !x y a b. ((x, y) = (a, b)) = (x = a /\ y = b) is *not*
+/// needed by the retiming proof and is omitted; see tests for the forward
+/// direction via projections.
+
+}  // namespace eda::thy

@@ -1,0 +1,155 @@
+#include "theories/retiming_thm.h"
+
+#include "kernel/signature.h"
+#include "logic/bool_thms.h"
+#include "logic/conv.h"
+#include "logic/rewrite.h"
+
+namespace eda::thy {
+
+using kernel::alpha_ty;
+using kernel::beta_ty;
+using kernel::delta_ty;
+using kernel::fun_ty;
+using kernel::gamma_ty;
+using kernel::KernelError;
+using kernel::mk_eq;
+using kernel::num_ty;
+using kernel::prod_ty;
+using kernel::Signature;
+using kernel::Term;
+using kernel::Thm;
+using kernel::Type;
+using logic::ap_term;
+using logic::conv_concl_rhs;
+using logic::gen_list;
+using logic::once_depth_conv;
+using logic::rewr_conv;
+using logic::pspec_list;
+using logic::sym;
+using logic::thenc;
+
+namespace {
+
+/// |- h1 (x, y) = g (x, f y): beta followed by the pair projections.
+Thm h1_applied(const Term& h1, const Term& x, const Term& y) {
+  Term redex = Term::comb(h1, mk_pair(x, y));
+  logic::Conv proj = logic::top_depth_conv(
+      logic::orelsec(rewr_conv(fst_pair()), rewr_conv(snd_pair())));
+  return thenc(logic::beta_conv, proj)(redex);
+}
+
+/// |- h2 (x, y) = (FST (g (x, y)), f (SND (g (x, y)))): plain beta (the
+/// argument pair is consumed whole by g).
+Thm h2_applied(const Term& h2, const Term& x, const Term& y) {
+  return Thm::beta(Term::comb(h2, mk_pair(x, y)));
+}
+
+}  // namespace
+
+Term mk_h1(const Term& f, const Term& g) {
+  // f : c -> d,  g : (a # d) -> (b # c);  h1 : (a # c) -> (b # c).
+  Type c = kernel::dom_ty(f.type());
+  Type d = kernel::cod_ty(f.type());
+  Type gdom = kernel::dom_ty(g.type());
+  Type a = kernel::fst_ty(gdom);
+  if (kernel::snd_ty(gdom) != d) {
+    throw KernelError("mk_h1: f codomain does not feed g");
+  }
+  Term p = Term::var("p", prod_ty(a, c));
+  Term body = Term::comb(
+      g, mk_pair(mk_fst(p), Term::comb(f, mk_snd(p))));
+  return Term::abs(p, body);
+}
+
+Term mk_h2(const Term& f, const Term& g) {
+  Type d = kernel::cod_ty(f.type());
+  Type gdom = kernel::dom_ty(g.type());
+  Type gcod = kernel::cod_ty(g.type());
+  Type a = kernel::fst_ty(gdom);
+  if (kernel::snd_ty(gdom) != d ||
+      kernel::snd_ty(gcod) != kernel::dom_ty(f.type())) {
+    throw KernelError("mk_h2: type mismatch between f and g");
+  }
+  Term p = Term::var("p", prod_ty(a, d));
+  Term gp = Term::comb(g, p);
+  Term body = mk_pair(mk_fst(gp), Term::comb(f, mk_snd(gp)));
+  return Term::abs(p, body);
+}
+
+Thm retiming_thm() {
+  init_automata();
+  Signature& sig = Signature::instance();
+  if (auto cached = sig.find_theorem("RETIMING_THM")) return *cached;
+
+  // ---- Setup: generic f, g, q, i, t and the two transition functions. ----
+  Type a = alpha_ty();   // input
+  Type b = beta_ty();    // output
+  Type c = gamma_ty();   // original register type
+  Type d = delta_ty();   // moved register type (f's codomain)
+  Term f = Term::var("f", fun_ty(c, d));
+  Term g = Term::var("g", fun_ty(prod_ty(a, d), prod_ty(b, c)));
+  Term q = Term::var("q", c);
+  Term i = Term::var("i", fun_ty(num_ty(), a));
+  Term t = Term::var("t", num_ty());
+  Term h1 = mk_h1(f, g);
+  Term h2 = mk_h2(f, g);
+  Term fq = Term::comb(f, q);
+
+  // ---- Invariant P(t): STATE h2 (f q) i t = f (STATE h1 q i t). ----------
+  Term s2_t = mk_state(h2, fq, i, t);
+  Term s1_t = mk_state(h1, q, i, t);
+  Term inv_body = mk_eq(s2_t, Term::comb(f, s1_t));
+  Term P = Term::abs(t, inv_body);
+
+  // Base case: both sides reduce to f q by STATE_0.
+  Thm lhs0 = pspec_list({h2, fq, i}, state_0());        // STATE h2 (f q) i 0 = f q
+  Thm rhs0 = ap_term(f, pspec_list({h1, q, i}, state_0()));
+  Thm base = Thm::trans(lhs0, sym(rhs0));
+
+  // Step case: assume P(t), derive P(SUC t).
+  Thm ih = Thm::assume(inv_body);
+  // Left chain: STATE h2 (f q) i (SUC t)
+  //   = SND (h2 (i t, STATE h2 (f q) i t))       [STATE_SUC]
+  //   = SND (h2 (i t, f (STATE h1 q i t)))       [IH]
+  //   = f (SND (g (i t, f s1)))                  [beta, SND_PAIR]
+  Thm left = pspec_list({h2, fq, i, t}, state_suc());
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(ih)), left);
+  Term it = Term::comb(i, t);
+  Term fs1 = Term::comb(f, s1_t);
+  Thm h2app = h2_applied(h2, it, fs1);
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(h2app)), left);
+  left = conv_concl_rhs(once_depth_conv(rewr_conv(snd_pair())), left);
+
+  // Right chain: f (STATE h1 q i (SUC t))
+  //   = f (SND (h1 (i t, s1)))                   [STATE_SUC]
+  //   = f (SND (g (i t, f s1)))                  [beta, FST/SND_PAIR]
+  Thm right = ap_term(f, pspec_list({h1, q, i, t}, state_suc()));
+  Thm h1app = h1_applied(h1, it, s1_t);
+  right = conv_concl_rhs(once_depth_conv(rewr_conv(h1app)), right);
+
+  Thm step_concl = Thm::trans(left, sym(right));
+  Thm step = logic::gen(t, logic::disch(inv_body, step_concl));
+
+  // Induction.
+  Thm invariant = num_induct(P, base, step);          // !t. P t
+
+  // ---- Output equality. ----------------------------------------------------
+  // AUTOMATON h1 q i t = FST (h1 (i t, s1)) = FST (g (i t, f s1))
+  Thm out1 = pspec_list({h1, q, i, t}, automaton_expand());
+  out1 = conv_concl_rhs(once_depth_conv(rewr_conv(h1app)), out1);
+  // AUTOMATON h2 (f q) i t = FST (h2 (i t, s2))
+  //   = FST (h2 (i t, f s1)) = FST (g (i t, f s1))
+  Thm inv_t = logic::spec(t, invariant);
+  Thm out2 = pspec_list({h2, fq, i, t}, automaton_expand());
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(inv_t)), out2);
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(h2app)), out2);
+  out2 = conv_concl_rhs(once_depth_conv(rewr_conv(fst_pair())), out2);
+
+  Thm final = Thm::trans(out1, sym(out2));
+  Thm result = gen_list({f, g, q, i, t}, final);
+  sig.store_theorem("RETIMING_THM", result);
+  return result;
+}
+
+}  // namespace eda::thy

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "theories/automata_theory.h"
+
+namespace eda::thy {
+
+/// The universal retiming theorem of the paper (section IV.A), proved *in
+/// the kernel* by induction over time — once and for all:
+///
+///   RETIMING_THM:
+///   |- !f g q i t.
+///        AUTOMATON (\p. g (FST p, f (SND p)))           q     i t
+///      = AUTOMATON (\p. (FST (g p), f (SND (g p))))     (f q) i t
+///
+/// Reading: the original circuit computes x = f(s) from the registers s
+/// (initial value q) and feeds (input, x) into g, which produces the output
+/// and the next register value.  The retimed circuit has the registers
+/// *after* f (initial value f(q)); its combinational part is g followed by
+/// f on the state component.  Instantiating f and g — the "cut" produced by
+/// an arbitrary heuristic — and the initial state q yields a correctness
+/// theorem for one forward-retiming move; backward retiming uses the same
+/// equation right-to-left.
+///
+/// The theorem is polymorphic in the input ('a), output ('b), register ('c)
+/// and moved-register ('d) types:  f : 'c -> 'd,  g : ('a#'d) -> ('b#'c).
+///
+/// The proof (see retiming_thm.cpp) establishes the invariant
+///   STATE h2 (f q) i t = f (STATE h1 q i t)
+/// by the INDUCTION axiom and then equates the outputs; it uses no oracle,
+/// which the test suite asserts.
+kernel::Thm retiming_thm();
+
+/// The two generic transition functions of the theorem, for callers that
+/// need to match against them:  h1 = \p. g (FST p, f (SND p)) and
+/// h2 = \p. (FST (g p), f (SND (g p))), built from given f and g terms.
+kernel::Term mk_h1(const kernel::Term& f, const kernel::Term& g);
+kernel::Term mk_h2(const kernel::Term& f, const kernel::Term& g);
+
+}  // namespace eda::thy

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+
+namespace eda::verify {
+
+/// Resource bounds for a verification run.  The paper's tables mark runs
+/// that exceed reasonable time with "-"; `completed == false` is our
+/// equivalent.
+struct VerifyOptions {
+  double timeout_sec = 10.0;
+  std::size_t node_limit = 4'000'000;   // BDD nodes (symbolic engines)
+  std::size_t state_limit = 2'000'000;  // explicit states (SIS-style)
+};
+
+struct VerifyResult {
+  bool completed = false;   // finished within the resource bounds
+  bool equivalent = false;  // verdict (valid only when completed)
+  int iterations = 0;       // traversal steps
+  double seconds = 0.0;
+  std::size_t peak = 0;     // peak BDD nodes / explicit states
+};
+
+}  // namespace eda::verify

@@ -1,0 +1,139 @@
+#include "verify/eijk.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+
+namespace eda::verify {
+
+using bdd::BddId;
+using bdd::BddManager;
+
+namespace {
+
+/// Early-quantification image: conjoin the partitions in order, existen-
+/// tially quantifying each variable right after the last partition that
+/// mentions it.
+BddId partitioned_image(BddManager& mgr, BddId frontier,
+                        const std::vector<BddId>& partitions,
+                        const std::vector<int>& quantify) {
+  std::set<int> qset(quantify.begin(), quantify.end());
+  // Last partition index mentioning each quantified variable (frontier is
+  // partition -1).
+  std::map<int, std::size_t> last;
+  for (int v : quantify) last[v] = 0;
+  for (std::size_t k = 0; k < partitions.size(); ++k) {
+    for (int v : mgr.support(partitions[k])) {
+      if (qset.count(v) > 0) last[v] = k;
+    }
+  }
+  BddId acc = frontier;
+  for (std::size_t k = 0; k < partitions.size(); ++k) {
+    std::vector<int> now;
+    for (const auto& [v, kk] : last) {
+      if (kk == k) now.push_back(v);
+    }
+    if (now.empty()) {
+      acc = mgr.land(acc, partitions[k]);
+    } else {
+      acc = mgr.and_exists(acc, partitions[k], now);
+    }
+  }
+  // Variables mentioned by no partition (e.g. quantified inputs unused by
+  // any next function) may remain in the frontier.
+  std::vector<int> rest;
+  for (int v : mgr.support(acc)) {
+    if (qset.count(v) > 0) rest.push_back(v);
+  }
+  if (!rest.empty()) acc = mgr.exists(acc, rest);
+  return acc;
+}
+
+}  // namespace
+
+VerifyResult eijk_check(const circuit::GateNetlist& a,
+                        const circuit::GateNetlist& b,
+                        const VerifyOptions& opts,
+                        bool exploit_functional_dependencies) {
+  VerifyResult res;
+  auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  try {
+    BddManager mgr(product_var_count(a, b), opts.node_limit);
+    Product p = build_product(mgr, a, b);
+
+    // Partitioned transition relation.
+    std::vector<BddId> partitions;
+    for (std::size_t k = 0; k < p.a.next_fn.size(); ++k) {
+      partitions.push_back(
+          mgr.lxnor(mgr.var(p.a.next_vars[k]), p.a.next_fn[k]));
+    }
+    for (std::size_t k = 0; k < p.b.next_fn.size(); ++k) {
+      partitions.push_back(
+          mgr.lxnor(mgr.var(p.b.next_vars[k]), p.b.next_fn[k]));
+    }
+
+    // Dependency detection targets the second machine's registers: after a
+    // retiming they are functions f(s) of the first machine's registers,
+    // which is exactly the structure van Eijk & Jess exploit.
+    std::vector<int> all_state;
+    for (int k = 0; k < p.layout.nb; ++k) all_state.push_back(p.layout.b_state(k));
+
+    BddId reached = mgr.land(p.a.init, p.b.init);
+    BddId frontier = reached;
+    for (;;) {
+      ++res.iterations;
+      res.peak = std::max(res.peak, mgr.node_table_size());
+      if (elapsed() > opts.timeout_sec) {
+        res.seconds = elapsed();
+        return res;
+      }
+
+      BddId img_frontier = frontier;
+      std::vector<BddId> parts = partitions;
+      if (exploit_functional_dependencies) {
+        // Detect functionally dependent state variables on the frontier:
+        // v is dependent when the v=1 and v=0 projections are disjoint.
+        // Replace the frontier by its reduced form and add the dependency
+        // as an extra (cheap) partition, so image computation works in the
+        // reduced space (van Eijk & Jess).
+        for (int v : mgr.support(frontier)) {
+          if (std::find(all_state.begin(), all_state.end(), v) ==
+              all_state.end()) {
+            continue;
+          }
+          BddId on = mgr.exists(mgr.land(img_frontier, mgr.var(v)), {v});
+          BddId off = mgr.exists(mgr.land(img_frontier, mgr.nvar(v)), {v});
+          if (mgr.land(on, off) == mgr.false_bdd()) {
+            BddId dep = mgr.lxnor(mgr.var(v), on);  // v == F(rest)
+            img_frontier = mgr.exists(img_frontier, {v});
+            parts.push_back(dep);
+          }
+        }
+      }
+
+      BddId img = partitioned_image(mgr, img_frontier, parts, p.quantify);
+      img = mgr.rename(img, p.next_to_present);
+      BddId next_reached = mgr.lor(reached, img);
+      if (next_reached == reached) break;
+      frontier = img;
+      reached = next_reached;
+    }
+    res.peak = std::max(res.peak, mgr.node_table_size());
+    res.seconds = elapsed();
+    res.completed = true;
+    res.equivalent = mgr.land(reached, p.miscompare) == mgr.false_bdd();
+    return res;
+  } catch (const bdd::BddError&) {
+    res.seconds = elapsed();
+    res.completed = false;
+    return res;
+  }
+}
+
+}  // namespace eda::verify

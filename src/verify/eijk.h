@@ -1,0 +1,24 @@
+#pragma once
+
+#include "verify/symbolic.h"
+
+namespace eda::verify {
+
+/// Van Eijk-style product-machine traversal (the paper's "Eijk" column):
+/// like SMV but with a *partitioned* transition relation and early
+/// quantification — each next-state bit is a separate conjunct, and input/
+/// present-state variables are quantified out as soon as no remaining
+/// partition mentions them.
+///
+/// With `exploit_functional_dependencies` (the "Eijk+" column, van Eijk &
+/// Jess ED&TC'97), the traversal additionally detects state variables that
+/// are functions of the others on the reached set — exactly the situation
+/// after retiming, where the new registers are functions f(s) of the old —
+/// and keeps the reached set in the reduced space, substituting the
+/// dependency functions during image computation.
+VerifyResult eijk_check(const circuit::GateNetlist& a,
+                        const circuit::GateNetlist& b,
+                        const VerifyOptions& opts = {},
+                        bool exploit_functional_dependencies = false);
+
+}  // namespace eda::verify

@@ -1,0 +1,328 @@
+#include "verify/retime_match.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace eda::verify {
+
+using circuit::Node;
+using circuit::Op;
+using circuit::Rtl;
+using circuit::SignalId;
+
+namespace {
+
+bool is_comb(const Node& n) {
+  return n.op != Op::Input && n.op != Op::Reg && n.op != Op::Const;
+}
+
+/// Signals with a path to an output, directly or through *live* registers.
+/// Dead logic — including dead registers and their next-state cones — is
+/// excluded from the match: retiming implementations legitimately sweep
+/// nodes that feed nothing (our conventional step drops unused f-nodes and
+/// unread registers), and that is not a behavioural difference.
+std::set<SignalId> useful_signals(const Rtl& rtl) {
+  // Liveness fixpoint over registers first: a register is live when some
+  // output cone reads it, directly or through other live registers.
+  std::set<SignalId> live;
+  std::set<SignalId> visited;
+  std::function<void(SignalId)> regs_of = [&](SignalId s) {
+    if (!visited.insert(s).second) return;
+    const Node& n = rtl.node(s);
+    if (n.op == Op::Reg) {
+      live.insert(s);
+      return;
+    }
+    for (SignalId o : n.operands) regs_of(o);
+  };
+  for (const circuit::OutputPort& o : rtl.outputs()) regs_of(o.signal);
+  bool changed = true;
+  while (changed) {
+    std::size_t before = live.size();
+    for (SignalId r : std::set<SignalId>(live)) regs_of(rtl.node(r).next);
+    changed = live.size() != before;
+  }
+  // Useful = cones of the outputs and of the live registers' nexts.
+  std::set<SignalId> useful;
+  std::function<void(SignalId)> visit = [&](SignalId s) {
+    if (!useful.insert(s).second) return;
+    const Node& n = rtl.node(s);
+    if (n.op == Op::Reg) return;  // crossed per live register below
+    for (SignalId o : n.operands) visit(o);
+  };
+  for (const circuit::OutputPort& o : rtl.outputs()) visit(o.signal);
+  for (SignalId r : live) {
+    useful.insert(r);
+    visit(rtl.node(r).next);
+  }
+  return useful;
+}
+
+/// Follow register chains to the combinational/input/const source feeding
+/// a signal, counting the registers crossed.
+std::pair<SignalId, int> chase_regs(const Rtl& rtl, SignalId s) {
+  int w = 0;
+  while (rtl.node(s).op == Op::Reg) {
+    ++w;
+    s = rtl.node(s).next;
+  }
+  return {s, w};
+}
+
+/// Weisfeiler–Leman colour refinement with registers transparent: a
+/// register inherits the colour of whatever feeds it, so two circuits that
+/// differ only in register placement converge to the same colouring.
+/// Inputs and outputs are anchored by position so the match respects the
+/// environment.
+std::vector<std::uint64_t> wl_colors(const Rtl& rtl, std::size_t rounds) {
+  const std::size_t n = rtl.nodes().size();
+  std::vector<std::uint64_t> color(n);
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  // Seed colours.
+  for (std::size_t k = 0; k < n; ++k) {
+    const Node& nd = rtl.nodes()[k];
+    std::uint64_t c = 0;
+    switch (nd.op) {
+      case Op::Input: {
+        std::size_t pos = 0;
+        for (std::size_t j = 0; j < rtl.inputs().size(); ++j) {
+          if (rtl.inputs()[j] == static_cast<SignalId>(k)) pos = j;
+        }
+        c = mix(0x11, pos);
+        break;
+      }
+      case Op::Const:
+        c = mix(0x22, nd.value) ^ static_cast<std::uint64_t>(nd.width);
+        break;
+      case Op::Reg:
+        c = 0x33;  // transparent; refined from the source below
+        break;
+      default:
+        c = mix(0x44, static_cast<std::uint64_t>(nd.op)) ^
+            static_cast<std::uint64_t>(nd.width);
+    }
+    color[k] = c;
+  }
+  // Output anchors.
+  for (std::size_t j = 0; j < rtl.outputs().size(); ++j) {
+    auto [src, w] = chase_regs(rtl, rtl.outputs()[j].signal);
+    (void)w;
+    color[static_cast<std::size_t>(src)] =
+        mix(color[static_cast<std::size_t>(src)], 0x5500 + j);
+  }
+  // Refinement rounds (registers copy their source's colour).  The caller
+  // fixes the round count so both circuits are refined equally — colours
+  // on cyclic skeletons never converge, they must simply correspond.
+  std::vector<std::uint64_t> next(n);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const Node& nd = rtl.nodes()[k];
+      if (nd.op == Op::Reg) {
+        auto [src, w] = chase_regs(rtl, static_cast<SignalId>(k));
+        (void)w;
+        next[k] = color[static_cast<std::size_t>(src)];
+        continue;
+      }
+      std::uint64_t h = color[k];
+      for (SignalId o : nd.operands) {
+        auto [src, w] = chase_regs(rtl, o);
+        (void)w;
+        h = mix(h, color[static_cast<std::size_t>(src)]);
+      }
+      next[k] = h;
+    }
+    if (next == color) break;
+    color = next;
+  }
+  return color;
+}
+
+}  // namespace
+
+RetimeMatchResult verify_retiming(const Rtl& a, const Rtl& b,
+                                  std::uint32_t seed) {
+  RetimeMatchResult res;
+  a.validate();
+  b.validate();
+  if (a.inputs().size() != b.inputs().size() ||
+      a.outputs().size() != b.outputs().size()) {
+    res.reason = "interface mismatch (input/output arity)";
+    return res;
+  }
+  for (std::size_t k = 0; k < a.inputs().size(); ++k) {
+    if (a.node(a.inputs()[k]).width != b.node(b.inputs()[k]).width) {
+      res.reason = "interface mismatch (input widths)";
+      return res;
+    }
+  }
+
+  // ---- 1. structural matching by colour class. -----------------------------
+  std::size_t rounds = std::max(a.nodes().size(), b.nodes().size()) + 1;
+  std::vector<std::uint64_t> ca = wl_colors(a, rounds);
+  std::vector<std::uint64_t> cb = wl_colors(b, rounds);
+  std::set<SignalId> useful_a = useful_signals(a);
+  std::set<SignalId> useful_b = useful_signals(b);
+  std::map<std::uint64_t, std::vector<SignalId>> by_color_b;
+  for (std::size_t k = 0; k < b.nodes().size(); ++k) {
+    if (is_comb(b.nodes()[k]) && useful_b.count(static_cast<SignalId>(k)) > 0) {
+      by_color_b[cb[k]].push_back(static_cast<SignalId>(k));
+    }
+  }
+  std::map<std::uint64_t, std::size_t> cursor;
+  std::set<SignalId> used_b;
+  for (std::size_t k = 0; k < a.nodes().size(); ++k) {
+    if (!is_comb(a.nodes()[k]) || useful_a.count(static_cast<SignalId>(k)) == 0) continue;
+    auto it = by_color_b.find(ca[k]);
+    std::size_t& cur = cursor[ca[k]];
+    if (it == by_color_b.end() || cur >= it->second.size()) {
+      res.reason = "no structural counterpart for node " + std::to_string(k) +
+                   " (" + circuit::op_name(a.nodes()[k].op) +
+                   ") — not a pure retiming";
+      return res;
+    }
+    SignalId mb = it->second[cur++];
+    if (a.nodes()[k].op != b.node(mb).op ||
+        a.nodes()[k].operands.size() != b.node(mb).operands.size()) {
+      res.reason = "colour collision with different operators";
+      return res;
+    }
+    res.node_map[static_cast<SignalId>(k)] = mb;
+    used_b.insert(mb);
+  }
+  for (std::size_t k = 0; k < b.nodes().size(); ++k) {
+    if (is_comb(b.nodes()[k]) && useful_b.count(static_cast<SignalId>(k)) > 0 &&
+        used_b.count(static_cast<SignalId>(k)) == 0) {
+      res.reason = "retimed circuit has unmatched combinational nodes";
+      return res;
+    }
+  }
+
+  // ---- 2. solve the lag from matched edges. ---------------------------------
+  // Vertex set: matched comb nodes plus one environment vertex (-1).
+  // Constraint per edge u->v: lag(v) - lag(u) = w_b(e) - w_a(e).
+  std::map<SignalId, int>& lag = res.lag;
+  auto source_vertex = [&](const Rtl& rtl, SignalId raw,
+                           bool is_a) -> std::optional<SignalId> {
+    auto [src, w] = chase_regs(rtl, raw);
+    (void)w;
+    const Node& nd = rtl.node(src);
+    if (nd.op == Op::Input) return -1;  // environment
+    if (nd.op == Op::Const) return std::nullopt;  // no constraint through consts
+    (void)is_a;
+    return src;
+  };
+
+  struct Constraint {
+    SignalId u, v;  // a-side ids; -1 = environment
+    int diff;       // lag(v) - lag(u)
+  };
+  std::vector<Constraint> cons;
+  std::map<SignalId, SignalId> inv_map;  // b -> a
+  for (const auto& [na, nb] : res.node_map) inv_map[nb] = na;
+
+  for (const auto& [na, nb] : res.node_map) {
+    const Node& xa = a.node(na);
+    const Node& xb = b.node(nb);
+    for (std::size_t j = 0; j < xa.operands.size(); ++j) {
+      auto [sa, wa] = chase_regs(a, xa.operands[j]);
+      auto [sb, wb] = chase_regs(b, xb.operands[j]);
+      const Node& da = a.node(sa);
+      const Node& db = b.node(sb);
+      if (da.op == Op::Const || db.op == Op::Const) {
+        if (da.op != db.op || da.value != db.value) {
+          res.reason = "constant operand mismatch";
+          return res;
+        }
+        continue;  // constants are time-invariant: no lag constraint
+      }
+      SignalId ua;
+      if (da.op == Op::Input) {
+        if (db.op != Op::Input) {
+          res.reason = "operand source kind mismatch";
+          return res;
+        }
+        ua = -1;
+      } else {
+        auto it = res.node_map.find(sa);
+        if (it == res.node_map.end() || it->second != sb) {
+          res.reason = "matched nodes disagree on operand sources";
+          return res;
+        }
+        ua = sa;
+      }
+      cons.push_back(Constraint{ua, na, wb - wa});
+    }
+  }
+  // Output edges anchor their sources to the environment.
+  for (std::size_t j = 0; j < a.outputs().size(); ++j) {
+    auto [sa, wa] = chase_regs(a, a.outputs()[j].signal);
+    auto [sb, wb] = chase_regs(b, b.outputs()[j].signal);
+    const Node& da = a.node(sa);
+    if (da.op == Op::Const || da.op == Op::Input) {
+      if (wa != wb) {
+        // A register chain on a constant/input changes only the
+        // transient; fall through to the simulation check.
+      }
+      continue;
+    }
+    auto it = res.node_map.find(sa);
+    if (it == res.node_map.end() || it->second != sb) {
+      res.reason = "outputs driven by unmatched nodes";
+      return res;
+    }
+    cons.push_back(Constraint{sa, -1, wb - wa});
+  }
+
+  // Propagate lags from the environment (lag(-1) = 0) and check.
+  lag[-1] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Constraint& c : cons) {
+      auto iu = lag.find(c.u);
+      auto iv = lag.find(c.v);
+      if (iu != lag.end() && iv == lag.end()) {
+        lag[c.v] = iu->second + c.diff;
+        changed = true;
+      } else if (iu == lag.end() && iv != lag.end()) {
+        lag[c.u] = iv->second - c.diff;
+        changed = true;
+      } else if (iu != lag.end() && iv != lag.end()) {
+        if (iv->second - iu->second != c.diff) {
+          res.reason = "inconsistent register displacement (lag) — the "
+                       "register moves do not form a legal retiming";
+          return res;
+        }
+      }
+    }
+  }
+  // Isolated components (no path to the environment) get lag 0.
+  for (const auto& [na, nb] : res.node_map) {
+    (void)nb;
+    lag.emplace(na, 0);
+  }
+
+  // ---- 3. reset-transient co-simulation for the initial values. ------------
+  int max_lag = 0;
+  for (const auto& [v, l] : lag) max_lag = std::max(max_lag, std::abs(l));
+  int cycles = 2 * (max_lag + 1) + 4;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    if (!circuit::simulation_equivalent(a, b, cycles, seed + s)) {
+      res.reason = "reset transient differs — initial values of the moved "
+                   "registers are not compatible";
+      return res;
+    }
+  }
+
+  res.equivalent = true;
+  return res;
+}
+
+}  // namespace eda::verify

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "circuit/rtl.h"
+
+namespace eda::verify {
+
+/// Result of the retiming-specific structural verifier.
+struct RetimeMatchResult {
+  bool equivalent = false;
+  /// Human-readable reason when not equivalent (which check failed).
+  std::string reason;
+  /// Matched combinational nodes (a-signal -> b-signal) when structural
+  /// matching succeeded.
+  std::map<circuit::SignalId, circuit::SignalId> node_map;
+  /// Solved lag (retiming value) per matched a-node; inputs/outputs are
+  /// anchored at lag 0.
+  std::map<circuit::SignalId, int> lag;
+};
+
+/// The specialised post-synthesis verifier of the paper's reference [8]
+/// (Huang, Cheng & Chen, "On verifying the correctness of retimed
+/// circuits"): exploit that pure retiming leaves the combinational
+/// skeleton intact and only moves registers, so the two descriptions can
+/// be *matched* instead of model-checked.
+///
+///   1. colour-refine both netlists with registers transparent, anchoring
+///      primary inputs and outputs, and match combinational nodes by
+///      colour class;
+///   2. read the register displacement r(v) off the matched edges
+///      (w_b = w_a + r(head) - r(tail)) and check it is consistent, with
+///      the environment anchored at lag 0;
+///   3. validate the initial values by co-simulating the reset transient
+///      (2*(max|lag|+1) cycles, multiple random stimuli) — the structural
+///      match guarantees steady-state equivalence, the transient check
+///      covers the moved registers' initial contents.
+///
+/// Fast (near-linear) but, as the paper stresses, *limited to pure
+/// retiming*: any resynthesis (logic minimisation, re-encoding) breaks the
+/// match and the verifier gives up — the combinability drawback that
+/// motivates HASH's compound steps.
+RetimeMatchResult verify_retiming(const circuit::Rtl& a,
+                                  const circuit::Rtl& b,
+                                  std::uint32_t seed = 1);
+
+}  // namespace eda::verify

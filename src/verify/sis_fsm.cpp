@@ -1,0 +1,77 @@
+#include "verify/sis_fsm.h"
+
+#include <chrono>
+#include <deque>
+#include <set>
+
+namespace eda::verify {
+
+VerifyResult sis_fsm_check(const circuit::GateNetlist& a,
+                           const circuit::GateNetlist& b,
+                           const VerifyOptions& opts) {
+  VerifyResult res;
+  auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  if (a.inputs().size() != b.inputs().size() ||
+      a.outputs().size() != b.outputs().size()) {
+    res.completed = true;
+    res.equivalent = false;
+    return res;
+  }
+  const std::size_t ni = a.inputs().size();
+  if (ni > 24) return res;  // input enumeration hopeless; report "-"
+
+  circuit::GateSimulator sa(a), sb(b);
+  std::vector<bool> init;
+  for (bool v : sa.dff_state()) init.push_back(v);
+  for (bool v : sb.dff_state()) init.push_back(v);
+
+  const std::size_t na = sa.dff_state().size();
+  std::set<std::vector<bool>> visited;
+  std::deque<std::vector<bool>> queue;
+  visited.insert(init);
+  queue.push_back(init);
+
+  std::uint64_t input_count = 1ULL << ni;
+  while (!queue.empty()) {
+    if (elapsed() > opts.timeout_sec ||
+        visited.size() > opts.state_limit) {
+      res.seconds = elapsed();
+      res.peak = visited.size();
+      return res;  // "-"
+    }
+    std::vector<bool> state = queue.front();
+    queue.pop_front();
+    ++res.iterations;
+    std::vector<bool> state_a(state.begin(),
+                              state.begin() + static_cast<long>(na));
+    std::vector<bool> state_b(state.begin() + static_cast<long>(na),
+                              state.end());
+    for (std::uint64_t in = 0; in < input_count; ++in) {
+      std::vector<bool> bits = circuit::to_bits(in, static_cast<int>(ni));
+      auto [oa, nexta] = sa.eval(bits, state_a);
+      auto [ob, nextb] = sb.eval(bits, state_b);
+      if (oa != ob) {
+        res.completed = true;
+        res.equivalent = false;
+        res.seconds = elapsed();
+        res.peak = visited.size();
+        return res;
+      }
+      std::vector<bool> next = nexta;
+      next.insert(next.end(), nextb.begin(), nextb.end());
+      if (visited.insert(next).second) queue.push_back(next);
+    }
+  }
+  res.completed = true;
+  res.equivalent = true;
+  res.seconds = elapsed();
+  res.peak = visited.size();
+  return res;
+}
+
+}  // namespace eda::verify

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "circuit/bitblast.h"
+#include "verify/common.h"
+
+namespace eda::verify {
+
+/// SIS-style FSM comparison (the paper's "SIS" column): explicit
+/// breadth-first traversal of the product state graph, enumerating every
+/// input combination from every visited state and comparing the outputs.
+/// Cost is O(|reachable states| * 2^inputs) — exponential in both the
+/// flip-flop and input counts, which is why the column degrades first in
+/// the tables.
+VerifyResult sis_fsm_check(const circuit::GateNetlist& a,
+                           const circuit::GateNetlist& b,
+                           const VerifyOptions& opts = {});
+
+}  // namespace eda::verify

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "verify/symbolic.h"
+
+namespace eda::verify {
+
+/// SMV-style symbolic model checking of sequential equivalence (the
+/// paper's "SMV" column): build the *monolithic* transition relation of
+/// the product machine, run breadth-first symbolic reachability from the
+/// initial state pair, and check that no reachable state can produce
+/// differing outputs.  Runtime and BDD sizes grow with the number of state
+/// bits — the blow-up the paper's tables document.
+VerifyResult smv_check(const circuit::GateNetlist& a,
+                       const circuit::GateNetlist& b,
+                       const VerifyOptions& opts = {});
+
+}  // namespace eda::verify

@@ -1,0 +1,340 @@
+// Tests for formal backward retiming (paper, section IV.A: "Backward
+// retiming is more complex since one has to find the q's corresponding to
+// some expression representing f(q')").  Covers the dual cut-legality
+// checks, the initial-state solver (inversion and brute-force paths), the
+// image-emptiness failure mode, and the forward/backward round trip
+// composed through the transitivity rule.
+
+#include <gtest/gtest.h>
+
+#include "bench_gen/fig2.h"
+#include "hash/backward.h"
+#include "hash/compound.h"
+#include "hash/retime_step.h"
+#include "logic/bool_thms.h"
+
+namespace c = eda::circuit;
+namespace h = eda::hash;
+namespace k = eda::kernel;
+namespace l = eda::logic;
+using c::Op;
+using c::Rtl;
+using c::SignalId;
+using k::Thm;
+
+namespace {
+
+/// reg R (width 4, init `reg_init`) --> f-cone --> R;  output = R | i.
+/// `make_cone` builds the f-cone from the register output and returns the
+/// node ids that form the backward cut.
+struct LoopCircuit {
+  Rtl rtl;
+  h::BackwardCut cut;
+  SignalId reg;
+};
+
+LoopCircuit make_loop(
+    std::uint64_t reg_init,
+    const std::function<SignalId(Rtl&, SignalId, h::BackwardCut&)>&
+        make_cone) {
+  LoopCircuit lc;
+  SignalId i = lc.rtl.add_input("i", 4);
+  lc.reg = lc.rtl.add_reg("R", 4, reg_init);
+  SignalId next = make_cone(lc.rtl, lc.reg, lc.cut);
+  lc.rtl.set_reg_next(lc.reg, next);
+  SignalId out = lc.rtl.add_op(Op::Or, {lc.reg, i});
+  lc.rtl.add_output("y", out);
+  lc.rtl.validate();
+  return lc;
+}
+
+}  // namespace
+
+TEST(BackwardSplit, InverseOfForwardCutOnFig2) {
+  auto fig2 = eda::bench_gen::make_fig2(4);
+  h::RetimeMapping fwd =
+      h::conventional_retime_mapped(fig2.rtl, fig2.good_cut);
+  h::BackwardCut inv = h::inverse_of_forward_cut(fwd, fig2.good_cut);
+  ASSERT_EQ(inv.f_nodes.size(), 1u);
+  h::BackwardSplit split = h::compile_backward_split(fwd.rtl, inv);
+  EXPECT_EQ(split.chi.size(), 1u);
+  // The register moves back to the MUX output (the incrementer's input).
+  EXPECT_EQ(fwd.rtl.node(split.chi[0]).op, Op::Mux);
+}
+
+TEST(BackwardSplit, CutFeedingOutputThrows) {
+  // The f-node drives a primary output, so the registers cannot move
+  // backward across it (the value is consumed before the register bank).
+  Rtl rtl;
+  SignalId i = rtl.add_input("i", 4);
+  SignalId r = rtl.add_reg("R", 4, 0);
+  SignalId inc = rtl.add_op(Op::Add, {r, rtl.add_const(4, 1)});
+  rtl.set_reg_next(r, inc);
+  rtl.add_output("y", inc);
+  (void)i;
+  h::BackwardCut cut{{inc}};
+  EXPECT_THROW(h::compile_backward_split(rtl, cut), h::BackwardError);
+}
+
+TEST(BackwardSplit, CutFeedingGNodeThrows) {
+  Rtl rtl;
+  SignalId i = rtl.add_input("i", 4);
+  SignalId r = rtl.add_reg("R", 4, 0);
+  SignalId inc = rtl.add_op(Op::Add, {r, rtl.add_const(4, 1)});
+  rtl.set_reg_next(r, inc);
+  SignalId y = rtl.add_op(Op::Xor, {inc, i});  // g-node consuming an f-node
+  rtl.add_output("y", y);
+  h::BackwardCut cut{{inc}};
+  EXPECT_THROW(h::compile_backward_split(rtl, cut), h::BackwardError);
+}
+
+TEST(BackwardSplit, FlagLeafThrows) {
+  // Moving a register across a MUX whose select comes from g would require
+  // registering the 1-bit flag; the split must reject it.
+  Rtl rtl;
+  SignalId i = rtl.add_input("i", 4);
+  SignalId r = rtl.add_reg("R", 4, 0);
+  SignalId flag = rtl.add_op(Op::Eq, {r, i});
+  SignalId mux = rtl.add_op(Op::Mux, {flag, r, i});
+  rtl.set_reg_next(r, mux);
+  rtl.add_output("y", rtl.add_op(Op::Or, {r, i}));
+  h::BackwardCut cut{{mux}};
+  EXPECT_THROW(h::compile_backward_split(rtl, cut), h::BackwardError);
+}
+
+TEST(BackwardSolve, InvertsAddXorChain) {
+  // f(x) = (x + 3) ^ 5 over 4 bits; register holds 9.
+  // q0 must satisfy ((q0 + 3) mod 16) ^ 5 = 9  =>  q0 + 3 = 12  =>  q0 = 9.
+  auto lc = make_loop(9, [](Rtl& rtl, SignalId r, h::BackwardCut& cut) {
+    SignalId a = rtl.add_op(Op::Add, {r, rtl.add_const(4, 3)});
+    SignalId x = rtl.add_op(Op::Xor, {a, rtl.add_const(4, 5)});
+    cut.f_nodes = {a, x};
+    return x;
+  });
+  h::BackwardSplit split = h::compile_backward_split(lc.rtl, lc.cut);
+  auto q0 = h::solve_initial_state(lc.rtl, lc.cut, split.chi);
+  ASSERT_EQ(q0.size(), 1u);
+  EXPECT_EQ(q0[0], 9u);
+}
+
+TEST(BackwardSolve, InvertsOddMultiplier) {
+  // f(x) = 3*x mod 16; register holds 9; 3^-1 = 11 (mod 16), q0 = 99 mod
+  // 16 = 3.
+  auto lc = make_loop(9, [](Rtl& rtl, SignalId r, h::BackwardCut& cut) {
+    SignalId m = rtl.add_op(Op::Mul, {rtl.add_const(4, 3), r});
+    cut.f_nodes = {m};
+    return m;
+  });
+  h::BackwardSplit split = h::compile_backward_split(lc.rtl, lc.cut);
+  auto q0 = h::solve_initial_state(lc.rtl, lc.cut, split.chi);
+  ASSERT_EQ(q0.size(), 1u);
+  EXPECT_EQ(q0[0], 3u);
+}
+
+TEST(BackwardSolve, BruteForcesNonInvertibleCone) {
+  // f(x) = x*x mod 16; register holds 9.  Squaring is not invertible by
+  // local propagation, so the solver falls back to search; 3*3 = 9 is one
+  // of the four square roots of 9 modulo 16 and any of them is acceptable
+  // (the formal step proves whichever the solver returns).
+  auto lc = make_loop(9, [](Rtl& rtl, SignalId r, h::BackwardCut& cut) {
+    SignalId m = rtl.add_op(Op::Mul, {r, r});
+    cut.f_nodes = {m};
+    return m;
+  });
+  h::BackwardSplit split = h::compile_backward_split(lc.rtl, lc.cut);
+  auto q0 = h::solve_initial_state(lc.rtl, lc.cut, split.chi);
+  ASSERT_EQ(q0.size(), 1u);
+  EXPECT_EQ((q0[0] * q0[0]) % 16, 9u);
+}
+
+TEST(BackwardSolve, NotInImageThrows) {
+  // f(x) = x & 0 can only produce 0, but the register holds 1: the move is
+  // impossible — there is no yesterday whose f-image is today.
+  auto lc = make_loop(1, [](Rtl& rtl, SignalId r, h::BackwardCut& cut) {
+    SignalId m = rtl.add_op(Op::And, {r, rtl.add_const(4, 0)});
+    cut.f_nodes = {m};
+    return m;
+  });
+  h::BackwardSplit split = h::compile_backward_split(lc.rtl, lc.cut);
+  EXPECT_THROW(h::solve_initial_state(lc.rtl, lc.cut, split.chi),
+               h::BackwardError);
+  EXPECT_THROW(h::formal_backward_retime(lc.rtl, lc.cut), h::BackwardError);
+}
+
+TEST(BackwardSolve, InvertsSubBothOrientations) {
+  // a - x and x - b both invert against a ground operand.
+  auto lc1 = make_loop(5, [](Rtl& rtl, SignalId r, h::BackwardCut& cut) {
+    SignalId s = rtl.add_op(Op::Sub, {rtl.add_const(4, 13), r});
+    cut.f_nodes = {s};
+    return s;
+  });
+  auto split1 = h::compile_backward_split(lc1.rtl, lc1.cut);
+  auto q1 = h::solve_initial_state(lc1.rtl, lc1.cut, split1.chi);
+  EXPECT_EQ((13 - q1[0]) & 15, 5u);
+
+  auto lc2 = make_loop(5, [](Rtl& rtl, SignalId r, h::BackwardCut& cut) {
+    SignalId s = rtl.add_op(Op::Sub, {r, rtl.add_const(4, 13)});
+    cut.f_nodes = {s};
+    return s;
+  });
+  auto split2 = h::compile_backward_split(lc2.rtl, lc2.cut);
+  auto q2 = h::solve_initial_state(lc2.rtl, lc2.cut, split2.chi);
+  EXPECT_EQ((q2[0] - 13) & 15, 5u);
+}
+
+TEST(BackwardSolve, MuxWithGroundSelectInverts) {
+  // sel is a ground comparison of constants, so inversion descends into
+  // the selected branch only.
+  auto lc = make_loop(9, [](Rtl& rtl, SignalId r, h::BackwardCut& cut) {
+    SignalId sel = rtl.add_op(Op::Eq, {rtl.add_const(4, 3),
+                                       rtl.add_const(4, 3)});
+    SignalId inc = rtl.add_op(Op::Add, {r, rtl.add_const(4, 1)});
+    SignalId mux = rtl.add_op(Op::Mux, {sel, inc, rtl.add_const(4, 0)});
+    cut.f_nodes = {sel, inc, mux};
+    return mux;
+  });
+  h::FormalBackwardResult res = h::formal_backward_retime(lc.rtl, lc.cut);
+  EXPECT_EQ(res.q0[0], 8u);  // 8 + 1 = 9 through the taken branch
+  EXPECT_TRUE(c::simulation_equivalent(lc.rtl, res.retimed, 300, 3));
+}
+
+TEST(BackwardSolve, SharedLeafAcrossTwoCones) {
+  // Two registers fed by cones over the SAME chi leaf: the first equation
+  // pins it by inversion, the second is then checked for consistency.
+  Rtl rtl;
+  SignalId i = rtl.add_input("i", 4);
+  SignalId a = rtl.add_reg("A", 4, 7);
+  SignalId b = rtl.add_reg("B", 4, 9);
+  SignalId inc = rtl.add_op(Op::Add, {a, rtl.add_const(4, 1)});   // leaf: A
+  SignalId inc3 = rtl.add_op(Op::Add, {a, rtl.add_const(4, 3)});
+  rtl.set_reg_next(a, inc);
+  rtl.set_reg_next(b, inc3);
+  rtl.add_output("y", rtl.add_op(Op::Or, {rtl.add_op(Op::Xor, {a, b}), i}));
+  rtl.validate();
+  h::BackwardCut cut{{inc, inc3}};
+  h::FormalBackwardResult res = h::formal_backward_retime(rtl, cut);
+  ASSERT_EQ(res.q0.size(), 1u);
+  EXPECT_EQ(res.q0[0], 6u);  // 6+1=7 and 6+3=9 both hold
+  EXPECT_TRUE(c::simulation_equivalent(rtl, res.retimed, 300, 8));
+
+  // Inconsistent targets: A=7 needs leaf 6, B=8 needs leaf 5 — no state.
+  Rtl bad;
+  SignalId i2 = bad.add_input("i", 4);
+  SignalId a2 = bad.add_reg("A", 4, 7);
+  SignalId b2 = bad.add_reg("B", 4, 8);
+  SignalId u = bad.add_op(Op::Add, {a2, bad.add_const(4, 1)});
+  SignalId v = bad.add_op(Op::Add, {a2, bad.add_const(4, 3)});
+  bad.set_reg_next(a2, u);
+  bad.set_reg_next(b2, v);
+  bad.add_output("y", bad.add_op(Op::Or, {bad.add_op(Op::Xor, {a2, b2}), i2}));
+  bad.validate();
+  EXPECT_THROW(h::formal_backward_retime(bad, h::BackwardCut{{u, v}}),
+               h::BackwardError);
+}
+
+TEST(FormalBackward, TheoremShapeAndPurity) {
+  auto lc = make_loop(9, [](Rtl& rtl, SignalId r, h::BackwardCut& cut) {
+    SignalId a = rtl.add_op(Op::Add, {r, rtl.add_const(4, 3)});
+    cut.f_nodes = {a};
+    return a;
+  });
+  h::FormalBackwardResult res = h::formal_backward_retime(lc.rtl, lc.cut);
+  // The theorem may depend on the ground-arithmetic compute oracle only.
+  for (const std::string& tag : res.theorem.oracles()) {
+    EXPECT_EQ(tag, "NUM_COMPUTE");
+  }
+  EXPECT_TRUE(res.theorem.hyps().empty());
+  // Its left side is the input circuit, its right side the retimed one.
+  auto [vars, body] = l::strip_forall(res.theorem.concl());
+  EXPECT_EQ(vars.size(), 2u);
+  h::CompiledCircuit orig = h::compile(lc.rtl);
+  h::CompiledCircuit ret = h::compile(res.retimed);
+  auto [lf, largs] = k::strip_comb(k::eq_lhs(body));
+  auto [rf, rargs] = k::strip_comb(k::eq_rhs(body));
+  ASSERT_EQ(largs.size(), 4u);
+  ASSERT_EQ(rargs.size(), 4u);
+  EXPECT_TRUE(largs[0] == orig.h);
+  EXPECT_TRUE(largs[1] == orig.q);
+  EXPECT_TRUE(rargs[0] == ret.h);
+  EXPECT_TRUE(rargs[1] == ret.q);
+  EXPECT_EQ(res.q0.size(), 1u);
+  EXPECT_EQ(res.q0[0], 6u);  // 6 + 3 = 9
+}
+
+TEST(FormalBackward, SimulationEquivalent) {
+  auto lc = make_loop(9, [](Rtl& rtl, SignalId r, h::BackwardCut& cut) {
+    SignalId a = rtl.add_op(Op::Add, {r, rtl.add_const(4, 3)});
+    SignalId x = rtl.add_op(Op::Xor, {a, rtl.add_const(4, 5)});
+    cut.f_nodes = {a, x};
+    return x;
+  });
+  h::FormalBackwardResult res = h::formal_backward_retime(lc.rtl, lc.cut);
+  EXPECT_TRUE(c::simulation_equivalent(lc.rtl, res.retimed, 300, 77));
+}
+
+TEST(FormalBackward, UndoesForwardRetimingOnFig2) {
+  // forward(fig2, {+1}) then backward across the moved incrementer must
+  // restore the original automaton; composing the two theorems by
+  // transitivity yields |- AUT h q i t = AUT h q i t.
+  auto fig2 = eda::bench_gen::make_fig2(4);
+  h::FormalRetimeResult fwd = h::formal_retime(fig2.rtl, fig2.good_cut);
+  h::RetimeMapping map =
+      h::conventional_retime_mapped(fig2.rtl, fig2.good_cut);
+  h::BackwardCut inv = h::inverse_of_forward_cut(map, fig2.good_cut);
+  h::FormalBackwardResult bwd = h::formal_backward_retime(fwd.retimed, inv);
+
+  EXPECT_TRUE(c::simulation_equivalent(fig2.rtl, bwd.retimed, 300, 5));
+
+  Thm round_trip = h::compose_steps(fwd.theorem, bwd.theorem);
+  auto [vars, body] = l::strip_forall(round_trip.concl());
+  EXPECT_TRUE(k::eq_lhs(body) == k::eq_rhs(body));
+
+  // And the restored netlist is structurally the original again.
+  h::CompiledCircuit orig = h::compile(fig2.rtl);
+  h::CompiledCircuit back = h::compile(bwd.retimed);
+  EXPECT_TRUE(orig.h == back.h);
+  EXPECT_TRUE(orig.q == back.q);
+}
+
+TEST(FormalBackward, IdentityComponentRegisterPinsLeaf) {
+  // Two registers: A is moved across an incrementer, B's next bypasses the
+  // cut (identity component of f) — its leaf is pinned to B's own initial
+  // value.
+  Rtl rtl;
+  SignalId i = rtl.add_input("i", 4);
+  SignalId a = rtl.add_reg("A", 4, 7);
+  SignalId b = rtl.add_reg("B", 4, 2);
+  SignalId inc = rtl.add_op(Op::Add, {a, rtl.add_const(4, 1)});
+  SignalId mix = rtl.add_op(Op::Xor, {b, i});
+  rtl.set_reg_next(a, inc);
+  rtl.set_reg_next(b, mix);
+  rtl.add_output("y", rtl.add_op(Op::Or, {a, b}));
+  rtl.validate();
+
+  h::BackwardCut cut{{inc}};
+  h::FormalBackwardResult res = h::formal_backward_retime(rtl, cut);
+  ASSERT_EQ(res.chi.size(), 2u);
+  // chi[0] = A's output (feeds the incrementer), chi[1] = mix (B's next).
+  EXPECT_EQ(res.q0[0], 6u);  // 6 + 1 = 7
+  EXPECT_EQ(res.q0[1], 2u);  // pinned to B's initial value
+  EXPECT_TRUE(c::simulation_equivalent(rtl, res.retimed, 300, 9));
+}
+
+TEST(FormalBackward, RoundTripOnDeepPipeline) {
+  // Property over several prefix cuts of the deep pipeline: forward then
+  // inverse-backward always restores the original automaton.
+  for (int stages : {1, 2, 3}) {
+    auto deep = eda::bench_gen::make_fig2_deep(4, 3);
+    h::Cut cut;
+    cut.f_nodes.assign(deep.inc_nodes.begin(),
+                       deep.inc_nodes.begin() + stages);
+    h::FormalRetimeResult fwd = h::formal_retime(deep.rtl, cut);
+    h::RetimeMapping map = h::conventional_retime_mapped(deep.rtl, cut);
+    h::BackwardCut inv = h::inverse_of_forward_cut(map, cut);
+    h::FormalBackwardResult bwd = h::formal_backward_retime(fwd.retimed, inv);
+    h::CompiledCircuit orig = h::compile(deep.rtl);
+    h::CompiledCircuit back = h::compile(bwd.retimed);
+    EXPECT_TRUE(orig.h == back.h) << "stages=" << stages;
+    EXPECT_TRUE(orig.q == back.q) << "stages=" << stages;
+  }
+}

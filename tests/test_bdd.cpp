@@ -1,0 +1,171 @@
+// Tests for the BDD package, with property checks against brute-force
+// truth-table evaluation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.h"
+
+namespace b = eda::bdd;
+using b::BddId;
+using b::BddManager;
+
+TEST(Bdd, Terminals) {
+  BddManager m(4);
+  EXPECT_EQ(m.false_bdd(), 0);
+  EXPECT_EQ(m.true_bdd(), 1);
+  EXPECT_EQ(m.lnot(m.false_bdd()), m.true_bdd());
+}
+
+TEST(Bdd, VarAndEval) {
+  BddManager m(3);
+  BddId x0 = m.var(0), x2 = m.var(2);
+  BddId f = m.land(x0, m.lnot(x2));
+  EXPECT_TRUE(m.eval(f, {true, false, false}));
+  EXPECT_FALSE(m.eval(f, {true, false, true}));
+  EXPECT_FALSE(m.eval(f, {false, false, false}));
+}
+
+TEST(Bdd, Canonicity) {
+  BddManager m(3);
+  // (x0 /\ x1) \/ (x0 /\ ~x1)  ==  x0
+  BddId f = m.lor(m.land(m.var(0), m.var(1)),
+                  m.land(m.var(0), m.lnot(m.var(1))));
+  EXPECT_EQ(f, m.var(0));
+  // xor expressed two ways.
+  BddId g1 = m.lxor(m.var(0), m.var(1));
+  BddId g2 = m.lor(m.land(m.var(0), m.lnot(m.var(1))),
+                   m.land(m.lnot(m.var(0)), m.var(1)));
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(Bdd, Exists) {
+  BddManager m(3);
+  BddId f = m.land(m.var(0), m.var(1));
+  BddId ex = m.exists(f, {1});
+  EXPECT_EQ(ex, m.var(0));
+  EXPECT_EQ(m.exists(f, {0, 1}), m.true_bdd());
+}
+
+TEST(Bdd, AndExistsMatchesComposed) {
+  BddManager m(6);
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random functions over 6 vars.
+    auto random_fn = [&]() {
+      BddId f = (rng() & 1) ? m.true_bdd() : m.false_bdd();
+      for (int k = 0; k < 6; ++k) {
+        BddId v = (rng() & 1) ? m.var(k) : m.nvar(k);
+        switch (rng() % 3) {
+          case 0: f = m.land(f, v); break;
+          case 1: f = m.lor(f, v); break;
+          default: f = m.lxor(f, v); break;
+        }
+      }
+      return f;
+    };
+    BddId f = random_fn(), g = random_fn();
+    std::vector<int> q = {1, 3, 5};
+    EXPECT_EQ(m.and_exists(f, g, q), m.exists(m.land(f, g), q));
+  }
+}
+
+TEST(Bdd, RenameAndCompose) {
+  BddManager m(4);
+  BddId f = m.land(m.var(0), m.var(2));
+  BddId g = m.rename(f, {{0, 1}, {2, 3}});
+  EXPECT_EQ(g, m.land(m.var(1), m.var(3)));
+  // compose x2 := x1 xor x3
+  BddId h = m.compose(f, 2, m.lxor(m.var(1), m.var(3)));
+  EXPECT_EQ(h, m.land(m.var(0), m.lxor(m.var(1), m.var(3))));
+}
+
+TEST(Bdd, Support) {
+  BddManager m(5);
+  BddId f = m.lor(m.var(1), m.land(m.var(3), m.nvar(4)));
+  std::vector<int> s = m.support(f);
+  EXPECT_EQ(s, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(Bdd, AnySat) {
+  BddManager m(4);
+  BddId f = m.land(m.nvar(0), m.var(3));
+  auto sat = m.any_sat(f);
+  EXPECT_TRUE(m.eval(f, sat));
+  EXPECT_THROW(m.any_sat(m.false_bdd()), b::BddError);
+}
+
+TEST(Bdd, NodeLimitEnforced) {
+  BddManager m(40, 200);
+  BddId f = m.true_bdd();
+  EXPECT_THROW(
+      {
+        for (int k = 0; k < 20; ++k) {
+          f = m.land(f, m.lxor(m.var(k), m.var(k + 20)));
+        }
+      },
+      b::BddError);
+}
+
+class BddTruthTable : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddTruthTable, RandomExpressionsMatchTruthTables) {
+  int seed = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  const int nv = 5;
+  BddManager m(nv);
+  // Random expression tree, evaluated both as BDD and directly.
+  struct Expr {
+    int op;  // 0 var, 1 and, 2 or, 3 xor, 4 not
+    int var = 0;
+    int a = -1, b = -1;
+  };
+  std::vector<Expr> exprs;
+  for (int k = 0; k < 25; ++k) {
+    Expr e;
+    if (k < 3 || rng() % 4 == 0) {
+      e.op = 0;
+      e.var = static_cast<int>(rng() % nv);
+    } else {
+      e.op = 1 + static_cast<int>(rng() % 4);
+      e.a = static_cast<int>(rng() % k);
+      e.b = static_cast<int>(rng() % k);
+    }
+    exprs.push_back(e);
+  }
+  std::vector<BddId> bdds;
+  for (const Expr& e : exprs) {
+    switch (e.op) {
+      case 0: bdds.push_back(m.var(e.var)); break;
+      case 1: bdds.push_back(m.land(bdds[static_cast<std::size_t>(e.a)],
+                                    bdds[static_cast<std::size_t>(e.b)])); break;
+      case 2: bdds.push_back(m.lor(bdds[static_cast<std::size_t>(e.a)],
+                                   bdds[static_cast<std::size_t>(e.b)])); break;
+      case 3: bdds.push_back(m.lxor(bdds[static_cast<std::size_t>(e.a)],
+                                    bdds[static_cast<std::size_t>(e.b)])); break;
+      default: bdds.push_back(m.lnot(bdds[static_cast<std::size_t>(e.a)])); break;
+    }
+  }
+  std::function<bool(int, const std::vector<bool>&)> direct =
+      [&](int k, const std::vector<bool>& env) -> bool {
+    const Expr& e = exprs[static_cast<std::size_t>(k)];
+    switch (e.op) {
+      case 0: return env[static_cast<std::size_t>(e.var)];
+      case 1: return direct(e.a, env) && direct(e.b, env);
+      case 2: return direct(e.a, env) || direct(e.b, env);
+      case 3: return direct(e.a, env) != direct(e.b, env);
+      default: return !direct(e.a, env);
+    }
+  };
+  for (unsigned assign = 0; assign < (1u << nv); ++assign) {
+    std::vector<bool> env;
+    for (int v = 0; v < nv; ++v) env.push_back((assign >> v) & 1);
+    for (std::size_t k = 0; k < exprs.size(); ++k) {
+      EXPECT_EQ(m.eval(bdds[k], env), direct(static_cast<int>(k), env))
+          << "expr " << k << " assign " << assign;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddTruthTable, ::testing::Range(0, 12));

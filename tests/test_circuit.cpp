@@ -1,0 +1,228 @@
+// Tests for the word-level RTL netlist, simulator and bit-blaster.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bench_gen/fig2.h"
+#include "bench_gen/iwls.h"
+#include "circuit/bitblast.h"
+#include "circuit/rtl.h"
+
+namespace c = eda::circuit;
+using c::Op;
+using c::Rtl;
+using c::SignalId;
+
+TEST(Rtl, BuildAndValidate) {
+  Rtl r;
+  SignalId a = r.add_input("a", 4);
+  SignalId reg = r.add_reg("r", 4, 3);
+  SignalId sum = r.add_op(Op::Add, {a, reg});
+  r.set_reg_next(reg, sum);
+  r.add_output("y", sum);
+  EXPECT_NO_THROW(r.validate());
+  EXPECT_EQ(r.comb_node_count(), 1);
+}
+
+TEST(Rtl, WidthChecks) {
+  Rtl r;
+  SignalId a = r.add_input("a", 4);
+  SignalId b = r.add_input("b", 8);
+  EXPECT_THROW(r.add_op(Op::Add, {a, b}), c::RtlError);
+  SignalId f = r.add_op(Op::Eq, {a, a});
+  EXPECT_TRUE(r.is_flag(f));
+  // Flags cannot be stored or used as words.
+  SignalId reg = r.add_reg("r", 4, 0);
+  EXPECT_THROW(r.set_reg_next(reg, f), c::RtlError);
+  EXPECT_THROW(r.add_op(Op::Add, {a, f}), c::RtlError);
+  // Mux needs a flag select.
+  EXPECT_THROW(r.add_op(Op::Mux, {a, a, a}), c::RtlError);
+  EXPECT_NO_THROW(r.add_op(Op::Mux, {f, a, a}));
+}
+
+TEST(Rtl, MissingRegNextFailsValidation) {
+  Rtl r;
+  SignalId a = r.add_input("a", 4);
+  r.add_reg("r", 4, 0);
+  r.add_output("y", a);
+  EXPECT_THROW(r.validate(), c::RtlError);
+}
+
+TEST(Simulator, CounterBehaviour) {
+  // R' = R + 1; y = R.
+  Rtl r;
+  SignalId a = r.add_input("en", 1);
+  (void)a;
+  SignalId reg = r.add_reg("r", 4, 0);
+  SignalId one = r.add_const(4, 1);
+  SignalId inc = r.add_op(Op::Add, {reg, one});
+  r.set_reg_next(reg, inc);
+  r.add_output("y", reg);
+  c::Simulator sim(r);
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    auto out = sim.step({0});
+    EXPECT_EQ(out[0], k % 16);  // wraps at 2^4
+  }
+}
+
+TEST(Simulator, Fig2Behaviour) {
+  // y = (a == b) ? 0 : R + 1; R' = y.
+  auto fig2 = eda::bench_gen::make_fig2(4);
+  c::Simulator sim(fig2.rtl);
+  // a != b for 3 cycles: counts 1, 2, 3.
+  EXPECT_EQ(sim.step({1, 2})[0], 1u);
+  EXPECT_EQ(sim.step({1, 2})[0], 2u);
+  EXPECT_EQ(sim.step({1, 2})[0], 3u);
+  // a == b: resets to 0.
+  EXPECT_EQ(sim.step({5, 5})[0], 0u);
+  EXPECT_EQ(sim.step({1, 2})[0], 1u);
+}
+
+TEST(Simulator, AllOpsSmoke) {
+  Rtl r;
+  SignalId a = r.add_input("a", 8);
+  SignalId b = r.add_input("b", 8);
+  SignalId reg = r.add_reg("r", 8, 0);
+  SignalId ops[] = {
+      r.add_op(Op::Add, {a, b}),  r.add_op(Op::Sub, {a, b}),
+      r.add_op(Op::Mul, {a, b}),  r.add_op(Op::And, {a, b}),
+      r.add_op(Op::Or, {a, b}),   r.add_op(Op::Xor, {a, b}),
+      r.add_op(Op::Not, {a}),
+  };
+  SignalId lt = r.add_op(Op::Lt, {a, b});
+  SignalId mux = r.add_op(Op::Mux, {lt, ops[0], ops[1]});
+  r.set_reg_next(reg, mux);
+  for (int k = 0; k < 7; ++k) {
+    r.add_output("o" + std::to_string(k), ops[k]);
+  }
+  c::Simulator sim(r);
+  auto out = sim.step({200, 100});
+  EXPECT_EQ(out[0], (200 + 100) % 256);
+  EXPECT_EQ(out[1], 100u);
+  EXPECT_EQ(out[2], (200 * 100) % 256);
+  EXPECT_EQ(out[3], 200u & 100u);
+  EXPECT_EQ(out[4], 200u | 100u);
+  EXPECT_EQ(out[5], 200u ^ 100u);
+  EXPECT_EQ(out[6], (~200u) & 0xFF);
+}
+
+TEST(BitBlast, CountsAreSensible) {
+  auto fig2 = eda::bench_gen::make_fig2(8);
+  c::GateNetlist net = c::bit_blast(fig2.rtl);
+  EXPECT_EQ(net.ff_count(), 8);
+  EXPECT_GT(net.gate_count(), 8 * 3);
+  EXPECT_EQ(net.inputs().size(), 16u);
+  EXPECT_EQ(net.outputs().size(), 8u);
+}
+
+TEST(BitBlast, MatchesWordSimulatorOnFig2) {
+  auto fig2 = eda::bench_gen::make_fig2(5);
+  c::Simulator word(fig2.rtl);
+  c::GateNetlist net = c::bit_blast(fig2.rtl);
+  c::GateSimulator gate(net);
+  std::mt19937_64 rng(42);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    std::uint64_t a = rng() & 31, b = rng() & 31;
+    auto wout = word.step({a, b});
+    std::vector<bool> bits;
+    for (bool v : c::to_bits(a, 5)) bits.push_back(v);
+    for (bool v : c::to_bits(b, 5)) bits.push_back(v);
+    auto gout = gate.step(bits);
+    EXPECT_EQ(wout[0], c::from_bits(gout)) << "cycle " << cycle;
+  }
+}
+
+class BitBlastAgreement
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BitBlastAgreement, RandomCircuitAgreesWithWordLevel) {
+  auto [width, seed] = GetParam();
+  // Random small circuit: a few regs and ops driven by 2 inputs.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed));
+  Rtl r;
+  std::vector<SignalId> words;
+  words.push_back(r.add_input("a", width));
+  words.push_back(r.add_input("b", width));
+  std::vector<SignalId> regs;
+  for (int k = 0; k < 3; ++k) {
+    SignalId rg = r.add_reg("r" + std::to_string(k), width, rng() & 7);
+    regs.push_back(rg);
+    words.push_back(rg);
+  }
+  std::vector<SignalId> flags;
+  for (int k = 0; k < 12; ++k) {
+    int pick = static_cast<int>(rng() % 8);
+    SignalId x = words[rng() % words.size()];
+    SignalId y = words[rng() % words.size()];
+    switch (pick) {
+      case 0: words.push_back(r.add_op(Op::Add, {x, y})); break;
+      case 1: words.push_back(r.add_op(Op::Sub, {x, y})); break;
+      case 2: words.push_back(r.add_op(Op::Mul, {x, y})); break;
+      case 3: words.push_back(r.add_op(Op::Xor, {x, y})); break;
+      case 4: words.push_back(r.add_op(Op::Not, {x})); break;
+      case 5: flags.push_back(r.add_op(Op::Eq, {x, y})); break;
+      case 6: flags.push_back(r.add_op(Op::Lt, {x, y})); break;
+      case 7:
+        if (!flags.empty()) {
+          words.push_back(
+              r.add_op(Op::Mux, {flags[rng() % flags.size()], x, y}));
+        } else {
+          words.push_back(r.add_op(Op::Or, {x, y}));
+        }
+        break;
+    }
+  }
+  for (std::size_t k = 0; k < regs.size(); ++k) {
+    r.set_reg_next(regs[k], words[words.size() - 1 - k]);
+  }
+  r.add_output("y", words.back());
+  c::Simulator word(r);
+  c::GateNetlist net = c::bit_blast(r);
+  c::GateSimulator gate(net);
+  std::uint64_t mask = (1ULL << width) - 1;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    std::uint64_t a = rng() & mask, b = rng() & mask;
+    auto wout = word.step({a, b});
+    std::vector<bool> bits;
+    for (bool v : c::to_bits(a, width)) bits.push_back(v);
+    for (bool v : c::to_bits(b, width)) bits.push_back(v);
+    auto gout = gate.step(bits);
+    EXPECT_EQ(wout[0], c::from_bits(gout)) << "cycle " << cycle;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, BitBlastAgreement,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(1, 2, 3, 4, 5, 6)));
+
+TEST(BenchGen, IwlsFamilyValidates) {
+  for (const auto& b : eda::bench_gen::iwls_benchmarks()) {
+    EXPECT_NO_THROW(b.rtl.validate()) << b.name;
+    EXPECT_FALSE(b.cut.f_nodes.empty()) << b.name;
+    c::GateNetlist net = c::bit_blast(b.rtl);
+    EXPECT_GT(net.ff_count(), 0) << b.name;
+    EXPECT_GT(net.gate_count(), 0) << b.name;
+  }
+}
+
+TEST(BenchGen, SimulationEquivalenceDetectsMutation) {
+  auto f1 = eda::bench_gen::make_fig2(4);
+  auto f2 = eda::bench_gen::make_fig2(4);
+  EXPECT_TRUE(c::simulation_equivalent(f1.rtl, f2.rtl, 200, 7));
+  // A circuit with a different initial value is inequivalent.
+  eda::bench_gen::Fig2 f3 = eda::bench_gen::make_fig2(4);
+  Rtl mutated;
+  SignalId a = mutated.add_input("a", 4);
+  SignalId b = mutated.add_input("b", 4);
+  SignalId reg = mutated.add_reg("R", 4, 5);  // wrong init
+  SignalId one = mutated.add_const(4, 1);
+  SignalId zero = mutated.add_const(4, 0);
+  SignalId inc = mutated.add_op(Op::Add, {reg, one});
+  SignalId cmp = mutated.add_op(Op::Eq, {a, b});
+  SignalId y = mutated.add_op(Op::Mux, {cmp, zero, inc});
+  mutated.add_output("y", y);
+  mutated.set_reg_next(reg, y);
+  EXPECT_FALSE(c::simulation_equivalent(f3.rtl, mutated, 200, 7));
+}

@@ -1,0 +1,209 @@
+// Tests for the FSM substrate: the explicit Mealy machine, KISS2 I/O,
+// Moore partition-refinement minimisation, state encodings, and synthesis
+// to the word-level netlist consumed by the formal steps.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fsm/encode.h"
+#include "fsm/fsm.h"
+#include "fsm/kiss2.h"
+#include "fsm/minimize.h"
+#include "hash/redundancy.h"
+
+namespace c = eda::circuit;
+namespace f = eda::fsm;
+using f::Encoding;
+using f::Fsm;
+using f::StateId;
+
+namespace {
+
+/// A 1-in/1-out sequence detector for "11" with a redundant duplicate of
+/// one state and an unreachable state — the canonical minimisation fixture.
+Fsm make_detector_with_redundancy() {
+  Fsm fsm(1, 1);
+  StateId s0 = fsm.add_state("idle");
+  StateId s1 = fsm.add_state("one");
+  StateId s1b = fsm.add_state("one_dup");   // behaves exactly like "one"
+  StateId dead = fsm.add_state("nowhere");  // unreachable
+  fsm.add_transition("0", s0, s0, "0");
+  fsm.add_transition("1", s0, s1, "0");
+  fsm.add_transition("0", s1, s0, "0");
+  fsm.add_transition("1", s1, s1b, "1");
+  fsm.add_transition("0", s1b, s0, "0");
+  fsm.add_transition("1", s1b, s1b, "1");
+  fsm.add_transition("0", dead, s0, "0");
+  fsm.add_transition("1", dead, s1, "0");
+  fsm.set_reset_state(s0);
+  return fsm;
+}
+
+/// Random complete deterministic machine: one row per (state, input).
+Fsm make_random_fsm(int states, int ibits, int obits, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  Fsm fsm(ibits, obits);
+  for (int s = 0; s < states; ++s) fsm.add_state("s" + std::to_string(s));
+  const std::uint64_t space = 1ULL << ibits;
+  for (int s = 0; s < states; ++s) {
+    for (std::uint64_t in = 0; in < space; ++in) {
+      std::string pat;
+      for (int b = ibits - 1; b >= 0; --b) {
+        pat.push_back(((in >> b) & 1) ? '1' : '0');
+      }
+      std::string outp;
+      for (int b = 0; b < obits; ++b) {
+        outp.push_back((rng() & 1) ? '1' : '0');
+      }
+      fsm.add_transition(pat, s,
+                         static_cast<StateId>(rng() % states), outp);
+    }
+  }
+  fsm.set_reset_state(0);
+  return fsm;
+}
+
+}  // namespace
+
+TEST(Fsm, PatternMatchingMsbFirst) {
+  EXPECT_TRUE(Fsm::matches("1-0", 0b100));
+  EXPECT_TRUE(Fsm::matches("1-0", 0b110));
+  EXPECT_FALSE(Fsm::matches("1-0", 0b101));
+  EXPECT_FALSE(Fsm::matches("1-0", 0b000));
+  EXPECT_TRUE(Fsm::matches("---", 0b111));
+}
+
+TEST(Fsm, DeterminismValidation) {
+  Fsm fsm(2, 1);
+  StateId s = fsm.add_state("a");
+  fsm.add_transition("1-", s, s, "1");
+  fsm.add_transition("-1", s, s, "0");  // overlaps on input 11
+  EXPECT_THROW(fsm.validate_deterministic(), f::FsmError);
+
+  Fsm gap(1, 1);
+  StateId g = gap.add_state("a");
+  gap.add_transition("1", g, g, "1");  // no row for input 0
+  EXPECT_THROW(gap.validate_deterministic(), f::FsmError);
+}
+
+TEST(Fsm, SimulateDetector) {
+  Fsm fsm = make_detector_with_redundancy();
+  fsm.validate_deterministic();
+  auto outs = fsm.simulate({1, 1, 1, 0, 1, 1});
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{0, 1, 1, 0, 0, 1}));
+}
+
+TEST(Minimize, CollapsesDuplicateAndDropsUnreachable) {
+  Fsm fsm = make_detector_with_redundancy();
+  f::MinimizeResult res = f::minimize(fsm);
+  EXPECT_EQ(res.fsm.state_count(), 2);  // idle + one
+  EXPECT_TRUE(f::fsm_equivalent(fsm, res.fsm));
+  // "one" and "one_dup" fall into the same class; "nowhere" is gone.
+  EXPECT_EQ(res.state_class[1], res.state_class[2]);
+  EXPECT_EQ(res.state_class[3], -1);
+}
+
+TEST(Minimize, FixpointOnAlreadyMinimal) {
+  Fsm fsm = make_detector_with_redundancy();
+  f::MinimizeResult once = f::minimize(fsm);
+  f::MinimizeResult twice = f::minimize(once.fsm);
+  EXPECT_EQ(once.fsm.state_count(), twice.fsm.state_count());
+}
+
+TEST(Minimize, RandomMachinesStayEquivalent) {
+  for (std::uint32_t seed = 1; seed <= 12; ++seed) {
+    Fsm fsm = make_random_fsm(8, 2, 2, seed);
+    f::MinimizeResult res = f::minimize(fsm);
+    EXPECT_LE(res.fsm.state_count(), fsm.state_count());
+    EXPECT_TRUE(f::fsm_equivalent(fsm, res.fsm)) << "seed " << seed;
+  }
+}
+
+TEST(Kiss2, RoundTrip) {
+  Fsm fsm = make_detector_with_redundancy();
+  std::string text = f::write_kiss2(fsm);
+  Fsm back = f::parse_kiss2_string(text);
+  EXPECT_EQ(back.state_count(), fsm.state_count());
+  EXPECT_EQ(back.input_bits(), fsm.input_bits());
+  EXPECT_TRUE(f::fsm_equivalent(fsm, back));
+}
+
+TEST(Kiss2, ParsesCommentsAndReset) {
+  const char* text =
+      "# a tiny toggler\n"
+      ".i 1\n.o 1\n.p 2\n.s 2\n.r off\n"
+      "- off on  1\n"
+      "- on  off 0\n"
+      ".e\n";
+  Fsm fsm = f::parse_kiss2_string(text);
+  EXPECT_EQ(fsm.state_count(), 2);
+  EXPECT_EQ(fsm.state_name(fsm.reset_state()), "off");
+  auto outs = fsm.simulate({0, 0, 0});
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{1, 0, 1}));
+}
+
+TEST(Kiss2, RejectsMalformed) {
+  EXPECT_THROW(f::parse_kiss2_string(".i 1\n"), f::FsmError);
+  EXPECT_THROW(f::parse_kiss2_string(".i 1\n.o 1\n.q bogus\n"),
+               f::FsmError);
+  EXPECT_THROW(f::parse_kiss2_string(".i 1\n.o 1\n0 a\n"), f::FsmError);
+}
+
+struct EncodingCase {
+  Encoding enc;
+};
+
+class SynthesisTest : public ::testing::TestWithParam<Encoding> {};
+
+TEST_P(SynthesisTest, NetlistMatchesMachine) {
+  Fsm fsm = f::minimize(make_detector_with_redundancy()).fsm;
+  c::Rtl rtl = f::synthesize(fsm, GetParam());
+  EXPECT_TRUE(f::netlist_matches_fsm(rtl, fsm, 300, 7));
+}
+
+TEST_P(SynthesisTest, RandomMachinesMatch) {
+  for (std::uint32_t seed = 1; seed <= 6; ++seed) {
+    Fsm fsm = make_random_fsm(5, 2, 3, seed);
+    c::Rtl rtl = f::synthesize(fsm, GetParam());
+    EXPECT_TRUE(f::netlist_matches_fsm(rtl, fsm, 200, seed))
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, SynthesisTest,
+                         ::testing::Values(Encoding::Binary, Encoding::Gray,
+                                           Encoding::OneHot),
+                         [](const auto& info) {
+                           return std::string(f::encoding_name(info.param)) ==
+                                          "one-hot"
+                                      ? "OneHot"
+                                      : f::encoding_name(info.param);
+                         });
+
+TEST(Synthesis, StateCodesAreDistinct) {
+  Fsm fsm = make_random_fsm(7, 2, 1, 99);
+  for (Encoding e :
+       {Encoding::Binary, Encoding::Gray, Encoding::OneHot}) {
+    auto codes = f::state_codes(fsm, e);
+    std::set<std::uint64_t> uniq(codes.begin(), codes.end());
+    EXPECT_EQ(uniq.size(), codes.size()) << f::encoding_name(e);
+  }
+}
+
+TEST(Synthesis, GrayNeighbouringStatesDifferInOneBit) {
+  Fsm fsm = make_random_fsm(8, 1, 1, 3);
+  auto codes = f::state_codes(fsm, Encoding::Gray);
+  for (std::size_t k = 1; k < codes.size(); ++k) {
+    EXPECT_EQ(__builtin_popcountll(codes[k - 1] ^ codes[k]), 1);
+  }
+}
+
+TEST(Integration, SynthesizedFsmSurvivesFormalSteps) {
+  // Synthesise, then run the formal dead-register remover: the synthesised
+  // netlist has exactly one (live) register, so the remover must refuse.
+  Fsm fsm = f::minimize(make_detector_with_redundancy()).fsm;
+  c::Rtl rtl = f::synthesize(fsm, Encoding::Binary);
+  EXPECT_THROW(eda::hash::formal_remove_dead_registers(rtl),
+               eda::hash::RedundancyError);
+}

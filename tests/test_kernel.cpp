@@ -1,0 +1,360 @@
+// Unit tests for the trusted kernel: types, terms, substitution and the
+// primitive inference rules.
+
+#include <gtest/gtest.h>
+
+#include "kernel/printer.h"
+#include "kernel/signature.h"
+#include "kernel/terms.h"
+#include "kernel/thm.h"
+
+namespace k = eda::kernel;
+using k::Term;
+using k::Thm;
+using k::Type;
+
+namespace {
+
+Type b() { return k::bool_ty(); }
+Term bv(const std::string& n) { return Term::var(n, b()); }
+
+}  // namespace
+
+TEST(Types, ConstructorsAndAccessors) {
+  Type a = Type::var("'a");
+  EXPECT_TRUE(a.is_var());
+  EXPECT_EQ(a.name(), "'a");
+  Type f = k::fun_ty(a, b());
+  EXPECT_TRUE(f.is_app());
+  EXPECT_EQ(f.name(), "fun");
+  EXPECT_EQ(f.args().size(), 2u);
+  EXPECT_EQ(k::dom_ty(f), a);
+  EXPECT_EQ(k::cod_ty(f), b());
+}
+
+TEST(Types, EqualityAndOrder) {
+  EXPECT_EQ(Type::var("'a"), Type::var("'a"));
+  EXPECT_NE(Type::var("'a"), Type::var("'b"));
+  EXPECT_EQ(k::fun_ty(b(), b()), k::fun_ty(b(), b()));
+  EXPECT_NE(k::fun_ty(b(), b()), b());
+  EXPECT_LT(Type::compare(Type::var("'a"), Type::var("'b")), 0);
+}
+
+TEST(Types, Substitution) {
+  k::TypeSubst theta;
+  theta.emplace("'a", b());
+  Type f = k::fun_ty(k::alpha_ty(), k::beta_ty());
+  Type g = k::type_subst(theta, f);
+  EXPECT_EQ(k::dom_ty(g), b());
+  EXPECT_EQ(k::cod_ty(g), k::beta_ty());
+}
+
+TEST(Types, Matching) {
+  k::TypeSubst theta;
+  Type pat = k::fun_ty(k::alpha_ty(), k::alpha_ty());
+  EXPECT_TRUE(k::type_match(pat, k::fun_ty(b(), b()), theta));
+  EXPECT_EQ(theta.at("'a"), b());
+  // Conflicting binding fails.
+  k::TypeSubst theta2;
+  EXPECT_FALSE(
+      k::type_match(pat, k::fun_ty(b(), k::fun_ty(b(), b())), theta2));
+}
+
+TEST(Types, ToString) {
+  Type t = k::fun_ty(k::fun_ty(b(), b()), b());
+  EXPECT_EQ(t.to_string(), "(bool -> bool) -> bool");
+  EXPECT_EQ(k::prod_ty(b(), b()).to_string(), "bool # bool");
+}
+
+TEST(Terms, CombTypeChecks) {
+  Term f = Term::var("f", k::fun_ty(b(), b()));
+  Term x = bv("x");
+  Term fx = Term::comb(f, x);
+  EXPECT_EQ(fx.type(), b());
+  EXPECT_THROW(Term::comb(x, x), k::KernelError);
+  Term num_x = Term::var("x", k::num_ty());
+  EXPECT_THROW(Term::comb(f, num_x), k::KernelError);
+}
+
+TEST(Terms, AlphaEquivalence) {
+  Term x = bv("x"), y = bv("y");
+  Term idx = Term::abs(x, x);
+  Term idy = Term::abs(y, y);
+  EXPECT_EQ(idx, idy);
+  EXPECT_EQ(idx.hash(), idy.hash());
+  // \x. \y. x  !=  \x. \y. y
+  Term t1 = Term::abs(x, Term::abs(y, x));
+  Term t2 = Term::abs(x, Term::abs(y, y));
+  EXPECT_NE(t1, t2);
+  // \x. \x. x : inner binder shadows.
+  Term shadow = Term::abs(x, Term::abs(x, x));
+  EXPECT_EQ(shadow, Term::abs(y, Term::abs(x, x)));
+  EXPECT_NE(shadow, Term::abs(y, Term::abs(x, y)));
+}
+
+TEST(Terms, AlphaEquivalenceAcrossDistinctNodes) {
+  // The binder and its occurrence built as separate nodes must still bind.
+  Term x1 = bv("x");
+  Term x2 = bv("x");
+  Term t1 = Term::abs(x1, x2);
+  Term t2 = Term::abs(bv("z"), bv("z"));
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(Terms, SharedStructureShortCircuitRespectsBinders) {
+  // compare() may stop early on pointer-identical subterms only while the
+  // pending binder columns agree.  `\x. \y. P` vs `\y. \x. P` share the
+  // node P = (x = y) but are NOT alpha-equal — the asymmetric binder
+  // context must disable the short circuit.
+  Term x = bv("x"), y = bv("y");
+  Term p = k::mk_eq(x, y);  // one shared node
+  Term t1 = Term::abs(x, Term::abs(y, p));
+  Term t2 = Term::abs(y, Term::abs(x, p));
+  EXPECT_NE(t1, t2);
+  // Identical binder columns re-enable it: both sides literally \x.\y. p.
+  Term t3 = Term::abs(x, Term::abs(y, p));
+  EXPECT_EQ(t1, t3);
+}
+
+TEST(Terms, ComparisonLinearInDagSize) {
+  // A 64-deep doubling DAG has ~2^64 tree nodes; comparison must finish
+  // (instantly) by exploiting sharing.
+  Term big = bv("x");
+  for (int i = 0; i < 64; ++i) big = k::mk_eq(big, big);
+  Term big2 = k::mk_eq(big, big);
+  EXPECT_EQ(big2, k::mk_eq(big, big));
+  EXPECT_NE(big, big2);
+}
+
+TEST(Terms, FreeVars) {
+  Term x = bv("x"), y = bv("y");
+  Term t = Term::abs(x, k::mk_eq(x, y));
+  auto fv = k::free_vars(t);
+  EXPECT_EQ(fv.size(), 1u);
+  EXPECT_TRUE(fv.count(y) > 0);
+  EXPECT_FALSE(k::is_free_in(x, t));
+  EXPECT_TRUE(k::is_free_in(y, t));
+}
+
+TEST(Terms, VsubstSimple) {
+  Term x = bv("x"), y = bv("y");
+  k::TermSubst theta;
+  theta.emplace(x, y);
+  EXPECT_EQ(k::vsubst(theta, x), y);
+  EXPECT_EQ(k::vsubst(theta, k::mk_eq(x, x)), k::mk_eq(y, y));
+}
+
+TEST(Terms, VsubstCaptureAvoidance) {
+  // (\y. x = y)[x := y]  must rename the binder, not capture.
+  Term x = bv("x"), y = bv("y");
+  Term t = Term::abs(y, k::mk_eq(x, y));
+  k::TermSubst theta;
+  theta.emplace(x, y);
+  Term r = k::vsubst(theta, t);
+  // Result should be alpha-equal to \z. y = z.
+  Term z = bv("z");
+  EXPECT_EQ(r, Term::abs(z, k::mk_eq(y, z)));
+}
+
+TEST(Terms, VsubstBoundNotSubstituted) {
+  Term x = bv("x");
+  Term t = Term::abs(x, x);
+  k::TermSubst theta;
+  theta.emplace(x, bv("y"));
+  EXPECT_EQ(k::vsubst(theta, t), t);
+}
+
+TEST(Terms, TypeInstRenamesOnClash) {
+  // \x:'a. x:bool  --['a := bool]-->  binder must not capture the free x.
+  Term xa = Term::var("x", k::alpha_ty());
+  Term xb = bv("x");
+  Term t = Term::abs(xa, k::mk_eq(xb, xb));
+  k::TypeSubst theta;
+  theta.emplace("'a", b());
+  Term r = k::type_inst(theta, t);
+  // The free x:bool stays free.
+  EXPECT_TRUE(k::is_free_in(xb, r));
+  EXPECT_TRUE(r.is_abs());
+  EXPECT_NE(r.bound_var().name(), "x");
+}
+
+TEST(Terms, StripComb) {
+  Term f = Term::var("f", k::fun_ty(b(), k::fun_ty(b(), b())));
+  Term x = bv("x"), y = bv("y");
+  Term t = Term::comb(Term::comb(f, x), y);
+  auto [head, args] = k::strip_comb(t);
+  EXPECT_EQ(head, f);
+  ASSERT_EQ(args.size(), 2u);
+  EXPECT_EQ(args[0], x);
+  EXPECT_EQ(args[1], y);
+  EXPECT_EQ(k::list_comb(f, {x, y}), t);
+}
+
+TEST(Rules, Refl) {
+  Term x = bv("x");
+  Thm th = Thm::refl(x);
+  EXPECT_TRUE(th.hyps().empty());
+  EXPECT_EQ(th.concl(), k::mk_eq(x, x));
+  EXPECT_TRUE(th.is_pure());
+}
+
+TEST(Rules, AssumeRequiresBool) {
+  EXPECT_THROW(Thm::assume(Term::var("n", k::num_ty())), k::KernelError);
+  Term p = bv("p");
+  Thm th = Thm::assume(p);
+  ASSERT_EQ(th.hyps().size(), 1u);
+  EXPECT_EQ(th.hyps()[0], p);
+  EXPECT_EQ(th.concl(), p);
+}
+
+TEST(Rules, TransChecksMiddle) {
+  Term x = bv("x"), y = bv("y"), z = bv("z");
+  Thm xy = Thm::assume(k::mk_eq(x, y));
+  Thm yz = Thm::assume(k::mk_eq(y, z));
+  Thm xz = Thm::trans(xy, yz);
+  EXPECT_EQ(xz.concl(), k::mk_eq(x, z));
+  EXPECT_EQ(xz.hyps().size(), 2u);
+  Thm xx = Thm::refl(x);
+  EXPECT_THROW(Thm::trans(xx, yz), k::KernelError);
+}
+
+TEST(Rules, TransIsConstantTimeOnSharedStructure) {
+  // The paper's compound-synthesis argument: a = b, b = c  |-  a = c via one
+  // rule application, regardless of the size of a, b, c.
+  Term big = bv("x");
+  for (int i = 0; i < 1000; ++i) big = k::mk_eq(big, big);
+  Term p = Term::var("p", big.type());
+  Thm ab = Thm::assume(k::mk_eq(big, p));
+  Thm bc = Thm::assume(k::mk_eq(p, big));
+  Thm ac = Thm::trans(ab, bc);
+  EXPECT_EQ(ac.concl(), k::mk_eq(big, big));
+}
+
+TEST(Rules, Beta) {
+  Term x = bv("x"), y = bv("y");
+  Term lam = Term::abs(x, k::mk_eq(x, x));
+  Term redex = Term::comb(lam, y);
+  Thm th = Thm::beta(redex);
+  EXPECT_EQ(th.concl(), k::mk_eq(redex, k::mk_eq(y, y)));
+  EXPECT_THROW(Thm::beta(y), k::KernelError);
+}
+
+TEST(Rules, AbsBlocksFreeHypVar) {
+  Term x = bv("x"), y = bv("y");
+  Thm th = Thm::assume(k::mk_eq(x, y));
+  EXPECT_THROW(Thm::abs(x, th), k::KernelError);
+  Term z = bv("z");
+  Thm ok = Thm::abs(z, th);
+  EXPECT_EQ(ok.concl(),
+            k::mk_eq(Term::abs(z, x), Term::abs(z, y)));
+}
+
+TEST(Rules, EqMp) {
+  Term p = bv("p"), q = bv("q");
+  Thm pq = Thm::assume(k::mk_eq(p, q));
+  Thm pp = Thm::assume(p);
+  Thm qq = Thm::eq_mp(pq, pp);
+  EXPECT_EQ(qq.concl(), q);
+  EXPECT_EQ(qq.hyps().size(), 2u);
+  EXPECT_THROW(Thm::eq_mp(pp, pp), k::KernelError);
+}
+
+TEST(Rules, DeductAntisym) {
+  Term p = bv("p"), q = bv("q");
+  Thm th = Thm::deduct_antisym(Thm::assume(p), Thm::assume(q));
+  EXPECT_EQ(th.concl(), k::mk_eq(p, q));
+  // Each side's conclusion is removed from the other's hypotheses.
+  ASSERT_EQ(th.hyps().size(), 2u);
+}
+
+TEST(Rules, InstType) {
+  Term xa = Term::var("x", k::alpha_ty());
+  Thm th = Thm::refl(xa);
+  k::TypeSubst theta;
+  theta.emplace("'a", b());
+  Thm th2 = Thm::inst_type(theta, th);
+  EXPECT_EQ(th2.concl(), k::mk_eq(bv("x"), bv("x")));
+}
+
+TEST(Rules, Inst) {
+  Term x = bv("x"), y = bv("y");
+  Thm th = Thm::refl(x);
+  k::TermSubst theta;
+  theta.emplace(x, y);
+  Thm th2 = Thm::inst(theta, th);
+  EXPECT_EQ(th2.concl(), k::mk_eq(y, y));
+  // Non-variable key is rejected.
+  k::TermSubst bad;
+  bad.emplace(k::mk_eq(x, x), k::mk_eq(y, y));
+  EXPECT_THROW(Thm::inst(bad, th), k::KernelError);
+}
+
+TEST(Rules, HypsStayCanonical) {
+  Term p = bv("p"), q = bv("q");
+  Thm th1 = Thm::assume(p);
+  Thm th2 = Thm::assume(p);
+  Thm both = Thm::deduct_antisym(th1, Thm::assume(q));
+  // p, q each appear once.
+  EXPECT_EQ(both.hyps().size(), 2u);
+}
+
+TEST(Oracle, TagPropagates) {
+  Term p = bv("p");
+  Thm ax = k::Oracle::admit("TEST_TAG", p);
+  EXPECT_FALSE(ax.is_pure());
+  Thm e = Thm::deduct_antisym(ax, Thm::assume(bv("q")));
+  EXPECT_EQ(e.oracles().count("TEST_TAG"), 1u);
+  // Pure theorems stay pure.
+  EXPECT_TRUE(Thm::refl(p).is_pure());
+}
+
+TEST(Signature, PrimitiveSignature) {
+  auto& sig = k::Signature::instance();
+  EXPECT_TRUE(sig.has_type("bool"));
+  EXPECT_TRUE(sig.has_type("fun"));
+  EXPECT_TRUE(sig.has_const("="));
+  EXPECT_EQ(sig.type_arity("fun"), 2u);
+}
+
+TEST(Signature, DeclareIdempotentWhenIdentical) {
+  auto& sig = k::Signature::instance();
+  sig.declare_type("test_ty", 1);
+  EXPECT_NO_THROW(sig.declare_type("test_ty", 1));
+  EXPECT_THROW(sig.declare_type("test_ty", 2), k::KernelError);
+}
+
+TEST(Signature, NewDefinitionRejectsFreeVars) {
+  auto& sig = k::Signature::instance();
+  EXPECT_THROW(sig.new_definition("bad_def", bv("x")), k::KernelError);
+}
+
+TEST(Signature, NewDefinitionProducesEquation) {
+  auto& sig = k::Signature::instance();
+  Term x = bv("x");
+  Thm def = sig.new_definition("my_id_fn", Term::abs(x, x));
+  EXPECT_TRUE(k::is_eq(def.concl()));
+  EXPECT_TRUE(def.is_pure());
+  EXPECT_TRUE(sig.has_const("my_id_fn"));
+  // Identical redefinition is idempotent; conflicting redefinition throws.
+  EXPECT_NO_THROW(sig.new_definition("my_id_fn", Term::abs(x, x)));
+  Term y = Term::var("y", k::num_ty());
+  EXPECT_THROW(sig.new_definition("my_id_fn", Term::abs(y, y)),
+               k::KernelError);
+}
+
+TEST(Signature, MkConstAtChecksInstance) {
+  auto& sig = k::Signature::instance();
+  Term eq_at_bool = sig.mk_const_at("=", k::fun_ty(b(), k::fun_ty(b(), b())));
+  EXPECT_EQ(eq_at_bool.name(), "=");
+  EXPECT_THROW(sig.mk_const_at("=", b()), k::KernelError);
+}
+
+TEST(Printer, BasicForms) {
+  // Equality at bool renders as <=> (HOL convention); at other types as =.
+  Term x = bv("x"), y = bv("y");
+  EXPECT_EQ(eda::kernel::pretty(k::mk_eq(x, y)), "x <=> y");
+  Term n = Term::var("n", k::num_ty()), m = Term::var("m", k::num_ty());
+  EXPECT_EQ(eda::kernel::pretty(k::mk_eq(n, m)), "n = m");
+  Term lam = Term::abs(x, x);
+  EXPECT_EQ(eda::kernel::pretty(lam), "\\x. x");
+}

@@ -1,0 +1,133 @@
+// Tests for the min-cost-flow substrate and minimum-area retiming: flow
+// optimality on hand-checked networks, min-area vs exhaustive search on
+// small random graphs (the LP-dual correctness probe), and the interaction
+// with the min-period algorithm.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "retime/graph.h"
+#include "retime/leiserson_saxe.h"
+#include "retime/min_area.h"
+#include "retime/mincost_flow.h"
+
+namespace r = eda::retime;
+
+TEST(MinCostFlow, HandCheckedTransshipment) {
+  // 0 supplies 2 units; 2 demands 2; path costs: 0->1->2 = 3, 0->2 = 5.
+  r::MinCostFlow f(3);
+  f.add_arc(0, 1, 2, 1);
+  f.add_arc(1, 2, 1, 2);   // capacity 1 forces a split
+  f.add_arc(0, 2, 2, 5);
+  auto cost = f.solve({-2, 0, 2});
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_EQ(*cost, 3 + 5);  // one unit via 0-1-2, one via 0-2
+  EXPECT_EQ(f.arc_flow(1), 1);
+}
+
+TEST(MinCostFlow, NegativeCostsViaPotentials) {
+  r::MinCostFlow f(3);
+  f.add_arc(0, 1, 1, -4);
+  f.add_arc(1, 2, 1, 1);
+  auto cost = f.solve({-1, 0, 1});
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_EQ(*cost, -3);
+}
+
+TEST(MinCostFlow, InfeasibleDemandReturnsNullopt) {
+  r::MinCostFlow f(2);
+  // No arcs at all: supply cannot reach demand.
+  EXPECT_EQ(f.solve({-1, 1}), std::nullopt);
+}
+
+TEST(MinCostFlow, RejectsUnbalancedImbalance) {
+  r::MinCostFlow f(2);
+  f.add_arc(0, 1, 1, 1);
+  EXPECT_THROW(f.solve({-1, 2}), r::FlowError);
+}
+
+TEST(MinArea, CorrelatorExample) {
+  // The classic LS correlator shape: a ring through the host with unit
+  // delays; min-period retiming typically *increases* register count,
+  // min-area brings it back down at the same period.
+  r::RetimeGraph g;
+  g.delay = {0, 3, 3, 3, 3};  // host + 4 comparators
+  g.vertex_signal.assign(5, -1);
+  g.edges = {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 0, 0}};
+  // Already periodic structure: every edge weight stays >= 0.
+  int base_period = r::clock_period(g);
+  r::MinAreaResult res = r::min_area_retiming(g, base_period);
+  EXPECT_LE(res.period, base_period);
+  EXPECT_LE(res.register_count, r::total_registers(g));
+  EXPECT_EQ(res.r[0], 0);
+}
+
+TEST(MinArea, MatchesBruteForceOnRandomGraphs) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random strongly-connectable graph on 4 vertices + host.
+    r::RetimeGraph g;
+    int n = 4;
+    g.delay.assign(static_cast<std::size_t>(n + 1), 0);
+    g.vertex_signal.assign(static_cast<std::size_t>(n + 1), -1);
+    for (int v = 1; v <= n; ++v) {
+      g.delay[static_cast<std::size_t>(v)] = 1 + static_cast<int>(rng() % 3);
+    }
+    // A host cycle guarantees every vertex lies on a registered cycle.
+    for (int v = 0; v <= n; ++v) {
+      g.edges.push_back({v, (v + 1) % (n + 1), 1 + static_cast<int>(rng() % 2)});
+    }
+    // Extra random chords.
+    for (int k = 0; k < 3; ++k) {
+      int u = static_cast<int>(rng() % (n + 1));
+      int v = static_cast<int>(rng() % (n + 1));
+      if (u == v) continue;
+      g.edges.push_back({u, v, static_cast<int>(rng() % 3)});
+    }
+    int period;
+    try {
+      period = r::min_period_retiming(g).period;
+    } catch (const eda::circuit::RtlError&) {
+      continue;  // graph had a zero-weight cycle even after retiming
+    }
+    r::MinAreaResult fast = r::min_area_retiming(g, period);
+    long long slow = r::brute_force_min_area(g, period, 3);
+    EXPECT_EQ(fast.register_count, slow) << "trial " << trial;
+    EXPECT_LE(fast.period, period) << "trial " << trial;
+  }
+}
+
+TEST(MinArea, InfeasiblePeriodThrows) {
+  r::RetimeGraph g;
+  g.delay = {0, 5, 5};
+  g.vertex_signal.assign(3, -1);
+  // A zero-register cycle between 1 and 2 pins the period at >= 10.
+  g.edges = {{0, 1, 1}, {1, 2, 0}, {2, 1, 0}, {2, 0, 0}};
+  EXPECT_THROW(r::min_area_retiming(g, 3), r::FlowError);
+}
+
+TEST(MinArea, NeverWorseThanMinPeriodLabels) {
+  // On the netlist-derived graph of the deep pipeline, min-area at the
+  // optimal period must not use more registers than the min-period labels.
+  auto make = [](int stages) {
+    eda::circuit::Rtl rtl;
+    auto i = rtl.add_input("i", 4);
+    auto rg = rtl.add_reg("R", 4, 0);
+    eda::circuit::SignalId s = rg;
+    for (int k = 0; k < stages; ++k) {
+      s = rtl.add_op(eda::circuit::Op::Add, {s, rtl.add_const(4, 1)});
+    }
+    rtl.set_reg_next(rg, rtl.add_op(eda::circuit::Op::Xor, {s, i}));
+    rtl.add_output("y", s);
+    rtl.validate();
+    return rtl;
+  };
+  eda::circuit::Rtl rtl = make(4);
+  r::RetimeGraph g = r::graph_from_rtl(rtl);
+  r::RetimingResult mp = r::min_period_retiming(g);
+  long long mp_regs = r::total_registers(r::apply_retiming(g, mp.r));
+  r::MinAreaResult ma = r::min_area_retiming(g, mp.period);
+  EXPECT_LE(ma.register_count, mp_regs);
+  EXPECT_LE(ma.period, mp.period);
+}

@@ -1,0 +1,213 @@
+// hashc — the HASH formal-synthesis driver.
+//
+// A command-line front end over the library, the way a downstream user
+// would script it:
+//
+//   hashc --kiss2 ctrl.kiss2 [--encoding binary|gray|onehot] <passes...>
+//   hashc --demo fig2:8                                      <passes...>
+//
+// passes (applied left to right, each producing a theorem; the chain is
+// composed by transitivity and printed at the end):
+//   --minimize            FSM state minimisation (before synthesis; the
+//                         unverified heuristic stage)
+//   --retime-min-period   Leiserson–Saxe min-period labels, applied as
+//                         formal elementary moves (both directions)
+//   --retime-min-area     min-period, then min-area labels at that period
+//   --xor-mask M          formal XOR re-encoding of every register with M
+//   --strip-dead          formal dead-register elimination
+//
+// outputs:
+//   --emit-blif FILE      write the bit-blasted result as BLIF
+//   --emit-verilog FILE   write structural Verilog
+//   --print-theorem       print the composed correctness theorem
+//   --check               co-simulate input vs result (sanity oracle)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_gen/fig2.h"
+#include "circuit/bitblast.h"
+#include "fsm/encode.h"
+#include "fsm/kiss2.h"
+#include "fsm/minimize.h"
+#include "hash/compound.h"
+#include "hash/encode_step.h"
+#include "hash/redundancy.h"
+#include "io/blif.h"
+#include "kernel/printer.h"
+#include "retime/elementary.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "hashc: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: hashc (--kiss2 FILE | --demo fig2:N) [--encoding E]\n"
+               "             [--minimize] [--retime-min-period | "
+               "--retime-min-area]\n"
+               "             [--xor-mask M] [--strip-dead]\n"
+               "             [--emit-blif FILE] [--emit-verilog FILE]\n"
+               "             [--print-theorem] [--check]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eda;
+
+  std::optional<std::string> kiss_path, demo;
+  fsm::Encoding enc = fsm::Encoding::Binary;
+  bool do_minimize = false, strip_dead = false, print_thm = false,
+       check = false;
+  std::optional<std::string> retime_mode;
+  std::optional<std::uint64_t> xor_mask;
+  std::optional<std::string> blif_out, verilog_out;
+
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    auto next = [&]() -> std::string {
+      if (a + 1 >= argc) usage(("missing value after " + arg).c_str());
+      return argv[++a];
+    };
+    if (arg == "--kiss2") kiss_path = next();
+    else if (arg == "--demo") demo = next();
+    else if (arg == "--encoding") {
+      std::string e = next();
+      if (e == "binary") enc = fsm::Encoding::Binary;
+      else if (e == "gray") enc = fsm::Encoding::Gray;
+      else if (e == "onehot") enc = fsm::Encoding::OneHot;
+      else usage("unknown encoding");
+    } else if (arg == "--minimize") do_minimize = true;
+    else if (arg == "--retime-min-period") retime_mode = "period";
+    else if (arg == "--retime-min-area") retime_mode = "area";
+    else if (arg == "--xor-mask") xor_mask = std::stoull(next(), nullptr, 0);
+    else if (arg == "--strip-dead") strip_dead = true;
+    else if (arg == "--emit-blif") blif_out = next();
+    else if (arg == "--emit-verilog") verilog_out = next();
+    else if (arg == "--print-theorem") print_thm = true;
+    else if (arg == "--check") check = true;
+    else usage(("unknown option " + arg).c_str());
+  }
+
+  // ---- front end -----------------------------------------------------------
+  circuit::Rtl rtl;
+  if (kiss_path) {
+    std::ifstream in(*kiss_path);
+    if (!in) usage(("cannot open " + *kiss_path).c_str());
+    fsm::Fsm machine = fsm::parse_kiss2(in);
+    std::printf("[front] KISS2: %d states, %zu rows\n",
+                machine.state_count(), machine.transitions().size());
+    if (do_minimize) {
+      fsm::MinimizeResult m = fsm::minimize(machine);
+      std::printf("[front] minimised to %d states (heuristic stage, "
+                  "unverified)\n", m.fsm.state_count());
+      machine = std::move(m.fsm);
+    }
+    rtl = fsm::synthesize(machine, enc);
+    std::printf("[front] synthesised with %s encoding: %d comb nodes, "
+                "%zu register(s)\n", fsm::encoding_name(enc),
+                rtl.comb_node_count(), rtl.regs().size());
+  } else if (demo) {
+    int bits = 8;
+    if (auto pos = demo->find(':'); pos != std::string::npos) {
+      bits = std::stoi(demo->substr(pos + 1));
+    }
+    if (demo->rfind("fig2", 0) != 0) usage("unknown demo");
+    rtl = eda::bench_gen::make_fig2(bits).rtl;
+    std::printf("[front] demo fig2:%d — %d comb nodes, %zu register(s)\n",
+                bits, rtl.comb_node_count(), rtl.regs().size());
+  } else {
+    usage("need --kiss2 or --demo");
+  }
+  circuit::Rtl original = rtl;
+
+  // ---- formal passes -------------------------------------------------------
+  std::vector<kernel::Thm> steps;
+  if (retime_mode) {
+    std::optional<retime::ChainResult> res =
+        *retime_mode == "area" ? retime::formal_min_area_retime(rtl)
+                               : retime::formal_min_period_retime(rtl);
+    if (!res) {
+      std::printf("[pass ] retiming needs a backward move with no feasible "
+                  "initial state; skipped\n");
+    } else {
+      int before = retime::clock_period(rtl);
+      int after = retime::clock_period(res->final_rtl);
+      std::printf("[pass ] formal retiming (%s): clock period %d -> %d in "
+                  "%d elementary move(s)\n", retime_mode->c_str(), before,
+                  after, res->steps);
+      rtl = res->final_rtl;
+      if (res->steps > 0) steps.push_back(res->theorem);
+    }
+  }
+  if (xor_mask) {
+    std::vector<std::uint64_t> masks;
+    for (circuit::SignalId r : rtl.regs()) {
+      masks.push_back(*xor_mask & rtl.mask(r));
+    }
+    hash::FormalEncodeResult res = hash::formal_xor_reencode(rtl, masks);
+    std::printf("[pass ] formal XOR re-encoding of %zu register(s) with "
+                "mask 0x%llx\n", masks.size(),
+                static_cast<unsigned long long>(*xor_mask));
+    rtl = res.encoded;
+    steps.push_back(res.theorem);
+  }
+  if (strip_dead) {
+    auto dead = hash::find_dead_registers(rtl);
+    if (dead.empty()) {
+      std::printf("[pass ] no dead registers to strip\n");
+    } else {
+      hash::FormalDeadRemovalResult res =
+          hash::formal_remove_dead_registers(rtl);
+      std::printf("[pass ] formal dead-register elimination: removed "
+                  "%zu register(s)\n", res.removed.size());
+      rtl = res.stripped;
+      steps.push_back(res.theorem);
+    }
+  }
+
+  // ---- results -------------------------------------------------------------
+  if (!steps.empty()) {
+    kernel::Thm chain = hash::compose_chain(steps);
+    std::printf("[done ] %zu formal step(s) composed; oracles:", steps.size());
+    if (chain.oracles().empty()) std::printf(" none");
+    for (const std::string& tag : chain.oracles()) {
+      std::printf(" %s", tag.c_str());
+    }
+    std::printf("\n");
+    if (print_thm) {
+      std::printf("\n%s\n\n", kernel::pretty(chain).c_str());
+    }
+  } else {
+    std::printf("[done ] no formal steps requested\n");
+  }
+
+  if (check) {
+    bool ok = circuit::simulation_equivalent(original, rtl, 500, 1234);
+    std::printf("[check] co-simulation vs input: %s\n",
+                ok ? "EQUIVALENT" : "MISMATCH");
+    if (!ok) return 1;
+  }
+  if (blif_out || verilog_out) {
+    circuit::GateNetlist gates = circuit::bit_blast(rtl);
+    std::printf("[emit ] bit-blasted: %d gates, %d flip-flops\n",
+                gates.gate_count(), gates.ff_count());
+    if (blif_out) {
+      std::ofstream out(*blif_out);
+      out << io::write_blif(gates, "hashc_out");
+      std::printf("[emit ] BLIF -> %s\n", blif_out->c_str());
+    }
+    if (verilog_out) {
+      std::ofstream out(*verilog_out);
+      out << io::write_verilog(gates, "hashc_out");
+      std::printf("[emit ] Verilog -> %s\n", verilog_out->c_str());
+    }
+  }
+  return 0;
+}
