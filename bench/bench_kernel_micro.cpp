@@ -24,6 +24,77 @@ Term big_term(int depth) {
 
 }  // namespace
 
+static void BM_TermConstruction(benchmark::State& state) {
+  // Rebuild the same shared equality tower from scratch each iteration;
+  // with hash-consing every node after the first pass is an intern-table
+  // hit instead of an allocation.
+  int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(big_term(depth));
+  }
+}
+BENCHMARK(BM_TermConstruction)->Arg(16)->Arg(256);
+
+static void BM_TypeConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    k::Type t = k::bool_ty();
+    for (int i = 0; i < 32; ++i) t = k::fun_ty(t, k::bool_ty());
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TypeConstruction);
+
+static void BM_EqualityDistinctNodes(benchmark::State& state) {
+  // Structurally equal terms built through two independent construction
+  // paths; interning collapses them to one node, so comparison is a
+  // pointer test instead of a full structural walk.
+  int depth = static_cast<int>(state.range(0));
+  Term t1 = big_term(depth);
+  Term t2 = big_term(depth);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t1 == t2);
+  }
+}
+BENCHMARK(BM_EqualityDistinctNodes)->Arg(12)->Arg(18);
+
+static void BM_CompareDistinctNodes(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  Term t1 = big_term(depth);
+  Term t2 = big_term(depth);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Term::compare(t1, t2));
+  }
+}
+BENCHMARK(BM_CompareDistinctNodes)->Arg(12)->Arg(18);
+
+static void BM_FreeVars(benchmark::State& state) {
+  // Wide shared DAG with many distinct leaves.
+  std::vector<Term> leaves;
+  for (int i = 0; i < 64; ++i) {
+    leaves.push_back(Term::var("x" + std::to_string(i), k::bool_ty()));
+  }
+  Term t = leaves[0];
+  for (int round = 0; round < 4; ++round) {
+    for (const Term& leaf : leaves) t = k::mk_eq(t, leaf);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k::free_vars(t));
+  }
+}
+BENCHMARK(BM_FreeVars);
+
+static void BM_Vsubst(benchmark::State& state) {
+  Term x = Term::var("x", k::bool_ty());
+  Term y = Term::var("y", k::bool_ty());
+  Term t = big_term(static_cast<int>(state.range(0)));
+  k::TermSubst theta;
+  theta.emplace(x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k::vsubst(theta, t));
+  }
+}
+BENCHMARK(BM_Vsubst)->Arg(16)->Arg(256);
+
 static void BM_Refl(benchmark::State& state) {
   Term t = big_term(static_cast<int>(state.range(0)));
   for (auto _ : state) {

@@ -76,7 +76,9 @@ class BddManager {
   struct NodeKey {
     int var;
     BddId lo, hi;
-    bool operator==(const NodeKey&) const = default;
+    bool operator==(const NodeKey& o) const {
+      return var == o.var && lo == o.lo && hi == o.hi;
+    }
   };
   struct NodeKeyHash {
     std::size_t operator()(const NodeKey& k) const {

@@ -365,9 +365,10 @@ BackwardSplit compile_backward_split(const Rtl& rtl, const BackwardCut& cut) {
   Term cv = Term::var("c", chi_ty);
   TermBuilder fb{rtl, {}, nullptr, {}};
   fb.allowed = &F;
+  auto chi_index = detail::index_map(chi);
   fb.leaf = [&](SignalId s) -> std::optional<Term> {
-    for (std::size_t j = 0; j < chi.size(); ++j) {
-      if (chi[j] == s) return proj(cv, j, chi.size());
+    if (auto it = chi_index.find(s); it != chi_index.end()) {
+      return proj(cv, it->second, chi.size());
     }
     return std::nullopt;
   };
@@ -393,16 +394,18 @@ BackwardSplit compile_backward_split(const Rtl& rtl, const BackwardCut& cut) {
   }
   TermBuilder gb{rtl, {}, nullptr, {}};
   gb.allowed = &g_allowed;
+  auto in_index = detail::index_map(rtl.inputs());
+  auto reg_index = detail::index_map(rtl.regs());
   gb.leaf = [&](SignalId s) -> std::optional<Term> {
     const Node& n = rtl.node(s);
     if (n.op == Op::Input) {
-      for (std::size_t k = 0; k < nin; ++k) {
-        if (rtl.inputs()[k] == s) return proj(in_tuple, k, nin);
+      if (auto it = in_index.find(s); it != in_index.end()) {
+        return proj(in_tuple, it->second, nin);
       }
     }
     if (n.op == Op::Reg) {
-      for (std::size_t k = 0; k < nreg; ++k) {
-        if (rtl.regs()[k] == s) return proj(st_tuple, k, nreg);
+      if (auto it = reg_index.find(s); it != reg_index.end()) {
+        return proj(st_tuple, it->second, nreg);
       }
     }
     return std::nullopt;
@@ -563,10 +566,7 @@ FormalBackwardResult formal_backward_retime(const Rtl& rtl,
     throw KernelError("formal_backward_retime: unexpected theorem shape");
   }
 
-  logic::Conv reduce = logic::top_depth_conv(logic::orelsec(
-      logic::beta_conv,
-      logic::orelsec(logic::rewr_conv(thy::fst_pair()),
-                     logic::rewr_conv(thy::snd_pair()))));
+  const logic::Conv& reduce = detail::pair_reduce_conv();
 
   // h1 (registers before f) must reduce to the *retimed* netlist.
   Thm red1 = reduce(largs[0]);

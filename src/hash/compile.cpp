@@ -74,16 +74,18 @@ CompiledCircuit compile(const Rtl& rtl) {
 
   TermBuilder tb{rtl, {}, nullptr, {}};
   std::size_t nin = rtl.inputs().size(), nreg = rtl.regs().size();
+  auto in_index = detail::index_map(rtl.inputs());
+  auto reg_index = detail::index_map(rtl.regs());
   tb.leaf = [&](SignalId s) -> std::optional<Term> {
     const Node& n = rtl.node(s);
     if (n.op == Op::Input) {
-      for (std::size_t k = 0; k < nin; ++k) {
-        if (rtl.inputs()[k] == s) return proj(in_tuple, k, nin);
+      if (auto it = in_index.find(s); it != in_index.end()) {
+        return proj(in_tuple, it->second, nin);
       }
     }
     if (n.op == Op::Reg) {
-      for (std::size_t k = 0; k < nreg; ++k) {
-        if (rtl.regs()[k] == s) return proj(st_tuple, k, nreg);
+      if (auto it = reg_index.find(s); it != reg_index.end()) {
+        return proj(st_tuple, it->second, nreg);
       }
     }
     return std::nullopt;
@@ -167,10 +169,11 @@ SplitCircuit compile_split(const Rtl& rtl, const Cut& cut) {
 
   TermBuilder fb{rtl, {}, nullptr, {}};
   fb.allowed = &F;
+  auto reg_index = detail::index_map(rtl.regs());
   fb.leaf = [&](SignalId s) -> std::optional<Term> {
     if (rtl.node(s).op == Op::Reg) {
-      for (std::size_t k = 0; k < nreg; ++k) {
-        if (rtl.regs()[k] == s) return proj(sv, k, nreg);
+      if (auto it = reg_index.find(s); it != reg_index.end()) {
+        return proj(sv, it->second, nreg);
       }
     }
     return std::nullopt;
@@ -195,15 +198,17 @@ SplitCircuit compile_split(const Rtl& rtl, const Cut& cut) {
   }
   TermBuilder gb{rtl, {}, nullptr, {}};
   gb.allowed = &g_allowed;
+  auto chi_index = detail::index_map(chi);
+  auto in_index = detail::index_map(rtl.inputs());
   gb.leaf = [&](SignalId s) -> std::optional<Term> {
     // chi members (registers and f-outputs) come in through the pair.
-    for (std::size_t k = 0; k < chi.size(); ++k) {
-      if (chi[k] == s) return proj(chi_tuple, k, chi.size());
+    if (auto it = chi_index.find(s); it != chi_index.end()) {
+      return proj(chi_tuple, it->second, chi.size());
     }
     const Node& n = rtl.node(s);
     if (n.op == Op::Input) {
-      for (std::size_t k = 0; k < nin; ++k) {
-        if (rtl.inputs()[k] == s) return proj(in_tuple, k, nin);
+      if (auto it = in_index.find(s); it != in_index.end()) {
+        return proj(in_tuple, it->second, nin);
       }
     }
     if (n.op == Op::Reg) {

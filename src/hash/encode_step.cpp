@@ -79,10 +79,7 @@ FormalEncodeResult instantiate_encoding(const Rtl& rtl, Rtl encoded_rtl,
     throw KernelError("instantiate_encoding: unexpected theorem shape");
   }
 
-  logic::Conv reduce = logic::top_depth_conv(logic::orelsec(
-      logic::beta_conv,
-      logic::orelsec(logic::rewr_conv(thy::fst_pair()),
-                     logic::rewr_conv(thy::snd_pair()))));
+  const logic::Conv& reduce = detail::pair_reduce_conv();
   Thm red = reduce(rargs[0]);  // h2 = <joined encoded form>
   if (!(kernel::eq_rhs(red.concl()) == enc_cc.h)) {
     throw EncodeError(
@@ -198,10 +195,7 @@ FormalSignalEncodeResult formal_output_xor(
   if (largs.size() != 4) {
     throw KernelError("formal_output_xor: unexpected theorem shape");
   }
-  logic::Conv reduce = logic::top_depth_conv(logic::orelsec(
-      logic::beta_conv,
-      logic::orelsec(logic::rewr_conv(thy::fst_pair()),
-                     logic::rewr_conv(thy::snd_pair()))));
+  const logic::Conv& reduce = detail::pair_reduce_conv();
   Thm red = reduce(largs[0]);
   if (!(kernel::eq_rhs(red.concl()) == wrapped.h)) {
     throw EncodeError(

@@ -1,5 +1,7 @@
 #include "hash/eval.h"
 
+#include <unordered_map>
+
 #include "kernel/signature.h"
 #include "logic/bool_thms.h"
 #include "logic/rewrite.h"
@@ -49,6 +51,16 @@ logic::Conv ground_eval_conv() {
   return logic::top_depth_conv(eval_step);
 }
 
-Thm ground_eval(const Term& t) { return ground_eval_conv()(t); }
+Thm ground_eval(const Term& t) {
+  // Ground evaluation is pure and interned nodes are permanent, so the
+  // resulting theorem can be memoised on node identity.  The backward,
+  // retiming, encoding and redundancy steps all evaluate structurally
+  // overlapping instantiations of the same transition functions.
+  static auto* cache = new std::unordered_map<const void*, Thm>();
+  if (auto it = cache->find(t.node_id()); it != cache->end()) return it->second;
+  Thm th = ground_eval_conv()(t);
+  cache->emplace(t.node_id(), th);
+  return th;
+}
 
 }  // namespace eda::hash

@@ -1,6 +1,7 @@
 #include "hash/logic_opt.h"
 
 #include <map>
+#include <tuple>
 
 #include "hash/eval.h"
 #include "logic/bool_simp.h"
@@ -26,7 +27,10 @@ struct NodeKey {
   int width;
   std::vector<SignalId> operands;
   std::uint64_t value;
-  auto operator<=>(const NodeKey&) const = default;
+  bool operator<(const NodeKey& o) const {
+    return std::tie(op, width, operands, value) <
+           std::tie(o.op, o.width, o.operands, o.value);
+  }
 };
 
 bool is_const_node(const Rtl& out, SignalId s) {

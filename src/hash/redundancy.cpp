@@ -235,19 +235,19 @@ FormalDeadRemovalResult formal_remove_dead_registers(const Rtl& rtl) {
   std::size_t nin = rtl_p->inputs().size();
 
   TermBuilder hb{*rtl_p, {}, nullptr, {}};
+  auto in_index = detail::index_map(rtl_p->inputs());
+  auto reg_index = detail::index_map(rtl_p->regs());
   hb.leaf = [&](SignalId s) -> std::optional<Term> {
     const Node& nd = rtl_p->node(s);
     if (nd.op == Op::Input) {
-      for (std::size_t k = 0; k < nin; ++k) {
-        if (rtl_p->inputs()[k] == s) return proj(in_tuple, k, nin);
+      if (auto it = in_index.find(s); it != in_index.end()) {
+        return proj(in_tuple, it->second, nin);
       }
     }
     if (nd.op == Op::Reg) {
-      for (std::size_t k = 0; k < n; ++k) {
-        if (rtl_p->regs()[k] == s) {
-          return k < m ? proj(live_tuple, k, m)
-                       : proj(dead_tuple, k - m, kd);
-        }
+      if (auto it = reg_index.find(s); it != reg_index.end()) {
+        std::size_t k = it->second;
+        return k < m ? proj(live_tuple, k, m) : proj(dead_tuple, k - m, kd);
       }
     }
     return std::nullopt;
@@ -273,10 +273,7 @@ FormalDeadRemovalResult formal_remove_dead_registers(const Rtl& rtl) {
   // dead_inst : AUT padded (q_live, qd) i t = AUT h1 q_live i t
 
   // ---- Bridge: h_e and padded share a beta/projection normal form. ---------
-  logic::Conv reduce = logic::top_depth_conv(logic::orelsec(
-      logic::beta_conv,
-      logic::orelsec(logic::rewr_conv(thy::fst_pair()),
-                     logic::rewr_conv(thy::snd_pair()))));
+  const logic::Conv& reduce = detail::pair_reduce_conv();
   Thm red_e = reduce(rargs[0]);
   Thm red_p = reduce(padded);
   Term norm_e = kernel::eq_rhs(red_e.concl());

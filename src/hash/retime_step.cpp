@@ -4,6 +4,7 @@
 #include <set>
 
 #include "hash/eval.h"
+#include "hash/term_build.h"
 #include "logic/bool_thms.h"
 #include "logic/rewrite.h"
 #include "theories/numeral.h"
@@ -196,10 +197,7 @@ FormalRetimeResult formal_retime(const Rtl& rtl, const Cut& cut) {
   // Step 1 (continued): relate the split form h1 to the original compiled
   // transition function by reduction — this is the formal content of
   // "splitting" the combinational part.
-  logic::Conv reduce = logic::top_depth_conv(logic::orelsec(
-      logic::beta_conv,
-      logic::orelsec(logic::rewr_conv(thy::fst_pair()),
-                     logic::rewr_conv(thy::snd_pair()))));
+  const logic::Conv& reduce = detail::pair_reduce_conv();
   Thm red1 = reduce(largs[0]);  // h1 = <flat form>
   if (!(kernel::eq_rhs(red1.concl()) == orig.h)) {
     throw KernelError(

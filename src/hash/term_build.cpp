@@ -1,6 +1,7 @@
 #include "hash/term_build.h"
 
 #include "logic/bool_thms.h"
+#include "logic/rewrite.h"
 #include "theories/num_theory.h"
 #include "theories/numeral.h"
 #include "theories/pair_theory.h"
@@ -37,6 +38,16 @@ Term proj(const Term& tuple, std::size_t k, std::size_t n) {
   return cur;
 }
 
+std::unordered_map<SignalId, std::size_t> index_map(
+    const std::vector<SignalId>& xs) {
+  std::unordered_map<SignalId, std::size_t> m;
+  m.reserve(xs.size());
+  for (std::size_t k = 0; k < xs.size(); ++k) m.emplace(xs[k], k);
+  return m;
+}
+
+const logic::Conv& pair_reduce_conv() { return thy::pair_reduce_conv(); }
+
 namespace {
 
 Term mk_bit_binop(const char* name, const Term& a, const Term& b) {
@@ -48,8 +59,15 @@ Term mk_bit_binop(const char* name, const Term& a, const Term& b) {
 }  // namespace
 
 Term TermBuilder::modulus(int width) {
-  return thy::mk_arith("EXP", thy::mk_numeral(2),
-                       thy::mk_numeral(static_cast<std::uint64_t>(width)));
+  // One interned `2 EXP w` term per width; every arithmetic node of that
+  // width wraps with it, so cache the handle instead of re-interning the
+  // three-node spine on each call.
+  static auto* cache = new std::map<int, Term>();
+  if (auto it = cache->find(width); it != cache->end()) return it->second;
+  Term m = thy::mk_arith("EXP", thy::mk_numeral(2),
+                         thy::mk_numeral(static_cast<std::uint64_t>(width)));
+  cache->emplace(width, m);
+  return m;
 }
 
 Term TermBuilder::wrap(const Term& t, int width) {

@@ -4,11 +4,13 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "circuit/rtl.h"
 #include "hash/compile.h"
 #include "kernel/terms.h"
+#include "logic/conv.h"
 
 namespace eda::hash::detail {
 
@@ -20,6 +22,18 @@ kernel::Type tuple_type(const std::vector<kernel::Type>& tys);
 
 /// Projection of component k out of an n-tuple term (right-nested pairs).
 kernel::Term proj(const kernel::Term& tuple, std::size_t k, std::size_t n);
+
+/// Position lookup for leaf-resolution callbacks: signal id -> slot index.
+/// Replaces the per-leaf linear scans, which were quadratic on wide
+/// circuits.
+std::unordered_map<circuit::SignalId, std::size_t> index_map(
+    const std::vector<circuit::SignalId>& xs);
+
+/// The shared beta / FST_PAIR / SND_PAIR reduction used to collapse
+/// instantiated retiming/encoding theorems.  Built once (rule lookup and
+/// specialisation are not free) and valid forever: the underlying theorems
+/// are fixed after theory initialisation.
+const logic::Conv& pair_reduce_conv();
 
 /// Recursive signal-to-term builder with sharing via memoisation.  Both the
 /// whole-circuit compiler and the f/g splitters (forward and backward) use

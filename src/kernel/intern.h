@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace eda::kernel::detail {
+
+/// Bump-pointer arena backing the interned Type/Term nodes.  Interned nodes
+/// are canonical for the whole process — pointer identity IS structural
+/// identity — so the arena never frees individual nodes and is itself
+/// intentionally leaked (see the interner singletons in types.cpp/terms.cpp):
+/// memoisation tables keyed on node pointers stay valid for the lifetime of
+/// the program, and everything remains reachable for the leak sanitizer.
+///
+/// The kernel is single-threaded (as is the existing global theorem counter);
+/// neither the arena nor the intern tables are synchronized.
+class Arena {
+ public:
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    return new (p) T(std::forward<Args>(args)...);
+  }
+
+  std::size_t bytes_allocated() const { return bytes_; }
+
+ private:
+  void* allocate(std::size_t size, std::size_t align) {
+    std::size_t mis = reinterpret_cast<std::uintptr_t>(cur_) & (align - 1);
+    std::size_t pad = mis == 0 ? 0 : align - mis;
+    if (left_ < size + pad) {
+      std::size_t chunk = size > kChunkSize ? size : kChunkSize;
+      chunks_.push_back(std::make_unique<unsigned char[]>(chunk + align));
+      cur_ = chunks_.back().get();
+      left_ = chunk + align;
+      mis = reinterpret_cast<std::uintptr_t>(cur_) & (align - 1);
+      pad = mis == 0 ? 0 : align - mis;
+    }
+    cur_ += pad;
+    left_ -= pad;
+    void* p = cur_;
+    cur_ += size;
+    left_ -= size;
+    bytes_ += size + pad;
+    return p;
+  }
+
+  static constexpr std::size_t kChunkSize = 1 << 16;
+  std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+  unsigned char* cur_ = nullptr;
+  std::size_t left_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+/// Open-addressing (linear-probing, power-of-two capacity) intern table of
+/// arena-backed nodes.  `Node` must expose a `std::size_t shash` field — the
+/// structural hash used as the probe key.  Because children are interned
+/// before their parents, the equality probe only ever needs shallow
+/// (pointer / scalar) comparisons, so a find-or-insert is O(1) amortised.
+template <typename Node>
+class InternTable {
+ public:
+  /// Return the canonical node with structural hash `h` matching `eq`,
+  /// inserting the node produced by `make()` (whose shash must equal `h`)
+  /// when no match exists.
+  template <typename Eq, typename Make>
+  const Node* intern(std::size_t h, Eq&& eq, Make&& make) {
+    if ((count_ + 1) * 4 >= slots_.size() * 3) grow();
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = h & mask;
+    while (slots_[i] != nullptr) {
+      const Node* n = slots_[i];
+      if (n->shash == h && eq(n)) {
+        ++hits_;
+        return n;
+      }
+      i = (i + 1) & mask;
+    }
+    const Node* n = make();
+    slots_[i] = n;
+    ++count_;
+    return n;
+  }
+
+  std::size_t size() const { return count_; }
+  std::size_t hits() const { return hits_; }
+
+ private:
+  void grow() {
+    std::vector<const Node*> old = std::move(slots_);
+    slots_.assign(old.size() * 2, nullptr);
+    std::size_t mask = slots_.size() - 1;
+    for (const Node* n : old) {
+      if (n == nullptr) continue;
+      std::size_t i = n->shash & mask;
+      while (slots_[i] != nullptr) i = (i + 1) & mask;
+      slots_[i] = n;
+    }
+  }
+
+  std::vector<const Node*> slots_ = std::vector<const Node*>(1024, nullptr);
+  std::size_t count_ = 0;
+  std::size_t hits_ = 0;
+};
+
+/// Interning statistics for one node kind, surfaced through
+/// `Type::intern_stats()` / `Term::intern_stats()` for tests and tools.
+struct InternStats {
+  std::size_t live_nodes = 0;   ///< distinct interned nodes
+  std::size_t hits = 0;         ///< constructor calls answered from the table
+  std::size_t arena_bytes = 0;  ///< node storage (excluding string heaps)
+};
+
+}  // namespace eda::kernel::detail

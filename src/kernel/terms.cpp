@@ -5,13 +5,32 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 namespace eda::kernel {
 
 namespace {
 
+using detail::TermNode;
+
 std::size_t combine(std::size_t seed, std::size_t v) {
   return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+std::size_t ptr_hash(const void* p) {
+  return std::hash<const void*>{}(p);
+}
+
+/// The global term interner; intentionally leaked like the type interner so
+/// node pointers stay valid memoisation keys for the process lifetime.
+struct TermInterner {
+  detail::Arena arena;
+  detail::InternTable<TermNode> table;
+};
+
+TermInterner& interner() {
+  static TermInterner* in = new TermInterner();
+  return *in;
 }
 
 }  // namespace
@@ -22,24 +41,11 @@ std::size_t combine(std::size_t seed, std::size_t v) {
 // equal hashes, matching operator==.  Comb nodes reuse child hashes; Abs
 // nodes re-traverse their body with the binder pushed onto the environment
 // (abstractions are rare and shallow in circuit terms, so this stays cheap).
+// Thanks to interning every hash is computed once per distinct node, ever.
 
 static std::size_t hash_name_ty(std::size_t tag, const std::string& name,
                                 const Type& ty) {
   return combine(combine(tag, std::hash<std::string>{}(name)), ty.hash());
-}
-
-Term Term::var(std::string name, Type ty) {
-  if (name.empty()) throw KernelError("Term::var: empty name");
-  std::size_t h = hash_name_ty(0xB1, name, ty);
-  return Term(std::make_shared<Node>(Kind::Var, std::move(name), std::move(ty),
-                                     nullptr, nullptr, h));
-}
-
-Term Term::constant(std::string name, Type ty) {
-  if (name.empty()) throw KernelError("Term::constant: empty name");
-  std::size_t h = hash_name_ty(0xC0, name, ty);
-  return Term(std::make_shared<Node>(Kind::Const, std::move(name),
-                                     std::move(ty), nullptr, nullptr, h));
 }
 
 namespace {
@@ -51,6 +57,42 @@ std::size_t hash_with_env(const Term& t, std::vector<Term>& binders,
 
 }  // namespace
 
+Term Term::var(std::string name, Type ty) {
+  if (name.empty()) throw KernelError("Term::var: empty name");
+  std::size_t h = hash_name_ty(0xB1, name, ty);
+  TermInterner& in = interner();
+  const TermNode* n = in.table.intern(
+      h,
+      [&](const TermNode* c) {
+        return c->kind == Kind::Var && c->ty == ty && c->name == name;
+      },
+      [&] {
+        bool poly = ty.has_vars();
+        return in.arena.create<TermNode>(TermNode{
+            Kind::Var, std::move(name), std::move(ty), nullptr, nullptr, h, h,
+            poly, nullptr});
+      });
+  return Term(n);
+}
+
+Term Term::constant(std::string name, Type ty) {
+  if (name.empty()) throw KernelError("Term::constant: empty name");
+  std::size_t h = hash_name_ty(0xC0, name, ty);
+  TermInterner& in = interner();
+  const TermNode* n = in.table.intern(
+      h,
+      [&](const TermNode* c) {
+        return c->kind == Kind::Const && c->ty == ty && c->name == name;
+      },
+      [&] {
+        bool poly = ty.has_vars();
+        return in.arena.create<TermNode>(TermNode{
+            Kind::Const, std::move(name), std::move(ty), nullptr, nullptr, h,
+            h, poly, nullptr});
+      });
+  return Term(n);
+}
+
 Term Term::comb(Term f, Term x) {
   if (!is_fun_ty(f.type())) {
     throw KernelError("Term::comb: operator is not a function: " +
@@ -61,23 +103,51 @@ Term Term::comb(Term f, Term x) {
                       " : " + f.type().to_string() + " to " + x.to_string() +
                       " : " + x.type().to_string());
   }
-  std::size_t h = combine(combine(0xAF, f.hash()), x.hash());
-  return Term(std::make_shared<Node>(Kind::Comb, std::string(),
-                                     cod_ty(f.type()), f.node_, x.node_, h));
+  std::size_t sh = combine(combine(0xAF7, ptr_hash(f.node_)),
+                           ptr_hash(x.node_));
+  TermInterner& in = interner();
+  const TermNode* n = in.table.intern(
+      sh,
+      [&](const TermNode* c) {
+        return c->kind == Kind::Comb && c->a == f.node_ && c->b == x.node_;
+      },
+      [&] {
+        std::size_t h = combine(combine(0xAF, f.hash()), x.hash());
+        return in.arena.create<TermNode>(TermNode{
+            Kind::Comb, std::string(), cod_ty(f.type()), f.node_, x.node_, h,
+            sh, f.node_->poly || x.node_->poly, nullptr});
+      });
+  return Term(n);
 }
 
 Term Term::abs(Term v, Term body) {
   if (!v.is_var()) throw KernelError("Term::abs: binder must be a variable");
-  Term tmp(std::make_shared<Node>(Kind::Abs, std::string(),
-                                  fun_ty(v.type(), body.type()), v.node_,
-                                  body.node_, 0));
-  std::vector<Term> binders;
-  // Alpha-invariant hash for the whole abstraction (bound occurrences hash
-  // by de-Bruijn index), keeping hashes consistent with operator==.
-  std::map<const void*, std::size_t> memo;
-  std::size_t h = hash_with_env(tmp, binders, memo);
-  return Term(std::make_shared<Node>(Kind::Abs, std::string(),
-                                     tmp.node_->ty, v.node_, body.node_, h));
+  std::size_t sh = combine(combine(0xAB5, ptr_hash(v.node_)),
+                           ptr_hash(body.node_));
+  TermInterner& in = interner();
+  const TermNode* n = in.table.intern(
+      sh,
+      [&](const TermNode* c) {
+        return c->kind == Kind::Abs && c->a == v.node_ && c->b == body.node_;
+      },
+      [&] {
+        // Alpha-invariant hash for the whole abstraction (bound occurrences
+        // hash by de-Bruijn index), keeping hashes consistent with
+        // operator==.
+        std::vector<Term> binders{v};
+        std::map<const void*, std::size_t> memo;
+        std::size_t hb = hash_with_env(body, binders, memo);
+        std::size_t h = combine(combine(0xAB, v.type().hash()), hb);
+        return in.arena.create<TermNode>(TermNode{
+            Kind::Abs, std::string(), fun_ty(v.type(), body.type()), v.node_,
+            body.node_, h, sh, v.node_->poly || body.node_->poly, nullptr});
+      });
+  return Term(n);
+}
+
+detail::InternStats Term::intern_stats() {
+  TermInterner& in = interner();
+  return {in.table.size(), in.table.hits(), in.arena.bytes_allocated()};
 }
 
 namespace {
@@ -96,8 +166,8 @@ std::size_t hash_with_env(const Term& t, std::vector<Term>& binders,
     case Term::Kind::Var: {
       h = hash_name_ty(0xB1, t.name(), t.type());
       for (std::size_t i = binders.size(); i-- > 0;) {
-        const Term& b = binders[i];
-        if (b.name() == t.name() && b.type() == t.type()) {
+        // Interning makes "same name and type" node identity.
+        if (binders[i].identical(t)) {
           h = combine(combine(0xB0, binders.size() - 1 - i),
                       t.type().hash());
           break;
@@ -156,15 +226,9 @@ Term Term::body() const {
 
 // --- Alpha comparison ------------------------------------------------------
 
-int alpha_compare_impl(const Term& a, const Term& b,
-                       std::vector<std::pair<const void*, const void*>>& env);
-
-int Term::compare(const Term& a, const Term& b) {
-  std::vector<std::pair<const void*, const void*>> env;
-  return alpha_compare_impl(a, b, env);
-}
-
 bool Term::operator==(const Term& other) const {
+  // Hash-consing: structurally identical terms are one node, so only
+  // alpha-equivalent terms with differently-spelt binders take the walk.
   if (node_ == other.node_) return true;
   if (node_->hash != other.node_->hash) return false;
   return compare(*this, other) == 0;
@@ -172,26 +236,26 @@ bool Term::operator==(const Term& other) const {
 
 namespace {
 
-// Innermost binder index for a variable occurrence, matching by name and
-// type so that structurally-distinct but equal Var nodes bind correctly
-// (with shadowing semantics).  `side` selects binder column 0 or 1.
+// Innermost binder index for a variable occurrence.  Interning collapses
+// equal variables to one node, so binder matching (with shadowing
+// semantics) is pointer identity.  `side` selects binder column 0 or 1.
 std::ptrdiff_t binder_index(const Term& v,
                             const std::vector<std::array<Term, 2>>& env,
                             int side) {
   for (std::size_t i = env.size(); i-- > 0;) {
-    const Term& b = env[i][static_cast<std::size_t>(side)];
-    if (b.name() == v.name() && b.type() == v.type()) {
+    if (env[i][static_cast<std::size_t>(side)].identical(v)) {
       return static_cast<std::ptrdiff_t>(i);
     }
   }
   return -1;
 }
 
-// `asym` counts enclosing binder pairs whose two columns differ (by name or
-// type).  When it is zero, every pending binder maps a variable to itself on
-// both sides, so pointer-identical subterms are alpha-equal and the walk can
-// stop — this keeps comparison linear in the term *DAG*, not its tree
-// unfolding (terms built by the rules share structure aggressively).
+// `asym` counts enclosing binder pairs whose two columns differ.  When it
+// is zero, every pending binder maps a variable to itself on both sides, so
+// pointer-identical subterms are alpha-equal and the walk can stop — this
+// keeps comparison linear in the term *DAG*, not its tree unfolding (and
+// with hash-consing the identical() fast path fires for every structurally
+// equal pair, however it was built).
 int alpha_compare_env(const Term& a, const Term& b,
                       std::vector<std::array<Term, 2>>& env, int asym) {
   if (asym == 0 && a.identical(b)) return 0;
@@ -220,7 +284,7 @@ int alpha_compare_env(const Term& a, const Term& b,
       Term va = a.bound_var(), vb = b.bound_var();
       if (int c = Type::compare(va.type(), vb.type()); c != 0) return c;
       env.push_back({va, vb});
-      bool same = va.name() == vb.name() && va.type() == vb.type();
+      bool same = va.identical(vb);
       int c = alpha_compare_env(a.body(), b.body(), env, asym + (same ? 0 : 1));
       env.pop_back();
       return c;
@@ -231,11 +295,9 @@ int alpha_compare_env(const Term& a, const Term& b,
 
 }  // namespace
 
-int alpha_compare_impl(const Term& a, const Term& b,
-                       std::vector<std::pair<const void*, const void*>>& env) {
-  (void)env;
-  std::vector<std::array<Term, 2>> e;
-  return alpha_compare_env(a, b, e, 0);
+int Term::compare(const Term& a, const Term& b) {
+  std::vector<std::array<Term, 2>> env;
+  return alpha_compare_env(a, b, env, 0);
 }
 
 std::string Term::to_string() const {
@@ -262,61 +324,56 @@ std::string Term::to_string() const {
 
 // --- Free variables --------------------------------------------------------
 
-namespace {
-
-// `visited` is valid for one fixed bound stack; an Abs recurses into its
-// body with a fresh set.  Shared binder-free structure is walked once.
-void collect_free_vars_rec(const Term& t, std::vector<Term>& bound,
-                           std::set<Term>& out,
-                           std::set<const void*>& visited) {
-  if (!visited.insert(t.node_id()).second) return;
-  switch (t.kind()) {
+// Free variables are a per-node attribute (fv(\v. b) = fv(b) \ {v} with
+// interned binder identity), so the set is computed bottom-up once per
+// interned node and cached on the node forever.  Every layer above the
+// kernel — substitution pruning, the ABS side condition, the backward
+// synthesis engine — hits this cache.
+const std::set<Term>& free_vars_set(const Term& t) {
+  const TermNode* n = t.node_;
+  if (n->fv != nullptr) return *n->fv;
+  auto* out = new std::set<Term>();
+  switch (n->kind) {
     case Term::Kind::Var:
-      for (const Term& b : bound) {
-        if (b.name() == t.name() && b.type() == t.type()) return;
-      }
-      out.insert(t);
-      return;
+      out->insert(t);
+      break;
     case Term::Kind::Const:
-      return;
-    case Term::Kind::Comb:
-      collect_free_vars_rec(t.rator(), bound, out, visited);
-      collect_free_vars_rec(t.rand(), bound, out, visited);
-      return;
+      break;
+    case Term::Kind::Comb: {
+      const std::set<Term>& fa = free_vars_set(Term::from(n->a));
+      const std::set<Term>& fb = free_vars_set(Term::from(n->b));
+      *out = fa;
+      out->insert(fb.begin(), fb.end());
+      break;
+    }
     case Term::Kind::Abs: {
-      bound.push_back(t.bound_var());
-      std::set<const void*> fresh;
-      collect_free_vars_rec(t.body(), bound, out, fresh);
-      bound.pop_back();
-      return;
+      *out = free_vars_set(Term::from(n->b));
+      out->erase(Term::from(n->a));
+      break;
     }
   }
+  n->fv = out;
+  return *out;
 }
-
-}  // namespace
 
 void collect_free_vars(const Term& t, std::set<Term>& out) {
-  std::vector<Term> bound;
-  std::set<const void*> visited;
-  collect_free_vars_rec(t, bound, out, visited);
+  const std::set<Term>& fv = free_vars_set(t);
+  out.insert(fv.begin(), fv.end());
 }
 
-std::set<Term> free_vars(const Term& t) {
-  std::set<Term> out;
-  collect_free_vars(t, out);
-  return out;
-}
+std::set<Term> free_vars(const Term& t) { return free_vars_set(t); }
 
 bool is_free_in(const Term& v, const Term& t) {
-  std::set<Term> fv = free_vars(t);
-  return fv.count(v) > 0;
+  return free_vars_set(t).count(v) > 0;
 }
 
 namespace {
 // Type variables are independent of the binder environment, so one visited
-// set keeps the walk linear in the term DAG.
+// set keeps the walk linear in the term DAG.  Subterms whose `poly` flag is
+// clear are skipped outright.
 void collect_term_type_vars_rec(const Term& t, std::set<std::string>& out,
                                 std::set<const void*>& visited) {
+  if (!t.has_type_vars()) return;
   if (!visited.insert(t.node_id()).second) return;
   switch (t.kind()) {
     case Term::Kind::Var:
@@ -354,7 +411,20 @@ Term variant(const std::set<Term>& avoid, const Term& v) {
 
 namespace {
 
-/// Memoised substitution core.  The memo is keyed on shared node identity
+/// True when no key of `theta` occurs free in `t` — the subtree can be
+/// returned unchanged.  The cached per-node free-variable sets make this an
+/// O(|theta| log |fv|) test, which prunes substitution to the spine that
+/// actually mentions the substituted variables.
+bool subst_irrelevant(const TermSubst& theta, const Term& t) {
+  const std::set<Term>& fv = free_vars_set(t);
+  for (const auto& [key, img] : theta) {
+    (void)img;
+    if (fv.count(key) > 0) return false;
+  }
+  return true;
+}
+
+/// Memoised substitution core.  The memo is keyed on interned node identity
 /// and is valid only for one fixed theta: whenever an Abs case builds a
 /// *different* substitution for its body (shadowing removal, pruning or
 /// renaming), that body is processed with a fresh memo.  Under heavily
@@ -362,9 +432,12 @@ namespace {
 /// the instantiation rules produce — each DAG node is visited once.
 Term vsubst_memo(const TermSubst& theta, const Term& t,
                  std::map<const void*, Term>& memo) {
+  // Memo first: revisits of shared DAG nodes must not re-pay the
+  // O(|theta|) relevance scan.
   if (auto hit = memo.find(t.node_id()); hit != memo.end()) {
     return hit->second;
   }
+  if (subst_irrelevant(theta, t)) return t;
   auto remember = [&](Term out) {
     memo.emplace(t.node_id(), out);
     return out;
@@ -389,24 +462,21 @@ Term vsubst_memo(const TermSubst& theta, const Term& t,
     }
     case Term::Kind::Abs: {
       const Term v = t.bound_var();
-      // Remove any binding of the bound variable itself.
-      TermSubst inner = theta;
-      inner.erase(v);
-      if (inner.empty()) return remember(t);
-      // Drop bindings whose key is not free in the body (cheap win and
-      // avoids spurious capture detection).
-      std::set<Term> body_fv = free_vars(t.body());
-      for (auto it = inner.begin(); it != inner.end();) {
-        if (body_fv.count(it->first) == 0) {
-          it = inner.erase(it);
-        } else {
-          ++it;
+      // Remove any binding of the bound variable itself and drop bindings
+      // whose key is not free in the body (cheap via the cached fv sets;
+      // also avoids spurious capture detection).
+      const std::set<Term>& body_fv = free_vars_set(t.body());
+      TermSubst inner;
+      for (const auto& [key, img] : theta) {
+        if (!key.identical(v) && body_fv.count(key) > 0) {
+          inner.emplace(key, img);
         }
       }
       if (inner.empty()) return remember(t);
       // Capture check: does v occur free in any image?
       bool capture = false;
       for (const auto& [key, img] : inner) {
+        (void)key;
         if (is_free_in(v, img)) {
           capture = true;
           break;
@@ -420,7 +490,10 @@ Term vsubst_memo(const TermSubst& theta, const Term& t,
       }
       // Rename the binder away from everything in sight.
       std::set<Term> avoid = body_fv;
-      for (const auto& [key, img] : inner) collect_free_vars(img, avoid);
+      for (const auto& [key, img] : inner) {
+        (void)key;
+        collect_free_vars(img, avoid);
+      }
       Term v2 = variant(avoid, v);
       TermSubst rename;
       rename.emplace(v, v2);
@@ -446,9 +519,11 @@ namespace {
 /// Memoised core of type_inst.  Type instantiation is context-free (the
 /// per-Abs clash analysis depends only on the subterm), so one memo keyed
 /// on node identity is sound for the whole call and keeps the walk linear
-/// in the term DAG.
+/// in the term DAG.  Ground subterms (poly flag clear) are returned
+/// unchanged without any walk.
 Term type_inst_memo(const TypeSubst& theta, const Term& t,
                     std::map<const void*, Term>& memo) {
+  if (!t.has_type_vars()) return t;
   if (auto hit = memo.find(t.node_id()); hit != memo.end()) {
     return hit->second;
   }
@@ -469,7 +544,7 @@ Term type_inst_memo(const TypeSubst& theta, const Term& t,
       Term v2 = Term::var(v.name(), type_subst(theta, v.type()));
       // Capture check: a free variable of the body, distinct from the
       // binder, may coincide with the instantiated binder.
-      std::set<Term> body_fv = free_vars(t.body());
+      const std::set<Term>& body_fv = free_vars_set(t.body());
       bool clash = false;
       for (const Term& u : body_fv) {
         if (u == v) continue;
@@ -499,7 +574,7 @@ Term type_inst_memo(const TypeSubst& theta, const Term& t,
 }  // namespace
 
 Term type_inst(const TypeSubst& theta, const Term& t) {
-  if (theta.empty()) return t;
+  if (theta.empty() || !t.has_type_vars()) return t;
   std::map<const void*, Term> memo;
   return type_inst_memo(theta, t, memo);
 }
@@ -507,7 +582,16 @@ Term type_inst(const TypeSubst& theta, const Term& t) {
 // --- Equality helpers ------------------------------------------------------
 
 Term eq_const(const Type& ty) {
-  return Term::constant("=", fun_ty(ty, fun_ty(ty, bool_ty())));
+  // mk_eq is the single hottest constructor in the prover (every REFL,
+  // TRANS, hypothesis and circuit equation goes through it); cache the
+  // equality constant per element type to skip three intern probes.
+  static auto* cache = new std::unordered_map<const void*, Term>();
+  if (auto it = cache->find(ty.node_id()); it != cache->end()) {
+    return it->second;
+  }
+  Term c = Term::constant("=", fun_ty(ty, fun_ty(ty, bool_ty())));
+  cache->emplace(ty.node_id(), c);
+  return c;
 }
 
 Term mk_eq(const Term& a, const Term& b) {

@@ -1,7 +1,7 @@
 #pragma once
 
+#include <cstddef>
 #include <map>
-#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -10,10 +10,25 @@
 
 namespace eda::kernel {
 
+class Term;
+
+namespace detail {
+struct TermNode;
+}  // namespace detail
+
 /// A term of higher-order logic: variable, constant instance, application
 /// or lambda abstraction.  Immutable, shared representation; all
 /// constructors type-check and throw KernelError on violation, so every
 /// `Term` value is well-typed by construction.
+///
+/// Terms are *hash-consed*: each constructor interns its node, so
+/// structurally identical terms (same names, same binder spellings) are one
+/// node and `identical()` is the equality fast path.  Alpha-equivalent but
+/// differently-spelt abstractions (`\x. x` vs `\y. y`) remain distinct
+/// nodes that compare equal via `operator==`.  Interned nodes live in a
+/// permanent arena, so `node_id()` is a valid memoisation key for the whole
+/// process, and per-node attributes (alpha-invariant hash, free-variable
+/// set, type-variable flag) are computed once per node, ever.
 class Term {
  public:
   enum class Kind { Var, Const, Comb, Abs };
@@ -29,7 +44,7 @@ class Term {
   /// Abstraction `\v. body`; `v` must be a Var.
   static Term abs(Term v, Term body);
 
-  Kind kind() const { return node_->kind; }
+  Kind kind() const;
   bool is_var() const { return kind() == Kind::Var; }
   bool is_const() const { return kind() == Kind::Const; }
   bool is_comb() const { return kind() == Kind::Comb; }
@@ -38,7 +53,7 @@ class Term {
   /// Name of a Var or Const (throws otherwise).
   const std::string& name() const;
   /// Type of the term (always available).
-  const Type& type() const { return node_->ty; }
+  const Type& type() const;
 
   /// Operator / operand of a Comb (throw otherwise).
   Term rator() const;
@@ -47,7 +62,9 @@ class Term {
   Term bound_var() const;
   Term body() const;
 
-  /// Alpha-equivalence (`\x. x` equals `\y. y`).
+  /// Alpha-equivalence (`\x. x` equals `\y. y`).  Interning makes the
+  /// structural case a pointer comparison; only differently-spelt binders
+  /// fall through to the alpha walk.
   bool operator==(const Term& other) const;
   bool operator!=(const Term& other) const { return !(*this == other); }
   /// Total order modulo alpha-equivalence; used to keep hypothesis sets
@@ -55,46 +72,73 @@ class Term {
   static int compare(const Term& a, const Term& b);
   bool operator<(const Term& other) const { return compare(*this, other) < 0; }
 
-  std::size_t hash() const { return node_->hash; }
+  /// Alpha-invariant hash, precomputed at intern time.
+  std::size_t hash() const;
 
-  /// Pointer identity of the shared representation: true implies structural
-  /// equality.  Comparison exploits this to stay linear in the *DAG* size of
-  /// heavily shared terms — the kernel's cost model ("pointers, no copying",
-  /// paper section III.A) depends on it.
+  /// Pointer identity of the interned representation: true iff the terms
+  /// are structurally identical (hash-consing guarantees the converse too).
+  /// Comparison exploits this to stay linear in the *DAG* size of heavily
+  /// shared terms — the kernel's cost model ("pointers, no copying", paper
+  /// section III.A) depends on it.
   bool identical(const Term& other) const { return node_ == other.node_; }
 
-  /// Stable identity of the shared node, usable as a memoisation key while
-  /// the Term (or any copy) is alive.  Substitution uses it to visit each
-  /// *DAG* node once instead of exploding shared structure into a tree.
-  const void* node_id() const { return node_.get(); }
+  /// Stable identity of the interned node, usable as a memoisation key for
+  /// the lifetime of the process (interned nodes are never freed).
+  const void* node_id() const { return node_; }
+
+  /// O(1): does any type inside the term mention a type variable?
+  /// (Precomputed at intern time; type instantiation of a ground term is
+  /// the identity.)
+  bool has_type_vars() const;
 
   /// Render with minimal fixity knowledge (full printer lives in printer.h).
   std::string to_string() const;
 
+  /// Interning statistics (distinct nodes, table hits, arena bytes).
+  static detail::InternStats intern_stats();
+
  private:
-  struct Node {
-    Kind kind;
-    std::string name;        // Var / Const
-    Type ty;                 // type of the whole term
-    std::shared_ptr<const Node> a, b;  // Comb: rator/rand; Abs: var/body
-    std::size_t hash;
+  explicit Term(const detail::TermNode* node) : node_(node) {}
+  static Term from(const detail::TermNode* n) { return Term(n); }
+  const detail::TermNode* node_;
 
-    Node(Kind k, std::string n, Type t, std::shared_ptr<const Node> x,
-         std::shared_ptr<const Node> y, std::size_t h)
-        : kind(k), name(std::move(n)), ty(std::move(t)), a(std::move(x)),
-          b(std::move(y)), hash(h) {}
-  };
-  explicit Term(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
-  static Term from(std::shared_ptr<const Node> n) { return Term(std::move(n)); }
-  std::shared_ptr<const Node> node_;
-
-  friend int alpha_compare_impl(const Term&, const Term&,
-                                std::vector<std::pair<const void*, const void*>>&);
+  friend const std::set<Term>& free_vars_set(const Term& t);
 };
+
+namespace detail {
+
+/// The interned representation of a Term.  Construction happens only inside
+/// the four Term constructors, which guarantee one node per structure.
+struct TermNode {
+  Term::Kind kind;
+  std::string name;  ///< Var / Const
+  Type ty;           ///< type of the whole term
+  const TermNode* a; ///< Comb: rator; Abs: binder
+  const TermNode* b; ///< Comb: rand;  Abs: body
+  std::size_t hash;  ///< alpha-invariant hash
+  std::size_t shash; ///< structural hash (the intern-table key)
+  bool poly;         ///< some type inside the term has type variables
+  /// Lazily built free-variable set, owned by the node (permanent, like the
+  /// node itself).  Written once; the kernel is single-threaded.
+  mutable const std::set<Term>* fv = nullptr;
+};
+
+}  // namespace detail
+
+inline Term::Kind Term::kind() const { return node_->kind; }
+inline const Type& Term::type() const { return node_->ty; }
+inline std::size_t Term::hash() const { return node_->hash; }
+inline bool Term::has_type_vars() const { return node_->poly; }
 
 /// Term-for-variable substitution.  Keys must be Var terms; the map is
 /// ordered by Term::compare.
 using TermSubst = std::map<Term, Term>;
+
+/// The free variables of `t`, cached on the interned node: the first call
+/// per node computes the set, every later call (for the process lifetime)
+/// returns the same reference.  This is the workhorse behind
+/// `free_vars` / `is_free_in` / substitution pruning.
+const std::set<Term>& free_vars_set(const Term& t);
 
 /// Free variables of a term, added to `out`.
 void collect_free_vars(const Term& t, std::set<Term>& out);

@@ -134,6 +134,12 @@ Thm Thm::deduct_antisym(const Thm& p, const Thm& q) {
 }
 
 Thm Thm::inst_type(const TypeSubst& theta, const Thm& th) {
+  // Identity instantiation (empty theta, or a fully ground theorem — the
+  // common case once monomorphic rules are cached) is a no-op.
+  if (theta.empty()) return th;
+  bool ground = !th.concl_.has_type_vars();
+  for (const Term& h : th.hyps_) ground = ground && !h.has_type_vars();
+  if (ground) return th;
   std::vector<Term> hyps;
   hyps.reserve(th.hyps_.size());
   for (const Term& h : th.hyps_) hyps.push_back(type_inst(theta, h));
@@ -151,6 +157,7 @@ Thm Thm::inst(const TermSubst& theta, const Thm& th) {
       throw KernelError("INST: type mismatch for " + key.to_string());
     }
   }
+  if (theta.empty()) return th;
   std::vector<Term> hyps;
   hyps.reserve(th.hyps_.size());
   for (const Term& h : th.hyps_) hyps.push_back(vsubst(theta, h));

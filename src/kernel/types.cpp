@@ -6,36 +6,75 @@ namespace eda::kernel {
 
 namespace {
 
+using detail::TypeNode;
+
 std::size_t combine(std::size_t seed, std::size_t v) {
   // boost::hash_combine recipe.
   return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// The global type interner: a permanent arena plus one open-addressing
+/// table.  Intentionally leaked so interned nodes (and their string/vector
+/// heaps) stay reachable for the whole process — node pointers double as
+/// memoisation keys throughout the prover.
+struct TypeInterner {
+  detail::Arena arena;
+  detail::InternTable<TypeNode> table;
+};
+
+TypeInterner& interner() {
+  static TypeInterner* in = new TypeInterner();
+  return *in;
 }
 
 }  // namespace
 
 Type Type::var(std::string name) {
   if (name.empty()) throw KernelError("Type::var: empty name");
-  auto node = std::make_shared<Node>();
-  node->kind = Kind::Var;
-  node->hash = combine(0x51, std::hash<std::string>{}(name));
-  node->name = std::move(name);
-  return Type(std::move(node));
+  std::size_t h = combine(0x51, std::hash<std::string>{}(name));
+  TypeInterner& in = interner();
+  const TypeNode* n = in.table.intern(
+      h,
+      [&](const TypeNode* c) {
+        return c->kind == Kind::Var && c->name == name;
+      },
+      [&] {
+        return in.arena.create<TypeNode>(
+            TypeNode{Kind::Var, std::move(name), {}, h, true});
+      });
+  return Type(n);
 }
 
 Type Type::app(std::string op, std::vector<Type> args) {
   if (op.empty()) throw KernelError("Type::app: empty operator name");
-  auto node = std::make_shared<Node>();
-  node->kind = Kind::App;
   std::size_t h = combine(0xA9, std::hash<std::string>{}(op));
   for (const Type& a : args) h = combine(h, a.hash());
-  node->hash = h;
-  node->name = std::move(op);
-  node->args = std::move(args);
-  return Type(std::move(node));
+  TypeInterner& in = interner();
+  const TypeNode* n = in.table.intern(
+      h,
+      [&](const TypeNode* c) {
+        if (c->kind != Kind::App || c->args.size() != args.size() ||
+            c->name != op) {
+          return false;
+        }
+        // Children are interned, so argument equality is pointer identity.
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          if (c->args[i] != args[i]) return false;
+        }
+        return true;
+      },
+      [&] {
+        bool poly = false;
+        for (const Type& a : args) poly = poly || a.has_vars();
+        return in.arena.create<TypeNode>(
+            TypeNode{Kind::App, std::move(op), std::move(args), h, poly});
+      });
+  return Type(n);
 }
 
-bool Type::operator==(const Type& other) const {
-  return compare(*this, other) == 0;
+detail::InternStats Type::intern_stats() {
+  TypeInterner& in = interner();
+  return {in.table.size(), in.table.hits(), in.arena.bytes_allocated()};
 }
 
 int Type::compare(const Type& a, const Type& b) {
@@ -52,19 +91,12 @@ int Type::compare(const Type& a, const Type& b) {
 }
 
 void Type::collect_vars(std::set<std::string>& out) const {
+  if (!has_vars()) return;
   if (is_var()) {
     out.insert(name());
   } else {
     for (const Type& a : args()) a.collect_vars(out);
   }
-}
-
-bool Type::has_vars() const {
-  if (is_var()) return true;
-  for (const Type& a : args()) {
-    if (a.has_vars()) return true;
-  }
-  return false;
 }
 
 std::string Type::to_string() const {
@@ -99,7 +131,7 @@ std::string Type::to_string() const {
 }
 
 Type type_subst(const TypeSubst& theta, const Type& ty) {
-  if (theta.empty()) return ty;
+  if (theta.empty() || !ty.has_vars()) return ty;
   if (ty.is_var()) {
     auto it = theta.find(ty.name());
     return it == theta.end() ? ty : it->second;
@@ -117,6 +149,9 @@ Type type_subst(const TypeSubst& theta, const Type& ty) {
 }
 
 bool type_match(const Type& pattern, const Type& concrete, TypeSubst& theta) {
+  // Ground patterns (the common case for monomorphic rules) match exactly
+  // when pointer-identical.
+  if (!pattern.has_vars()) return pattern == concrete;
   if (pattern.is_var()) {
     auto [it, inserted] = theta.emplace(pattern.name(), concrete);
     return inserted || it->second == concrete;

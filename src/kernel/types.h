@@ -1,18 +1,31 @@
 #pragma once
 
+#include <cstddef>
 #include <map>
-#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "kernel/error.h"
+#include "kernel/intern.h"
 
 namespace eda::kernel {
 
+class Type;
+
+namespace detail {
+struct TypeNode;
+}  // namespace detail
+
 /// A simple type of higher-order logic: either a type variable or the
 /// application of an n-ary type operator to argument types.  Values are
-/// immutable and cheap to copy (shared representation).
+/// immutable and cheap to copy (one interned pointer).
+///
+/// Types are *hash-consed*: every constructor returns the canonical node for
+/// its structure, so structural equality IS pointer identity and
+/// `operator==` is a single comparison.  Interned nodes live in a permanent
+/// arena, which makes node pointers valid memoisation keys for the lifetime
+/// of the process.
 ///
 /// The primitive operators installed by the kernel are `bool` (arity 0) and
 /// `fun` (arity 2); theories register further operators (`prod`, `num`, ...)
@@ -27,40 +40,65 @@ class Type {
   /// Arity checking against the signature happens in Signature::check.
   static Type app(std::string op, std::vector<Type> args);
 
-  Kind kind() const { return node_->kind; }
-  bool is_var() const { return node_->kind == Kind::Var; }
-  bool is_app() const { return node_->kind == Kind::App; }
+  Kind kind() const;
+  bool is_var() const;
+  bool is_app() const;
 
   /// Variable name or operator name.
-  const std::string& name() const { return node_->name; }
+  const std::string& name() const;
   /// Operator arguments (empty for variables and nullary operators).
-  const std::vector<Type>& args() const { return node_->args; }
+  const std::vector<Type>& args() const;
 
-  bool operator==(const Type& other) const;
-  bool operator!=(const Type& other) const { return !(*this == other); }
+  /// Hash-consing makes structural equality a pointer comparison.
+  bool operator==(const Type& other) const { return node_ == other.node_; }
+  bool operator!=(const Type& other) const { return node_ != other.node_; }
   /// Total structural order (for use as a map key).
   static int compare(const Type& a, const Type& b);
   bool operator<(const Type& other) const { return compare(*this, other) < 0; }
 
-  std::size_t hash() const { return node_->hash; }
+  /// Structural hash, precomputed at intern time.
+  std::size_t hash() const;
 
   /// Collect the names of all type variables occurring in this type.
   void collect_vars(std::set<std::string>& out) const;
+  /// O(1): precomputed at intern time.
   bool has_vars() const;
+
+  /// Stable identity of the interned node (valid for the whole process).
+  const void* node_id() const { return node_; }
 
   /// Render as text, e.g. `('a -> bool) # num`.
   std::string to_string() const;
 
+  /// Interning statistics (distinct nodes, table hits, arena bytes).
+  static detail::InternStats intern_stats();
+
  private:
-  struct Node {
-    Kind kind;
-    std::string name;
-    std::vector<Type> args;
-    std::size_t hash;
-  };
-  explicit Type(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
-  std::shared_ptr<const Node> node_;
+  explicit Type(const detail::TypeNode* node) : node_(node) {}
+  const detail::TypeNode* node_;
 };
+
+namespace detail {
+
+/// The interned representation of a Type.  Construction happens only inside
+/// Type::var / Type::app, which guarantee one node per structure.
+struct TypeNode {
+  Type::Kind kind;
+  std::string name;
+  std::vector<Type> args;
+  std::size_t shash;  ///< structural hash (the intern-table key)
+  bool poly;          ///< contains a type variable
+};
+
+}  // namespace detail
+
+inline Type::Kind Type::kind() const { return node_->kind; }
+inline bool Type::is_var() const { return node_->kind == Kind::Var; }
+inline bool Type::is_app() const { return node_->kind == Kind::App; }
+inline const std::string& Type::name() const { return node_->name; }
+inline const std::vector<Type>& Type::args() const { return node_->args; }
+inline std::size_t Type::hash() const { return node_->shash; }
+inline bool Type::has_vars() const { return node_->poly; }
 
 /// Substitution of types for type-variable names.
 using TypeSubst = std::map<std::string, Type>;

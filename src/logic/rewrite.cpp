@@ -9,8 +9,11 @@ using kernel::Term;
 using kernel::Thm;
 
 Conv rewr_conv(const Thm& eq_thm) {
-  return [eq_thm](const Term& t) {
-    Thm th = spec_all(eq_thm);
+  // Specialize the rule once at conversion-build time, not per target term;
+  // rewr_conv results are routinely cached (static Convs in the hash layer)
+  // and applied to thousands of nodes.
+  Thm spec = spec_all(eq_thm);
+  return [th = std::move(spec)](const Term& t) {
     if (!is_eq(th.concl())) {
       throw ConvError("rewr_conv: theorem is not an equation: " +
                       th.concl().to_string());

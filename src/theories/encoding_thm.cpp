@@ -33,11 +33,7 @@ namespace {
 
 /// beta followed by reduction of FST/SND applied to literal pairs — the
 /// workhorse for "applying" the lambda-shaped transition functions.
-logic::Conv apply_reduce() {
-  return logic::top_depth_conv(logic::orelsec(
-      logic::beta_conv, logic::orelsec(rewr_conv(fst_pair()),
-                                       rewr_conv(snd_pair()))));
-}
+const logic::Conv& apply_reduce() { return pair_reduce_conv(); }
 
 /// The FST constant at pair type x # y (as a function term, for AP_TERM).
 Term fst_at(const Type& x, const Type& y) {

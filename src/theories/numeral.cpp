@@ -1,5 +1,7 @@
 #include "theories/numeral.h"
 
+#include <unordered_map>
+
 #include "kernel/signature.h"
 #include "logic/bool_thms.h"
 
@@ -40,29 +42,43 @@ Term mk_bits(std::uint64_t n) {
 }
 
 std::optional<std::uint64_t> dest_bits(const Term& t) {
-  if (t.is_const() && t.name() == "_0") return 0ULL;
-  if (t.is_comb() && t.rator().is_const()) {
+  // Interned nodes are permanent, so destructed values can be memoised on
+  // node identity; numeral chains share suffixes heavily under hash-consing,
+  // making repeated destruction O(1) amortised.
+  static auto* memo =
+      new std::unordered_map<const void*, std::optional<std::uint64_t>>();
+  if (auto it = memo->find(t.node_id()); it != memo->end()) return it->second;
+  std::optional<std::uint64_t> out;
+  if (t.is_const() && t.name() == "_0") {
+    out = 0ULL;
+  } else if (t.is_comb() && t.rator().is_const()) {
     const std::string& f = t.rator().name();
     if (f == "BIT0" || f == "BIT1") {
-      auto inner = dest_bits(t.rand());
-      if (!inner) return std::nullopt;
-      return *inner * 2 + (f == "BIT1" ? 1 : 0);
+      if (auto inner = dest_bits(t.rand())) {
+        out = *inner * 2 + (f == "BIT1" ? 1 : 0);
+      }
+    } else if (f == "SUC") {
+      if (auto inner = dest_bits(t.rand())) out = *inner + 1;
+    } else if (f == "NUMERAL") {
+      out = dest_bits(t.rand());
     }
-    if (f == "SUC") {
-      auto inner = dest_bits(t.rand());
-      if (!inner) return std::nullopt;
-      return *inner + 1;
-    }
-    if (f == "NUMERAL") return dest_bits(t.rand());
   }
-  return std::nullopt;
+  memo->emplace(t.node_id(), out);
+  return out;
 }
 
 }  // namespace
 
 Term mk_numeral(std::uint64_t n) {
   init_numeral();
-  return mk_unary("NUMERAL", mk_bits(n));
+  // Numerals are the single most-constructed term family (every wrap /
+  // modulus / simulation step builds them); cache the interned term per
+  // value.
+  static auto* cache = new std::unordered_map<std::uint64_t, Term>();
+  if (auto it = cache->find(n); it != cache->end()) return it->second;
+  Term t = mk_unary("NUMERAL", mk_bits(n));
+  cache->emplace(n, t);
+  return t;
 }
 
 std::optional<std::uint64_t> dest_numeral(const Term& t) {

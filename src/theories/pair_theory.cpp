@@ -1,6 +1,7 @@
 #include "theories/pair_theory.h"
 
 #include "kernel/signature.h"
+#include "logic/rewrite.h"
 
 namespace eda::thy {
 
@@ -97,6 +98,16 @@ Thm snd_pair() {
 Thm pair_surj() {
   init_pair();
   return Signature::instance().theorem("PAIR_SURJ");
+}
+
+const logic::Conv& pair_reduce_conv() {
+  // Leaked like the kernel interners: the conv captures theorems whose
+  // terms live in the permanent arena anyway.
+  static const logic::Conv* c = new logic::Conv(logic::top_depth_conv(
+      logic::orelsec(logic::beta_conv,
+                     logic::orelsec(logic::rewr_conv(fst_pair()),
+                                    logic::rewr_conv(snd_pair())))));
+  return *c;
 }
 
 }  // namespace eda::thy

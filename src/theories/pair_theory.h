@@ -37,6 +37,13 @@ Thm fst_pair();
 Thm snd_pair();
 Thm pair_surj();
 
+/// The shared beta / FST_PAIR / SND_PAIR top-depth reduction — the
+/// workhorse for "applying" lambda-shaped transition functions throughout
+/// the encoding and retiming rules.  Built once (rule lookup and
+/// specialisation are not free) and valid forever: the underlying theorems
+/// are fixed after theory initialisation.
+const logic::Conv& pair_reduce_conv();
+
 /// Derived: |- !x y a b. ((x, y) = (a, b)) = (x = a /\ y = b) is *not*
 /// needed by the retiming proof and is omitted; see tests for the forward
 /// direction via projections.

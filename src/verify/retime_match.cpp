@@ -26,38 +26,67 @@ bool is_comb(const Node& n) {
 /// nodes that feed nothing (our conventional step drops unused f-nodes and
 /// unread registers), and that is not a behavioural difference.
 std::set<SignalId> useful_signals(const Rtl& rtl) {
+  // Flat mark vectors + explicit worklists: the matcher runs once per
+  // verification attempt and the old set-based recursion dominated on wide
+  // netlists.
+  const std::size_t n_nodes = rtl.nodes().size();
   // Liveness fixpoint over registers first: a register is live when some
   // output cone reads it, directly or through other live registers.
-  std::set<SignalId> live;
-  std::set<SignalId> visited;
-  std::function<void(SignalId)> regs_of = [&](SignalId s) {
-    if (!visited.insert(s).second) return;
-    const Node& n = rtl.node(s);
-    if (n.op == Op::Reg) {
-      live.insert(s);
-      return;
+  std::vector<std::uint8_t> visited(n_nodes, 0);
+  std::vector<std::uint8_t> live(n_nodes, 0);
+  std::vector<SignalId> stack;
+  std::vector<SignalId> new_live;
+  auto regs_of = [&](SignalId root) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      SignalId s = stack.back();
+      stack.pop_back();
+      // Bounds-checked fetch first: a malformed id (e.g. an unset register
+      // next of -1) must throw like the pre-worklist code did, not index
+      // the mark vectors out of range.
+      const Node& n = rtl.node(s);
+      auto idx = static_cast<std::size_t>(s);
+      if (visited[idx]) continue;
+      visited[idx] = 1;
+      if (n.op == Op::Reg) {
+        live[idx] = 1;
+        new_live.push_back(s);
+        continue;
+      }
+      for (SignalId o : n.operands) stack.push_back(o);
     }
-    for (SignalId o : n.operands) regs_of(o);
   };
   for (const circuit::OutputPort& o : rtl.outputs()) regs_of(o.signal);
-  bool changed = true;
-  while (changed) {
-    std::size_t before = live.size();
-    for (SignalId r : std::set<SignalId>(live)) regs_of(rtl.node(r).next);
-    changed = live.size() != before;
+  while (!new_live.empty()) {
+    std::vector<SignalId> frontier;
+    frontier.swap(new_live);
+    for (SignalId r : frontier) regs_of(rtl.node(r).next);
   }
   // Useful = cones of the outputs and of the live registers' nexts.
-  std::set<SignalId> useful;
-  std::function<void(SignalId)> visit = [&](SignalId s) {
-    if (!useful.insert(s).second) return;
-    const Node& n = rtl.node(s);
-    if (n.op == Op::Reg) return;  // crossed per live register below
-    for (SignalId o : n.operands) visit(o);
+  std::vector<std::uint8_t> useful_mark(n_nodes, 0);
+  auto visit = [&](SignalId root) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      SignalId s = stack.back();
+      stack.pop_back();
+      const Node& n = rtl.node(s);
+      auto idx = static_cast<std::size_t>(s);
+      if (useful_mark[idx]) continue;
+      useful_mark[idx] = 1;
+      if (n.op == Op::Reg) continue;  // crossed per live register below
+      for (SignalId o : n.operands) stack.push_back(o);
+    }
   };
   for (const circuit::OutputPort& o : rtl.outputs()) visit(o.signal);
-  for (SignalId r : live) {
-    useful.insert(r);
-    visit(rtl.node(r).next);
+  for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+    if (live[idx]) {
+      useful_mark[idx] = 1;
+      visit(rtl.node(static_cast<SignalId>(idx)).next);
+    }
+  }
+  std::set<SignalId> useful;
+  for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+    if (useful_mark[idx]) useful.insert(static_cast<SignalId>(idx));
   }
   return useful;
 }
@@ -208,16 +237,6 @@ RetimeMatchResult verify_retiming(const Rtl& a, const Rtl& b,
   // Vertex set: matched comb nodes plus one environment vertex (-1).
   // Constraint per edge u->v: lag(v) - lag(u) = w_b(e) - w_a(e).
   std::map<SignalId, int>& lag = res.lag;
-  auto source_vertex = [&](const Rtl& rtl, SignalId raw,
-                           bool is_a) -> std::optional<SignalId> {
-    auto [src, w] = chase_regs(rtl, raw);
-    (void)w;
-    const Node& nd = rtl.node(src);
-    if (nd.op == Op::Input) return -1;  // environment
-    if (nd.op == Op::Const) return std::nullopt;  // no constraint through consts
-    (void)is_a;
-    return src;
-  };
 
   struct Constraint {
     SignalId u, v;  // a-side ids; -1 = environment

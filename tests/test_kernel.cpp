@@ -190,6 +190,103 @@ TEST(Terms, StripComb) {
   EXPECT_EQ(k::list_comb(f, {x, y}), t);
 }
 
+TEST(Interning, PointerIdentityIsStructuralEquality) {
+  // Structurally identical terms built through independent construction
+  // paths intern to one node: identical() <=> structural equality.
+  Term t1 = k::mk_eq(bv("x"), bv("y"));
+  Term t2 = k::mk_eq(bv("x"), bv("y"));
+  EXPECT_TRUE(t1.identical(t2));
+  EXPECT_EQ(t1.node_id(), t2.node_id());
+  EXPECT_EQ(t1, t2);
+  // And conversely: distinct structures are distinct nodes.
+  Term t3 = k::mk_eq(bv("y"), bv("x"));
+  EXPECT_FALSE(t1.identical(t3));
+}
+
+TEST(Interning, TypesInternToOneNode) {
+  Type f1 = k::fun_ty(k::bool_ty(), k::num_ty());
+  Type f2 = k::fun_ty(k::bool_ty(), k::num_ty());
+  EXPECT_EQ(f1.node_id(), f2.node_id());
+  EXPECT_EQ(f1, f2);
+  EXPECT_NE(f1.node_id(), k::fun_ty(k::num_ty(), k::bool_ty()).node_id());
+  // has_vars is precomputed and consistent.
+  EXPECT_FALSE(f1.has_vars());
+  EXPECT_TRUE(k::fun_ty(k::alpha_ty(), k::bool_ty()).has_vars());
+}
+
+TEST(Interning, AlphaEquivalentAbstractionsCompareEqualButStayDistinct) {
+  // Interning is structural (binder spellings matter), while operator== is
+  // alpha-equivalence: \x. x and \y. y are two nodes that compare equal,
+  // with equal (alpha-invariant) hashes.
+  Term idx = Term::abs(bv("x"), bv("x"));
+  Term idy = Term::abs(bv("y"), bv("y"));
+  EXPECT_FALSE(idx.identical(idy));
+  EXPECT_EQ(idx, idy);
+  EXPECT_EQ(idx.hash(), idy.hash());
+  // Rebuilding either spelling hits the same interned node.
+  EXPECT_TRUE(idx.identical(Term::abs(bv("x"), bv("x"))));
+}
+
+TEST(Interning, EqualityOnIndependentlyBuiltTowersIsConstantTime) {
+  // Two independently built 2^40-leaf towers collapse to one node each;
+  // without interning this comparison would visit ~2^40 node pairs.
+  auto tower = [](int depth) {
+    Term t = bv("x");
+    for (int i = 0; i < depth; ++i) t = k::mk_eq(t, t);
+    return t;
+  };
+  Term a = tower(40);
+  Term b = tower(40);
+  EXPECT_TRUE(a.identical(b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Interning, FreeVarSetIsCachedPerNode) {
+  Term t = Term::abs(bv("x"), k::mk_eq(bv("x"), bv("y")));
+  const std::set<Term>& fv1 = k::free_vars_set(t);
+  const std::set<Term>& fv2 = k::free_vars_set(t);
+  EXPECT_EQ(&fv1, &fv2);  // same cached set, not a recomputation
+  EXPECT_EQ(fv1.size(), 1u);
+  EXPECT_TRUE(fv1.count(bv("y")) > 0);
+}
+
+TEST(Interning, HasTypeVarsPrecomputed) {
+  Term ground = k::mk_eq(bv("p"), bv("q"));
+  EXPECT_FALSE(ground.has_type_vars());
+  Term poly = Term::var("v", k::alpha_ty());
+  EXPECT_TRUE(poly.has_type_vars());
+  EXPECT_TRUE(Term::abs(poly, poly).has_type_vars());
+}
+
+TEST(Interning, SurvivesHighChurnConstruction) {
+  // Churn: build a large batch of distinct terms (forcing table growth and
+  // rehashes), then rebuild the same batch and require every node to be an
+  // intern hit with stable identity.
+  auto build = [](int salt) {
+    std::vector<Term> out;
+    for (int i = 0; i < 2000; ++i) {
+      Term v = Term::var("c" + std::to_string(i) + "_" + std::to_string(salt),
+                         k::num_ty());
+      Term e = k::mk_eq(v, v);
+      out.push_back(Term::abs(v, k::mk_eq(e, e)));
+    }
+    return out;
+  };
+  std::vector<Term> first = build(7);
+  auto stats_before = Term::intern_stats();
+  std::vector<Term> second = build(7);
+  auto stats_after = Term::intern_stats();
+  // No new nodes were created by the rebuild, only table hits.
+  EXPECT_EQ(stats_before.live_nodes, stats_after.live_nodes);
+  EXPECT_GT(stats_after.hits, stats_before.hits);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(first[i].identical(second[i]));
+  }
+  // Distinct content still interns to distinct nodes after all the churn.
+  std::vector<Term> other = build(8);
+  EXPECT_FALSE(first[0].identical(other[0]));
+}
+
 TEST(Rules, Refl) {
   Term x = bv("x");
   Thm th = Thm::refl(x);

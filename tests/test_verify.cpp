@@ -154,10 +154,18 @@ TEST(AllEngines, AgreeOnIwlsRetimedPairs) {
     v::VerifyResult sis = v::sis_fsm_check(ga, gb, opts);
     v::VerifyResult e1 = v::eijk_check(ga, gb, opts, false);
     v::VerifyResult e2 = v::eijk_check(ga, gb, opts, true);
-    if (smv.completed) EXPECT_TRUE(smv.equivalent);
-    if (sis.completed) EXPECT_TRUE(sis.equivalent);
-    if (e1.completed) EXPECT_TRUE(e1.equivalent);
-    if (e2.completed) EXPECT_TRUE(e2.equivalent);
+    if (smv.completed) {
+      EXPECT_TRUE(smv.equivalent);
+    }
+    if (sis.completed) {
+      EXPECT_TRUE(sis.equivalent);
+    }
+    if (e1.completed) {
+      EXPECT_TRUE(e1.equivalent);
+    }
+    if (e2.completed) {
+      EXPECT_TRUE(e2.equivalent);
+    }
     // At least the symbolic engines should finish on these sizes.
     EXPECT_TRUE(smv.completed || e1.completed);
   }
