@@ -31,7 +31,8 @@ double time_retime(const eda::circuit::Rtl& rtl, const eda::hash::Cut& cut) {
 
 int main() {
   eda::thy::retiming_thm();
-  std::printf("Ablation — RT-level vs bit-level formal retiming (fig. 2)\n\n");
+  std::printf(
+      "Ablation — RT-level vs bit-level formal retiming (fig. 2)\n\n");
   std::printf("%4s %14s %14s %9s\n", "n", "RT-level (s)", "bit-level (s)",
               "ratio");
   for (int n : {1, 2, 3, 4, 5}) {

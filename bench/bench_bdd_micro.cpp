@@ -32,7 +32,8 @@ static void BM_BuildFig2Machine(benchmark::State& state) {
     int ni = static_cast<int>(net.inputs().size());
     auto machine = eda::verify::build_machine(
         m, net, [](int j) { return j; },
-        [&](int k) { return ni + 2 * k; }, [&](int k) { return ni + 2 * k + 1; });
+        [&](int k) { return ni + 2 * k; },
+        [&](int k) { return ni + 2 * k + 1; });
     benchmark::DoNotOptimize(machine.outputs.size());
   }
 }

@@ -53,7 +53,8 @@ int main() {
     double sec = 0;
     int trials = 0;
     for (std::uint32_t seed = 1; seed <= 5; ++seed) {
-      RetimeGraph g = random_graph(n, seed * 977 + static_cast<std::uint32_t>(n));
+      RetimeGraph g =
+          random_graph(n, seed * 977 + static_cast<std::uint32_t>(n));
       RetimingResult mp;
       try {
         mp = min_period_retiming(g);

@@ -130,7 +130,6 @@ int main(int argc, char** argv) {
     eda::circuit::GateNetlist gb = eda::circuit::bit_blast(retimed);
     eda::verify::VerifyResult smv = eda::verify::smv_check(ga, gb, opts);
 
-
     std::printf("%4d | %s %s %s |  %s      %7.3f\n", n,
                 cell(m.equivalent, match_s).c_str(),
                 cell(smv.completed, smv.seconds).c_str(),

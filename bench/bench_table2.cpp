@@ -10,12 +10,15 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_gen/iwls.h"
 #include "circuit/bitblast.h"
 #include "hash/retime_step.h"
+#include "kernel/parallel.h"
 #include "theories/retiming_thm.h"
 #include "verify/eijk.h"
+#include "verify/parallel_verify.h"
 #include "verify/sis_fsm.h"
 
 namespace {
@@ -36,10 +39,19 @@ std::string cell(bool completed, double sec) {
 
 int main(int argc, char** argv) {
   double timeout = 5.0;
+  // Serial by default so the per-engine cells stay undistorted; `--jobs N`
+  // opts into the fan-out (see bench_table1.cpp).
+  unsigned jobs = 1;
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
     if (arg == "--timeout" && a + 1 < argc) timeout = std::stod(argv[++a]);
+    if (arg == "--jobs" && a + 1 < argc) {
+      jobs = static_cast<unsigned>(std::stoi(argv[++a]));
+    }
   }
+  // Caller participates in parallel_map: jobs-1 workers + caller = jobs
+  // concurrent streams (same accounting as bench_parallel).
+  if (jobs > 1) eda::kernel::set_global_thread_count(jobs - 1);
 
   auto t0 = std::chrono::steady_clock::now();
   eda::thy::retiming_thm();
@@ -50,30 +62,62 @@ int main(int argc, char** argv) {
   std::printf("%-8s %9s %7s | %7s %7s %7s %7s\n", "name", "flipflop",
               "gates", "Eijk", "Eijk+", "SIS", "HASH");
 
-  for (const auto& bench : eda::bench_gen::iwls_benchmarks()) {
+  // Rows are independent obligations and, within a row, the three model
+  // checkers are independent of each other once the HASH step produced the
+  // retimed netlist — fan everything out through the pool and print in
+  // order.  The HASH steps replay kernel inference concurrently across
+  // rows (sharded interner); each checker owns its BddManager / state
+  // table (confinement, see bdd/bdd.h).
+  struct Row {
+    std::string name;
+    int ff = 0, gates = 0;
+    double hash_sec = 0.0;
+    eda::verify::VerifyResult e1, e2, sis;
+  };
+  const auto benches = eda::bench_gen::iwls_benchmarks();
+  auto compute_row = [&](const eda::bench_gen::BenchCircuit& bench) {
+    Row row;
+    row.name = bench.name;
     eda::circuit::GateNetlist ga = eda::circuit::bit_blast(bench.rtl);
+    row.ff = ga.ff_count();
+    row.gates = ga.gate_count();
 
-    t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::steady_clock::now();
     eda::hash::FormalRetimeResult res =
         eda::hash::formal_retime(bench.rtl, bench.cut);
-    double hash_sec = seconds_since(t0);
+    row.hash_sec = seconds_since(t1);
 
     eda::circuit::GateNetlist gb = eda::circuit::bit_blast(res.retimed);
     eda::verify::VerifyOptions opts;
     opts.timeout_sec = timeout;
 
-    eda::verify::VerifyResult e1 =
-        eda::verify::eijk_check(ga, gb, opts, false);
-    eda::verify::VerifyResult e2 =
-        eda::verify::eijk_check(ga, gb, opts, true);
-    eda::verify::VerifyResult sis = eda::verify::sis_fsm_check(ga, gb, opts);
-
-    std::printf("%-8s %9d %7d | %s %s %s %s\n", bench.name.c_str(),
-                ga.ff_count(), ga.gate_count(),
-                cell(e1.completed, e1.seconds).c_str(),
-                cell(e2.completed, e2.seconds).c_str(),
-                cell(sis.completed, sis.seconds).c_str(),
-                cell(true, hash_sec).c_str());
+    std::vector<eda::verify::CheckJob> checks{
+        {&ga, &gb, eda::verify::Engine::Eijk, opts},
+        {&ga, &gb, eda::verify::Engine::EijkPlus, opts},
+        {&ga, &gb, eda::verify::Engine::SisFsm, opts}};
+    std::vector<eda::verify::VerifyResult> out;
+    if (jobs <= 1) {
+      for (const auto& job : checks) out.push_back(eda::verify::run_check(job));
+    } else {
+      out = eda::verify::check_parallel(checks);
+    }
+    row.e1 = out[0];
+    row.e2 = out[1];
+    row.sis = out[2];
+    return row;
+  };
+  std::vector<Row> rows;
+  if (jobs <= 1) {
+    for (const auto& bench : benches) rows.push_back(compute_row(bench));
+  } else {
+    rows = eda::kernel::parallel_map(benches, compute_row);
+  }
+  for (const Row& row : rows) {
+    std::printf("%-8s %9d %7d | %s %s %s %s\n", row.name.c_str(), row.ff,
+                row.gates, cell(row.e1.completed, row.e1.seconds).c_str(),
+                cell(row.e2.completed, row.e2.seconds).c_str(),
+                cell(row.sis.completed, row.sis.seconds).c_str(),
+                cell(true, row.hash_sec).c_str());
   }
   return 0;
 }

@@ -26,9 +26,10 @@ int main() {
 
   // Forward: move the register across the incrementer (f = {+1}).
   hash::FormalRetimeResult fwd = hash::formal_retime(fig2.rtl, fig2.good_cut);
-  std::printf("forward:   register now holds the incremented value, init %llu\n",
-              static_cast<unsigned long long>(
-                  fwd.retimed.node(fwd.retimed.regs()[0]).value));
+  std::printf(
+      "forward:   register now holds the incremented value, init %llu\n",
+      static_cast<unsigned long long>(
+          fwd.retimed.node(fwd.retimed.regs()[0]).value));
 
   // Backward: the inverse cut on the retimed netlist.
   hash::RetimeMapping map =

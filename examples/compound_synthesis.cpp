@@ -24,13 +24,15 @@ int main() {
 
   // Step 1: retiming.
   hash::FormalRetimeResult rt = hash::formal_retime(fig2.rtl, fig2.good_cut);
-  std::printf("step 1 (retiming):     |- AUT h0 q0 = AUT h1 q1   [%d comb nodes]\n",
-              rt.retimed.comb_node_count());
+  std::printf(
+      "step 1 (retiming):     |- AUT h0 q0 = AUT h1 q1   [%d comb nodes]\n",
+      rt.retimed.comb_node_count());
 
   // Step 2: logic minimisation of the retimed circuit.
   hash::FormalOptResult op = hash::formal_logic_opt(rt.retimed);
-  std::printf("step 2 (minimisation): |- AUT h1 q1 = AUT h2 q1   [%d comb nodes]\n",
-              op.optimized.comb_node_count());
+  std::printf(
+      "step 2 (minimisation): |- AUT h1 q1 = AUT h2 q1   [%d comb nodes]\n",
+      op.optimized.comb_node_count());
 
   // Composition: one TRANS application.
   kernel::Thm compound = hash::compose_steps(rt.theorem, op.theorem);

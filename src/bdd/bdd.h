@@ -25,6 +25,14 @@ class BddError : public kernel::KernelError {
 /// substrate for the tautology checker, the SMV-style model checker and
 /// the van Eijk traversal baselines — the data structure whose exponential
 /// growth the paper's tables demonstrate.
+///
+/// Threading model: *confinement*, not sharing.  A BddManager instance is
+/// owned by exactly one thread at a time; the parallel verification
+/// pipeline (verify/parallel_verify.h) gives each obligation its own
+/// manager, which is also the memory-efficient choice — node ids are
+/// manager-relative, so one obligation's unique/ite tables are meaningless
+/// to another's product machine.  Sharding these per-instance tables would
+/// only serialise the deeply recursive ite() walks behind locks.
 class BddManager {
  public:
   explicit BddManager(int num_vars, std::size_t node_limit = 50'000'000);

@@ -109,7 +109,8 @@ BenchCircuit make_pipeline_alu(const std::string& name, int width,
   SignalId s0 = c.add_op(Op::Mux, {sel_f, s0_add, s0_xor});
   c.set_reg_next(regs[0], s0);
   for (int d = 1; d < depth; ++d) {
-    SignalId up = c.add_op(Op::Add, {regs[static_cast<std::size_t>(d - 1)], k1});
+    SignalId up =
+        c.add_op(Op::Add, {regs[static_cast<std::size_t>(d - 1)], k1});
     SignalId mix =
         c.add_op(Op::Xor, {up, regs[static_cast<std::size_t>(d - 1)]});
     c.set_reg_next(regs[static_cast<std::size_t>(d)], mix);

@@ -352,7 +352,9 @@ std::vector<bool> GateSimulator::step(const std::vector<bool>& inputs) {
 
 std::vector<bool> to_bits(std::uint64_t v, int width) {
   std::vector<bool> out(static_cast<std::size_t>(width));
-  for (int k = 0; k < width; ++k) out[static_cast<std::size_t>(k)] = ((v >> k) & 1) != 0;
+  for (int k = 0; k < width; ++k) {
+    out[static_cast<std::size_t>(k)] = ((v >> k) & 1) != 0;
+  }
   return out;
 }
 

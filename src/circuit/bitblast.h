@@ -33,7 +33,9 @@ class GateNetlist {
   void add_output(std::string name, LitId lit);
 
   const std::vector<GateNode>& nodes() const { return nodes_; }
-  const GateNode& node(LitId l) const { return nodes_.at(static_cast<std::size_t>(l)); }
+  const GateNode& node(LitId l) const {
+    return nodes_.at(static_cast<std::size_t>(l));
+  }
   const std::vector<LitId>& inputs() const { return inputs_; }
   const std::vector<LitId>& dffs() const { return dffs_; }
   const std::vector<std::pair<std::string, LitId>>& outputs() const {

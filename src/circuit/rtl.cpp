@@ -253,7 +253,8 @@ std::vector<std::uint64_t> Simulator::step(
   for (std::size_t idx = 0; idx < nodes.size(); ++idx) {
     const Node& n = nodes[idx];
     auto in = [&](int k) {
-      return val[static_cast<std::size_t>(n.operands[static_cast<std::size_t>(k)])];
+      return val[static_cast<std::size_t>(
+          n.operands[static_cast<std::size_t>(k)])];
     };
     std::uint64_t m = (n.width == 0) ? 1 : ((1ULL << n.width) - 1);
     switch (n.op) {

@@ -73,7 +73,9 @@ class Rtl {
   void add_output(std::string name, SignalId sig);
 
   const std::vector<Node>& nodes() const { return nodes_; }
-  const Node& node(SignalId s) const { return nodes_.at(static_cast<std::size_t>(s)); }
+  const Node& node(SignalId s) const {
+    return nodes_.at(static_cast<std::size_t>(s));
+  }
   const std::vector<SignalId>& inputs() const { return inputs_; }
   const std::vector<SignalId>& regs() const { return regs_; }
   const std::vector<OutputPort>& outputs() const { return outputs_; }

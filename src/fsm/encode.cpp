@@ -73,7 +73,8 @@ Rtl synthesize(const Fsm& fsm, Encoding enc) {
     const Transition& t = rows[k];
     // state == code(from)
     SignalId eq_state = rtl.add_op(
-        Op::Eq, {st, rtl.add_const(sw, codes[static_cast<std::size_t>(t.from)])});
+        Op::Eq,
+        {st, rtl.add_const(sw, codes[static_cast<std::size_t>(t.from)])});
     // in & care == pattern
     std::uint64_t care = 0, bits = 0;
     const std::size_t w = t.in_pattern.size();

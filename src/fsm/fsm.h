@@ -74,7 +74,8 @@ class Fsm {
   std::vector<StateId> reachable_states() const;
 
   /// Run the machine on an input stream from the reset state.
-  std::vector<std::uint64_t> simulate(const std::vector<std::uint64_t>& ins) const;
+  std::vector<std::uint64_t> simulate(
+      const std::vector<std::uint64_t>& ins) const;
 
  private:
   int input_bits_;

@@ -340,7 +340,9 @@ ConventionalBackward conventional_backward_impl(
     SignalId s = static_cast<SignalId>(idx);
     if (!is_comb(rtl.nodes()[idx])) continue;
     if (F.count(s) > 0) {
-      if (auto it = fctx.find(s); it != fctx.end()) comb_map.emplace(s, it->second);
+      if (auto it = fctx.find(s); it != fctx.end()) {
+        comb_map.emplace(s, it->second);
+      }
     } else if (auto it = gctx.find(s); it != gctx.end()) {
       comb_map.emplace(s, it->second);
     }
@@ -373,7 +375,9 @@ BackwardSplit compile_backward_split(const Rtl& rtl, const BackwardCut& cut) {
     return std::nullopt;
   };
   std::vector<Term> state_terms;
-  for (SignalId r : rtl.regs()) state_terms.push_back(fb.build(rtl.node(r).next));
+  for (SignalId r : rtl.regs()) {
+    state_terms.push_back(fb.build(rtl.node(r).next));
+  }
   Term f = Term::abs(cv, thy::mk_tuple(state_terms));
 
   // ---- g : (inputs # state) -> (outputs # chi) -----------------------------

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "kernel/once.h"
 #include "kernel/signature.h"
 #include "logic/bool_thms.h"
 #include "theories/numeral.h"
@@ -25,16 +26,17 @@ using kernel::Term;
 using kernel::Type;
 
 void init_hash_constants() {
-  static bool done = false;
-  if (done) return;
-  done = true;
-  thy::init_numeral();
-  thy::init_pair();
-  auto& sig = kernel::Signature::instance();
-  Type n2 = fun_ty(num_ty(), fun_ty(num_ty(), num_ty()));
-  sig.declare_const("BITAND", n2);
-  sig.declare_const("BITOR", n2);
-  sig.declare_const("BITXOR", n2);
+  // Thread-safe, re-entry-tolerant one-time init (kernel/once.h).
+  static kernel::InitOnce once;
+  once.run([] {
+    thy::init_numeral();
+    thy::init_pair();
+    auto& sig = kernel::Signature::instance();
+    Type n2 = fun_ty(num_ty(), fun_ty(num_ty(), num_ty()));
+    sig.declare_const("BITAND", n2);
+    sig.declare_const("BITOR", n2);
+    sig.declare_const("BITXOR", n2);
+  });
 }
 
 namespace {
@@ -102,7 +104,9 @@ CompiledCircuit compile(const Rtl& rtl) {
   CompiledCircuit out{Term::abs(p, body), Term::var("tmp", num_ty()), in_ty,
                       st_ty, thy::mk_tuple(outs).type()};
   std::vector<Term> inits;
-  for (SignalId r : rtl.regs()) inits.push_back(thy::mk_numeral(rtl.node(r).value));
+  for (SignalId r : rtl.regs()) {
+    inits.push_back(thy::mk_numeral(rtl.node(r).value));
+  }
   out.q = thy::mk_tuple(inits);
   return out;
 }

@@ -65,7 +65,8 @@ FormalEncodeResult instantiate_encoding(const Rtl& rtl, Rtl encoded_rtl,
   Thm retraction = prove_retraction(enc, dec);
   Thm inst = logic::pspec_list({enc, dec, orig.h, orig.q},
                                thy::encoding_thm());
-  Thm eq = logic::mp(inst, retraction);  // !i t. AUT h q i t = AUT h2 (enc q) i t
+  // !i t. AUT h q i t = AUT h2 (enc q) i t
+  Thm eq = logic::mp(inst, retraction);
 
   auto [iv, rest] = logic::dest_forall(eq.concl());
   Thm eq1 = logic::spec(iv, eq);
@@ -276,8 +277,8 @@ FormalEncodeResult formal_permute_registers(
   return instantiate_encoding(rtl, std::move(permuted), enc, dec);
 }
 
-FormalEncodeResult formal_xor_reencode(const Rtl& rtl,
-                                       const std::vector<std::uint64_t>& masks) {
+FormalEncodeResult formal_xor_reencode(
+    const Rtl& rtl, const std::vector<std::uint64_t>& masks) {
   init_hash_constants();
   rtl.validate();
   const std::size_t n = rtl.regs().size();

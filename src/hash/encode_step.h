@@ -41,8 +41,8 @@ struct FormalEncodeResult {
 /// transition function's projections — changes.  The retraction obligation
 /// is discharged by pure pair reasoning (FST/SND reduction + surjective
 /// pairing).
-FormalEncodeResult formal_permute_registers(const circuit::Rtl& rtl,
-                                            const std::vector<std::size_t>& perm);
+FormalEncodeResult formal_permute_registers(
+    const circuit::Rtl& rtl, const std::vector<std::size_t>& perm);
 
 /// Value-level re-encoding: register k stores its value XOR masks[k]
 /// (masks.size() == #registers; a zero mask leaves that register's coding
@@ -67,8 +67,8 @@ struct FormalSignalEncodeResult {
 
 /// Re-code every output: output k is XORed with masks[k]
 /// (masks.size() == #outputs).  The paper's "signal encoding".
-FormalSignalEncodeResult formal_output_xor(const circuit::Rtl& rtl,
-                                           const std::vector<std::uint64_t>& masks);
+FormalSignalEncodeResult formal_output_xor(
+    const circuit::Rtl& rtl, const std::vector<std::uint64_t>& masks);
 
 /// |- !a b. BITXOR (BITXOR a b) b = a — the bitops-theory axiom backing
 /// the XOR re-encoding (BITAND/BITOR/BITXOR are otherwise uninterpreted

@@ -1,7 +1,6 @@
 #include "hash/eval.h"
 
-#include <unordered_map>
-
+#include "kernel/memo.h"
 #include "kernel/signature.h"
 #include "logic/bool_thms.h"
 #include "logic/rewrite.h"
@@ -55,12 +54,13 @@ Thm ground_eval(const Term& t) {
   // Ground evaluation is pure and interned nodes are permanent, so the
   // resulting theorem can be memoised on node identity.  The backward,
   // retiming, encoding and redundancy steps all evaluate structurally
-  // overlapping instantiations of the same transition functions.
-  static auto* cache = new std::unordered_map<const void*, Thm>();
-  if (auto it = cache->find(t.node_id()); it != cache->end()) return it->second;
-  Thm th = ground_eval_conv()(t);
-  cache->emplace(t.node_id(), th);
-  return th;
+  // overlapping instantiations of the same transition functions.  The
+  // table is sharded + reader-writer locked (kernel/memo.h) so parallel
+  // verification jobs share evaluations; a racing pair may evaluate twice,
+  // but both derive the identical theorem and the first insert wins.
+  static auto* cache = new kernel::ConcurrentMemo<const void*, Thm>();
+  return cache->get_or_compute(t.node_id(),
+                               [&] { return ground_eval_conv()(t); });
 }
 
 }  // namespace eda::hash

@@ -1,5 +1,6 @@
 #include "hash/term_build.h"
 
+#include "kernel/memo.h"
 #include "logic/bool_thms.h"
 #include "logic/rewrite.h"
 #include "theories/num_theory.h"
@@ -61,13 +62,13 @@ Term mk_bit_binop(const char* name, const Term& a, const Term& b) {
 Term TermBuilder::modulus(int width) {
   // One interned `2 EXP w` term per width; every arithmetic node of that
   // width wraps with it, so cache the handle instead of re-interning the
-  // three-node spine on each call.
-  static auto* cache = new std::map<int, Term>();
-  if (auto it = cache->find(width); it != cache->end()) return it->second;
-  Term m = thy::mk_arith("EXP", thy::mk_numeral(2),
+  // three-node spine on each call.  Concurrent (kernel/memo.h): parallel
+  // compiles of same-width circuits share the entry.
+  static auto* cache = new kernel::ConcurrentMemo<int, Term>();
+  return cache->get_or_compute(width, [&] {
+    return thy::mk_arith("EXP", thy::mk_numeral(2),
                          thy::mk_numeral(static_cast<std::uint64_t>(width)));
-  cache->emplace(width, m);
-  return m;
+  });
 }
 
 Term TermBuilder::wrap(const Term& t, int width) {

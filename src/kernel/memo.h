@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace eda::kernel {
+
+/// A sharded, reader-writer-locked memo table for pure functions over
+/// interned (permanent) keys: the concurrent replacement for the hash
+/// layer's former `static std::unordered_map` caches.
+///
+/// Lookups take one shard's shared lock; inserts take its exclusive lock.
+/// `get_or_compute` runs the computation *outside* any lock — two threads
+/// racing on the same key may both compute, but the first insert wins and
+/// every caller observes that single canonical value, which is exactly the
+/// memoisation contract for pure functions (ground evaluation, numeral
+/// destruction, ...).  Never shrinks; values must be copyable.
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          std::size_t kShards = 16>
+class ConcurrentMemo {
+ public:
+  std::optional<Value> find(const Key& key) const {
+    const Shard& s = shard_of(key);
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    if (auto it = s.map.find(key); it != s.map.end()) return it->second;
+    return std::nullopt;
+  }
+
+  /// Insert if absent; returns the canonical (first-inserted) value.
+  Value emplace(const Key& key, Value value) {
+    Shard& s = shard_of(key);
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    auto [it, inserted] = s.map.emplace(key, std::move(value));
+    return it->second;
+  }
+
+  template <typename Fn>
+  Value get_or_compute(const Key& key, Fn&& compute) {
+    if (auto hit = find(key)) return *hit;
+    return emplace(key, compute());
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::shared_lock<std::shared_mutex> lock(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  // Pointer keys hash to themselves and arena-allocated nodes share
+  // alignment, so `Hash{}(key) % kShards` would put every entry in shard
+  // 0.  Multiply-mix and take high bits instead.
+  static std::size_t shard_index(const Key& key) {
+    std::size_t h = Hash{}(key) *
+                    static_cast<std::size_t>(0x9e3779b97f4a7c15ULL);
+    // Width-relative shift (half the word) — a literal >>32 would be UB
+    // on 32-bit targets.
+    return (h >> (sizeof(std::size_t) * 4)) % kShards;
+  }
+  Shard& shard_of(const Key& key) { return shards_[shard_index(key)]; }
+  const Shard& shard_of(const Key& key) const {
+    return shards_[shard_index(key)];
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace eda::kernel

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace eda::kernel {
+
+/// One-time initialisation guard for the theory-init functions.
+///
+/// Plain `std::call_once` / magic statics would self-deadlock here: the
+/// init bodies build terms through public helpers that call the same init
+/// function again (init_bool's builders call init_bool, and so on).  This
+/// guard makes same-thread re-entry a no-op — matching the historical
+/// `static bool done` early-return — while other threads block until the
+/// body finishes, so no thread can observe a half-initialised theory.
+///
+/// Like the pattern it replaces, a body that throws poisons the guard
+/// (later calls are no-ops); theory init failing is fatal anyway.
+class InitOnce {
+ public:
+  template <typename Fn>
+  void run(Fn&& body) {
+    if (done_.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    if (running_ || done_.load(std::memory_order_relaxed)) return;
+    running_ = true;
+    body();
+    done_.store(true, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> done_{false};
+  std::recursive_mutex mu_;
+  bool running_ = false;  ///< guarded by mu_; true only in the init thread
+};
+
+}  // namespace eda::kernel

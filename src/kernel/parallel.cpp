@@ -1,0 +1,126 @@
+#include "kernel/parallel.h"
+
+#include <cstdlib>
+
+namespace eda::kernel {
+
+namespace {
+
+// Identity of the current thread within a pool, for LIFO self-submission.
+// A thread belongs to at most one pool (pools never share workers).
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker_index = 0;
+
+std::atomic<unsigned> g_global_threads{0};  // 0 = use default_thread_count()
+
+}  // namespace
+
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("EDA_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void set_global_thread_count(unsigned threads) {
+  g_global_threads.store(threads == 0 ? 1 : threads,
+                         std::memory_order_relaxed);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool* pool = new ThreadPool(
+      g_global_threads.load(std::memory_order_relaxed) != 0
+          ? g_global_threads.load(std::memory_order_relaxed)
+          : default_thread_count());
+  return *pool;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (unsigned k = 0; k < threads; ++k) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (unsigned k = 0; k < threads; ++k) {
+    threads_.emplace_back([this, k] { worker_loop(k); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    wake_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  if (tl_pool == this) {
+    target = tl_worker_index;  // keep nested work local, stealable
+  } else {
+    target = rr_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  }
+  // Count before publishing the task: a worker that pops it immediately
+  // must never observe (and underflow) a not-yet-incremented counter.
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    wake_.notify_one();
+  }
+}
+
+bool ThreadPool::try_run_one(std::size_t self) {
+  std::function<void()> task;
+  // Own deque first, newest-first.
+  {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!w.queue.empty()) {
+      task = std::move(w.queue.back());
+      w.queue.pop_back();
+    }
+  }
+  // Then steal oldest-first from the others.
+  if (!task) {
+    for (std::size_t k = 1; k < workers_.size() && !task; ++k) {
+      Worker& victim = *workers_[(self + k) % workers_.size()];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.queue.empty()) {
+        task = std::move(victim.queue.front());
+        victim.queue.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  for (;;) {
+    if (try_run_one(index)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    wake_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace eda::kernel

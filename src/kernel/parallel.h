@@ -1,0 +1,210 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace eda::kernel {
+
+/// Number of worker threads a default-constructed pool uses: the
+/// `EDA_THREADS` environment variable when set (clamped to >= 1), else
+/// `std::thread::hardware_concurrency()`.
+unsigned default_thread_count();
+
+/// Override the size of the process-global pool.  Must be called before the
+/// first use of `ThreadPool::global()`; later calls have no effect (the
+/// global pool is built once and intentionally leaked).
+void set_global_thread_count(unsigned threads);
+
+/// A small work-stealing thread pool.
+///
+/// Each worker owns a deque: it pushes and pops its own work LIFO (cache
+/// locality for nested submissions) and steals FIFO from the other workers
+/// when its deque runs dry.  External submissions are distributed
+/// round-robin.  The deques are mutex-guarded — the tasks scheduled here
+/// (proof obligations, verification runs, benchmark rows) are
+/// coarse-grained, so queue overhead is noise and the simple locking
+/// discipline keeps the pool trivially TSan-clean.
+///
+/// The pool is a scheduling substrate only: kernel-level thread safety
+/// (interning, memo tables, per-node caches) is provided by those
+/// structures themselves, not by the pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-global pool, created on first use and leaked (worker
+  /// threads park until process exit; joining at static-destruction time
+  /// is a shutdown-order hazard for no benefit).
+  static ThreadPool& global();
+
+  unsigned thread_count() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Enqueue a task.  From a worker thread of this pool the task goes to
+  /// that worker's own deque (stealable by the others).
+  void submit(std::function<void()> task);
+
+  /// Enqueue a callable and get a future for its result.
+  template <typename F>
+  auto async(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    submit([task] { (*task)(); });
+    return fut;
+  }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void worker_loop(std::size_t index);
+  bool try_run_one(std::size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex sleep_mu_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> rr_{0};
+  std::atomic<bool> stop_{false};
+};
+
+namespace detail {
+
+/// Shared state of one parallel_for: indices are claimed from an atomic
+/// counter, so completion never depends on pool scheduling — the caller
+/// participates and the loop finishes even on a saturated (or nested)
+/// pool.  The first exception is captured and rethrown on the caller.
+template <typename F>
+struct ForState {
+  explicit ForState(std::size_t n_, F& body_) : n(n_), body(&body_) {}
+
+  std::size_t n;
+  F* body;  ///< lives in the caller's frame; caller outlives all claims
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void run() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) {
+        // Drain remaining indices as no-ops so `done` still reaches `n`.
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        finish_one();
+        continue;
+      }
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        bool expected = false;
+        if (failed.compare_exchange_strong(expected, true)) {
+          std::lock_guard<std::mutex> lock(mu);
+          error = std::current_exception();
+        }
+      }
+      finish_one();
+    }
+  }
+
+  void finish_one() {
+    if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      std::lock_guard<std::mutex> lock(mu);
+      cv.notify_all();
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Run `body(i)` for i in [0, n), distributing iterations over `pool` while
+/// the calling thread also participates.  Blocks until every iteration
+/// finished; rethrows the first exception (remaining iterations are
+/// skipped, in-flight ones run to completion).  Safe to nest: claims are
+/// counter-based, so progress never waits on a free pool slot.
+template <typename F>
+void parallel_for(std::size_t n, F&& body, ThreadPool& pool) {
+  if (n == 0) return;
+  unsigned workers = pool.thread_count();
+  if (n == 1 || workers == 0) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  using State = detail::ForState<std::remove_reference_t<F>>;
+  auto st = std::make_shared<State>(n, body);
+  std::size_t helpers = std::min<std::size_t>(workers, n - 1);
+  for (std::size_t k = 0; k < helpers; ++k) {
+    pool.submit([st] { st->run(); });
+  }
+  st->run();
+  std::unique_lock<std::mutex> lock(st->mu);
+  st->cv.wait(lock, [&] {
+    return st->done.load(std::memory_order_acquire) == st->n;
+  });
+  if (st->failed.load(std::memory_order_relaxed)) {
+    std::rethrow_exception(st->error);
+  }
+}
+
+/// Overload on the global pool.  The pool is only instantiated when there
+/// is genuinely parallel work: a 0/1-iteration loop runs inline without
+/// spawning the process-wide worker threads.
+template <typename F>
+void parallel_for(std::size_t n, F&& body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(std::size_t{0});
+    return;
+  }
+  parallel_for(n, std::forward<F>(body), ThreadPool::global());
+}
+
+/// Map `fn` over `items` in parallel; results keep the input order.  The
+/// result type must be default-constructible (slots are pre-allocated).
+template <typename T, typename F>
+auto parallel_map(const std::vector<T>& items, F&& fn, ThreadPool& pool)
+    -> std::vector<std::invoke_result_t<F&, const T&>> {
+  using R = std::invoke_result_t<F&, const T&>;
+  std::vector<R> out(items.size());
+  parallel_for(
+      items.size(), [&](std::size_t i) { out[i] = fn(items[i]); }, pool);
+  return out;
+}
+
+/// Overload on the global pool (instantiated only for >1 item).
+template <typename T, typename F>
+auto parallel_map(const std::vector<T>& items, F&& fn)
+    -> std::vector<std::invoke_result_t<F&, const T&>> {
+  using R = std::invoke_result_t<F&, const T&>;
+  std::vector<R> out(items.size());
+  parallel_for(
+      items.size(), [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
+}
+
+}  // namespace eda::kernel

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 
 #include "kernel/thm.h"
@@ -18,6 +19,10 @@ namespace eda::kernel {
 /// original entry, while any conflicting redefinition throws.  This keeps
 /// the kernel sound while letting independent modules initialise the
 /// theories they need in any order.
+///
+/// Thread-safe: lookups take a shared lock, registration an exclusive one.
+/// Registration is rare (theory init plus a handful of derived-theorem
+/// stores), so reads — the only hot path — never contend with each other.
 class Signature {
  public:
   static Signature& instance();
@@ -65,12 +70,22 @@ class Signature {
   /// not bypass the kernel since the Thm was already constructed legally).
   void store_theorem(const std::string& thm_name, const Thm& th);
 
-  /// All installed axioms, for auditing.
-  const std::map<std::string, Thm>& axioms() const { return axioms_; }
+  /// All installed axioms, for auditing (a snapshot copy — the live map
+  /// may be extended concurrently by theory initialisation).
+  std::map<std::string, Thm> axioms() const;
 
  private:
   Signature();
 
+  // Unlocked cores, called with mu_ held (shared for the const ones,
+  // exclusive for the mutating ones).  std::shared_mutex is not recursive,
+  // so the public wrappers never call each other.
+  void check_type_unlocked(const Type& ty) const;
+  void declare_const_unlocked(const std::string& name,
+                              const Type& generic_ty);
+  Type const_type_unlocked(const std::string& name) const;
+
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::size_t> type_ops_;
   std::map<std::string, Type> consts_;
   std::map<std::string, Thm> axioms_;      // new_axiom results

@@ -4,8 +4,11 @@
 #include <array>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 namespace eda::kernel {
 
@@ -23,13 +26,10 @@ std::size_t ptr_hash(const void* p) {
 
 /// The global term interner; intentionally leaked like the type interner so
 /// node pointers stay valid memoisation keys for the process lifetime.
-struct TermInterner {
-  detail::Arena arena;
-  detail::InternTable<TermNode> table;
-};
-
-TermInterner& interner() {
-  static TermInterner* in = new TermInterner();
+/// Thread-safe: sharded, lock-free lookups, per-shard insert mutex
+/// (see intern.h).
+detail::InternTable<TermNode>& interner() {
+  static auto* in = new detail::InternTable<TermNode>();
   return *in;
 }
 
@@ -60,17 +60,16 @@ std::size_t hash_with_env(const Term& t, std::vector<Term>& binders,
 Term Term::var(std::string name, Type ty) {
   if (name.empty()) throw KernelError("Term::var: empty name");
   std::size_t h = hash_name_ty(0xB1, name, ty);
-  TermInterner& in = interner();
-  const TermNode* n = in.table.intern(
+  const TermNode* n = interner().intern(
       h,
       [&](const TermNode* c) {
         return c->kind == Kind::Var && c->ty == ty && c->name == name;
       },
-      [&] {
+      [&](detail::Arena& arena) {
         bool poly = ty.has_vars();
-        return in.arena.create<TermNode>(TermNode{
-            Kind::Var, std::move(name), std::move(ty), nullptr, nullptr, h, h,
-            poly, nullptr});
+        return arena.create<TermNode>(Kind::Var, std::move(name),
+                                      std::move(ty), nullptr, nullptr, h, h,
+                                      poly);
       });
   return Term(n);
 }
@@ -78,17 +77,16 @@ Term Term::var(std::string name, Type ty) {
 Term Term::constant(std::string name, Type ty) {
   if (name.empty()) throw KernelError("Term::constant: empty name");
   std::size_t h = hash_name_ty(0xC0, name, ty);
-  TermInterner& in = interner();
-  const TermNode* n = in.table.intern(
+  const TermNode* n = interner().intern(
       h,
       [&](const TermNode* c) {
         return c->kind == Kind::Const && c->ty == ty && c->name == name;
       },
-      [&] {
+      [&](detail::Arena& arena) {
         bool poly = ty.has_vars();
-        return in.arena.create<TermNode>(TermNode{
-            Kind::Const, std::move(name), std::move(ty), nullptr, nullptr, h,
-            h, poly, nullptr});
+        return arena.create<TermNode>(Kind::Const, std::move(name),
+                                      std::move(ty), nullptr, nullptr, h, h,
+                                      poly);
       });
   return Term(n);
 }
@@ -105,17 +103,16 @@ Term Term::comb(Term f, Term x) {
   }
   std::size_t sh = combine(combine(0xAF7, ptr_hash(f.node_)),
                            ptr_hash(x.node_));
-  TermInterner& in = interner();
-  const TermNode* n = in.table.intern(
+  const TermNode* n = interner().intern(
       sh,
       [&](const TermNode* c) {
         return c->kind == Kind::Comb && c->a == f.node_ && c->b == x.node_;
       },
-      [&] {
+      [&](detail::Arena& arena) {
         std::size_t h = combine(combine(0xAF, f.hash()), x.hash());
-        return in.arena.create<TermNode>(TermNode{
-            Kind::Comb, std::string(), cod_ty(f.type()), f.node_, x.node_, h,
-            sh, f.node_->poly || x.node_->poly, nullptr});
+        return arena.create<TermNode>(Kind::Comb, std::string(),
+                                      cod_ty(f.type()), f.node_, x.node_, h,
+                                      sh, f.node_->poly || x.node_->poly);
       });
   return Term(n);
 }
@@ -124,13 +121,12 @@ Term Term::abs(Term v, Term body) {
   if (!v.is_var()) throw KernelError("Term::abs: binder must be a variable");
   std::size_t sh = combine(combine(0xAB5, ptr_hash(v.node_)),
                            ptr_hash(body.node_));
-  TermInterner& in = interner();
-  const TermNode* n = in.table.intern(
+  const TermNode* n = interner().intern(
       sh,
       [&](const TermNode* c) {
         return c->kind == Kind::Abs && c->a == v.node_ && c->b == body.node_;
       },
-      [&] {
+      [&](detail::Arena& arena) {
         // Alpha-invariant hash for the whole abstraction (bound occurrences
         // hash by de-Bruijn index), keeping hashes consistent with
         // operator==.
@@ -138,16 +134,17 @@ Term Term::abs(Term v, Term body) {
         std::map<const void*, std::size_t> memo;
         std::size_t hb = hash_with_env(body, binders, memo);
         std::size_t h = combine(combine(0xAB, v.type().hash()), hb);
-        return in.arena.create<TermNode>(TermNode{
-            Kind::Abs, std::string(), fun_ty(v.type(), body.type()), v.node_,
-            body.node_, h, sh, v.node_->poly || body.node_->poly, nullptr});
+        return arena.create<TermNode>(Kind::Abs, std::string(),
+                                      fun_ty(v.type(), body.type()), v.node_,
+                                      body.node_, h, sh,
+                                      v.node_->poly || body.node_->poly);
       });
   return Term(n);
 }
 
 detail::InternStats Term::intern_stats() {
-  TermInterner& in = interner();
-  return {in.table.size(), in.table.hits(), in.arena.bytes_allocated()};
+  auto& in = interner();
+  return {in.size(), in.hits(), in.arena_bytes()};
 }
 
 namespace {
@@ -329,9 +326,16 @@ std::string Term::to_string() const {
 // interned node and cached on the node forever.  Every layer above the
 // kernel — substitution pruning, the ABS side condition, the backward
 // synthesis engine — hits this cache.
+//
+// Concurrency: the cache slot is an atomic pointer published with a
+// release CAS.  Racing threads may compute the set redundantly; exactly
+// one publication wins and the losers' sets are deleted, so readers only
+// ever observe null or a fully-built, permanent set.
 const std::set<Term>& free_vars_set(const Term& t) {
   const TermNode* n = t.node_;
-  if (n->fv != nullptr) return *n->fv;
+  if (const auto* cached = n->fv.load(std::memory_order_acquire)) {
+    return *cached;
+  }
   auto* out = new std::set<Term>();
   switch (n->kind) {
     case Term::Kind::Var:
@@ -352,7 +356,13 @@ const std::set<Term>& free_vars_set(const Term& t) {
       break;
     }
   }
-  n->fv = out;
+  const std::set<Term>* expected = nullptr;
+  if (!n->fv.compare_exchange_strong(expected, out,
+                                     std::memory_order_release,
+                                     std::memory_order_acquire)) {
+    delete out;
+    return *expected;
+  }
   return *out;
 }
 
@@ -583,14 +593,18 @@ Term type_inst(const TypeSubst& theta, const Term& t) {
 
 Term eq_const(const Type& ty) {
   // mk_eq is the single hottest constructor in the prover (every REFL,
-  // TRANS, hypothesis and circuit equation goes through it); cache the
-  // equality constant per element type to skip three intern probes.
-  static auto* cache = new std::unordered_map<const void*, Term>();
-  if (auto it = cache->find(ty.node_id()); it != cache->end()) {
-    return it->second;
+  // TRANS, hypothesis and circuit equation goes through it); skipping the
+  // three intern probes (which hash "=" and rebuild the fun-type spine)
+  // matters.  The cache slot lives on the interned TypeNode itself, so a
+  // hit is one acquire load — no map, no lock, no TLS.  Racing threads
+  // compute the same canonical node and store the same pointer, so a plain
+  // atomic store (no CAS) publishes safely.
+  const detail::TypeNode* tn = ty.node_;
+  if (const void* hit = tn->eq_const.load(std::memory_order_acquire)) {
+    return Term::from(static_cast<const TermNode*>(hit));
   }
   Term c = Term::constant("=", fun_ty(ty, fun_ty(ty, bool_ty())));
-  cache->emplace(ty.node_id(), c);
+  tn->eq_const.store(c.node_, std::memory_order_release);
   return c;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <set>
@@ -103,6 +104,7 @@ class Term {
   const detail::TermNode* node_;
 
   friend const std::set<Term>& free_vars_set(const Term& t);
+  friend Term eq_const(const Type& ty);
 };
 
 namespace detail {
@@ -110,6 +112,18 @@ namespace detail {
 /// The interned representation of a Term.  Construction happens only inside
 /// the four Term constructors, which guarantee one node per structure.
 struct TermNode {
+  TermNode(Term::Kind kind_, std::string name_, Type ty_, const TermNode* a_,
+           const TermNode* b_, std::size_t hash_, std::size_t shash_,
+           bool poly_)
+      : kind(kind_),
+        name(std::move(name_)),
+        ty(std::move(ty_)),
+        a(a_),
+        b(b_),
+        hash(hash_),
+        shash(shash_),
+        poly(poly_) {}
+
   Term::Kind kind;
   std::string name;  ///< Var / Const
   Type ty;           ///< type of the whole term
@@ -119,8 +133,10 @@ struct TermNode {
   std::size_t shash; ///< structural hash (the intern-table key)
   bool poly;         ///< some type inside the term has type variables
   /// Lazily built free-variable set, owned by the node (permanent, like the
-  /// node itself).  Written once; the kernel is single-threaded.
-  mutable const std::set<Term>* fv = nullptr;
+  /// node itself).  Published with a release CAS so concurrent readers
+  /// either see null (and compute) or a fully-built set; the losing
+  /// computation is discarded (free_vars_set in terms.cpp).
+  mutable std::atomic<const std::set<Term>*> fv{nullptr};
 };
 
 }  // namespace detail

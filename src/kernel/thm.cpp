@@ -1,20 +1,31 @@
 #include "kernel/thm.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace eda::kernel {
 
 namespace {
-std::uint64_t g_theorem_count = 0;
+// Relaxed atomic: the counter is a statistic (the paper's rule-count cost
+// model), not a synchronisation point, and must not serialise parallel
+// proof replay.  Incremented with a plain load+store rather than a locked
+// RMW — Thm construction is the hottest path in the prover, and losing the
+// odd increment under contention is acceptable for a statistic (exact in
+// single-threaded runs, approximate otherwise; same policy as the intern
+// tables' hit counters).
+std::atomic<std::uint64_t> g_theorem_count{0};
 }  // namespace
 
-std::uint64_t Thm::theorems_constructed() { return g_theorem_count; }
+std::uint64_t Thm::theorems_constructed() {
+  return g_theorem_count.load(std::memory_order_relaxed);
+}
 
 Thm::Thm(std::vector<Term> hyps, Term concl, std::set<std::string> oracles)
     : hyps_(std::move(hyps)),
       concl_(std::move(concl)),
       oracles_(std::move(oracles)) {
-  ++g_theorem_count;
+  g_theorem_count.store(g_theorem_count.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
 }
 
 std::vector<Term> Thm::hyp_union(const std::vector<Term>& a,

@@ -13,17 +13,13 @@ std::size_t combine(std::size_t seed, std::size_t v) {
   return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }
 
-/// The global type interner: a permanent arena plus one open-addressing
-/// table.  Intentionally leaked so interned nodes (and their string/vector
-/// heaps) stay reachable for the whole process — node pointers double as
-/// memoisation keys throughout the prover.
-struct TypeInterner {
-  detail::Arena arena;
-  detail::InternTable<TypeNode> table;
-};
-
-TypeInterner& interner() {
-  static TypeInterner* in = new TypeInterner();
+/// The global type interner: a sharded concurrent intern table whose shards
+/// each own a permanent arena.  Intentionally leaked so interned nodes (and
+/// their string/vector heaps) stay reachable for the whole process — node
+/// pointers double as memoisation keys throughout the prover.  Thread-safe:
+/// lookups are lock-free, inserts take one shard mutex (see intern.h).
+detail::InternTable<TypeNode>& interner() {
+  static auto* in = new detail::InternTable<TypeNode>();
   return *in;
 }
 
@@ -32,15 +28,14 @@ TypeInterner& interner() {
 Type Type::var(std::string name) {
   if (name.empty()) throw KernelError("Type::var: empty name");
   std::size_t h = combine(0x51, std::hash<std::string>{}(name));
-  TypeInterner& in = interner();
-  const TypeNode* n = in.table.intern(
+  const TypeNode* n = interner().intern(
       h,
       [&](const TypeNode* c) {
         return c->kind == Kind::Var && c->name == name;
       },
-      [&] {
-        return in.arena.create<TypeNode>(
-            TypeNode{Kind::Var, std::move(name), {}, h, true});
+      [&](detail::Arena& arena) {
+        return arena.create<TypeNode>(Kind::Var, std::move(name),
+                                      std::vector<Type>{}, h, true);
       });
   return Type(n);
 }
@@ -49,8 +44,7 @@ Type Type::app(std::string op, std::vector<Type> args) {
   if (op.empty()) throw KernelError("Type::app: empty operator name");
   std::size_t h = combine(0xA9, std::hash<std::string>{}(op));
   for (const Type& a : args) h = combine(h, a.hash());
-  TypeInterner& in = interner();
-  const TypeNode* n = in.table.intern(
+  const TypeNode* n = interner().intern(
       h,
       [&](const TypeNode* c) {
         if (c->kind != Kind::App || c->args.size() != args.size() ||
@@ -63,18 +57,18 @@ Type Type::app(std::string op, std::vector<Type> args) {
         }
         return true;
       },
-      [&] {
+      [&](detail::Arena& arena) {
         bool poly = false;
         for (const Type& a : args) poly = poly || a.has_vars();
-        return in.arena.create<TypeNode>(
-            TypeNode{Kind::App, std::move(op), std::move(args), h, poly});
+        return arena.create<TypeNode>(Kind::App, std::move(op),
+                                      std::move(args), h, poly);
       });
   return Type(n);
 }
 
 detail::InternStats Type::intern_stats() {
-  TypeInterner& in = interner();
-  return {in.table.size(), in.table.hits(), in.arena.bytes_allocated()};
+  auto& in = interner();
+  return {in.size(), in.hits(), in.arena_bytes()};
 }
 
 int Type::compare(const Type& a, const Type& b) {
@@ -202,12 +196,16 @@ bool is_fun_ty(const Type& ty) {
 }
 
 Type dom_ty(const Type& ty) {
-  if (!is_fun_ty(ty)) throw KernelError("dom_ty: not a function type: " + ty.to_string());
+  if (!is_fun_ty(ty)) {
+    throw KernelError("dom_ty: not a function type: " + ty.to_string());
+  }
   return ty.args()[0];
 }
 
 Type cod_ty(const Type& ty) {
-  if (!is_fun_ty(ty)) throw KernelError("cod_ty: not a function type: " + ty.to_string());
+  if (!is_fun_ty(ty)) {
+    throw KernelError("cod_ty: not a function type: " + ty.to_string());
+  }
   return ty.args()[1];
 }
 
@@ -216,12 +214,16 @@ bool is_prod_ty(const Type& ty) {
 }
 
 Type fst_ty(const Type& ty) {
-  if (!is_prod_ty(ty)) throw KernelError("fst_ty: not a product type: " + ty.to_string());
+  if (!is_prod_ty(ty)) {
+    throw KernelError("fst_ty: not a product type: " + ty.to_string());
+  }
   return ty.args()[0];
 }
 
 Type snd_ty(const Type& ty) {
-  if (!is_prod_ty(ty)) throw KernelError("snd_ty: not a product type: " + ty.to_string());
+  if (!is_prod_ty(ty)) {
+    throw KernelError("snd_ty: not a product type: " + ty.to_string());
+  }
   return ty.args()[1];
 }
 

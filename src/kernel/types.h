@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <set>
@@ -12,6 +13,7 @@
 namespace eda::kernel {
 
 class Type;
+class Term;
 
 namespace detail {
 struct TypeNode;
@@ -76,6 +78,8 @@ class Type {
  private:
   explicit Type(const detail::TypeNode* node) : node_(node) {}
   const detail::TypeNode* node_;
+
+  friend Term eq_const(const Type& ty);
 };
 
 namespace detail {
@@ -83,11 +87,26 @@ namespace detail {
 /// The interned representation of a Type.  Construction happens only inside
 /// Type::var / Type::app, which guarantee one node per structure.
 struct TypeNode {
+  TypeNode(Type::Kind kind_, std::string name_, std::vector<Type> args_,
+           std::size_t shash_, bool poly_)
+      : kind(kind_),
+        name(std::move(name_)),
+        args(std::move(args_)),
+        shash(shash_),
+        poly(poly_) {}
+
   Type::Kind kind;
   std::string name;
   std::vector<Type> args;
   std::size_t shash;  ///< structural hash (the intern-table key)
   bool poly;          ///< contains a type variable
+  /// Lazy cache for the interned `(=) : ty -> ty -> bool` node at this
+  /// element type (an opaque TermNode*; the kernel layers Type below Term,
+  /// so the pointer is typed at the use site in terms.cpp).  mk_eq is the
+  /// hottest constructor in the prover; caching on the type node makes
+  /// eq_const one acquire load.  Racing writers store the same canonical
+  /// pointer, so a plain atomic store suffices.
+  mutable std::atomic<const void*> eq_const{nullptr};
 };
 
 }  // namespace detail

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "kernel/once.h"
 #include "kernel/signature.h"
 
 namespace eda::logic {
@@ -44,12 +45,11 @@ std::vector<Term> all_hyps_and(const Thm& th, std::vector<Term> extra) {
 
 void init_bool() {
   // Re-entrancy-safe guard rather than call_once: the body itself uses the
-  // public term builders, which call init_bool().  The logic library is
-  // single-threaded by design (like the HOL systems it models).
-  static bool done = false;
-  if (done) return;
-  done = true;
-  [] {
+  // public term builders, which call init_bool().  InitOnce additionally
+  // blocks concurrent first-callers until the theory is fully installed
+  // (kernel/once.h).
+  static kernel::InitOnce once;
+  once.run([] {
     Signature& sig = Signature::instance();
     Term p = Term::var("p", bool_ty());
     Term q = Term::var("q", bool_ty());
@@ -118,7 +118,7 @@ void init_bool() {
     Term pb = Term::var("b", bool_ty());
     sig.new_axiom("BOOL_CASES_AX",
                   mk_forall(pb, mk_disj(mk_eq(pb, T), mk_eq(pb, F))));
-  }();
+  });
 }
 
 // --- Builders ---------------------------------------------------------------
@@ -176,8 +176,12 @@ std::pair<Term, Term> dest_binder(const char* name, const Term& t) {
 
 }  // namespace
 
-Term mk_conj(const Term& a, const Term& b) { return mk_bool_binop("/\\", a, b); }
-Term mk_disj(const Term& a, const Term& b) { return mk_bool_binop("\\/", a, b); }
+Term mk_conj(const Term& a, const Term& b) {
+  return mk_bool_binop("/\\", a, b);
+}
+Term mk_disj(const Term& a, const Term& b) {
+  return mk_bool_binop("\\/", a, b);
+}
 Term mk_imp(const Term& a, const Term& b) { return mk_bool_binop("==>", a, b); }
 
 Term mk_neg(const Term& a) {
@@ -547,7 +551,8 @@ Thm exists_intro(const Term& ex_tm, const Term& witness, const Thm& th) {
   Term lam = ex_tm.rand();
   Thm bth = Thm::beta(Term::comb(lam, witness));  // lam w = p[w/x]
   Thm th1 = Thm::eq_mp(sym(bth), th);             // A |- lam w
-  Thm unfold = exists_unfold(lam);                // (?x.p) = !q. (!x. lam x ==> q) ==> q
+  // (?x.p) = !q. (!x. lam x ==> q) ==> q
+  Thm unfold = exists_unfold(lam);
   Term target = eq_rhs(unfold.concl());
   auto [qv, body] = dest_forall(target);
   auto [asm_tm, qv2] = dest_imp(body);
@@ -562,7 +567,9 @@ Thm exists_intro(const Term& ex_tm, const Term& witness, const Thm& th) {
 
 Thm choose(const Term& v, const Thm& ex_th, const Thm& th) {
   init_bool();
-  if (!is_exists(ex_th.concl())) throw KernelError("choose: not an existential");
+  if (!is_exists(ex_th.concl())) {
+    throw KernelError("choose: not an existential");
+  }
   Term lam = ex_th.concl().rand();
   Term r = th.concl();
   Thm bth = Thm::beta(Term::comb(lam, v));        // lam v = p[v/x]

@@ -83,7 +83,8 @@ std::optional<MatchResult> term_match(const Term& pattern,
   MatchResult out;
   out.types = m.types;
   for (const auto& [key, img] : m.bindings) {
-    Term key2 = Term::var(key.name(), kernel::type_subst(out.types, key.type()));
+    Term key2 =
+        Term::var(key.name(), kernel::type_subst(out.types, key.type()));
     if (key2.type() != img.type()) return std::nullopt;  // defensive
     auto [it, inserted] = out.terms.emplace(key2, img);
     if (!inserted && !(it->second == img)) return std::nullopt;

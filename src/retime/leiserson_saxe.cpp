@@ -22,7 +22,8 @@ WD compute_wd(const RetimeGraph& g) {
   auto relax = [&](int u, int v, int w, int d) {
     auto& W = wd.W;
     auto& D = wd.D;
-    std::size_t ui = static_cast<std::size_t>(u), vi = static_cast<std::size_t>(v);
+    std::size_t ui = static_cast<std::size_t>(u);
+    std::size_t vi = static_cast<std::size_t>(v);
     if (w < W[ui][vi] || (w == W[ui][vi] && d > D[ui][vi])) {
       W[ui][vi] = w;
       D[ui][vi] = d;
@@ -41,7 +42,8 @@ WD compute_wd(const RetimeGraph& g) {
   // source/sink split of the host.
   for (int k = 1; k < n; ++k) {
     for (int u = 0; u < n; ++u) {
-      std::size_t ui = static_cast<std::size_t>(u), ki = static_cast<std::size_t>(k);
+      std::size_t ui = static_cast<std::size_t>(u);
+      std::size_t ki = static_cast<std::size_t>(k);
       if (wd.W[ui][ki] >= kInf) continue;
       for (int v = 0; v < n; ++v) {
         std::size_t vi = static_cast<std::size_t>(v);
@@ -67,7 +69,8 @@ std::optional<std::vector<int>> solve_constraints(
   for (int iter = 0; iter < n + 1; ++iter) {
     bool changed = false;
     for (const auto& [u, v, c] : cons) {
-      std::size_t ui = static_cast<std::size_t>(u), vi = static_cast<std::size_t>(v);
+      std::size_t ui = static_cast<std::size_t>(u);
+      std::size_t vi = static_cast<std::size_t>(v);
       if (dist[vi] + c < dist[ui]) {
         dist[ui] = dist[vi] + c;
         changed = true;
@@ -90,7 +93,8 @@ std::optional<std::vector<int>> feasible_retiming(const RetimeGraph& g,
   }
   for (int u = 0; u < n; ++u) {
     for (int v = 0; v < n; ++v) {
-      std::size_t ui = static_cast<std::size_t>(u), vi = static_cast<std::size_t>(v);
+      std::size_t ui = static_cast<std::size_t>(u);
+      std::size_t vi = static_cast<std::size_t>(v);
       if (wd.W[ui][vi] < kInf && wd.D[ui][vi] > period) {
         cons.push_back({u, v, wd.W[ui][vi] - 1});
       }
@@ -110,7 +114,8 @@ RetimingResult min_period_retiming(const RetimeGraph& g) {
   int n = g.vertex_count();
   for (int u = 0; u < n; ++u) {
     for (int v = 0; v < n; ++v) {
-      std::size_t ui = static_cast<std::size_t>(u), vi = static_cast<std::size_t>(v);
+      std::size_t ui = static_cast<std::size_t>(u);
+      std::size_t vi = static_cast<std::size_t>(v);
       if (wd.W[ui][vi] < kInf && wd.D[ui][vi] > -kInf) {
         candidates.insert(wd.D[ui][vi]);
       }

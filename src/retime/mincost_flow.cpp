@@ -10,7 +10,8 @@ namespace {
 constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
 }  // namespace
 
-MinCostFlow::MinCostFlow(int nodes) : n_(nodes), graph_(static_cast<std::size_t>(nodes)) {}
+MinCostFlow::MinCostFlow(int nodes)
+    : n_(nodes), graph_(static_cast<std::size_t>(nodes)) {}
 
 void MinCostFlow::add_arc(int u, int v, std::int64_t cap, std::int64_t cost) {
   if (u < 0 || u >= n_ || v < 0 || v >= n_) {

@@ -1,5 +1,6 @@
 #include "theories/automata_theory.h"
 
+#include "kernel/once.h"
 #include "kernel/signature.h"
 #include "logic/bool_thms.h"
 #include "logic/conv.h"
@@ -56,63 +57,64 @@ Thm get(const std::string& name) {
 }  // namespace
 
 void init_automata() {
-  static bool done = false;
-  if (done) return;
-  done = true;
-  init_pair();
-  init_num();
-  Signature& sig = Signature::instance();
+  // Thread-safe, re-entry-tolerant one-time init (kernel/once.h).
+  static kernel::InitOnce once;
+  once.run([] {
+    init_pair();
+    init_num();
+    Signature& sig = Signature::instance();
 
-  AutomataVars v = generic_vars();
+    AutomataVars v = generic_vars();
 
-  // STATE = \h q i. PRIM_REC q (\s t. SND (h (i t, s)))
-  Term s = Term::var("s", v.c);
-  Term it = Term::comb(v.i, v.t);
-  Term step = Term::abs(
-      s, Term::abs(v.t, mk_snd(Term::comb(v.h, mk_pair(it, s)))));
-  Type pr_ty = fun_ty(v.c, fun_ty(fun_ty(v.c, fun_ty(num_ty(), v.c)),
-                                  fun_ty(num_ty(), v.c)));
-  Term prim_rec = Term::constant("PRIM_REC", pr_ty);
-  Term state_body = Term::comb(Term::comb(prim_rec, v.q), step);
-  Thm state_def = sig.new_definition(
-      "STATE", Term::abs(v.h, Term::abs(v.q, Term::abs(v.i, state_body))));
+    // STATE = \h q i. PRIM_REC q (\s t. SND (h (i t, s)))
+    Term s = Term::var("s", v.c);
+    Term it = Term::comb(v.i, v.t);
+    Term step = Term::abs(
+        s, Term::abs(v.t, mk_snd(Term::comb(v.h, mk_pair(it, s)))));
+    Type pr_ty = fun_ty(v.c, fun_ty(fun_ty(v.c, fun_ty(num_ty(), v.c)),
+                                    fun_ty(num_ty(), v.c)));
+    Term prim_rec = Term::constant("PRIM_REC", pr_ty);
+    Term state_body = Term::comb(Term::comb(prim_rec, v.q), step);
+    Thm state_def = sig.new_definition(
+        "STATE", Term::abs(v.h, Term::abs(v.q, Term::abs(v.i, state_body))));
 
-  // AUTOMATON = \h q i t. FST (h (i t, STATE h q i t))
-  Term state_hqit = mk_state(v.h, v.q, v.i, v.t);
-  Term aut_body = mk_fst(Term::comb(v.h, mk_pair(it, state_hqit)));
-  Thm aut_def = sig.new_definition(
-      "AUTOMATON",
-      Term::abs(v.h,
-                Term::abs(v.q, Term::abs(v.i, Term::abs(v.t, aut_body)))));
+    // AUTOMATON = \h q i t. FST (h (i t, STATE h q i t))
+    Term state_hqit = mk_state(v.h, v.q, v.i, v.t);
+    Term aut_body = mk_fst(Term::comb(v.h, mk_pair(it, state_hqit)));
+    Thm aut_def = sig.new_definition(
+        "AUTOMATON",
+        Term::abs(v.h,
+                  Term::abs(v.q, Term::abs(v.i, Term::abs(v.t, aut_body)))));
 
-  // ---- STATE_0 : !h q i. STATE h q i _0 = q -------------------------------
-  Thm unfolded = unfold_def(state_def, {v.h, v.q, v.i});
-  // unfolded : STATE h q i = PRIM_REC q step
-  kernel::TypeSubst to_state;
-  to_state.emplace("'a", v.c);
-  Thm pr0 = spec_list({v.q, step},
-                      Thm::inst_type(to_state, get("PRIM_REC_0")));
-  Thm st0 = Thm::trans(ap_thm(unfolded, zero_tm()), pr0);
-  sig.store_theorem("STATE_0", gen_list({v.h, v.q, v.i}, st0));
+    // ---- STATE_0 : !h q i. STATE h q i _0 = q -------------------------------
+    Thm unfolded = unfold_def(state_def, {v.h, v.q, v.i});
+    // unfolded : STATE h q i = PRIM_REC q step
+    kernel::TypeSubst to_state;
+    to_state.emplace("'a", v.c);
+    Thm pr0 = spec_list({v.q, step},
+                        Thm::inst_type(to_state, get("PRIM_REC_0")));
+    Thm st0 = Thm::trans(ap_thm(unfolded, zero_tm()), pr0);
+    sig.store_theorem("STATE_0", gen_list({v.h, v.q, v.i}, st0));
 
-  // ---- STATE_SUC -----------------------------------------------------------
-  Thm prs = spec_list({v.q, step, v.t},
-                      Thm::inst_type(to_state, get("PRIM_REC_SUC")));
-  Thm st_suc = Thm::trans(ap_thm(unfolded, mk_suc(v.t)), prs);
-  // rhs: (\s t. SND (h (i t, s))) (PRIM_REC q step t) t — beta twice.
-  st_suc = logic::conv_concl_rhs(
-      logic::thenc(logic::rator_conv(logic::beta_conv), logic::beta_conv),
-      st_suc);
-  // Fold PRIM_REC q step t back into STATE h q i t.
-  Thm fold = sym(ap_thm(unfolded, v.t));
-  st_suc = logic::conv_concl_rhs(
-      logic::once_depth_conv(logic::rewr_conv(fold)), st_suc);
-  sig.store_theorem("STATE_SUC", gen_list({v.h, v.q, v.i, v.t}, st_suc));
+    // ---- STATE_SUC -------------------------------------------------------
+    Thm prs = spec_list({v.q, step, v.t},
+                        Thm::inst_type(to_state, get("PRIM_REC_SUC")));
+    Thm st_suc = Thm::trans(ap_thm(unfolded, mk_suc(v.t)), prs);
+    // rhs: (\s t. SND (h (i t, s))) (PRIM_REC q step t) t — beta twice.
+    st_suc = logic::conv_concl_rhs(
+        logic::thenc(logic::rator_conv(logic::beta_conv), logic::beta_conv),
+        st_suc);
+    // Fold PRIM_REC q step t back into STATE h q i t.
+    Thm fold = sym(ap_thm(unfolded, v.t));
+    st_suc = logic::conv_concl_rhs(
+        logic::once_depth_conv(logic::rewr_conv(fold)), st_suc);
+    sig.store_theorem("STATE_SUC", gen_list({v.h, v.q, v.i, v.t}, st_suc));
 
-  // ---- AUTOMATON_EXPAND ----------------------------------------------------
-  Thm expand = unfold_def(aut_def, {v.h, v.q, v.i, v.t});
-  sig.store_theorem("AUTOMATON_EXPAND",
-                    gen_list({v.h, v.q, v.i, v.t}, expand));
+    // ---- AUTOMATON_EXPAND ------------------------------------------------
+    Thm expand = unfold_def(aut_def, {v.h, v.q, v.i, v.t});
+    sig.store_theorem("AUTOMATON_EXPAND",
+                      gen_list({v.h, v.q, v.i, v.t}, expand));
+  });
 }
 
 namespace {

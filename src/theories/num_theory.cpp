@@ -1,5 +1,6 @@
 #include "theories/num_theory.h"
 
+#include "kernel/once.h"
 #include "kernel/signature.h"
 #include "logic/bool_thms.h"
 #include "logic/conv.h"
@@ -29,110 +30,111 @@ Term nv(const char* n) { return Term::var(n, num_ty()); }
 }  // namespace
 
 void init_num() {
-  static bool done = false;
-  if (done) return;
-  done = true;
-  logic::init_bool();
-  Signature& sig = Signature::instance();
+  // Thread-safe, re-entry-tolerant one-time init (kernel/once.h).
+  static kernel::InitOnce once;
+  once.run([] {
+    logic::init_bool();
+    Signature& sig = Signature::instance();
 
-  sig.declare_type("num", 0);
-  sig.declare_const("_0", num_ty());
-  sig.declare_const("SUC", fun_ty(num_ty(), num_ty()));
+    sig.declare_type("num", 0);
+    sig.declare_const("_0", num_ty());
+    sig.declare_const("SUC", fun_ty(num_ty(), num_ty()));
 
-  Term m = nv("m"), n = nv("n");
+    Term m = nv("m"), n = nv("n");
 
-  // Peano axioms.
-  sig.new_axiom("NOT_SUC", mk_forall(n, mk_neg(mk_eq(mk_suc(n), zero_tm()))));
-  sig.new_axiom(
-      "SUC_INJ",
-      mk_forall(m, mk_forall(n, mk_eq(mk_eq(mk_suc(m), mk_suc(n)),
-                                      mk_eq(m, n)))));
-  Term P = Term::var("P", fun_ty(num_ty(), bool_ty()));
-  Term Pn = Term::comb(P, n);
-  Term Psn = Term::comb(P, mk_suc(n));
-  sig.new_axiom(
-      "INDUCTION",
-      mk_forall(P, mk_imp(mk_conj(Term::comb(P, zero_tm()),
-                                  mk_forall(n, mk_imp(Pn, Psn))),
-                          mk_forall(n, Pn))));
+    // Peano axioms.
+    sig.new_axiom("NOT_SUC", mk_forall(n, mk_neg(mk_eq(mk_suc(n), zero_tm()))));
+    sig.new_axiom(
+        "SUC_INJ",
+        mk_forall(m, mk_forall(n, mk_eq(mk_eq(mk_suc(m), mk_suc(n)),
+                                        mk_eq(m, n)))));
+    Term P = Term::var("P", fun_ty(num_ty(), bool_ty()));
+    Term Pn = Term::comb(P, n);
+    Term Psn = Term::comb(P, mk_suc(n));
+    sig.new_axiom(
+        "INDUCTION",
+        mk_forall(P, mk_imp(mk_conj(Term::comb(P, zero_tm()),
+                                    mk_forall(n, mk_imp(Pn, Psn))),
+                            mk_forall(n, Pn))));
 
-  // PRIM_REC with its two recursion equations.
-  Type a = alpha_ty();
-  sig.declare_const(
-      "PRIM_REC",
-      fun_ty(a, fun_ty(fun_ty(a, fun_ty(num_ty(), a)),
-                       fun_ty(num_ty(), a))));
-  Term b = Term::var("b", a);
-  Term f = Term::var("f", fun_ty(a, fun_ty(num_ty(), a)));
-  sig.new_axiom(
-      "PRIM_REC_0",
-      mk_forall(b, mk_forall(f, mk_eq(mk_prim_rec(b, f, zero_tm()), b))));
-  Term rec_n = mk_prim_rec(b, f, n);
-  sig.new_axiom(
-      "PRIM_REC_SUC",
-      mk_forall(
-          b, mk_forall(
-                 f, mk_forall(n, mk_eq(mk_prim_rec(b, f, mk_suc(n)),
-                                       Term::comb(Term::comb(f, rec_n),
-                                                  n))))));
+    // PRIM_REC with its two recursion equations.
+    Type a = alpha_ty();
+    sig.declare_const(
+        "PRIM_REC",
+        fun_ty(a, fun_ty(fun_ty(a, fun_ty(num_ty(), a)),
+                         fun_ty(num_ty(), a))));
+    Term b = Term::var("b", a);
+    Term f = Term::var("f", fun_ty(a, fun_ty(num_ty(), a)));
+    sig.new_axiom(
+        "PRIM_REC_0",
+        mk_forall(b, mk_forall(f, mk_eq(mk_prim_rec(b, f, zero_tm()), b))));
+    Term rec_n = mk_prim_rec(b, f, n);
+    sig.new_axiom(
+        "PRIM_REC_SUC",
+        mk_forall(
+            b, mk_forall(
+                   f, mk_forall(n, mk_eq(mk_prim_rec(b, f, mk_suc(n)),
+                                         Term::comb(Term::comb(f, rec_n),
+                                                    n))))));
 
-  // Arithmetic operators with their standard recursion equations.
-  for (const char* op : {"+", "-", "*", "DIV", "MOD", "EXP"}) {
-    sig.declare_const(op, num2());
-  }
-  for (const char* op : {"<", "<="}) {
-    sig.declare_const(op, num2b());
-  }
-  auto arith = [](const char* op, const Term& x, const Term& y) {
-    return mk_arith(op, x, y);
-  };
-  // ADD
-  sig.new_axiom("ADD_0",
-                mk_forall(n, mk_eq(arith("+", zero_tm(), n), n)));
-  sig.new_axiom(
-      "ADD_SUC",
-      mk_forall(m, mk_forall(n, mk_eq(arith("+", mk_suc(m), n),
-                                      mk_suc(arith("+", m, n))))));
-  // MUL
-  sig.new_axiom("MUL_0",
-                mk_forall(n, mk_eq(arith("*", zero_tm(), n), zero_tm())));
-  sig.new_axiom(
-      "MUL_SUC",
-      mk_forall(m, mk_forall(n, mk_eq(arith("*", mk_suc(m), n),
-                                      arith("+", arith("*", m, n), n)))));
-  // SUB (truncating)
-  sig.new_axiom("SUB_0",
-                mk_forall(n, mk_eq(arith("-", n, zero_tm()), n)));
-  sig.new_axiom("SUB_0L",
-                mk_forall(n, mk_eq(arith("-", zero_tm(), n), zero_tm())));
-  sig.new_axiom(
-      "SUB_SUC",
-      mk_forall(m, mk_forall(n, mk_eq(arith("-", mk_suc(m), mk_suc(n)),
-                                      arith("-", m, n)))));
-  // EXP
-  sig.new_axiom("EXP_0",
-                mk_forall(m, mk_eq(arith("EXP", m, zero_tm()),
-                                   mk_suc(zero_tm()))));
-  sig.new_axiom(
-      "EXP_SUC",
-      mk_forall(m, mk_forall(n, mk_eq(arith("EXP", m, mk_suc(n)),
-                                      arith("*", m, arith("EXP", m, n))))));
-  // LT / LE
-  Term F = logic::falsity_tm();
-  Term T = logic::truth_tm();
-  sig.new_axiom("LT_0", mk_forall(n, mk_eq(arith("<", n, zero_tm()), F)));
-  sig.new_axiom(
-      "LT_SUC",
-      mk_forall(m, mk_forall(n, mk_eq(arith("<", m, mk_suc(n)),
-                                      logic::mk_disj(mk_eq(m, n),
-                                                     arith("<", m, n))))));
-  sig.new_axiom("LE_0", mk_forall(n, mk_eq(arith("<=", zero_tm(), n), T)));
-  sig.new_axiom(
-      "LE_SUC",
-      mk_forall(m, mk_forall(n, mk_eq(arith("<=", mk_suc(m), mk_suc(n)),
-                                      arith("<=", m, n)))));
-  sig.new_axiom("LE_SUC_0",
-                mk_forall(m, mk_eq(arith("<=", mk_suc(m), zero_tm()), F)));
+    // Arithmetic operators with their standard recursion equations.
+    for (const char* op : {"+", "-", "*", "DIV", "MOD", "EXP"}) {
+      sig.declare_const(op, num2());
+    }
+    for (const char* op : {"<", "<="}) {
+      sig.declare_const(op, num2b());
+    }
+    auto arith = [](const char* op, const Term& x, const Term& y) {
+      return mk_arith(op, x, y);
+    };
+    // ADD
+    sig.new_axiom("ADD_0",
+                  mk_forall(n, mk_eq(arith("+", zero_tm(), n), n)));
+    sig.new_axiom(
+        "ADD_SUC",
+        mk_forall(m, mk_forall(n, mk_eq(arith("+", mk_suc(m), n),
+                                        mk_suc(arith("+", m, n))))));
+    // MUL
+    sig.new_axiom("MUL_0",
+                  mk_forall(n, mk_eq(arith("*", zero_tm(), n), zero_tm())));
+    sig.new_axiom(
+        "MUL_SUC",
+        mk_forall(m, mk_forall(n, mk_eq(arith("*", mk_suc(m), n),
+                                        arith("+", arith("*", m, n), n)))));
+    // SUB (truncating)
+    sig.new_axiom("SUB_0",
+                  mk_forall(n, mk_eq(arith("-", n, zero_tm()), n)));
+    sig.new_axiom("SUB_0L",
+                  mk_forall(n, mk_eq(arith("-", zero_tm(), n), zero_tm())));
+    sig.new_axiom(
+        "SUB_SUC",
+        mk_forall(m, mk_forall(n, mk_eq(arith("-", mk_suc(m), mk_suc(n)),
+                                        arith("-", m, n)))));
+    // EXP
+    sig.new_axiom("EXP_0",
+                  mk_forall(m, mk_eq(arith("EXP", m, zero_tm()),
+                                     mk_suc(zero_tm()))));
+    sig.new_axiom(
+        "EXP_SUC",
+        mk_forall(m, mk_forall(n, mk_eq(arith("EXP", m, mk_suc(n)),
+                                        arith("*", m, arith("EXP", m, n))))));
+    // LT / LE
+    Term F = logic::falsity_tm();
+    Term T = logic::truth_tm();
+    sig.new_axiom("LT_0", mk_forall(n, mk_eq(arith("<", n, zero_tm()), F)));
+    sig.new_axiom(
+        "LT_SUC",
+        mk_forall(m, mk_forall(n, mk_eq(arith("<", m, mk_suc(n)),
+                                        logic::mk_disj(mk_eq(m, n),
+                                                       arith("<", m, n))))));
+    sig.new_axiom("LE_0", mk_forall(n, mk_eq(arith("<=", zero_tm(), n), T)));
+    sig.new_axiom(
+        "LE_SUC",
+        mk_forall(m, mk_forall(n, mk_eq(arith("<=", mk_suc(m), mk_suc(n)),
+                                        arith("<=", m, n)))));
+    sig.new_axiom("LE_SUC_0",
+                  mk_forall(m, mk_eq(arith("<=", mk_suc(m), zero_tm()), F)));
+  });
 }
 
 Term zero_tm() {

@@ -1,7 +1,7 @@
 #include "theories/numeral.h"
 
-#include <unordered_map>
-
+#include "kernel/memo.h"
+#include "kernel/once.h"
 #include "kernel/signature.h"
 #include "logic/bool_thms.h"
 
@@ -16,18 +16,19 @@ using kernel::Term;
 using kernel::Thm;
 
 void init_numeral() {
-  static bool done = false;
-  if (done) return;
-  done = true;
-  init_num();
-  Signature& sig = Signature::instance();
-  Term n = Term::var("n", num_ty());
-  // NUMERAL = \n. n          (presentation tag)
-  sig.new_definition("NUMERAL", Term::abs(n, n));
-  // BIT0 = \n. n + n
-  sig.new_definition("BIT0", Term::abs(n, mk_arith("+", n, n)));
-  // BIT1 = \n. SUC (n + n)
-  sig.new_definition("BIT1", Term::abs(n, mk_suc(mk_arith("+", n, n))));
+  // Thread-safe, re-entry-tolerant one-time init (kernel/once.h).
+  static kernel::InitOnce once;
+  once.run([] {
+    init_num();
+    Signature& sig = Signature::instance();
+    Term n = Term::var("n", num_ty());
+    // NUMERAL = \n. n          (presentation tag)
+    sig.new_definition("NUMERAL", Term::abs(n, n));
+    // BIT0 = \n. n + n
+    sig.new_definition("BIT0", Term::abs(n, mk_arith("+", n, n)));
+    // BIT1 = \n. SUC (n + n)
+    sig.new_definition("BIT1", Term::abs(n, mk_suc(mk_arith("+", n, n))));
+  });
 }
 
 namespace {
@@ -44,27 +45,29 @@ Term mk_bits(std::uint64_t n) {
 std::optional<std::uint64_t> dest_bits(const Term& t) {
   // Interned nodes are permanent, so destructed values can be memoised on
   // node identity; numeral chains share suffixes heavily under hash-consing,
-  // making repeated destruction O(1) amortised.
-  static auto* memo =
-      new std::unordered_map<const void*, std::optional<std::uint64_t>>();
-  if (auto it = memo->find(t.node_id()); it != memo->end()) return it->second;
-  std::optional<std::uint64_t> out;
-  if (t.is_const() && t.name() == "_0") {
-    out = 0ULL;
-  } else if (t.is_comb() && t.rator().is_const()) {
-    const std::string& f = t.rator().name();
-    if (f == "BIT0" || f == "BIT1") {
-      if (auto inner = dest_bits(t.rand())) {
-        out = *inner * 2 + (f == "BIT1" ? 1 : 0);
-      }
-    } else if (f == "SUC") {
-      if (auto inner = dest_bits(t.rand())) out = *inner + 1;
-    } else if (f == "NUMERAL") {
-      out = dest_bits(t.rand());
-    }
-  }
-  memo->emplace(t.node_id(), out);
-  return out;
+  // making repeated destruction O(1) amortised.  Sharded + reader-writer
+  // locked so parallel proof replay shares one table (kernel/memo.h).
+  static auto* memo = new kernel::ConcurrentMemo<
+      const void*, std::optional<std::uint64_t>>();
+  return memo->get_or_compute(
+      t.node_id(), [&]() -> std::optional<std::uint64_t> {
+        std::optional<std::uint64_t> out;
+        if (t.is_const() && t.name() == "_0") {
+          out = 0ULL;
+        } else if (t.is_comb() && t.rator().is_const()) {
+          const std::string& f = t.rator().name();
+          if (f == "BIT0" || f == "BIT1") {
+            if (auto inner = dest_bits(t.rand())) {
+              out = *inner * 2 + (f == "BIT1" ? 1 : 0);
+            }
+          } else if (f == "SUC") {
+            if (auto inner = dest_bits(t.rand())) out = *inner + 1;
+          } else if (f == "NUMERAL") {
+            out = dest_bits(t.rand());
+          }
+        }
+        return out;
+      });
 }
 
 }  // namespace
@@ -73,12 +76,11 @@ Term mk_numeral(std::uint64_t n) {
   init_numeral();
   // Numerals are the single most-constructed term family (every wrap /
   // modulus / simulation step builds them); cache the interned term per
-  // value.
-  static auto* cache = new std::unordered_map<std::uint64_t, Term>();
-  if (auto it = cache->find(n); it != cache->end()) return it->second;
-  Term t = mk_unary("NUMERAL", mk_bits(n));
-  cache->emplace(n, t);
-  return t;
+  // value.  Concurrent: racing builders intern the same canonical node, so
+  // whichever entry lands first is the right one.
+  static auto* cache = new kernel::ConcurrentMemo<std::uint64_t, Term>();
+  return cache->get_or_compute(
+      n, [&] { return mk_unary("NUMERAL", mk_bits(n)); });
 }
 
 std::optional<std::uint64_t> dest_numeral(const Term& t) {

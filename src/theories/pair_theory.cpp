@@ -1,5 +1,6 @@
 #include "theories/pair_theory.h"
 
+#include "kernel/once.h"
 #include "kernel/signature.h"
 #include "logic/rewrite.h"
 
@@ -16,32 +17,33 @@ using kernel::Signature;
 using logic::mk_forall;
 
 void init_pair() {
-  static bool done = false;
-  if (done) return;
-  done = true;
-  logic::init_bool();
-  Signature& sig = Signature::instance();
+  // Thread-safe, re-entry-tolerant one-time init (kernel/once.h).
+  static kernel::InitOnce once;
+  once.run([] {
+    logic::init_bool();
+    Signature& sig = Signature::instance();
 
-  Type a = alpha_ty(), b = beta_ty();
-  sig.declare_type("prod", 2);
-  sig.declare_const(",", fun_ty(a, fun_ty(b, prod_ty(a, b))));
-  sig.declare_const("FST", fun_ty(prod_ty(a, b), a));
-  sig.declare_const("SND", fun_ty(prod_ty(a, b), b));
+    Type a = alpha_ty(), b = beta_ty();
+    sig.declare_type("prod", 2);
+    sig.declare_const(",", fun_ty(a, fun_ty(b, prod_ty(a, b))));
+    sig.declare_const("FST", fun_ty(prod_ty(a, b), a));
+    sig.declare_const("SND", fun_ty(prod_ty(a, b), b));
 
-  Term x = Term::var("x", a);
-  Term y = Term::var("y", b);
-  Term xy = mk_pair(x, y);
-  sig.new_axiom("FST_PAIR", mk_forall(x, mk_forall(y, mk_eq(mk_fst(xy), x))));
-  sig.new_axiom("SND_PAIR", mk_forall(x, mk_forall(y, mk_eq(mk_snd(xy), y))));
-  Term p = Term::var("p", prod_ty(a, b));
-  sig.new_axiom("PAIR_SURJ",
-                mk_forall(p, mk_eq(mk_pair(mk_fst(p), mk_snd(p)), p)));
+    Term x = Term::var("x", a);
+    Term y = Term::var("y", b);
+    Term xy = mk_pair(x, y);
+    sig.new_axiom("FST_PAIR", mk_forall(x, mk_forall(y, mk_eq(mk_fst(xy), x))));
+    sig.new_axiom("SND_PAIR", mk_forall(x, mk_forall(y, mk_eq(mk_snd(xy), y))));
+    Term p = Term::var("p", prod_ty(a, b));
+    sig.new_axiom("PAIR_SURJ",
+                  mk_forall(p, mk_eq(mk_pair(mk_fst(p), mk_snd(p)), p)));
 
-  // UNCURRY = \f p. f (FST p) (SND p)
-  Type c = kernel::gamma_ty();
-  Term f = Term::var("f", fun_ty(a, fun_ty(b, c)));
-  Term fp = Term::comb(Term::comb(f, mk_fst(p)), mk_snd(p));
-  sig.new_definition("UNCURRY", Term::abs(f, Term::abs(p, fp)));
+    // UNCURRY = \f p. f (FST p) (SND p)
+    Type c = kernel::gamma_ty();
+    Term f = Term::var("f", fun_ty(a, fun_ty(b, c)));
+    Term fp = Term::comb(Term::comb(f, mk_fst(p)), mk_snd(p));
+    sig.new_definition("UNCURRY", Term::abs(f, Term::abs(p, fp)));
+  });
 }
 
 Term mk_pair(const Term& a, const Term& b) {

@@ -103,7 +103,8 @@ Thm retiming_thm() {
   Term P = Term::abs(t, inv_body);
 
   // Base case: both sides reduce to f q by STATE_0.
-  Thm lhs0 = pspec_list({h2, fq, i}, state_0());        // STATE h2 (f q) i 0 = f q
+  // STATE h2 (f q) i 0 = f q
+  Thm lhs0 = pspec_list({h2, fq, i}, state_0());
   Thm rhs0 = ap_term(f, pspec_list({h1, q, i}, state_0()));
   Thm base = Thm::trans(lhs0, sym(rhs0));
 

@@ -82,7 +82,9 @@ VerifyResult eijk_check(const circuit::GateNetlist& a,
     // retiming they are functions f(s) of the first machine's registers,
     // which is exactly the structure van Eijk & Jess exploit.
     std::vector<int> all_state;
-    for (int k = 0; k < p.layout.nb; ++k) all_state.push_back(p.layout.b_state(k));
+    for (int k = 0; k < p.layout.nb; ++k) {
+      all_state.push_back(p.layout.b_state(k));
+    }
 
     BddId reached = mgr.land(p.a.init, p.b.init);
     BddId frontier = reached;

@@ -1,0 +1,26 @@
+#include "verify/parallel_verify.h"
+
+#include "kernel/parallel.h"
+
+namespace eda::verify {
+
+VerifyResult run_check(const CheckJob& job) {
+  switch (job.engine) {
+    case Engine::Eijk:
+      return eijk_check(*job.a, *job.b, job.opts, false);
+    case Engine::EijkPlus:
+      return eijk_check(*job.a, *job.b, job.opts, true);
+    case Engine::Smv:
+      return smv_check(*job.a, *job.b, job.opts);
+    case Engine::SisFsm:
+      return sis_fsm_check(*job.a, *job.b, job.opts);
+  }
+  return {};  // unreachable
+}
+
+std::vector<VerifyResult> check_parallel(const std::vector<CheckJob>& jobs) {
+  return kernel::parallel_map(
+      jobs, [](const CheckJob& job) { return run_check(job); });
+}
+
+}  // namespace eda::verify

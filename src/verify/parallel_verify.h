@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "verify/common.h"
+#include "verify/eijk.h"
+#include "verify/sis_fsm.h"
+#include "verify/smv_mc.h"
+
+namespace eda::verify {
+
+/// Which engine a CheckJob runs (the columns of the paper's tables).
+enum class Engine { Eijk, EijkPlus, Smv, SisFsm };
+
+/// One sequential-equivalence obligation: a pair of gate-level netlists
+/// plus the engine and resource bounds to check them with.
+struct CheckJob {
+  const circuit::GateNetlist* a = nullptr;
+  const circuit::GateNetlist* b = nullptr;
+  Engine engine = Engine::Eijk;
+  VerifyOptions opts;
+};
+
+/// Run one job (dispatch on `engine`).
+VerifyResult run_check(const CheckJob& job);
+
+/// Run independent obligations concurrently on the global thread pool,
+/// results in input order.
+///
+/// Threading model: every job builds its own BddManager / explicit state
+/// table, so the symbolic engines stay confined to the thread executing
+/// the job — confinement, not sharing, is the BDD layer's concurrency
+/// story (one manager's tables are useless to a differently-numbered
+/// product machine anyway).  Cross-job sharing happens one layer down, in
+/// the kernel's concurrent interner and the hash layer's memo tables.
+std::vector<VerifyResult> check_parallel(const std::vector<CheckJob>& jobs);
+
+}  // namespace eda::verify

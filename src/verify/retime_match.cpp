@@ -7,6 +7,8 @@
 #include <set>
 #include <vector>
 
+#include "kernel/parallel.h"
+
 namespace eda::verify {
 
 using circuit::Node;
@@ -207,7 +209,10 @@ RetimeMatchResult verify_retiming(const Rtl& a, const Rtl& b,
   std::map<std::uint64_t, std::size_t> cursor;
   std::set<SignalId> used_b;
   for (std::size_t k = 0; k < a.nodes().size(); ++k) {
-    if (!is_comb(a.nodes()[k]) || useful_a.count(static_cast<SignalId>(k)) == 0) continue;
+    if (!is_comb(a.nodes()[k]) ||
+        useful_a.count(static_cast<SignalId>(k)) == 0) {
+      continue;
+    }
     auto it = by_color_b.find(ca[k]);
     std::size_t& cur = cursor[ca[k]];
     if (it == by_color_b.end() || cur >= it->second.size()) {
@@ -342,6 +347,13 @@ RetimeMatchResult verify_retiming(const Rtl& a, const Rtl& b,
 
   res.equivalent = true;
   return res;
+}
+
+std::vector<RetimeMatchResult> verify_retimings(
+    const std::vector<RetimeJob>& jobs) {
+  return kernel::parallel_map(jobs, [](const RetimeJob& job) {
+    return verify_retiming(*job.a, *job.b, job.seed);
+  });
 }
 
 }  // namespace eda::verify

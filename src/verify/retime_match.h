@@ -46,4 +46,19 @@ RetimeMatchResult verify_retiming(const circuit::Rtl& a,
                                   const circuit::Rtl& b,
                                   std::uint32_t seed = 1);
 
+/// One retiming obligation for the batch verifier.
+struct RetimeJob {
+  const circuit::Rtl* a = nullptr;
+  const circuit::Rtl* b = nullptr;
+  std::uint32_t seed = 1;
+};
+
+/// Verify independent retiming obligations concurrently on the global
+/// thread pool (kernel/parallel.h); results keep input order.  Per-circuit
+/// runs are embarrassingly parallel — the matcher's state is all local,
+/// and the shared structures it leans on (interned terms, cached
+/// free-variable sets) are concurrency-safe in the kernel.
+std::vector<RetimeMatchResult> verify_retimings(
+    const std::vector<RetimeJob>& jobs);
+
 }  // namespace eda::verify

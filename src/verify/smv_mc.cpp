@@ -37,7 +37,8 @@ VerifyResult smv_check(const circuit::GateNetlist& a,
       ++res.iterations;
       res.peak = std::max(res.peak, mgr.node_table_size());
       if (elapsed() > opts.timeout_sec) return res;  // timed out
-      // Image: exists inputs, present. frontier /\ TR, then rename next->present.
+      // Image: exists inputs, present. frontier /\ TR, then rename
+      // next->present.
       BddId img = mgr.and_exists(frontier, tr, p.quantify);
       img = mgr.rename(img, p.next_to_present);
       BddId next_reached = mgr.lor(reached, img);

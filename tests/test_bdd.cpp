@@ -137,14 +137,24 @@ TEST_P(BddTruthTable, RandomExpressionsMatchTruthTables) {
   std::vector<BddId> bdds;
   for (const Expr& e : exprs) {
     switch (e.op) {
-      case 0: bdds.push_back(m.var(e.var)); break;
-      case 1: bdds.push_back(m.land(bdds[static_cast<std::size_t>(e.a)],
-                                    bdds[static_cast<std::size_t>(e.b)])); break;
-      case 2: bdds.push_back(m.lor(bdds[static_cast<std::size_t>(e.a)],
-                                   bdds[static_cast<std::size_t>(e.b)])); break;
-      case 3: bdds.push_back(m.lxor(bdds[static_cast<std::size_t>(e.a)],
-                                    bdds[static_cast<std::size_t>(e.b)])); break;
-      default: bdds.push_back(m.lnot(bdds[static_cast<std::size_t>(e.a)])); break;
+      case 0:
+        bdds.push_back(m.var(e.var));
+        break;
+      case 1:
+        bdds.push_back(m.land(bdds[static_cast<std::size_t>(e.a)],
+                              bdds[static_cast<std::size_t>(e.b)]));
+        break;
+      case 2:
+        bdds.push_back(m.lor(bdds[static_cast<std::size_t>(e.a)],
+                             bdds[static_cast<std::size_t>(e.b)]));
+        break;
+      case 3:
+        bdds.push_back(m.lxor(bdds[static_cast<std::size_t>(e.a)],
+                              bdds[static_cast<std::size_t>(e.b)]));
+        break;
+      default:
+        bdds.push_back(m.lnot(bdds[static_cast<std::size_t>(e.a)]));
+        break;
     }
   }
   std::function<bool(int, const std::vector<bool>&)> direct =

@@ -76,7 +76,8 @@ TEST(MinArea, MatchesBruteForceOnRandomGraphs) {
     }
     // A host cycle guarantees every vertex lies on a registered cycle.
     for (int v = 0; v <= n; ++v) {
-      g.edges.push_back({v, (v + 1) % (n + 1), 1 + static_cast<int>(rng() % 2)});
+      g.edges.push_back(
+          {v, (v + 1) % (n + 1), 1 + static_cast<int>(rng() % 2)});
     }
     // Extra random chords.
     for (int k = 0; k < 3; ++k) {

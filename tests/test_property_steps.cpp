@@ -127,7 +127,8 @@ TEST_P(StepProperty, DeadRegisterRemovalMatchesConventional) {
   c::Rtl rtl = rc.rtl;
   auto d1 = rtl.add_reg("dead1", rc.width, 3);
   auto d2 = rtl.add_reg("dead2", rc.width, 1);
-  rtl.set_reg_next(d1, rtl.add_op(c::Op::Add, {d1, rtl.add_const(rc.width, 1)}));
+  rtl.set_reg_next(
+      d1, rtl.add_op(c::Op::Add, {d1, rtl.add_const(rc.width, 1)}));
   rtl.set_reg_next(d2, rtl.add_op(c::Op::Xor, {d1, d2}));
   rtl.validate();
 

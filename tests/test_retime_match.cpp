@@ -87,7 +87,9 @@ TEST(RetimeMatch, RejectsCorruptedInitialValue) {
   for (SignalId r : retimed.regs()) {
     bad.set_reg_next(ctx.at(r), ctx.at(retimed.node(r).next));
   }
-  for (const auto& o : retimed.outputs()) bad.add_output(o.name, ctx.at(o.signal));
+  for (const auto& o : retimed.outputs()) {
+    bad.add_output(o.name, ctx.at(o.signal));
+  }
 
   v::RetimeMatchResult res = v::verify_retiming(fig2.rtl, bad);
   EXPECT_FALSE(res.equivalent);
