@@ -51,12 +51,20 @@ eda::kernel::Term big_term(int depth) {
 }
 
 double ns_per_op(int iters, const std::function<void()>& op) {
-  // One warm-up call so interning/memo effects settle, as in the
-  // google-benchmark micro suite.
+  // One warm-up call so interning/memo effects settle, then best-of-3
+  // batches: the CI bench-regression gate compares these numbers against a
+  // committed baseline, and the minimum is far more stable across noisy
+  // shared runners than a single batch (same methodology as the ROADMAP's
+  // interleaved A/B minima).
   op();
-  auto t0 = Clock::now();
-  for (int i = 0; i < iters; ++i) op();
-  return seconds_since(t0) * 1e9 / iters;
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) op();
+    double ns = seconds_since(t0) * 1e9 / iters;
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
 }
 
 struct MicroResult {

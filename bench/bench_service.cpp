@@ -1,0 +1,183 @@
+// Throughput benchmark for the multi-circuit verification service.
+//
+// Workload: a table1/table2-style parameter sweep (widths x methods, with
+// `copies` duplicate submissions per cell — the production traffic shape
+// where many clients resubmit the same netlists).  Two configurations run
+// over the identical job list:
+//
+//   serial   one job at a time, no cross-job cache — the PR 3 world, where
+//            each table row proves its own obligations;
+//   batched  the VerifyService: all jobs in flight on the pool, one shared
+//            theorem/verdict cache keyed on alpha-hashed goal terms.
+//
+// The headline metrics are jobs/second for both configurations and the
+// shared-cache hit rates that explain the difference: on a single-core
+// container the entire batched win is cache amortisation, on multi-core
+// runners pool parallelism multiplies it.  Results go to BENCH_service.json
+// (CI uploads the artifact; --check asserts batched >= serial for the
+// acceptance gate).
+//
+// Like bench_parallel, no google-benchmark dependency: steady_clock around
+// explicit batches is accurate at these durations.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "kernel/parallel.h"
+#include "service/sweep.h"
+#include "service/verify_service.h"
+#include "theories/retiming_thm.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_service.json";
+  bool quick = false, check = false;
+  unsigned jobs = 0;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "bench_service: missing value after %s\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--jobs") {
+      std::string v = next();
+      int n = 0;
+      std::size_t used = 0;
+      try {
+        n = std::stoi(v, &used);
+      } catch (const std::logic_error&) {
+        used = 0;  // falls through to the range error below
+      }
+      if (used != v.size() || n < 1 || n > 1024) {
+        std::fprintf(stderr,
+                     "bench_service: --jobs must be an integer in "
+                     "1..1024\n");
+        return 2;
+      }
+      jobs = static_cast<unsigned>(n);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_service [--quick] [--check] [--jobs N] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+
+  eda::service::SweepGrid grid;
+  grid.widths = quick ? std::vector<int>{4, 6} : std::vector<int>{4, 6, 8};
+  grid.depths = {1};
+  grid.methods = {eda::service::Method::Hash, eda::service::Method::Match,
+                  eda::service::Method::Eijk};
+  grid.copies = quick ? 2 : 3;
+  grid.timeout_sec = 10.0;
+  std::vector<eda::service::JobSpec> specs = eda::service::make_sweep(grid);
+
+  // One-time costs out of the timed region: the universal theorem and the
+  // warm interner/memo state every configuration then sees identically.
+  eda::thy::retiming_thm();
+  {
+    eda::service::VerifyService warm({1, false});
+    for (const eda::service::JobSpec& spec : specs) {
+      eda::service::JobResult r = warm.run_one(spec);
+      if (!r.ok) {
+        std::fprintf(stderr, "bench_service: warm-up job %s failed: %s\n",
+                     r.name.c_str(), r.error.c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::printf("bench_service: %zu jobs (widths x methods x %d copies)\n",
+              specs.size(), grid.copies);
+
+  // Serial loop, no shared cache.
+  double serial_sec = 0.0;
+  {
+    eda::service::VerifyService svc({1, false});
+    auto t0 = Clock::now();
+    for (const eda::service::JobSpec& spec : specs) svc.run_one(spec);
+    serial_sec = seconds_since(t0);
+  }
+
+  // Batched service, shared cache.
+  double batched_sec = 0.0;
+  eda::service::ServiceStats batched_stats;
+  unsigned threads = jobs == 0 ? eda::kernel::default_thread_count() : jobs;
+  {
+    eda::service::VerifyService svc({jobs, true});
+    auto t0 = Clock::now();
+    svc.run_batch(specs);
+    batched_sec = seconds_since(t0);
+    batched_stats = svc.stats();
+  }
+
+  double n = static_cast<double>(specs.size());
+  double serial_tp = serial_sec > 0 ? n / serial_sec : 0.0;
+  double batched_tp = batched_sec > 0 ? n / batched_sec : 0.0;
+  std::printf("  serial   %.3f s  (%.2f jobs/s)\n", serial_sec, serial_tp);
+  std::printf(
+      "  batched  %.3f s  (%.2f jobs/s, %u stream(s), theorem hit rate "
+      "%.2f, result hit rate %.2f)\n",
+      batched_sec, batched_tp, threads, batched_stats.theorems.hit_rate(),
+      batched_stats.results.hit_rate());
+  std::printf("  throughput ratio %.2fx\n",
+              serial_tp > 0 ? batched_tp / serial_tp : 0.0);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_service: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_service\",\n");
+  std::fprintf(f, "  \"jobs\": %zu,\n", specs.size());
+  std::fprintf(f, "  \"copies\": %d,\n", grid.copies);
+  std::fprintf(f, "  \"threads\": %u,\n", threads);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               eda::kernel::default_thread_count());
+  std::fprintf(f, "  \"serial_seconds\": %.4f,\n", serial_sec);
+  std::fprintf(f, "  \"batched_seconds\": %.4f,\n", batched_sec);
+  std::fprintf(f, "  \"serial_jobs_per_sec\": %.3f,\n", serial_tp);
+  std::fprintf(f, "  \"batched_jobs_per_sec\": %.3f,\n", batched_tp);
+  std::fprintf(f, "  \"throughput_ratio\": %.3f,\n",
+               serial_tp > 0 ? batched_tp / serial_tp : 0.0);
+  std::fprintf(f, "  \"theorem_hit_rate\": %.3f,\n",
+               batched_stats.theorems.hit_rate());
+  std::fprintf(f, "  \"result_hit_rate\": %.3f\n",
+               batched_stats.results.hit_rate());
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (check && batched_tp < serial_tp) {
+    std::fprintf(stderr,
+                 "bench_service: --check: batched throughput %.2f < serial "
+                 "%.2f jobs/s\n",
+                 batched_tp, serial_tp);
+    return 1;
+  }
+  return 0;
+}

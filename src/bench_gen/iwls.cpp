@@ -123,24 +123,47 @@ BenchCircuit make_pipeline_alu(const std::string& name, int width,
   return out;
 }
 
+namespace {
+
+/// The set as a name -> generator table, so a by-name lookup builds only
+/// the requested circuit (the service resolves `iwls:NAME` per job).
+struct IwlsEntry {
+  const char* name;
+  BenchCircuit (*make)();
+};
+
+constexpr IwlsEntry kIwlsTable[] = {
+    // Multiplier family — the paper's "fractional multipliers with
+    // different bitwidths"; s344 really is a 4-bit multiplier in
+    // ISCAS'89.
+    {"s344", [] { return make_serial_multiplier("s344", 4); }},
+    {"s349", [] { return make_serial_multiplier("s349", 4); }},
+    {"mult8", [] { return make_serial_multiplier("mult8", 8); }},
+    {"mult16", [] { return make_serial_multiplier("mult16", 16); }},
+    {"mult32", [] { return make_serial_multiplier("mult32", 32); }},
+    // Controller family (s382 is the ISCAS'89 traffic light controller).
+    {"s382", [] { return make_controller("s382", 3, 4); }},
+    {"s526", [] { return make_controller("s526", 4, 5); }},
+    {"s820", [] { return make_controller("s820", 5, 6); }},
+    // Pipelined datapaths.
+    {"s641", [] { return make_pipeline_alu("s641", 8, 3); }},
+    {"s713", [] { return make_pipeline_alu("s713", 8, 4); }},
+    {"s1238", [] { return make_pipeline_alu("s1238", 16, 5); }},
+};
+
+}  // namespace
+
 std::vector<BenchCircuit> iwls_benchmarks() {
   std::vector<BenchCircuit> out;
-  // Multiplier family — the paper's "fractional multipliers with different
-  // bitwidths"; s344 really is a 4-bit multiplier in ISCAS'89.
-  out.push_back(make_serial_multiplier("s344", 4));
-  out.push_back(make_serial_multiplier("s349", 4));
-  out.push_back(make_serial_multiplier("mult8", 8));
-  out.push_back(make_serial_multiplier("mult16", 16));
-  out.push_back(make_serial_multiplier("mult32", 32));
-  // Controller family (s382 is the ISCAS'89 traffic light controller).
-  out.push_back(make_controller("s382", 3, 4));
-  out.push_back(make_controller("s526", 4, 5));
-  out.push_back(make_controller("s820", 5, 6));
-  // Pipelined datapaths.
-  out.push_back(make_pipeline_alu("s641", 8, 3));
-  out.push_back(make_pipeline_alu("s713", 8, 4));
-  out.push_back(make_pipeline_alu("s1238", 16, 5));
+  for (const IwlsEntry& entry : kIwlsTable) out.push_back(entry.make());
   return out;
+}
+
+std::optional<BenchCircuit> find_iwls_benchmark(const std::string& name) {
+  for (const IwlsEntry& entry : kIwlsTable) {
+    if (name == entry.name) return entry.make();
+  }
+  return std::nullopt;
 }
 
 }  // namespace eda::bench_gen

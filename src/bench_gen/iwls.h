@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,5 +39,9 @@ hash::Cut max_forward_cut(const circuit::Rtl& rtl);
 /// The synthetic stand-ins for the paper's Table II IWLS'91 set (see
 /// DESIGN.md for the substitution rationale).
 std::vector<BenchCircuit> iwls_benchmarks();
+
+/// Look up one iwls_benchmarks() entry by name (nullopt when unknown).
+/// The verification service's `iwls:<name>` circuit spec resolves here.
+std::optional<BenchCircuit> find_iwls_benchmark(const std::string& name);
 
 }  // namespace eda::bench_gen

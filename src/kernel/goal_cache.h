@@ -1,0 +1,159 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "kernel/terms.h"
+
+namespace eda::kernel {
+
+/// Hit/miss/size snapshot of a GoalCache (relaxed counters; the numbers
+/// are statistics, not synchronisation).
+struct GoalCacheStats {
+  std::uint64_t hits = 0;    ///< obligations served from the shared cache
+  std::uint64_t misses = 0;  ///< obligations proved here and published
+  std::size_t entries = 0;
+
+  double hit_rate() const {
+    std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// A concurrent cache of discharged proof obligations, keyed on *goal
+/// terms*: alpha-equivalent goals (same alpha-invariant hash, equal under
+/// `Term::operator==`) share one entry, so an obligation that recurs across
+/// circuits — the same (f, g, q) retiming instantiation at the same width,
+/// the same product-machine check — is proved once per service lifetime and
+/// every later job reuses the canonical value.
+///
+/// Values are typically `Thm` (the LCF discipline makes a cached theorem as
+/// trustworthy as a fresh derivation: it *is* the derivation) or engine
+/// verdicts (`VerifyResult`), which are pure functions of the goal.
+///
+/// Concurrency: sharded shared_mutex maps in the style of ConcurrentMemo
+/// (kernel/memo.h), with the shard selector multiply-mixing the hash first
+/// (ROADMAP lesson: structural hashes never push their entropy to the top
+/// bits on their own).  `get_or_prove` runs the proof *outside* any lock;
+/// when two jobs race on one goal both may prove it, but the first insert
+/// wins, the loser's result is discarded, and the loser still counts as a
+/// cache *hit* — its obligation is served by the shared canonical entry, and
+/// k submissions of one goal always yield exactly 1 miss and k-1 hits
+/// regardless of interleaving.
+template <typename Value, std::size_t kShards = 8>
+class GoalCache {
+ public:
+  /// Count-free lookup (statistics are maintained by get_or_prove only, so
+  /// a probe-then-prove caller does not double-count).
+  std::optional<Value> find(const Term& goal) const {
+    const Shard& s = shard_of(goal);
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    if (auto it = s.map.find(goal); it != s.map.end()) return it->second;
+    return std::nullopt;
+  }
+
+  /// Insert if absent; returns the canonical value and whether this call
+  /// published it.
+  std::pair<Value, bool> emplace(const Term& goal, Value value) {
+    Shard& s = shard_of(goal);
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    auto [it, inserted] = s.map.emplace(goal, std::move(value));
+    return {it->second, inserted};
+  }
+
+  /// The service entry point: return the cached value for `goal`, proving
+  /// it with `prove()` on a miss.  `was_hit` (optional) reports whether the
+  /// returned value came from the shared cache.
+  template <typename Fn>
+  Value get_or_prove(const Term& goal, Fn&& prove, bool* was_hit = nullptr) {
+    return get_or_prove_if(
+        goal, std::forward<Fn>(prove), [](const Value&) { return true; },
+        was_hit);
+  }
+
+  /// As get_or_prove, but a freshly proved value is only published when
+  /// `should_cache(value)` holds.  For values that are not pure functions
+  /// of the goal — an engine verdict that ran out of its wall-clock budget
+  /// says something about the machine's load, not the goal — caching the
+  /// failure would pin it for the service lifetime; such values are
+  /// returned uncached (and still counted as misses).
+  template <typename Fn, typename Pred>
+  Value get_or_prove_if(const Term& goal, Fn&& prove, Pred&& should_cache,
+                        bool* was_hit = nullptr) {
+    if (auto v = find(goal)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (was_hit != nullptr) *was_hit = true;
+      return *v;
+    }
+    Value fresh = prove();
+    if (was_hit != nullptr) *was_hit = false;
+    if (!should_cache(fresh)) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return fresh;
+    }
+    auto [canonical, inserted] = emplace(goal, std::move(fresh));
+    if (inserted) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Lost the publication race: the obligation is nonetheless served by
+      // the shared entry (see class comment).
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (was_hit != nullptr) *was_hit = true;
+    }
+    return canonical;
+  }
+
+  GoalCacheStats stats() const {
+    GoalCacheStats st;
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.misses = misses_.load(std::memory_order_relaxed);
+    for (const Shard& s : shards_) {
+      std::shared_lock<std::shared_mutex> lock(s.mu);
+      st.entries += s.map.size();
+    }
+    return st;
+  }
+
+  void clear() {
+    for (Shard& s : shards_) {
+      std::unique_lock<std::shared_mutex> lock(s.mu);
+      s.map.clear();
+    }
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct AlphaHash {
+    std::size_t operator()(const Term& t) const { return t.hash(); }
+  };
+
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Term, Value, AlphaHash> map;
+  };
+
+  static std::size_t shard_index(const Term& goal) {
+    std::size_t h =
+        goal.hash() * static_cast<std::size_t>(0x9e3779b97f4a7c15ULL);
+    return (h >> (sizeof(std::size_t) * 4)) % kShards;
+  }
+  Shard& shard_of(const Term& goal) { return shards_[shard_index(goal)]; }
+  const Shard& shard_of(const Term& goal) const {
+    return shards_[shard_index(goal)];
+  }
+
+  // Counters on their own cache lines (ROADMAP lesson: sharing a line with
+  // hot table state costs double-digit percent on the fast path).
+  alignas(64) mutable std::atomic<std::uint64_t> hits_{0};
+  alignas(64) mutable std::atomic<std::uint64_t> misses_{0};
+  Shard shards_[kShards];
+};
+
+}  // namespace eda::kernel

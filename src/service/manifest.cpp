@@ -1,0 +1,179 @@
+#include "service/manifest.h"
+
+#include <cstdio>
+#include <istream>
+#include <sstream>
+
+namespace eda::service {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+[[noreturn]] void manifest_error(int lineno, const std::string& what) {
+  throw ServiceError("manifest line " + std::to_string(lineno) + ": " +
+                     what);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+void append_cache_json(std::string& out, const char* label,
+                       const kernel::GoalCacheStats& st) {
+  out += "  \"";
+  out += label;
+  out += "\": {\"hits\": " + std::to_string(st.hits) +
+         ", \"misses\": " + std::to_string(st.misses) +
+         ", \"entries\": " + std::to_string(st.entries) +
+         ", \"hit_rate\": " + fmt_double(st.hit_rate()) + "},\n";
+}
+
+}  // namespace
+
+std::vector<JobSpec> parse_manifest(std::istream& in) {
+  std::vector<JobSpec> specs;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // A comment starts at a '#' that opens the line or follows whitespace;
+    // a '#' embedded in a token survives (sweep-generated job names look
+    // like fig2:4/hash#0).
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '#' &&
+          (i == 0 || line[i - 1] == ' ' || line[i - 1] == '\t')) {
+        line.erase(i);
+        break;
+      }
+    }
+    std::vector<std::string> toks = tokenize(line);
+    if (toks.empty()) continue;
+    if (toks.size() < 2) {
+      manifest_error(lineno, "expected '<circuit> <method> [key=value ...]'");
+    }
+    JobSpec spec;
+    spec.circuit = toks[0];
+    std::optional<Method> method = parse_method(toks[1]);
+    if (!method) manifest_error(lineno, "unknown method '" + toks[1] + "'");
+    spec.method = *method;
+    for (std::size_t i = 2; i < toks.size(); ++i) {
+      std::size_t eq = toks[i].find('=');
+      if (eq == std::string::npos) {
+        manifest_error(lineno, "expected key=value, got '" + toks[i] + "'");
+      }
+      std::string key = toks[i].substr(0, eq);
+      std::string value = toks[i].substr(eq + 1);
+      // Strict parsing: the whole token must be consumed (a typo like
+      // `timeout=1O` must not silently become 1.0) and seeds must fit
+      // uint32 without wrapping.
+      try {
+        std::size_t used = 0;
+        if (key == "timeout") {
+          spec.timeout_sec = std::stod(value, &used);
+          if (used != value.size()) throw std::invalid_argument(value);
+        } else if (key == "seed") {
+          unsigned long seed = std::stoul(value, &used);
+          if (used != value.size() || value[0] == '-' ||
+              seed > 0xffffffffUL) {
+            throw std::invalid_argument(value);
+          }
+          spec.seed = static_cast<std::uint32_t>(seed);
+        } else if (key == "name") {
+          spec.name = value;
+        } else {
+          manifest_error(lineno, "unknown key '" + key + "'");
+        }
+      } catch (const ServiceError&) {
+        throw;
+      } catch (const std::exception&) {
+        manifest_error(lineno, "bad value for '" + key + "'");
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<JobSpec> parse_manifest_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_manifest(in);
+}
+
+std::string results_to_json(const std::vector<JobResult>& results,
+                            const ServiceStats& stats, unsigned threads) {
+  std::string out = "{\n";
+  out += "  \"service\": \"eda_service\",\n";
+  out += "  \"jobs\": " + std::to_string(stats.jobs) + ",\n";
+  out += "  \"failed\": " + std::to_string(stats.failed) + ",\n";
+  out += "  \"threads\": " + std::to_string(threads) + ",\n";
+  out += "  \"wall_sec\": " + fmt_double(stats.wall_sec) + ",\n";
+  out += "  \"cpu_sec\": " + fmt_double(stats.cpu_sec) + ",\n";
+  append_cache_json(out, "theorem_cache", stats.theorems);
+  append_cache_json(out, "result_cache", stats.results);
+  out += "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JobResult& r = results[i];
+    out += "    {\"name\": \"" + json_escape(r.name) + "\", ";
+    out += "\"circuit\": \"" + json_escape(r.circuit) + "\", ";
+    out += "\"method\": \"" + std::string(method_name(r.method)) + "\", ";
+    out += "\"ok\": " + std::string(r.ok ? "true" : "false") + ", ";
+    out += "\"completed\": " + std::string(r.completed ? "true" : "false") +
+           ", ";
+    out += "\"equivalent\": " +
+           std::string(r.equivalent ? "true" : "false") + ", ";
+    out += "\"ff\": " + std::to_string(r.ff) + ", ";
+    out += "\"gates\": " + std::to_string(r.gates) + ", ";
+    out += "\"synth_sec\": " + fmt_double(r.synth_sec) + ", ";
+    out += "\"verify_sec\": " + fmt_double(r.verify_sec) + ", ";
+    out += "\"total_sec\": " + fmt_double(r.total_sec) + ", ";
+    out += "\"theorem_cache_hit\": " +
+           std::string(r.theorem_cache_hit ? "true" : "false") + ", ";
+    out += "\"result_cache_hit\": " +
+           std::string(r.result_cache_hit ? "true" : "false") + ", ";
+    out += "\"error\": \"" + json_escape(r.error) + "\"}";
+    out += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace eda::service

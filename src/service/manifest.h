@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "service/verify_service.h"
+
+namespace eda::service {
+
+/// Parse a job manifest: one job per line,
+///
+///   <circuit> <method> [key=value ...]     # comment
+///
+/// where <circuit> follows the JobSpec grammar, <method> is one of
+/// hash/match/eijk/eijk+/smv/sis, and the optional key=value fields are
+/// `timeout=SECONDS`, `seed=N` and `name=LABEL`.  A '#' at the start of
+/// the line or after whitespace begins a comment (one embedded in a token,
+/// as in sweep-generated names like `fig2:4/hash#0`, is literal); blank
+/// lines are skipped.  Throws ServiceError (with the line number) on
+/// malformed input.
+std::vector<JobSpec> parse_manifest(std::istream& in);
+std::vector<JobSpec> parse_manifest_string(const std::string& text);
+
+/// Serialise a finished batch as JSON: service-level stats (job counts,
+/// cache hit rates, wall/CPU time) plus one object per job in submit
+/// order.  `threads` records the stream count the service ran with.
+std::string results_to_json(const std::vector<JobResult>& results,
+                            const ServiceStats& stats, unsigned threads);
+
+}  // namespace eda::service

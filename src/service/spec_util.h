@@ -1,0 +1,42 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/verify_service.h"
+
+namespace eda::service::detail {
+
+/// Split `s` on `sep`.  With `keep_empty`, empty tokens (leading, trailing
+/// or doubled separators) are preserved — the circuit-spec parser wants
+/// them so `blif:a,` is diagnosed as a malformed pair rather than silently
+/// collapsing.
+inline std::vector<std::string> split(const std::string& s, char sep,
+                                      bool keep_empty) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      if (keep_empty || i > start) out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+/// Parse a strictly positive integer field, throwing ServiceError with
+/// `context` naming the enclosing spec on any malformation.
+inline int parse_positive_int(const std::string& context,
+                              const std::string& field) {
+  try {
+    std::size_t used = 0;
+    int v = std::stoi(field, &used);
+    if (used != field.size() || v <= 0) throw std::invalid_argument(field);
+    return v;
+  } catch (const std::exception&) {
+    throw ServiceError(context + ": bad parameter '" + field + "'");
+  }
+}
+
+}  // namespace eda::service::detail

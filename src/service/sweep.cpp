@@ -1,0 +1,96 @@
+#include "service/sweep.h"
+
+#include "service/spec_util.h"
+
+namespace eda::service {
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& s, char sep) {
+  return detail::split(s, sep, /*keep_empty=*/false);
+}
+
+int sweep_int(const std::string& field) {
+  return detail::parse_positive_int("sweep spec", field);
+}
+
+}  // namespace
+
+std::vector<JobSpec> make_sweep(const SweepGrid& grid) {
+  std::vector<JobSpec> specs;
+  for (int w : grid.widths) {
+    for (int d : grid.depths) {
+      std::string circuit =
+          d <= 1 ? "fig2:" + std::to_string(w)
+                 : "fig2deep:" + std::to_string(w) + ":" + std::to_string(d);
+      for (Method m : grid.methods) {
+        for (int copy = 0; copy < grid.copies; ++copy) {
+          JobSpec spec;
+          spec.circuit = circuit;
+          spec.method = m;
+          spec.timeout_sec = grid.timeout_sec;
+          spec.name = circuit + "/" + method_name(m) + "#" +
+                      std::to_string(copy);
+          specs.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+SweepGrid parse_sweep_spec(const std::string& spec) {
+  SweepGrid grid;
+  for (const std::string& field : split_list(spec, ';')) {
+    std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      throw ServiceError("sweep spec: expected key=value, got '" + field +
+                         "'");
+    }
+    std::string key = field.substr(0, eq);
+    std::vector<std::string> values = split_list(field.substr(eq + 1), ',');
+    if (values.empty()) {
+      throw ServiceError("sweep spec: empty value for '" + key + "'");
+    }
+    if (key == "widths") {
+      grid.widths.clear();
+      for (const std::string& v : values) grid.widths.push_back(sweep_int(v));
+    } else if (key == "depths") {
+      grid.depths.clear();
+      for (const std::string& v : values) grid.depths.push_back(sweep_int(v));
+    } else if (key == "methods") {
+      grid.methods.clear();
+      for (const std::string& v : values) {
+        std::optional<Method> m = parse_method(v);
+        if (!m) throw ServiceError("sweep spec: unknown method '" + v + "'");
+        grid.methods.push_back(*m);
+      }
+    } else if (key == "copies") {
+      if (values.size() != 1) {
+        throw ServiceError("sweep spec: copies takes one value");
+      }
+      grid.copies = sweep_int(values[0]);
+    } else if (key == "timeout") {
+      // Strict: full-token consumption and a positive value, so a typo
+      // like timeout=1O cannot silently become 1.0 (same contract as the
+      // manifest parser).
+      if (values.size() != 1) {
+        throw ServiceError("sweep spec: timeout takes one value");
+      }
+      try {
+        std::size_t used = 0;
+        grid.timeout_sec = std::stod(values[0], &used);
+        if (used != values[0].size() || !(grid.timeout_sec > 0.0)) {
+          throw std::invalid_argument(values[0]);
+        }
+      } catch (const std::exception&) {
+        throw ServiceError("sweep spec: bad timeout '" + values[0] + "'");
+      }
+    } else {
+      throw ServiceError("sweep spec: unknown key '" + key + "'");
+    }
+  }
+  return grid;
+}
+
+}  // namespace eda::service

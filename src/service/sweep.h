@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "service/verify_service.h"
+
+namespace eda::service {
+
+/// A batched table1/table2-style parameter sweep, expressed as a grid and
+/// expanded to service jobs: every (width, depth, method) cell, `copies`
+/// times.  Depth 1 cells are the paper's table-I circuit (`fig2:w`); deeper
+/// cells use the pipelined variant (`fig2deep:w:d`), whose obligations grow
+/// with both axes.  Copies > 1 model the production traffic shape — the
+/// same netlist resubmitted by many clients — and are what the shared
+/// theorem cache amortises.
+struct SweepGrid {
+  std::vector<int> widths{4, 8};
+  std::vector<int> depths{1};
+  std::vector<Method> methods{Method::Hash};
+  int copies = 1;
+  double timeout_sec = 5.0;
+};
+
+/// Expand the grid in row-major order (width outermost, copy innermost);
+/// job names are `<circuit>/<method>#<copy>`.
+std::vector<JobSpec> make_sweep(const SweepGrid& grid);
+
+/// Parse a CLI sweep spec: ';'-separated `key=value` fields with
+/// comma-separated values, e.g.
+///
+///   "widths=2,4,8;depths=1,2;methods=hash,eijk;copies=3;timeout=5"
+///
+/// Unset fields keep the SweepGrid defaults.  Throws ServiceError on
+/// unknown keys/methods or unparsable numbers.
+SweepGrid parse_sweep_spec(const std::string& spec);
+
+}  // namespace eda::service

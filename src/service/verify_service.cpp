@@ -1,0 +1,424 @@
+#include "service/verify_service.h"
+
+#include <chrono>
+#include <ctime>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <utility>
+
+#include "bench_gen/fig2.h"
+#include "bench_gen/iwls.h"
+#include "circuit/bitblast.h"
+#include "hash/compile.h"
+#include "hash/retime_step.h"
+#include "io/blif.h"
+#include "kernel/parallel.h"
+#include "kernel/thm.h"
+#include "service/spec_util.h"
+#include "theories/numeral.h"
+#include "theories/pair_theory.h"
+#include "verify/retime_match.h"
+
+namespace eda::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double cpu_seconds() {
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+std::optional<verify::Engine> engine_of(Method method) {
+  switch (method) {
+    case Method::Eijk:
+      return verify::Engine::Eijk;
+    case Method::EijkPlus:
+      return verify::Engine::EijkPlus;
+    case Method::Smv:
+      return verify::Engine::Smv;
+    case Method::Sis:
+      return verify::Engine::SisFsm;
+    case Method::Hash:
+    case Method::Match:
+      break;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> split_on(const std::string& s, char sep) {
+  return detail::split(s, sep, /*keep_empty=*/true);
+}
+
+int spec_int(const std::string& spec, const std::string& field) {
+  return detail::parse_positive_int("circuit spec '" + spec + "'", field);
+}
+
+/// A circuit spec resolved to its obligation: either an RTL netlist plus
+/// the retiming cut, or (blif: specs) a pair of gate-level netlists.
+struct Resolved {
+  bool is_pair = false;
+  circuit::Rtl rtl;
+  hash::Cut cut;
+  circuit::GateNetlist net_a, net_b;
+};
+
+Resolved resolve_circuit(const std::string& spec) {
+  Resolved rc;
+  if (spec.rfind("blif:", 0) == 0) {
+    std::vector<std::string> files = split_on(spec.substr(5), ',');
+    if (files.size() != 2 || files[0].empty() || files[1].empty()) {
+      throw ServiceError("circuit spec '" + spec +
+                         "': expected blif:FILE_A,FILE_B");
+    }
+    rc.is_pair = true;
+    for (int side = 0; side < 2; ++side) {
+      std::ifstream in(files[static_cast<std::size_t>(side)]);
+      if (!in) {
+        throw ServiceError("circuit spec '" + spec + "': cannot open " +
+                           files[static_cast<std::size_t>(side)]);
+      }
+      (side == 0 ? rc.net_a : rc.net_b) = io::parse_blif(in);
+    }
+    return rc;
+  }
+  std::vector<std::string> parts = split_on(spec, ':');
+  const std::string& kind = parts[0];
+  if (kind == "fig2" && parts.size() == 2) {
+    bench_gen::Fig2 fig2 = bench_gen::make_fig2(spec_int(spec, parts[1]));
+    rc.rtl = std::move(fig2.rtl);
+    rc.cut = std::move(fig2.good_cut);
+  } else if (kind == "fig2deep" && parts.size() == 3) {
+    bench_gen::Fig2Deep deep = bench_gen::make_fig2_deep(
+        spec_int(spec, parts[1]), spec_int(spec, parts[2]));
+    rc.rtl = std::move(deep.rtl);
+    rc.cut.f_nodes = std::move(deep.inc_nodes);
+  } else if (kind == "mult" && parts.size() == 2) {
+    bench_gen::BenchCircuit bench = bench_gen::make_serial_multiplier(
+        spec, spec_int(spec, parts[1]));
+    rc.rtl = std::move(bench.rtl);
+    rc.cut = std::move(bench.cut);
+  } else if (kind == "ctrl" && parts.size() == 3) {
+    bench_gen::BenchCircuit bench = bench_gen::make_controller(
+        spec, spec_int(spec, parts[1]), spec_int(spec, parts[2]));
+    rc.rtl = std::move(bench.rtl);
+    rc.cut = std::move(bench.cut);
+  } else if (kind == "pipe" && parts.size() == 3) {
+    bench_gen::BenchCircuit bench = bench_gen::make_pipeline_alu(
+        spec, spec_int(spec, parts[1]), spec_int(spec, parts[2]));
+    rc.rtl = std::move(bench.rtl);
+    rc.cut = std::move(bench.cut);
+  } else if (kind == "iwls" && parts.size() == 2) {
+    std::optional<bench_gen::BenchCircuit> bench =
+        bench_gen::find_iwls_benchmark(parts[1]);
+    if (!bench) {
+      throw ServiceError("circuit spec '" + spec +
+                         "': no such iwls benchmark");
+    }
+    rc.rtl = std::move(bench->rtl);
+    rc.cut = std::move(bench->cut);
+  } else {
+    throw ServiceError(
+        "unknown circuit spec '" + spec +
+        "' (expected fig2:N, fig2deep:N:S, mult:N, ctrl:S:T, pipe:W:D, "
+        "iwls:NAME or blif:A,B)");
+  }
+  return rc;
+}
+
+}  // namespace
+
+const char* method_name(Method method) {
+  switch (method) {
+    case Method::Hash:
+      return "hash";
+    case Method::Match:
+      return "match";
+    case Method::Eijk:
+    case Method::EijkPlus:
+    case Method::Smv:
+    case Method::Sis:
+      return verify::engine_name(*engine_of(method));
+  }
+  return "?";  // unreachable
+}
+
+std::optional<Method> parse_method(const std::string& name) {
+  if (name == "hash") return Method::Hash;
+  if (name == "match") return Method::Match;
+  if (std::optional<verify::Engine> eng = verify::parse_engine(name)) {
+    switch (*eng) {
+      case verify::Engine::Eijk:
+        return Method::Eijk;
+      case verify::Engine::EijkPlus:
+        return Method::EijkPlus;
+      case verify::Engine::Smv:
+        return Method::Smv;
+      case verify::Engine::SisFsm:
+        return Method::Sis;
+    }
+  }
+  return std::nullopt;
+}
+
+struct VerifyService::Impl {
+  explicit Impl(ServiceOptions opts_)
+      : opts(opts_),
+        pool(opts_.jobs == 0 ? kernel::default_thread_count() : opts_.jobs) {}
+
+  JobResult run_job(const JobSpec& spec);
+
+  ServiceOptions opts;
+  kernel::ThreadPool pool;
+  /// The shared obligation caches, both keyed on interned goal terms
+  /// (alpha-hashed): the retiming theorem for a (f, g, q) instantiation,
+  /// and the engine verdict for a (h_a, q_a, h_b, q_b, engine, bounds)
+  /// check.
+  kernel::GoalCache<kernel::Thm> theorems;
+  kernel::GoalCache<verify::VerifyResult> verdicts;
+
+  std::mutex mu;
+  std::vector<std::future<JobResult>> inflight;
+  std::size_t jobs_total = 0;
+  std::size_t failed_total = 0;
+  double wall_total = 0.0;
+  double cpu_total = 0.0;
+  bool batch_open = false;
+  Clock::time_point batch_t0;
+  double batch_cpu0 = 0.0;
+};
+
+JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
+  JobResult r;
+  r.circuit = spec.circuit;
+  r.method = spec.method;
+  r.name = spec.name.empty()
+               ? spec.circuit + "/" + method_name(spec.method)
+               : spec.name;
+  auto t0 = Clock::now();
+  try {
+    // Reject the method/spec mismatch before touching any files: the
+    // diagnostic should name the real problem, not a side effect of it.
+    if (spec.circuit.rfind("blif:", 0) == 0 && !engine_of(spec.method)) {
+      throw ServiceError(std::string("method ") + method_name(spec.method) +
+                         " needs an RTL circuit spec (a blif: pair carries "
+                         "no retiming to prove)");
+    }
+    // Validate up front: a non-positive / non-finite timeout would both
+    // misconfigure the engines and hit undefined behaviour in the
+    // float-to-integer cast of the verdict-cache key.
+    if (!(spec.timeout_sec > 0.0) || spec.timeout_sec > 1e6) {
+      throw ServiceError("timeout must be in (0, 1e6] seconds");
+    }
+    Resolved rc = resolve_circuit(spec.circuit);
+    verify::VerifyOptions vopts;
+    vopts.timeout_sec = spec.timeout_sec;
+
+    if (rc.is_pair) {
+      verify::Engine eng = *engine_of(spec.method);
+      r.ff = rc.net_a.ff_count();
+      r.gates = rc.net_a.gate_count();
+      auto tv = Clock::now();
+      // Raw netlist pairs have no cheap term-level goal to key on; they run
+      // uncached (the caches amortise the generated-circuit traffic).
+      verify::VerifyResult v =
+          verify::run_check({&rc.net_a, &rc.net_b, eng, vopts});
+      r.verify_sec = seconds_since(tv);
+      r.completed = v.completed;
+      r.equivalent = v.equivalent;
+      r.ok = true;
+      r.total_sec = seconds_since(t0);
+      return r;
+    }
+
+    // The formal HASH synthesis step, shared across the whole service: the
+    // goal term (f, (g, q)) determines the retiming theorem, so an
+    // obligation that recurs — same circuit shape at the same width, from
+    // any job — is proved once.  With sharing off, no goal term is built
+    // at all (the uncached baseline should not pay for keys it never
+    // uses).
+    auto ts = Clock::now();
+    std::optional<hash::CompiledCircuit> comp;
+    kernel::Thm thm = [&] {
+      if (!opts.share_cache) {
+        return hash::formal_retime(rc.rtl, rc.cut).theorem;
+      }
+      comp = hash::compile(rc.rtl);
+      hash::SplitCircuit split = hash::compile_split(rc.rtl, rc.cut);
+      kernel::Term goal =
+          thy::mk_pair(split.f, thy::mk_pair(split.g, comp->q));
+      return theorems.get_or_prove(
+          goal,
+          [&] { return hash::formal_retime(rc.rtl, rc.cut).theorem; },
+          &r.theorem_cache_hit);
+    }();
+    r.synth_sec = seconds_since(ts);
+
+    // Only the post-hoc checkers need the retimed netlist materialised;
+    // Method::Hash jobs on a theorem hit stay netlist-free.
+    auto tv = Clock::now();
+    switch (spec.method) {
+      case Method::Hash:
+        // The theorem *is* the verdict (LCF discipline: it cannot exist
+        // unless the retiming is correct).
+        (void)thm;
+        r.completed = true;
+        r.equivalent = true;
+        break;
+      case Method::Match: {
+        circuit::Rtl retimed = hash::conventional_retime(rc.rtl, rc.cut);
+        verify::RetimeMatchResult m =
+            verify::verify_retiming(rc.rtl, retimed, spec.seed);
+        r.completed = true;
+        r.equivalent = m.equivalent;
+        break;
+      }
+      default: {
+        circuit::Rtl retimed = hash::conventional_retime(rc.rtl, rc.cut);
+        circuit::GateNetlist ga = circuit::bit_blast(rc.rtl);
+        r.ff = ga.ff_count();
+        r.gates = ga.gate_count();
+        verify::Engine eng = *engine_of(spec.method);
+        // The retimed side is only bit-blasted when the engine actually
+        // runs — a verdict-cache hit skips it.
+        auto run_engine = [&] {
+          circuit::GateNetlist gb = circuit::bit_blast(retimed);
+          return verify::run_check({&ga, &gb, eng, vopts});
+        };
+        verify::VerifyResult v;
+        if (opts.share_cache) {
+          // A *completed* engine verdict is a pure function of (both
+          // compiled circuits, engine, resource bounds); key on exactly
+          // that.  A run that blew its wall-clock/node/state budget is a
+          // statement about this machine at this moment, so it is returned
+          // uncached — a later identical job gets to retry.
+          hash::CompiledCircuit compb = hash::compile(retimed);
+          kernel::Term pair_goal = thy::mk_pair(
+              comp->h,
+              thy::mk_pair(comp->q, thy::mk_pair(compb.h, compb.q)));
+          kernel::Term bounds = thy::mk_pair(
+              thy::mk_numeral(
+                  static_cast<std::uint64_t>(spec.timeout_sec * 1000.0)),
+              thy::mk_pair(thy::mk_numeral(vopts.node_limit),
+                           thy::mk_numeral(vopts.state_limit)));
+          kernel::Term key = thy::mk_pair(
+              pair_goal,
+              thy::mk_pair(
+                  thy::mk_numeral(static_cast<std::uint64_t>(eng)),
+                  bounds));
+          v = verdicts.get_or_prove_if(
+              key, run_engine,
+              [](const verify::VerifyResult& res) { return res.completed; },
+              &r.result_cache_hit);
+        } else {
+          v = run_engine();
+        }
+        r.completed = v.completed;
+        r.equivalent = v.equivalent;
+        break;
+      }
+    }
+    r.verify_sec = seconds_since(tv);
+    r.ok = true;
+  } catch (const std::exception& e) {
+    // Failure isolation: a bad netlist, an illegal cut or an engine error
+    // fails this job only; the batch continues.
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.total_sec = seconds_since(t0);
+  return r;
+}
+
+VerifyService::VerifyService(ServiceOptions opts)
+    : impl_(std::make_unique<Impl>(opts)) {}
+
+VerifyService::~VerifyService() {
+  // Orphaned futures (submit without drain) must not outlive the pool.
+  drain();
+}
+
+std::size_t VerifyService::submit(JobSpec spec) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!impl_->batch_open) {
+    impl_->batch_open = true;
+    impl_->batch_t0 = Clock::now();
+    impl_->batch_cpu0 = cpu_seconds();
+  }
+  std::size_t index = impl_->inflight.size();
+  Impl* impl = impl_.get();
+  impl_->inflight.push_back(impl_->pool.async(
+      [impl, job = std::move(spec)] { return impl->run_job(job); }));
+  return index;
+}
+
+std::vector<JobResult> VerifyService::drain() {
+  std::vector<std::future<JobResult>> pending;
+  bool window_open = false;
+  Clock::time_point window_t0{};
+  double window_cpu0 = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    pending = std::move(impl_->inflight);
+    impl_->inflight.clear();
+    // Snapshot and close the timing window atomically with taking the
+    // futures: a submit() racing with the blocking waits below then opens
+    // a fresh window instead of having its start time misattributed to
+    // this batch.
+    window_open = impl_->batch_open;
+    window_t0 = impl_->batch_t0;
+    window_cpu0 = impl_->batch_cpu0;
+    impl_->batch_open = false;
+  }
+  std::vector<JobResult> results;
+  results.reserve(pending.size());
+  for (std::future<JobResult>& fut : pending) results.push_back(fut.get());
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->jobs_total += results.size();
+    for (const JobResult& r : results) {
+      if (!r.ok) ++impl_->failed_total;
+    }
+    if (window_open) {
+      impl_->wall_total += seconds_since(window_t0);
+      impl_->cpu_total += cpu_seconds() - window_cpu0;
+    }
+  }
+  return results;
+}
+
+std::vector<JobResult> VerifyService::run_batch(
+    const std::vector<JobSpec>& specs) {
+  for (const JobSpec& spec : specs) submit(spec);
+  return drain();
+}
+
+JobResult VerifyService::run_one(const JobSpec& spec) {
+  double cpu0 = cpu_seconds();
+  JobResult r = impl_->run_job(spec);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ++impl_->jobs_total;
+  if (!r.ok) ++impl_->failed_total;
+  impl_->wall_total += r.total_sec;
+  impl_->cpu_total += cpu_seconds() - cpu0;
+  return r;
+}
+
+ServiceStats VerifyService::stats() const {
+  ServiceStats st;
+  st.theorems = impl_->theorems.stats();
+  st.results = impl_->verdicts.stats();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  st.jobs = impl_->jobs_total;
+  st.failed = impl_->failed_total;
+  st.wall_sec = impl_->wall_total;
+  st.cpu_sec = impl_->cpu_total;
+  return st;
+}
+
+}  // namespace eda::service

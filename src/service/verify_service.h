@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/error.h"
+#include "kernel/goal_cache.h"
+#include "verify/parallel_verify.h"
+
+namespace eda::service {
+
+class ServiceError : public kernel::KernelError {
+ public:
+  explicit ServiceError(const std::string& what)
+      : kernel::KernelError(what) {}
+};
+
+/// How a job's obligation is discharged.  `Hash` is the paper's own answer
+/// (the synthesis step *is* the proof: the retiming theorem comes out of
+/// the kernel and nothing further is checked); `Match` is the structural
+/// retiming matcher of reference [8]; the remaining four are the post-hoc
+/// model-checking engines of the tables.
+enum class Method { Hash, Match, Eijk, EijkPlus, Smv, Sis };
+
+const char* method_name(Method method);
+std::optional<Method> parse_method(const std::string& name);
+
+/// One verification job.  `circuit` picks the obligation:
+///
+///   fig2:N          figure-2 circuit at bitwidth N, the paper's cut
+///   fig2deep:N:S    deep-pipeline variant, S incrementer stages, full cut
+///   mult:N          serial fractional multiplier, maximal forward cut
+///   ctrl:S:T        controller with S state bits / T timer bits
+///   pipe:W:D        pipelined ALU, width W, depth D
+///   iwls:NAME       a named iwls_benchmarks() entry (e.g. iwls:s344)
+///   blif:A,B        two gate-level BLIF files checked against each other
+///                   (engine methods only — there is no RTL to retime)
+///
+/// RTL-sourced jobs perform the formal HASH retiming step (theorem-cached
+/// across the whole service) and then discharge the obligation with
+/// `method`; `blif:` jobs go straight to the engine.
+struct JobSpec {
+  std::string name;        ///< label in results; defaulted when empty
+  std::string circuit;     ///< circuit spec, grammar above
+  Method method = Method::Hash;
+  double timeout_sec = 5.0;
+  std::uint32_t seed = 1;  ///< Match co-simulation seed
+};
+
+struct JobResult {
+  std::string name;
+  std::string circuit;
+  Method method = Method::Hash;
+  bool ok = false;           ///< ran to completion without error
+  std::string error;         ///< diagnostic when !ok
+  bool completed = false;    ///< engine finished within resource bounds
+  bool equivalent = false;   ///< verdict (valid only when completed)
+  int ff = 0;                ///< flip-flops of the bit-blasted obligation
+  int gates = 0;
+  double synth_sec = 0.0;    ///< formal HASH step (tiny on a theorem hit)
+  double verify_sec = 0.0;   ///< method/engine time
+  double total_sec = 0.0;
+  bool theorem_cache_hit = false;
+  bool result_cache_hit = false;
+};
+
+struct ServiceStats {
+  std::size_t jobs = 0;
+  std::size_t failed = 0;
+  kernel::GoalCacheStats theorems;  ///< shared retiming-theorem cache
+  kernel::GoalCacheStats results;   ///< shared engine-verdict cache
+  double wall_sec = 0.0;            ///< batch wall time (submit to drain)
+  double cpu_sec = 0.0;             ///< process CPU over the same window
+};
+
+struct ServiceOptions {
+  /// Concurrent job streams (pool worker threads); 0 = hardware default.
+  unsigned jobs = 0;
+  /// Share the theorem/verdict caches across jobs.  Off = every job proves
+  /// its own obligations (the serial-loop baseline bench_service measures
+  /// against).
+  bool share_cache = true;
+};
+
+/// A long-running multi-circuit verification service: jobs are submitted as
+/// a stream, scheduled on a work-stealing pool, and share one
+/// alpha-hash-keyed goal cache, so identical obligations across circuits
+/// are proved once (kernel/goal_cache.h).  Results come back in submit
+/// order with per-job status and cache provenance; `stats()` aggregates
+/// cache hit rates and wall/CPU time for the service lifetime.
+///
+/// Threading model: per-job state (BddManager, explicit state tables) is
+/// confined to the executing thread as in verify/parallel_verify.h; the
+/// cross-job sharing happens in the kernel (interner, memo tables) and in
+/// the service's goal caches, both concurrency-safe.
+class VerifyService {
+ public:
+  explicit VerifyService(ServiceOptions opts = {});
+  ~VerifyService();
+
+  VerifyService(const VerifyService&) = delete;
+  VerifyService& operator=(const VerifyService&) = delete;
+
+  /// Enqueue a job on the pool; returns its index in the next drain().
+  std::size_t submit(JobSpec spec);
+
+  /// Wait for every in-flight job and return their results in submit
+  /// order.  The stream restarts empty afterwards (stats accumulate).
+  std::vector<JobResult> drain();
+
+  /// submit() everything, then drain() — the batch entry point.
+  std::vector<JobResult> run_batch(const std::vector<JobSpec>& specs);
+
+  /// Run one job inline on the calling thread against the same caches
+  /// (the serial path; also what pool workers execute).
+  JobResult run_one(const JobSpec& spec);
+
+  ServiceStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace eda::service

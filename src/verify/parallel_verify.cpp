@@ -4,6 +4,28 @@
 
 namespace eda::verify {
 
+const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::Eijk:
+      return "eijk";
+    case Engine::EijkPlus:
+      return "eijk+";
+    case Engine::Smv:
+      return "smv";
+    case Engine::SisFsm:
+      return "sis";
+  }
+  return "?";  // unreachable
+}
+
+std::optional<Engine> parse_engine(const std::string& name) {
+  if (name == "eijk") return Engine::Eijk;
+  if (name == "eijk+" || name == "eijkplus") return Engine::EijkPlus;
+  if (name == "smv") return Engine::Smv;
+  if (name == "sis") return Engine::SisFsm;
+  return std::nullopt;
+}
+
 VerifyResult run_check(const CheckJob& job) {
   switch (job.engine) {
     case Engine::Eijk:

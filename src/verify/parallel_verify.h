@@ -1,5 +1,7 @@
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "verify/common.h"
@@ -11,6 +13,13 @@ namespace eda::verify {
 
 /// Which engine a CheckJob runs (the columns of the paper's tables).
 enum class Engine { Eijk, EijkPlus, Smv, SisFsm };
+
+/// Table-column spelling of an engine: "eijk", "eijk+", "smv", "sis".
+const char* engine_name(Engine engine);
+
+/// Inverse of engine_name (nullopt on unknown spellings).  Used by the
+/// verification service's manifest/CLI front ends.
+std::optional<Engine> parse_engine(const std::string& name);
 
 /// One sequential-equivalence obligation: a pair of gate-level netlists
 /// plus the engine and resource bounds to check them with.

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_kernel.json against the
+committed baseline and fail if any micro metric regressed.
+
+Usage:
+    bench_compare.py --baseline bench/baselines/BENCH_kernel.baseline.json \
+        --current BENCH_kernel.json [--threshold 15]
+
+Exit status 1 when any `micro_ns_per_op` metric is more than --threshold
+percent slower than the baseline, or when a baseline metric disappeared
+from the current run (a silently dropped benchmark must not pass the gate).
+Faster-than-baseline results are reported; refresh the baseline in a
+dedicated PR when an optimisation makes them permanent (see
+bench/baselines/ for provenance).
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="max allowed regression, percent (default 15)")
+    parser.add_argument("--floor-ns", type=float, default=0.5,
+                        help="ignore regressions smaller than this many "
+                             "ns/op in absolute terms (default 0.5): "
+                             "sub-ns metrics like a pointer-compare "
+                             "equality check jitter past any percentage "
+                             "threshold on shared runners")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    base_micro = baseline.get("micro_ns_per_op", {})
+    cur_micro = current.get("micro_ns_per_op", {})
+    if not base_micro:
+        print("bench_compare: baseline has no micro_ns_per_op section")
+        return 1
+
+    failures = []
+    print(f"{'metric':<32} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name, base_ns in sorted(base_micro.items()):
+        if name not in cur_micro:
+            print(f"{name:<32} {base_ns:>12.1f} {'MISSING':>12}")
+            failures.append(f"{name}: missing from current run")
+            continue
+        cur_ns = cur_micro[name]
+        delta = (cur_ns - base_ns) / base_ns * 100.0
+        flag = ""
+        if delta > args.threshold and cur_ns - base_ns > args.floor_ns:
+            flag = "  << REGRESSION"
+            failures.append(f"{name}: {base_ns:.1f} -> {cur_ns:.1f} ns/op "
+                            f"(+{delta:.1f}% > {args.threshold:.0f}%)")
+        print(f"{name:<32} {base_ns:>12.1f} {cur_ns:>12.1f} "
+              f"{delta:>+7.1f}%{flag}")
+    for name in sorted(set(cur_micro) - set(base_micro)):
+        print(f"{name:<32} {'(new)':>12} {cur_micro[name]:>12.1f}")
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} metric(s) regressed "
+              f"beyond {args.threshold:.0f}%:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nbench_compare: all {len(base_micro)} micro metrics within "
+          f"{args.threshold:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,186 @@
+// eda_service — the multi-circuit verification service front end.
+//
+// Reads a job manifest (or expands a parameter-sweep grid), runs every job
+// through service::VerifyService — many netlists in flight on the
+// work-stealing pool, one shared theorem/verdict cache — and reports per-job
+// results plus service-level cache and timing statistics, optionally as
+// JSON.
+//
+//   eda_service --manifest FILE [options]
+//   eda_service --sweep "widths=2,4;methods=hash,eijk;copies=3" [options]
+//
+// options:
+//   --jobs N               concurrent job streams (default: hardware)
+//   --serial               run jobs one at a time on the caller
+//   --no-shared-cache      per-job proving, no cross-job amortisation
+//   --timeout S            override every job's engine timeout
+//   --json FILE            write the structured results
+//   --require-cache-hits   exit 1 unless the shared caches served at least
+//                          one obligation (CI gate for the service loop)
+//
+// exit status: 0 all jobs ok, 1 any job failed (or gate violated), 2 usage.
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/parallel.h"
+#include "service/manifest.h"
+#include "service/sweep.h"
+#include "service/verify_service.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "eda_service: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: eda_service (--manifest FILE | --sweep SPEC) [--jobs N]\n"
+      "                   [--serial] [--no-shared-cache] [--timeout S]\n"
+      "                   [--json FILE] [--require-cache-hits]\n");
+  std::exit(2);
+}
+
+const char* status_of(const eda::service::JobResult& r) {
+  if (!r.ok) return "ERROR";
+  if (!r.completed) return "LIMIT";
+  return r.equivalent ? "EQ" : "NEQ";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eda;
+
+  std::optional<std::string> manifest_path, sweep_spec, json_path;
+  std::optional<double> timeout;
+  unsigned jobs = 0;
+  bool serial = false, share_cache = true, require_hits = false;
+
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    auto next = [&]() -> std::string {
+      if (a + 1 >= argc) usage(("missing value after " + arg).c_str());
+      return argv[++a];
+    };
+    try {
+      // Strict numeric parsing throughout (full-token consumption), same
+      // contract as the manifest/sweep parsers: --timeout 1O must not
+      // silently become 1.0.
+      std::size_t used = 0;
+      if (arg == "--manifest") manifest_path = next();
+      else if (arg == "--sweep") sweep_spec = next();
+      else if (arg == "--jobs") {
+        std::string v = next();
+        int n = std::stoi(v, &used);
+        if (used != v.size() || n < 1 || n > 1024) {
+          usage("--jobs must be an integer in 1..1024");
+        }
+        jobs = static_cast<unsigned>(n);
+      } else if (arg == "--serial") serial = true;
+      else if (arg == "--no-shared-cache") share_cache = false;
+      else if (arg == "--timeout") {
+        std::string v = next();
+        timeout = std::stod(v, &used);
+        if (used != v.size() || !(*timeout > 0.0)) {
+          usage("--timeout must be a positive number of seconds");
+        }
+      } else if (arg == "--json") json_path = next();
+      else if (arg == "--require-cache-hits") require_hits = true;
+      else usage(("unknown option " + arg).c_str());
+    } catch (const std::logic_error&) {
+      // std::stoi / std::stod on malformed numbers.
+      usage(("bad numeric value for " + arg).c_str());
+    }
+  }
+  if (!manifest_path && !sweep_spec) usage("need --manifest or --sweep");
+  if (manifest_path && sweep_spec) {
+    usage("--manifest and --sweep are mutually exclusive");
+  }
+
+  std::vector<service::JobSpec> specs;
+  try {
+    if (manifest_path) {
+      std::ifstream in(*manifest_path);
+      if (!in) usage(("cannot open " + *manifest_path).c_str());
+      specs = service::parse_manifest(in);
+    } else {
+      specs = service::make_sweep(service::parse_sweep_spec(*sweep_spec));
+    }
+  } catch (const service::ServiceError& e) {
+    std::fprintf(stderr, "eda_service: %s\n", e.what());
+    return 2;
+  }
+  if (specs.empty()) usage("no jobs in the manifest/sweep");
+  if (timeout) {
+    for (service::JobSpec& spec : specs) spec.timeout_sec = *timeout;
+  }
+
+  service::ServiceOptions opts;
+  // --serial keeps the pool minimal; run_one never schedules on it.
+  opts.jobs = serial ? 1 : jobs;
+  opts.share_cache = share_cache;
+  unsigned threads =
+      serial ? 1 : (jobs == 0 ? kernel::default_thread_count() : jobs);
+  std::printf("eda_service: %zu job(s), %u stream(s), shared cache %s\n\n",
+              specs.size(), threads, share_cache ? "on" : "off");
+
+  service::VerifyService svc(opts);
+  std::vector<service::JobResult> results;
+  if (serial) {
+    for (const service::JobSpec& spec : specs) {
+      results.push_back(svc.run_one(spec));
+    }
+  } else {
+    results = svc.run_batch(specs);
+  }
+
+  std::printf("%-28s %-6s %-5s %5s %7s %9s %9s %s\n", "name", "method",
+              "stat", "ff", "gates", "synth_s", "verify_s", "cache");
+  for (const service::JobResult& r : results) {
+    std::string cache;
+    if (r.theorem_cache_hit) cache += "thm ";
+    if (r.result_cache_hit) cache += "res";
+    std::printf("%-28s %-6s %-5s %5d %7d %9.3f %9.3f %s\n", r.name.c_str(),
+                service::method_name(r.method), status_of(r), r.ff, r.gates,
+                r.synth_sec, r.verify_sec, cache.c_str());
+    if (!r.ok) std::printf("    ^ %s\n", r.error.c_str());
+  }
+
+  service::ServiceStats st = svc.stats();
+  std::printf(
+      "\njobs %zu (failed %zu)  wall %.3f s  cpu %.3f s  throughput "
+      "%.2f jobs/s\n",
+      st.jobs, st.failed, st.wall_sec, st.cpu_sec,
+      st.wall_sec > 0 ? static_cast<double>(st.jobs) / st.wall_sec : 0.0);
+  std::printf("theorem cache: %llu hits / %llu misses (hit rate %.2f)\n",
+              static_cast<unsigned long long>(st.theorems.hits),
+              static_cast<unsigned long long>(st.theorems.misses),
+              st.theorems.hit_rate());
+  std::printf("result  cache: %llu hits / %llu misses (hit rate %.2f)\n",
+              static_cast<unsigned long long>(st.results.hits),
+              static_cast<unsigned long long>(st.results.misses),
+              st.results.hit_rate());
+
+  if (json_path) {
+    std::ofstream out(*json_path);
+    if (!out) {
+      std::fprintf(stderr, "eda_service: cannot write %s\n",
+                   json_path->c_str());
+      return 1;
+    }
+    out << service::results_to_json(results, st, threads);
+    std::printf("wrote %s\n", json_path->c_str());
+  }
+
+  bool any_failed = st.failed > 0;
+  if (require_hits && st.theorems.hits + st.results.hits == 0) {
+    std::fprintf(stderr,
+                 "eda_service: --require-cache-hits: no obligation was "
+                 "served from the shared cache\n");
+    return 1;
+  }
+  return any_failed ? 1 : 0;
+}
