@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "kernel/serialize.h"
+
 namespace eda::io {
 
 using circuit::GateNetlist;
@@ -258,6 +260,40 @@ GateNetlist parse_blif(std::istream& in) {
 GateNetlist parse_blif_string(const std::string& text) {
   std::istringstream in(text);
   return parse_blif(in);
+}
+
+std::uint64_t structural_hash(const GateNetlist& net) {
+  // kernel::fnv1a64 over a canonical byte walk of the graph in node-id
+  // order.  Node ids are themselves structural (they encode construction
+  // order, which the parser derives from the netlist's topology, not its
+  // names), so two parses of structurally identical BLIF agree
+  // id-for-id.  Names are *excluded* on purpose — see the header comment.
+  // Fan-in ids are offset by one so the -1 "unset" sentinel hashes
+  // distinctly from node 0.
+  std::string walk;
+  walk.reserve(net.nodes().size() * 33 + 64);
+  auto put = [&walk](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      walk.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  put(net.nodes().size());
+  for (const GateNode& n : net.nodes()) {
+    put(static_cast<std::uint64_t>(n.op));
+    put(static_cast<std::uint64_t>(n.a + 1));
+    put(static_cast<std::uint64_t>(n.b + 1));
+    put(static_cast<std::uint64_t>(n.next + 1));
+    put(n.init ? 1 : 0);
+  }
+  put(net.inputs().size());
+  for (LitId l : net.inputs()) put(static_cast<std::uint64_t>(l));
+  put(net.dffs().size());
+  for (LitId l : net.dffs()) put(static_cast<std::uint64_t>(l));
+  put(net.outputs().size());
+  for (const auto& [name, lit] : net.outputs()) {
+    put(static_cast<std::uint64_t>(lit));
+  }
+  return kernel::fnv1a64(walk);
 }
 
 std::string write_verilog(const GateNetlist& net,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -24,6 +25,17 @@ std::string write_blif(const circuit::GateNetlist& net,
 
 circuit::GateNetlist parse_blif(std::istream& in);
 circuit::GateNetlist parse_blif_string(const std::string& text);
+
+/// Structural hash of a gate netlist: a digest of the graph — node ops and
+/// fan-in topology, flip-flop next/init wiring, input arity and the output
+/// list — that deliberately ignores every signal NAME.  Two netlists that
+/// differ only in wire/port spellings (the engines match inputs and
+/// outputs positionally, see verify/symbolic.h) hash identically, while
+/// any structural edit changes the digest.  This is the cross-restart
+/// verdict-cache key for BLIF-pair jobs: the same pair of files — or a
+/// renamed re-export of them — resubmitted to a warm-started service maps
+/// to the same cache entry without re-reading any RTL.
+std::uint64_t structural_hash(const circuit::GateNetlist& net);
 
 /// Structural Verilog-2001 writer for the same netlist (assign/always
 /// style, one flop per `always @(posedge clk)` with a synchronous reset

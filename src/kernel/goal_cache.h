@@ -7,7 +7,9 @@
 #include <shared_mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "kernel/error.h"
 #include "kernel/terms.h"
 
 namespace eda::kernel {
@@ -127,6 +129,56 @@ class GoalCache {
     }
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Point-in-time copy of the entries, taken shard by shard under shared
+  /// locks.  Concurrent inserts may or may not be included (each shard is
+  /// internally consistent), which is exactly the contract a background
+  /// cache snapshot needs: every entry it does contain was genuinely
+  /// published.
+  std::vector<std::pair<Term, Value>> snapshot() const {
+    std::vector<std::pair<Term, Value>> out;
+    for (const Shard& s : shards_) {
+      std::shared_lock<std::shared_mutex> lock(s.mu);
+      for (const auto& [goal, value] : s.map) out.emplace_back(goal, value);
+    }
+    return out;
+  }
+
+  /// Serialise the entries through `enc` (a kernel::Encoder or anything
+  /// shaped like one): entry count, then per entry the goal term followed
+  /// by whatever `encode_value(enc, value)` writes.  Runs against a
+  /// snapshot, so jobs may keep publishing while a save is in flight.
+  template <typename Enc, typename EncodeValue>
+  void save(Enc& enc, EncodeValue&& encode_value) const {
+    std::vector<std::pair<Term, Value>> snap = snapshot();
+    if (snap.size() > 0xffffffffULL) {
+      throw KernelError("GoalCache::save: too many entries");
+    }
+    enc.u32(static_cast<std::uint32_t>(snap.size()));
+    for (const auto& [goal, value] : snap) {
+      enc.term(goal);
+      encode_value(enc, value);
+    }
+  }
+
+  /// Inverse of save(): merge entries from `dec` into the cache (existing
+  /// entries win — they were proved in this process).  Admission bypasses
+  /// the hit/miss counters, so a warm-started service's statistics still
+  /// describe only the traffic it actually served.  Returns the number of
+  /// entries admitted; decode errors propagate to the caller, which is
+  /// expected to stage into a scratch cache first (service/cache_file.h)
+  /// so a malformed file never leaves partial state behind.
+  template <typename Dec, typename DecodeValue>
+  std::size_t load(Dec& dec, DecodeValue&& decode_value) {
+    std::uint32_t n = dec.u32();
+    std::size_t admitted = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Term goal = dec.term();
+      Value value = decode_value(dec);
+      if (emplace(goal, std::move(value)).second) ++admitted;
+    }
+    return admitted;
   }
 
  private:

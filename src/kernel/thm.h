@@ -9,12 +9,18 @@
 
 namespace eda::kernel {
 
+class Decoder;
+
 /// A theorem `A |- c` of the logic.  Following the LCF discipline the
 /// constructor is private: the *only* ways to obtain a Thm are the primitive
 /// inference rules below, definitional extension / axiom installation via
-/// Signature, and the explicitly-tagged Oracle.  Consequently any Thm value
-/// in a running program is a genuine derivation — this is the entire
-/// correctness argument of the HASH approach (paper, section III.B).
+/// Signature, the explicitly-tagged Oracle, and reloading a checksummed
+/// cache file this binary previously saved (kernel/serialize.h — the
+/// persistent-cache analogue of a proof assistant reloading a checked
+/// theory file; oracle tags round-trip, so provenance is preserved).
+/// Consequently any Thm value in a running program is a genuine
+/// derivation — this is the entire correctness argument of the HASH
+/// approach (paper, section III.B).
 ///
 /// Hypotheses are kept sorted and duplicate-free under alpha-conversion.
 /// Every theorem carries the set of oracle tags it (transitively) depends
@@ -76,6 +82,7 @@ class Thm {
 
   friend class Signature;
   friend class Oracle;
+  friend class Decoder;  ///< serialize.h cache reload (see class comment)
 };
 
 /// The single sanctioned escape hatch: admit a formula as a theorem with a

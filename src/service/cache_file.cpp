@@ -1,0 +1,148 @@
+#include "service/cache_file.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "kernel/serialize.h"
+
+namespace eda::service {
+
+namespace {
+
+/// Application-schema tag inside the (already version-gated) kernel
+/// container: bump when the cache *contents* change shape — e.g. a new
+/// section — without touching the node-table wire format.
+constexpr std::uint32_t kCacheSchema = 1;
+
+void encode_thm(kernel::Encoder& enc, const kernel::Thm& th) {
+  enc.thm(th);
+}
+
+kernel::Thm decode_thm(kernel::Decoder& dec) { return dec.thm(); }
+
+void encode_verdict(kernel::Encoder& enc, const verify::VerifyResult& v) {
+  enc.u8(v.completed ? 1 : 0);
+  enc.u8(v.equivalent ? 1 : 0);
+  enc.u64(static_cast<std::uint64_t>(v.iterations));
+  enc.f64(v.seconds);
+  enc.u64(v.peak);
+}
+
+verify::VerifyResult decode_verdict(kernel::Decoder& dec) {
+  verify::VerifyResult v;
+  v.completed = dec.u8() != 0;
+  v.equivalent = dec.u8() != 0;
+  v.iterations = static_cast<int>(dec.u64());
+  v.seconds = dec.f64();
+  v.peak = static_cast<std::size_t>(dec.u64());
+  return v;
+}
+
+}  // namespace
+
+std::string PersistentCacheFile::encode(const TheoremCache& theorems,
+                                        const VerdictCache& verdicts) {
+  kernel::Encoder enc;
+  enc.u32(kCacheSchema);
+  theorems.save(enc, encode_thm);
+  verdicts.save(enc, encode_verdict);
+  return enc.finish();
+}
+
+CacheLoadResult PersistentCacheFile::decode(std::string_view bytes,
+                                           TheoremCache& theorems,
+                                           VerdictCache& verdicts) {
+  CacheLoadResult r;
+  // Stage into scratch caches: nothing touches the live caches until the
+  // whole payload (including the trailing at_end framing check) has
+  // decoded cleanly, so a malformed file admits zero entries rather than
+  // a prefix.
+  TheoremCache staged_thms;
+  VerdictCache staged_verdicts;
+  try {
+    kernel::Decoder dec(bytes);
+    std::uint32_t schema = dec.u32();
+    if (schema != kCacheSchema) {
+      throw kernel::SerializeError(
+          "cache schema skew (file schema " + std::to_string(schema) +
+          ", expected " + std::to_string(kCacheSchema) + ")");
+    }
+    staged_thms.load(dec, decode_thm);
+    staged_verdicts.load(dec, decode_verdict);
+    if (!dec.at_end()) {
+      throw kernel::SerializeError("trailing bytes after cache payload");
+    }
+  } catch (const kernel::KernelError& e) {
+    r.note = std::string(e.what()) + "; ignored, starting cold";
+    return r;
+  }
+  for (auto& [goal, thm] : staged_thms.snapshot()) {
+    if (theorems.emplace(goal, std::move(thm)).second) ++r.theorems;
+  }
+  for (auto& [goal, verdict] : staged_verdicts.snapshot()) {
+    if (verdicts.emplace(goal, std::move(verdict)).second) ++r.verdicts;
+  }
+  r.loaded = true;
+  r.note = "loaded " + std::to_string(r.theorems) + " theorem(s), " +
+           std::to_string(r.verdicts) + " verdict(s)";
+  return r;
+}
+
+void PersistentCacheFile::save(const TheoremCache& theorems,
+                               const VerdictCache& verdicts) const {
+  std::string bytes = encode(theorems, verdicts);
+  // Unique temp per call AND per process: concurrent savers — a snapshot
+  // thread racing a shutdown save, or two service processes sharing one
+  // cache path — must not interleave writes into one file.  The rename is
+  // atomic, so whichever finishes last leaves the newest complete
+  // snapshot at `path_`.
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t serial =
+      counter.fetch_add(1, std::memory_order_relaxed);
+  std::string tmp = path_ + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(serial);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw CacheFileError("cache save: cannot open " + tmp);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw CacheFileError("cache save: write to " + tmp + " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CacheFileError("cache save: cannot rename " + tmp + " to " +
+                         path_);
+  }
+}
+
+CacheLoadResult PersistentCacheFile::load(TheoremCache& theorems,
+                                          VerdictCache& verdicts) const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    CacheLoadResult r;
+    r.note = "no cache file at " + path_ + "; starting cold";
+    return r;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    CacheLoadResult r;
+    r.note = "cannot read " + path_ + "; ignored, starting cold";
+    return r;
+  }
+  std::string bytes = buf.str();
+  return decode(bytes, theorems, verdicts);
+}
+
+}  // namespace eda::service

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "kernel/error.h"
+#include "kernel/goal_cache.h"
+#include "kernel/thm.h"
+#include "verify/common.h"
+
+namespace eda::service {
+
+/// The shared obligation caches the service persists (see
+/// verify_service.h for what the keys are).
+using TheoremCache = kernel::GoalCache<kernel::Thm>;
+using VerdictCache = kernel::GoalCache<verify::VerifyResult>;
+
+/// Raised by PersistentCacheFile::save on I/O failure (load never throws —
+/// a cache file is an optimisation, so every load problem is a diagnosed
+/// cold start instead).
+class CacheFileError : public kernel::KernelError {
+ public:
+  explicit CacheFileError(const std::string& what)
+      : kernel::KernelError(what) {}
+};
+
+/// Outcome of a warm-start attempt.
+struct CacheLoadResult {
+  bool loaded = false;      ///< the file was read and admitted in full
+  std::size_t theorems = 0; ///< theorem entries admitted
+  std::size_t verdicts = 0; ///< verdict entries admitted
+  std::string note;         ///< human diagnostic (why cold, or a summary)
+};
+
+/// Atomic, corruption-tolerant persistence for the service's goal caches.
+///
+/// save() serialises both caches (kernel/serialize.h wire format: interned
+/// term DAGs written once per node, versioned header, FNV-1a checksum) to
+/// `path + ".tmp.<n>"` and renames over `path`, so readers only ever see a
+/// complete file — concurrent savers each write their own temp file and
+/// the last rename wins.
+///
+/// load() is the tolerant inverse: a missing, truncated, bit-flipped or
+/// version-skewed file yields `loaded == false` with a diagnostic note and
+/// admits ZERO entries — decoding stages into scratch caches and merges
+/// only after the whole file validated, so corruption can never leave
+/// partial state in a live service.
+class PersistentCacheFile {
+ public:
+  explicit PersistentCacheFile(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+  void save(const TheoremCache& theorems, const VerdictCache& verdicts)
+      const;
+  CacheLoadResult load(TheoremCache& theorems,
+                       VerdictCache& verdicts) const;
+
+  /// The in-memory halves of save/load, exposed for tests (and for anyone
+  /// shipping a cache over something other than a filesystem).
+  static std::string encode(const TheoremCache& theorems,
+                            const VerdictCache& verdicts);
+  static CacheLoadResult decode(std::string_view bytes,
+                                TheoremCache& theorems,
+                                VerdictCache& verdicts);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace eda::service

@@ -55,6 +55,24 @@ std::vector<std::string> split_on(const std::string& s, char sep) {
   return detail::split(s, sep, /*keep_empty=*/true);
 }
 
+/// The (engine, resource bounds) tail shared by every verdict-cache key: a
+/// completed verdict is a pure function of the two circuits AND of the
+/// engine and budget it ran under, so all of them key the entry.
+kernel::Term engine_bounds_term(verify::Engine eng, double timeout_sec,
+                                const verify::VerifyOptions& vopts) {
+  kernel::Term bounds = thy::mk_pair(
+      thy::mk_numeral(static_cast<std::uint64_t>(timeout_sec * 1000.0)),
+      thy::mk_pair(thy::mk_numeral(vopts.node_limit),
+                   thy::mk_numeral(vopts.state_limit)));
+  return thy::mk_pair(
+      thy::mk_numeral(static_cast<std::uint64_t>(eng)), bounds);
+}
+
+/// Leading marker of blif-pair verdict keys, keeping them structurally
+/// disjoint from the RTL keys (whose first component is a compiled-circuit
+/// lambda term, never a numeral).
+constexpr std::uint64_t kBlifKeyTag = 0xb11fULL;
+
 int spec_int(const std::string& spec, const std::string& field) {
   return detail::parse_positive_int("circuit spec '" + spec + "'", field);
 }
@@ -224,10 +242,30 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
       r.ff = rc.net_a.ff_count();
       r.gates = rc.net_a.gate_count();
       auto tv = Clock::now();
-      // Raw netlist pairs have no cheap term-level goal to key on; they run
-      // uncached (the caches amortise the generated-circuit traffic).
-      verify::VerifyResult v =
-          verify::run_check({&rc.net_a, &rc.net_b, eng, vopts});
+      auto run_engine = [&] {
+        return verify::run_check({&rc.net_a, &rc.net_b, eng, vopts});
+      };
+      verify::VerifyResult v;
+      if (opts.share_cache) {
+        // Raw netlist pairs have no term-level goal, but they DO have a
+        // structural identity: key the verdict on both structural netlist
+        // hashes (io/blif.h — name-independent, so re-exports of the same
+        // design hit too).  This is what lets BLIF-pair traffic profit
+        // from a warm-started cache across service restarts.  Same
+        // completed-only publication rule as the RTL path below.
+        kernel::Term key = thy::mk_pair(
+            thy::mk_numeral(kBlifKeyTag),
+            thy::mk_pair(
+                thy::mk_pair(thy::mk_numeral(io::structural_hash(rc.net_a)),
+                             thy::mk_numeral(io::structural_hash(rc.net_b))),
+                engine_bounds_term(eng, spec.timeout_sec, vopts)));
+        v = verdicts.get_or_prove_if(
+            key, run_engine,
+            [](const verify::VerifyResult& res) { return res.completed; },
+            &r.result_cache_hit);
+      } else {
+        v = run_engine();
+      }
       r.verify_sec = seconds_since(tv);
       r.completed = v.completed;
       r.equivalent = v.equivalent;
@@ -301,16 +339,8 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
           kernel::Term pair_goal = thy::mk_pair(
               comp->h,
               thy::mk_pair(comp->q, thy::mk_pair(compb.h, compb.q)));
-          kernel::Term bounds = thy::mk_pair(
-              thy::mk_numeral(
-                  static_cast<std::uint64_t>(spec.timeout_sec * 1000.0)),
-              thy::mk_pair(thy::mk_numeral(vopts.node_limit),
-                           thy::mk_numeral(vopts.state_limit)));
           kernel::Term key = thy::mk_pair(
-              pair_goal,
-              thy::mk_pair(
-                  thy::mk_numeral(static_cast<std::uint64_t>(eng)),
-                  bounds));
+              pair_goal, engine_bounds_term(eng, spec.timeout_sec, vopts));
           v = verdicts.get_or_prove_if(
               key, run_engine,
               [](const verify::VerifyResult& res) { return res.completed; },
@@ -396,6 +426,14 @@ std::vector<JobResult> VerifyService::run_batch(
     const std::vector<JobSpec>& specs) {
   for (const JobSpec& spec : specs) submit(spec);
   return drain();
+}
+
+CacheLoadResult VerifyService::load_cache(const std::string& path) {
+  return PersistentCacheFile(path).load(impl_->theorems, impl_->verdicts);
+}
+
+void VerifyService::save_cache(const std::string& path) const {
+  PersistentCacheFile(path).save(impl_->theorems, impl_->verdicts);
 }
 
 JobResult VerifyService::run_one(const JobSpec& spec) {

@@ -8,6 +8,7 @@
 
 #include "kernel/error.h"
 #include "kernel/goal_cache.h"
+#include "service/cache_file.h"
 #include "verify/parallel_verify.h"
 
 namespace eda::service {
@@ -41,7 +42,9 @@ std::optional<Method> parse_method(const std::string& name);
 ///
 /// RTL-sourced jobs perform the formal HASH retiming step (theorem-cached
 /// across the whole service) and then discharge the obligation with
-/// `method`; `blif:` jobs go straight to the engine.
+/// `method`; `blif:` jobs go straight to the engine, with the verdict
+/// keyed on the pair's structural netlist hashes (io/blif.h) so repeated
+/// — or warm-started — submissions of the same files hit the cache.
 struct JobSpec {
   std::string name;        ///< label in results; defaulted when empty
   std::string circuit;     ///< circuit spec, grammar above
@@ -117,6 +120,20 @@ class VerifyService {
   /// Run one job inline on the calling thread against the same caches
   /// (the serial path; also what pool workers execute).
   JobResult run_one(const JobSpec& spec);
+
+  /// Warm start: merge a previously saved cache file into the shared
+  /// caches (entries proved in this process win on conflict).  The proof
+  /// obligations are pure goal terms, so a theorem proved by ANY earlier
+  /// run is valid forever — this is what turns the single-run cache
+  /// amortisation into a cross-restart one.  Missing, corrupt, truncated
+  /// or version-skewed files are reported in the result's note and leave
+  /// the caches untouched; they never throw (see service/cache_file.h).
+  CacheLoadResult load_cache(const std::string& path);
+
+  /// Snapshot the shared caches to `path` (atomic write-to-temp-then-
+  /// rename; safe against concurrent jobs still publishing).  Throws
+  /// CacheFileError on I/O failure.
+  void save_cache(const std::string& path) const;
 
   ServiceStats stats() const;
 

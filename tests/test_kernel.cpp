@@ -7,6 +7,7 @@
 #include "kernel/signature.h"
 #include "kernel/terms.h"
 #include "kernel/thm.h"
+#include "testlib/gen.h"
 
 namespace k = eda::kernel;
 using k::Term;
@@ -119,8 +120,7 @@ TEST(Terms, SharedStructureShortCircuitRespectsBinders) {
 TEST(Terms, ComparisonLinearInDagSize) {
   // A 64-deep doubling DAG has ~2^64 tree nodes; comparison must finish
   // (instantly) by exploiting sharing.
-  Term big = bv("x");
-  for (int i = 0; i < 64; ++i) big = k::mk_eq(big, big);
+  Term big = eda::testlib::eq_tower(64);
   Term big2 = k::mk_eq(big, big);
   EXPECT_EQ(big2, k::mk_eq(big, big));
   EXPECT_NE(big, big2);
@@ -230,13 +230,8 @@ TEST(Interning, AlphaEquivalentAbstractionsCompareEqualButStayDistinct) {
 TEST(Interning, EqualityOnIndependentlyBuiltTowersIsConstantTime) {
   // Two independently built 2^40-leaf towers collapse to one node each;
   // without interning this comparison would visit ~2^40 node pairs.
-  auto tower = [](int depth) {
-    Term t = bv("x");
-    for (int i = 0; i < depth; ++i) t = k::mk_eq(t, t);
-    return t;
-  };
-  Term a = tower(40);
-  Term b = tower(40);
+  Term a = eda::testlib::eq_tower(40);
+  Term b = eda::testlib::eq_tower(40);
   EXPECT_TRUE(a.identical(b));
   EXPECT_EQ(a, b);
 }
@@ -318,8 +313,7 @@ TEST(Rules, TransChecksMiddle) {
 TEST(Rules, TransIsConstantTimeOnSharedStructure) {
   // The paper's compound-synthesis argument: a = b, b = c  |-  a = c via one
   // rule application, regardless of the size of a, b, c.
-  Term big = bv("x");
-  for (int i = 0; i < 1000; ++i) big = k::mk_eq(big, big);
+  Term big = eda::testlib::eq_tower(1000);
   Term p = Term::var("p", big.type());
   Thm ab = Thm::assume(k::mk_eq(big, p));
   Thm bc = Thm::assume(k::mk_eq(p, big));

@@ -21,35 +21,19 @@
 #include "kernel/terms.h"
 #include "kernel/thm.h"
 #include "logic/bool_thms.h"
+#include "testlib/gen.h"
 #include "theories/num_theory.h"
 #include "theories/numeral.h"
 #include "verify/retime_match.h"
 
 namespace k = eda::kernel;
+using eda::testlib::build_family;
 using k::Term;
 using k::Type;
 
 namespace {
 
 constexpr int kThreads = 8;
-
-/// The overlapping term family every thread builds: equality towers over a
-/// shared leaf pool plus numerals.  Returns the node ids in build order so
-/// cross-thread runs can be compared for pointer identity.
-std::vector<const void*> build_family(int rounds) {
-  std::vector<const void*> ids;
-  Term t = Term::var("x", k::bool_ty());
-  ids.push_back(t.node_id());
-  for (int i = 0; i < rounds; ++i) {
-    t = k::mk_eq(t, t);
-    ids.push_back(t.node_id());
-    Term leaf = Term::var("y" + std::to_string(i % 7), k::bool_ty());
-    ids.push_back(k::mk_eq(leaf, leaf).node_id());
-    Term n = eda::thy::mk_numeral(static_cast<std::uint64_t>(i % 97));
-    ids.push_back(n.node_id());
-  }
-  return ids;
-}
 
 }  // namespace
 

@@ -280,8 +280,71 @@ TEST(VerifyService, BlifPairJobsVerifyFiles) {
   EXPECT_TRUE(r.completed);
   EXPECT_TRUE(r.equivalent);
   EXPECT_GT(r.ff, 0);
+  EXPECT_FALSE(r.result_cache_hit);
+  // The same pair again: the verdict is keyed on the structural netlist
+  // hashes, so the engine does not run twice.
+  svc::JobResult again =
+      service.run_one(job("blif:" + pa + "," + pb, svc::Method::Eijk));
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_TRUE(again.result_cache_hit);
+  EXPECT_TRUE(again.equivalent);
+  EXPECT_EQ(service.stats().results.hits, 1u);
   std::remove(pa.c_str());
   std::remove(pb.c_str());
+}
+
+TEST(VerifyService, WarmStartAcrossServiceInstances) {
+  // The restart scenario: service 1 proves a mixed batch and persists its
+  // caches; service 2 (fresh caches, as after a process restart) loads the
+  // file and re-runs the identical batch with ZERO theorem misses — every
+  // obligation is served by a theorem proved "in a previous life".
+  std::string path = ::testing::TempDir() + "/svc_warm.bin";
+  std::vector<svc::JobSpec> specs{
+      job("fig2:3", svc::Method::Hash),
+      job("fig2:4", svc::Method::Eijk),
+      job("mult:3", svc::Method::Hash),
+      job("fig2:4", svc::Method::Match),
+  };
+  {
+    svc::VerifyService cold({2, true});
+    std::vector<svc::JobResult> results = cold.run_batch(specs);
+    for (const svc::JobResult& r : results) ASSERT_TRUE(r.ok) << r.error;
+    cold.save_cache(path);
+  }
+  svc::VerifyService warm({2, true});
+  svc::CacheLoadResult lr = warm.load_cache(path);
+  ASSERT_TRUE(lr.loaded) << lr.note;
+  EXPECT_EQ(lr.theorems, 3u);  // fig2:3, fig2:4, mult:3
+  EXPECT_GE(lr.verdicts, 1u);  // the completed eijk verdict
+  std::vector<svc::JobResult> results = warm.run_batch(specs);
+  for (const svc::JobResult& r : results) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.theorem_cache_hit) << r.name;
+  }
+  svc::ServiceStats st = warm.stats();
+  EXPECT_EQ(st.theorems.misses, 0u);
+  EXPECT_EQ(st.theorems.hits, specs.size());
+  EXPECT_EQ(st.results.misses, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(VerifyService, WarmStartKeepsVerdictProvenanceHonest) {
+  // Loaded entries must not inflate the statistics: a freshly loaded
+  // service has zero hits/misses until traffic actually arrives.
+  std::string path = ::testing::TempDir() + "/svc_honest.bin";
+  {
+    svc::VerifyService cold({1, true});
+    cold.run_one(job("fig2:3", svc::Method::Hash));
+    cold.save_cache(path);
+  }
+  svc::VerifyService warm({1, true});
+  svc::CacheLoadResult lr = warm.load_cache(path);
+  ASSERT_TRUE(lr.loaded) << lr.note;
+  svc::ServiceStats st = warm.stats();
+  EXPECT_EQ(st.theorems.hits, 0u);
+  EXPECT_EQ(st.theorems.misses, 0u);
+  EXPECT_EQ(st.theorems.entries, 1u);
+  std::remove(path.c_str());
 }
 
 TEST(VerifyService, BatchMatchesSerialVerdicts) {

@@ -1,0 +1,66 @@
+#pragma once
+
+// Shared seeded generators for the test suites.  Every suite that needs
+// random terms, the overlapping concurrency term family, equality towers
+// or random gate netlists draws them from here, so "the same seed" means
+// the same objects across test_kernel, test_parallel, test_serialize and
+// friends — and a distribution fix lands everywhere at once.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "circuit/bitblast.h"
+#include "kernel/terms.h"
+#include "kernel/types.h"
+
+namespace eda::testlib {
+
+/// Deterministic generator of random *well-typed* kernel terms.
+///
+/// All structural decisions (shapes, types, which variable a leaf picks)
+/// are driven by `seed` alone; `binder_salt` only affects the SPELLING of
+/// bound-variable names.  Two generators with equal seeds and different
+/// salts therefore produce pairwise alpha-equivalent terms that intern to
+/// distinct nodes whenever an abstraction occurs — exactly the pairs the
+/// goal-cache and serializer property tests need.
+class TermGen {
+ public:
+  explicit TermGen(std::uint64_t seed, std::string binder_salt = "b");
+
+  /// Random type of bounded depth: bool / num leaves, fun/prod interior.
+  kernel::Type random_type(int depth);
+  /// Random well-typed term of exactly type `ty`, at most `depth` deep.
+  kernel::Term random_term(const kernel::Type& ty, int depth);
+  /// Random boolean term — the shape goal caches key on.
+  kernel::Term random_goal(int depth);
+
+  std::uint64_t u64();
+  /// Uniform integer in [lo, hi].
+  int range(int lo, int hi);
+
+ private:
+  std::mt19937_64 rng_;
+  std::string binder_salt_;
+  int binder_count_ = 0;
+  std::vector<kernel::Term> scope_;  ///< bound variables, innermost last
+};
+
+/// The overlapping term family the concurrency tests build from every
+/// thread: equality towers over a shared leaf pool plus numerals.  Returns
+/// the node ids in build order so cross-thread runs can be compared for
+/// pointer identity.
+std::vector<const void*> build_family(int rounds);
+
+/// `depth`-high doubling equality tower over one boolean leaf — the 2^depth
+/// tree-size / O(depth) DAG-size shape the interning tests lean on.
+kernel::Term eq_tower(int depth, const std::string& leaf = "x");
+
+/// Random (valid, cycle-free) gate netlist: `inputs` primary inputs,
+/// `ffs` flip-flops, `gates` random gates over earlier literals, plus one
+/// output per flip-flop chain tail.  Deterministic in `seed`.
+circuit::GateNetlist random_netlist(std::uint64_t seed, int inputs,
+                                    int gates, int ffs);
+
+}  // namespace eda::testlib

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Assert a warm-started eda_service run actually ran warm.
+
+Usage:
+    check_warm_start.py SERVICE_warm.json [--min-hit-rate 0.9]
+
+SERVICE_warm.json is the --json output of the SECOND eda_service run
+against one --cache-file: every retiming-theorem goal it meets was proved
+by the first run and persisted, so its theorem cache must show zero misses
+and a hit rate at least --min-hit-rate.  Verdict misses are NOT gated: an
+engine run that blew its resource budget is deliberately never cached
+(machine state, not a goal property), so a slow first run legitimately
+leaves verdicts to retry.
+"""
+
+import argparse
+import json
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("service_json")
+    parser.add_argument("--min-hit-rate", type=float, default=0.9)
+    args = parser.parse_args()
+
+    with open(args.service_json) as f:
+        run = json.load(f)
+    theorems = run.get("theorem_cache")
+    if theorems is None:
+        print("check_warm_start: no theorem_cache section in",
+              args.service_json)
+        return 1
+
+    misses = theorems.get("misses", -1)
+    hit_rate = theorems.get("hit_rate", 0.0)
+    print(f"check_warm_start: theorem cache {theorems.get('hits', 0)} "
+          f"hit(s) / {misses} miss(es), hit rate {hit_rate:.2f}")
+    if misses != 0:
+        print(f"check_warm_start: FAIL — warm run re-proved {misses} "
+              f"goal(s) the cache file should have served")
+        return 1
+    if hit_rate < args.min_hit_rate:
+        print(f"check_warm_start: FAIL — hit rate {hit_rate:.2f} < "
+              f"{args.min_hit_rate:.2f} (did the warm run submit any RTL "
+              f"jobs at all?)")
+        return 1
+    print("check_warm_start: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

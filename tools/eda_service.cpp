@@ -15,6 +15,9 @@
 //   --no-shared-cache      per-job proving, no cross-job amortisation
 //   --timeout S            override every job's engine timeout
 //   --json FILE            write the structured results
+//   --cache-file FILE      warm-start the shared caches from FILE (corrupt
+//                          or missing files start cold, with a diagnostic)
+//                          and save them back after the batch drains
 //   --require-cache-hits   exit 1 unless the shared caches served at least
 //                          one obligation (CI gate for the service loop)
 //
@@ -39,7 +42,8 @@ namespace {
       stderr,
       "usage: eda_service (--manifest FILE | --sweep SPEC) [--jobs N]\n"
       "                   [--serial] [--no-shared-cache] [--timeout S]\n"
-      "                   [--json FILE] [--require-cache-hits]\n");
+      "                   [--json FILE] [--cache-file FILE]\n"
+      "                   [--require-cache-hits]\n");
   std::exit(2);
 }
 
@@ -54,7 +58,8 @@ const char* status_of(const eda::service::JobResult& r) {
 int main(int argc, char** argv) {
   using namespace eda;
 
-  std::optional<std::string> manifest_path, sweep_spec, json_path;
+  std::optional<std::string> manifest_path, sweep_spec, json_path,
+      cache_path;
   std::optional<double> timeout;
   unsigned jobs = 0;
   bool serial = false, share_cache = true, require_hits = false;
@@ -88,6 +93,7 @@ int main(int argc, char** argv) {
           usage("--timeout must be a positive number of seconds");
         }
       } else if (arg == "--json") json_path = next();
+      else if (arg == "--cache-file") cache_path = next();
       else if (arg == "--require-cache-hits") require_hits = true;
       else usage(("unknown option " + arg).c_str());
     } catch (const std::logic_error&) {
@@ -128,6 +134,18 @@ int main(int argc, char** argv) {
               specs.size(), threads, share_cache ? "on" : "off");
 
   service::VerifyService svc(opts);
+  if (cache_path) {
+    // Warm start.  load_cache never throws: a bad file is a diagnosed
+    // cold start, so a corrupted cache can never take the service down.
+    service::CacheLoadResult lr = svc.load_cache(*cache_path);
+    std::printf("cache: %s (%s)\n\n", lr.note.c_str(),
+                cache_path->c_str());
+    if (!share_cache) {
+      std::printf(
+          "cache: note: --no-shared-cache jobs never consult the loaded "
+          "entries\n\n");
+    }
+  }
   std::vector<service::JobResult> results;
   if (serial) {
     for (const service::JobSpec& spec : specs) {
@@ -164,6 +182,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(st.results.misses),
               st.results.hit_rate());
 
+  // Results JSON before the cache save: the verdicts of a successful run
+  // must reach their consumer even when persisting the cache fails (disk
+  // full is a next-run-is-cold problem, not a this-run-never-happened
+  // one).
   if (json_path) {
     std::ofstream out(*json_path);
     if (!out) {
@@ -175,7 +197,22 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", json_path->c_str());
   }
 
-  bool any_failed = st.failed > 0;
+  bool save_failed = false;
+  if (cache_path) {
+    // Save on drain: every theorem/verdict proved in this run (plus what
+    // was loaded) becomes the next run's warm start.
+    try {
+      svc.save_cache(*cache_path);
+      std::printf("cache: saved %zu theorem(s), %zu verdict(s) to %s\n",
+                  st.theorems.entries, st.results.entries,
+                  cache_path->c_str());
+    } catch (const service::CacheFileError& e) {
+      std::fprintf(stderr, "eda_service: %s\n", e.what());
+      save_failed = true;
+    }
+  }
+
+  bool any_failed = st.failed > 0 || save_failed;
   if (require_hits && st.theorems.hits + st.results.hits == 0) {
     std::fprintf(stderr,
                  "eda_service: --require-cache-hits: no obligation was "
