@@ -25,16 +25,21 @@
 // Like bench_parallel, no google-benchmark dependency: steady_clock around
 // explicit batches is accurate at these durations.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "io/blif.h"
 #include "kernel/parallel.h"
 #include "service/sweep.h"
 #include "service/verify_service.h"
+#include "testlib/gen.h"
 #include "theories/retiming_thm.h"
 
 namespace {
@@ -43,6 +48,32 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Nearest-rank percentile of per-job latencies (p in [0, 100]).
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  double rank = std::ceil(p / 100.0 * static_cast<double>(v.size()));
+  std::size_t idx = rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return v[std::min(idx, v.size() - 1)];
+}
+
+std::vector<double> latencies(
+    const std::vector<eda::service::JobResult>& results) {
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const eda::service::JobResult& r : results) {
+    out.push_back(r.total_sec);
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -120,10 +151,13 @@ int main(int argc, char** argv) {
 
   // Serial loop, no shared cache.
   double serial_sec = 0.0;
+  std::vector<double> serial_lat;
   {
     eda::service::VerifyService svc({1, false});
     auto t0 = Clock::now();
-    for (const eda::service::JobSpec& spec : specs) svc.run_one(spec);
+    for (const eda::service::JobSpec& spec : specs) {
+      serial_lat.push_back(svc.run_one(spec).total_sec);
+    }
     serial_sec = seconds_since(t0);
   }
 
@@ -131,12 +165,13 @@ int main(int argc, char** argv) {
   // caches are saved for the warm-start leg below.
   std::string cache_path = out_path + ".cache.tmp";
   double batched_sec = 0.0;
+  std::vector<double> batched_lat;
   eda::service::ServiceStats batched_stats;
   unsigned threads = jobs == 0 ? eda::kernel::default_thread_count() : jobs;
   {
     eda::service::VerifyService svc({jobs, true});
     auto t0 = Clock::now();
-    svc.run_batch(specs);
+    batched_lat = latencies(svc.run_batch(specs));
     batched_sec = seconds_since(t0);
     batched_stats = svc.stats();
     svc.save_cache(cache_path);
@@ -146,6 +181,7 @@ int main(int argc, char** argv) {
   // restart) loads the persisted file and replays the identical workload.
   // Load time is charged to the run — it is part of what a restart costs.
   double warm_sec = 0.0;
+  std::vector<double> warm_lat;
   eda::service::ServiceStats warm_stats;
   {
     eda::service::VerifyService svc({jobs, true});
@@ -157,11 +193,98 @@ int main(int argc, char** argv) {
       std::remove(cache_path.c_str());
       return 1;
     }
-    svc.run_batch(specs);
+    warm_lat = latencies(svc.run_batch(specs));
     warm_sec = seconds_since(t0);
     warm_stats = svc.stats();
   }
   std::remove(cache_path.c_str());
+
+  // Edit-replay leg: the incremental-verification scenario the cache
+  // percentages above can't see.  An N-cone design pair whose cones ALL
+  // need a real engine run (opaque-equivalent edits defeat the miter
+  // folding) is checked cold; then ONE cone of the B side is edited and
+  // the pair replays against the cold run's persisted cache.  The replay
+  // should re-prove exactly the edited cone and serve the other N-1 from
+  // the verdict cache — re-proved-cone count, hit rate and latency vs the
+  // cold check are the metrics.
+  const int kEditCones = 16;
+  double edit_cold_sec = 0.0, edit_replay_sec = 0.0;
+  std::size_t edit_cones = 0, edit_reproved = 0, edit_hits = 0;
+  bool edit_ok = false;
+  {
+    using eda::testlib::ConeEdit;
+    eda::circuit::GateNetlist net_a = eda::testlib::random_netlist_multi(
+        /*seed=*/20260808, /*inputs=*/8, /*gates=*/60 * kEditCones,
+        /*ffs=*/10, kEditCones);
+    eda::circuit::GateNetlist net_b = net_a;
+    for (int i = 0; i < kEditCones; ++i) {
+      net_b = eda::testlib::mutate_cone(net_b, static_cast<std::size_t>(i),
+                                        ConeEdit::EquivalentOpaque);
+    }
+    eda::circuit::GateNetlist net_edit =
+        eda::testlib::mutate_cone(net_b, 0, ConeEdit::Equivalent);
+    const std::string a_path = out_path + ".edit_a.blif";
+    const std::string b_path = out_path + ".edit_b.blif";
+    const std::string e_path = out_path + ".edit_e.blif";
+    const std::string edit_cache = out_path + ".edit.cache.tmp";
+    if (!write_file(a_path, eda::io::write_blif(net_a, "edit_a")) ||
+        !write_file(b_path, eda::io::write_blif(net_b, "edit_b")) ||
+        !write_file(e_path, eda::io::write_blif(net_edit, "edit_e"))) {
+      std::fprintf(stderr, "bench_service: cannot write edit-leg BLIFs\n");
+      return 1;
+    }
+    auto blif_job = [](const std::string& a, const std::string& b) {
+      eda::service::JobSpec spec;
+      spec.circuit = "blif:" + a + "," + b;
+      spec.method = eda::service::Method::Eijk;
+      spec.timeout_sec = 60.0;
+      return spec;
+    };
+    eda::service::ServiceOptions inc_opts;
+    inc_opts.jobs = jobs;
+    inc_opts.incremental = true;
+    eda::service::JobResult cold_r, replay_r;
+    {
+      eda::service::VerifyService svc(inc_opts);
+      auto t0 = Clock::now();
+      cold_r = svc.run_one(blif_job(a_path, b_path));
+      edit_cold_sec = seconds_since(t0);
+      svc.save_cache(edit_cache);
+    }
+    {
+      eda::service::VerifyService svc(inc_opts);
+      eda::service::CacheLoadResult lr = svc.load_cache(edit_cache);
+      auto t0 = Clock::now();
+      replay_r = lr.loaded ? svc.run_one(blif_job(a_path, e_path))
+                           : eda::service::JobResult{};
+      edit_replay_sec = seconds_since(t0);
+    }
+    std::remove(a_path.c_str());
+    std::remove(b_path.c_str());
+    std::remove(e_path.c_str());
+    std::remove(edit_cache.c_str());
+    edit_cones = replay_r.cones;
+    edit_reproved = replay_r.cones_reproved;
+    edit_hits = replay_r.cone_hits;
+    edit_ok = cold_r.ok && cold_r.completed && cold_r.equivalent &&
+              replay_r.ok && replay_r.completed && replay_r.equivalent;
+    if (!edit_ok) {
+      std::fprintf(stderr,
+                   "bench_service: edit-replay leg failed (cold %s, replay "
+                   "%s)\n",
+                   cold_r.ok ? "ok" : cold_r.error.c_str(),
+                   replay_r.ok ? "ok" : replay_r.error.c_str());
+    }
+  }
+  // Exactly one cone was edited by construction, so the other cones - 1
+  // are unchanged; a rate below 1.0 means a hash-stability bug forced an
+  // unchanged cone back to the engine.
+  double edit_unchanged_hit_rate =
+      edit_cones > 1 ? static_cast<double>(edit_hits) /
+                           static_cast<double>(edit_cones - 1)
+                     : 0.0;
+  double edit_speedup =
+      edit_replay_sec > 0 ? edit_cold_sec / edit_replay_sec : 0.0;
 
   double n = static_cast<double>(specs.size());
   double serial_tp = serial_sec > 0 ? n / serial_sec : 0.0;
@@ -181,6 +304,17 @@ int main(int argc, char** argv) {
   std::printf("  throughput ratio %.2fx batched, %.2fx warm\n",
               serial_tp > 0 ? batched_tp / serial_tp : 0.0,
               serial_tp > 0 ? warm_tp / serial_tp : 0.0);
+  std::printf(
+      "  latency p50/p95: serial %.4f/%.4f s, batched %.4f/%.4f s, warm "
+      "%.4f/%.4f s\n",
+      percentile(serial_lat, 50), percentile(serial_lat, 95),
+      percentile(batched_lat, 50), percentile(batched_lat, 95),
+      percentile(warm_lat, 50), percentile(warm_lat, 95));
+  std::printf(
+      "  edit-replay: %zu cones, %zu re-proved, unchanged hit rate %.2f, "
+      "cold %.3f s -> replay %.3f s (%.1fx)\n",
+      edit_cones, edit_reproved, edit_unchanged_hit_rate, edit_cold_sec,
+      edit_replay_sec, edit_speedup);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -212,8 +346,35 @@ int main(int argc, char** argv) {
                warm_stats.theorems.hit_rate());
   std::fprintf(f, "  \"warm_theorem_misses\": %llu,\n",
                static_cast<unsigned long long>(warm_stats.theorems.misses));
-  std::fprintf(f, "  \"warm_result_hit_rate\": %.3f\n",
+  std::fprintf(f, "  \"warm_result_hit_rate\": %.3f,\n",
                warm_stats.results.hit_rate());
+  std::fprintf(f, "  \"serial_p50_sec\": %.5f,\n",
+               percentile(serial_lat, 50));
+  std::fprintf(f, "  \"serial_p95_sec\": %.5f,\n",
+               percentile(serial_lat, 95));
+  std::fprintf(f, "  \"batched_p50_sec\": %.5f,\n",
+               percentile(batched_lat, 50));
+  std::fprintf(f, "  \"batched_p95_sec\": %.5f,\n",
+               percentile(batched_lat, 95));
+  std::fprintf(f, "  \"warm_p50_sec\": %.5f,\n", percentile(warm_lat, 50));
+  std::fprintf(f, "  \"warm_p95_sec\": %.5f,\n", percentile(warm_lat, 95));
+  std::fprintf(f, "  \"edit_cones\": %zu,\n", edit_cones);
+  std::fprintf(f, "  \"edit_reproved_cones\": %zu,\n", edit_reproved);
+  std::fprintf(f, "  \"edit_unchanged_hit_rate\": %.3f,\n",
+               edit_unchanged_hit_rate);
+  std::fprintf(f, "  \"edit_cold_seconds\": %.4f,\n", edit_cold_sec);
+  std::fprintf(f, "  \"edit_replay_seconds\": %.4f,\n", edit_replay_sec);
+  std::fprintf(f, "  \"edit_speedup\": %.3f,\n", edit_speedup);
+  // Ratio metrics for the bench_compare.py regression gate
+  // (--section service_metrics --higher-is-better): machine-speed
+  // independent, so one committed baseline holds across runners.
+  std::fprintf(f, "  \"service_metrics\": {\n");
+  std::fprintf(f, "    \"throughput_ratio\": %.3f,\n",
+               serial_tp > 0 ? batched_tp / serial_tp : 0.0);
+  std::fprintf(f, "    \"warm_vs_cold_ratio\": %.3f,\n",
+               warm_sec > 0 ? batched_sec / warm_sec : 0.0);
+  std::fprintf(f, "    \"edit_speedup\": %.3f\n", edit_speedup);
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
@@ -231,6 +392,26 @@ int main(int argc, char** argv) {
                  "serial %.2f jobs/s\n",
                  warm_tp, serial_tp);
     return 1;
+  }
+  if (check) {
+    // The incremental acceptance gate: exactly the edited cone re-proved,
+    // every unchanged cone served from the cache, and the replay at least
+    // 10x faster than the cold check.
+    if (!edit_ok || edit_reproved != 1 || edit_unchanged_hit_rate < 1.0) {
+      std::fprintf(stderr,
+                   "bench_service: --check: edit-replay re-proved %zu of "
+                   "%zu cones (unchanged hit rate %.2f), expected exactly "
+                   "1 with rate 1.0\n",
+                   edit_reproved, edit_cones, edit_unchanged_hit_rate);
+      return 1;
+    }
+    if (edit_speedup < 10.0) {
+      std::fprintf(stderr,
+                   "bench_service: --check: edit-replay speedup %.1fx < "
+                   "10x (cold %.3f s, replay %.3f s)\n",
+                   edit_speedup, edit_cold_sec, edit_replay_sec);
+      return 1;
+    }
   }
   return 0;
 }

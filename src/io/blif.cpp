@@ -296,6 +296,128 @@ std::uint64_t structural_hash(const GateNetlist& net) {
   return kernel::fnv1a64(walk);
 }
 
+namespace {
+
+/// Canonical extraction of one output cone.  Pass 1 walks the transitive
+/// fanin depth-first — combinational edges first, then each discovered
+/// flip-flop's next-state function, in flip-flop discovery order — and
+/// records a post-order over gates/constants plus the DFF discovery
+/// order.  Pass 2 rebuilds the cone in that order (inputs, DFFs, gates),
+/// so the new node ids depend only on the cone's graph, never on how the
+/// parent happened to number or interleave its nodes.
+Cone extract_one(const GateNetlist& net, const std::string& name,
+                 LitId root) {
+  std::vector<LitId> dff_order, comb_order;
+  std::vector<char> seen(net.nodes().size(), 0);
+
+  struct Frame {
+    LitId lit;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  auto walk = [&](LitId start) {
+    stack.push_back({start, false});
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      const GateNode& n = net.node(f.lit);
+      if (n.op == GateOp::Input) {
+        stack.pop_back();
+        continue;
+      }
+      if (n.op == GateOp::Dff) {
+        if (!seen[static_cast<std::size_t>(f.lit)]) {
+          seen[static_cast<std::size_t>(f.lit)] = 1;
+          dff_order.push_back(f.lit);
+        }
+        stack.pop_back();
+        continue;
+      }
+      if (seen[static_cast<std::size_t>(f.lit)]) {
+        stack.pop_back();
+        continue;
+      }
+      if (!f.expanded) {
+        stack.back().expanded = true;
+        // Push b then a so a's subtree is emitted first.
+        if (n.b >= 0) stack.push_back({n.b, false});
+        if (n.a >= 0) stack.push_back({n.a, false});
+        continue;
+      }
+      seen[static_cast<std::size_t>(f.lit)] = 1;
+      comb_order.push_back(f.lit);
+      stack.pop_back();
+    }
+  };
+  walk(root);
+  // dff_order grows while we iterate: each flip-flop's next-state cone may
+  // discover further flip-flops.
+  for (std::size_t k = 0; k < dff_order.size(); ++k) {
+    walk(net.node(dff_order[k]).next);
+  }
+
+  GateNetlist out;
+  std::vector<LitId> remap(net.nodes().size(), -1);
+  for (LitId in : net.inputs()) {
+    remap[static_cast<std::size_t>(in)] = out.add_input(net.node(in).name);
+  }
+  for (LitId d : dff_order) {
+    const GateNode& n = net.node(d);
+    remap[static_cast<std::size_t>(d)] = out.add_dff(n.name, n.init);
+  }
+  for (LitId g : comb_order) {
+    const GateNode& n = net.node(g);
+    LitId mapped;
+    switch (n.op) {
+      case GateOp::Const0:
+        mapped = out.add_const(false);
+        break;
+      case GateOp::Const1:
+        mapped = out.add_const(true);
+        break;
+      case GateOp::Not:
+        mapped = out.add_gate(GateOp::Not,
+                              remap[static_cast<std::size_t>(n.a)]);
+        break;
+      default:
+        mapped = out.add_gate(n.op, remap[static_cast<std::size_t>(n.a)],
+                              remap[static_cast<std::size_t>(n.b)]);
+        break;
+    }
+    remap[static_cast<std::size_t>(g)] = mapped;
+  }
+  for (LitId d : dff_order) {
+    out.set_dff_next(remap[static_cast<std::size_t>(d)],
+                     remap[static_cast<std::size_t>(net.node(d).next)]);
+  }
+  Cone cone;
+  cone.output = name;
+  out.add_output(name, remap[static_cast<std::size_t>(root)]);
+  out.validate();
+  cone.hash = structural_hash(out);
+  cone.net = std::move(out);
+  return cone;
+}
+
+}  // namespace
+
+std::vector<Cone> extract_cones(const GateNetlist& net) {
+  net.validate();
+  std::vector<Cone> cones;
+  cones.reserve(net.outputs().size());
+  for (const auto& [name, lit] : net.outputs()) {
+    cones.push_back(extract_one(net, name, lit));
+  }
+  return cones;
+}
+
+std::vector<std::uint64_t> cone_hashes(const GateNetlist& net) {
+  std::vector<std::uint64_t> hashes;
+  std::vector<Cone> cones = extract_cones(net);
+  hashes.reserve(cones.size());
+  for (const Cone& c : cones) hashes.push_back(c.hash);
+  return hashes;
+}
+
 std::string write_verilog(const GateNetlist& net,
                           const std::string& module_name) {
   net.validate();

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "circuit/bitblast.h"
 
@@ -36,6 +37,41 @@ circuit::GateNetlist parse_blif_string(const std::string& text);
 /// renamed re-export of them — resubmitted to a warm-started service maps
 /// to the same cache entry without re-reading any RTL.
 std::uint64_t structural_hash(const circuit::GateNetlist& net);
+
+/// One primary output's logic cone, extracted as a self-contained netlist.
+///
+/// The cone is the transitive fanin of the output — combinational logic
+/// AND the flip-flops it reads, recursively through their next-state
+/// functions — rebuilt in a *canonical* node order derived purely from the
+/// cone's own graph (discovery order of a deterministic depth-first walk
+/// from the output).  Two netlists that contain the same cone, no matter
+/// how their nodes are numbered, interleaved with other cones' logic, or
+/// named, therefore produce byte-identical cone netlists.  `hash` is
+/// `structural_hash` of that canonical netlist: THE per-cone fingerprint
+/// the incremental verdict cache keys on.
+///
+/// The cone netlist keeps ALL of the parent's primary inputs, in the
+/// parent's order, whether the cone reads them or not — the engines match
+/// inputs positionally, so cones extracted from two different netlists
+/// stay directly comparable.  (The input list is part of a netlist's
+/// interface; reordering it is an interface change and does change the
+/// digest, unlike reordering gates or renaming wires.)
+struct Cone {
+  std::string output;        ///< primary-output name (parent spelling)
+  std::uint64_t hash = 0;    ///< canonical structural digest of the cone
+  circuit::GateNetlist net;  ///< single-output sub-netlist, all parent PIs
+};
+
+/// Decompose a netlist into one Cone per primary output, in output order.
+/// Logic shared between cones is duplicated into every cone that reads it
+/// (each cone is self-contained), so an edit inside one cone never
+/// perturbs another cone's digest.
+std::vector<Cone> extract_cones(const circuit::GateNetlist& net);
+
+/// Just the per-output digest vector of extract_cones — the decompose →
+/// lookup half of incremental re-verification, when the caller only needs
+/// to know WHICH cones changed.
+std::vector<std::uint64_t> cone_hashes(const circuit::GateNetlist& net);
 
 /// Structural Verilog-2001 writer for the same netlist (assign/always
 /// style, one flop per `always @(posedge clk)` with a synchronous reset

@@ -4,6 +4,8 @@
 #include <istream>
 #include <sstream>
 
+#include "service/spec_util.h"
+
 namespace eda::service {
 
 namespace {
@@ -108,8 +110,9 @@ std::vector<JobSpec> parse_manifest(std::istream& in) {
       try {
         std::size_t used = 0;
         if (key == "timeout") {
-          spec.timeout_sec = std::stod(value, &used);
-          if (used != value.size()) throw std::invalid_argument(value);
+          spec.timeout_sec = detail::parse_positive_double(
+              "manifest line " + std::to_string(lineno) + ": timeout",
+              value);
         } else if (key == "seed") {
           unsigned long seed = std::stoul(value, &used);
           if (used != value.size() || value[0] == '-' ||
@@ -169,6 +172,10 @@ std::string results_to_json(const std::vector<JobResult>& results,
            std::string(r.theorem_cache_hit ? "true" : "false") + ", ";
     out += "\"result_cache_hit\": " +
            std::string(r.result_cache_hit ? "true" : "false") + ", ";
+    out += "\"cones\": " + std::to_string(r.cones) + ", ";
+    out += "\"cone_hits\": " + std::to_string(r.cone_hits) + ", ";
+    out += "\"cones_reproved\": " + std::to_string(r.cones_reproved) + ", ";
+    out += "\"counterexample\": \"" + json_escape(r.counterexample) + "\", ";
     out += "\"error\": \"" + json_escape(r.error) + "\"}";
     out += (i + 1 < results.size()) ? ",\n" : "\n";
   }

@@ -39,4 +39,22 @@ inline int parse_positive_int(const std::string& context,
   }
 }
 
+/// Parse a strictly positive double (timeouts), with the same strict
+/// full-token-consumption contract: a typo like `timeout=1O` must throw,
+/// never silently become 1.0.  Shared by the manifest and sweep parsers —
+/// they had drifted into two copies of this block.
+inline double parse_positive_double(const std::string& context,
+                                    const std::string& field) {
+  try {
+    std::size_t used = 0;
+    double v = std::stod(field, &used);
+    if (used != field.size() || !(v > 0.0)) {
+      throw std::invalid_argument(field);
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw ServiceError(context + ": bad value '" + field + "'");
+  }
+}
+
 }  // namespace eda::service::detail

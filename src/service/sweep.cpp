@@ -71,21 +71,11 @@ SweepGrid parse_sweep_spec(const std::string& spec) {
       }
       grid.copies = sweep_int(values[0]);
     } else if (key == "timeout") {
-      // Strict: full-token consumption and a positive value, so a typo
-      // like timeout=1O cannot silently become 1.0 (same contract as the
-      // manifest parser).
       if (values.size() != 1) {
         throw ServiceError("sweep spec: timeout takes one value");
       }
-      try {
-        std::size_t used = 0;
-        grid.timeout_sec = std::stod(values[0], &used);
-        if (used != values[0].size() || !(grid.timeout_sec > 0.0)) {
-          throw std::invalid_argument(values[0]);
-        }
-      } catch (const std::exception&) {
-        throw ServiceError("sweep spec: bad timeout '" + values[0] + "'");
-      }
+      grid.timeout_sec =
+          detail::parse_positive_double("sweep spec: timeout", values[0]);
     } else {
       throw ServiceError("sweep spec: unknown key '" + key + "'");
     }

@@ -18,6 +18,7 @@
 #include "service/spec_util.h"
 #include "theories/numeral.h"
 #include "theories/pair_theory.h"
+#include "verify/cone.h"
 #include "verify/retime_match.h"
 
 namespace eda::service {
@@ -72,6 +73,21 @@ kernel::Term engine_bounds_term(verify::Engine eng, double timeout_sec,
 /// disjoint from the RTL keys (whose first component is a compiled-circuit
 /// lambda term, never a numeral).
 constexpr std::uint64_t kBlifKeyTag = 0xb11fULL;
+
+/// Leading marker of per-cone verdict keys (incremental blif-pair path) —
+/// a third disjoint key family, so a whole-pair verdict and a cone verdict
+/// for the same hashes can never collide.
+constexpr std::uint64_t kConeKeyTag = 0xc09eULL;
+
+kernel::Term cone_key(std::uint64_t hash_a, std::uint64_t hash_b,
+                      verify::Engine eng, double timeout_sec,
+                      const verify::VerifyOptions& vopts) {
+  return thy::mk_pair(
+      thy::mk_numeral(kConeKeyTag),
+      thy::mk_pair(thy::mk_pair(thy::mk_numeral(hash_a),
+                                thy::mk_numeral(hash_b)),
+                   engine_bounds_term(eng, timeout_sec, vopts)));
+}
 
 int spec_int(const std::string& spec, const std::string& field) {
   return detail::parse_positive_int("circuit spec '" + spec + "'", field);
@@ -242,6 +258,54 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
       r.ff = rc.net_a.ff_count();
       r.gates = rc.net_a.gate_count();
       auto tv = Clock::now();
+      if (opts.incremental &&
+          rc.net_a.outputs().size() == rc.net_b.outputs().size() &&
+          !rc.net_a.outputs().empty()) {
+        // Decompose → lookup → prove → stitch.  Each output cone is an
+        // independent obligation keyed on its own pair of canonical cone
+        // hashes: an edit to one cone leaves every other cone's key — and
+        // hence its cached verdict — untouched, so only the changed cones
+        // reach an engine.  The cone obligations fan out over the same
+        // pool the jobs run on (parallel_for nests; the job thread
+        // participates).
+        std::vector<verify::ConePair> pairs =
+            verify::pair_cones(rc.net_a, rc.net_b);
+        std::vector<verify::ConeVerdict> cones(pairs.size());
+        kernel::parallel_for(
+            pairs.size(),
+            [&](std::size_t i) {
+              const verify::ConePair& p = pairs[i];
+              verify::ConeJob job{&p, eng, vopts};
+              verify::ConeVerdict& cv = cones[i];
+              cv.output = p.output;
+              if (opts.share_cache) {
+                kernel::Term key = cone_key(p.hash_a, p.hash_b, eng,
+                                            spec.timeout_sec, vopts);
+                cv.result = verdicts.get_or_prove_if(
+                    key, [&] { return verify::check_cone(job); },
+                    [](const verify::VerifyResult& res) {
+                      return res.completed;
+                    },
+                    &cv.cache_hit);
+              } else {
+                cv.result = verify::check_cone(job);
+              }
+            },
+            pool);
+        verify::StitchedVerdict sv = verify::stitch_verdicts(cones);
+        r.cones = sv.cones;
+        r.cone_hits = sv.hits;
+        r.cones_reproved = sv.reproved;
+        r.counterexample = sv.counterexample;
+        r.completed = sv.completed;
+        r.equivalent = sv.equivalent;
+        // "Cache hit" at job granularity = every cone came from cache.
+        r.result_cache_hit = sv.reproved == 0;
+        r.verify_sec = seconds_since(tv);
+        r.ok = true;
+        r.total_sec = seconds_since(t0);
+        return r;
+      }
       auto run_engine = [&] {
         return verify::run_check({&rc.net_a, &rc.net_b, eng, vopts});
       };

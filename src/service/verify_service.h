@@ -68,6 +68,15 @@ struct JobResult {
   double total_sec = 0.0;
   bool theorem_cache_hit = false;
   bool result_cache_hit = false;
+  /// Cone accounting, populated only on the incremental blif-pair path
+  /// (ServiceOptions::incremental): the job was decomposed into `cones`
+  /// per-output obligations, of which `cone_hits` resolved from the shared
+  /// verdict cache and `cones_reproved` actually ran.  On a NONEQUIV
+  /// verdict, `counterexample` names the first differing primary output.
+  std::size_t cones = 0;
+  std::size_t cone_hits = 0;
+  std::size_t cones_reproved = 0;
+  std::string counterexample;
 };
 
 struct ServiceStats {
@@ -86,6 +95,14 @@ struct ServiceOptions {
   /// its own obligations (the serial-loop baseline bench_service measures
   /// against).
   bool share_cache = true;
+  /// Cone-partitioned incremental verification for blif-pair jobs: each
+  /// pair decomposes into one obligation per primary output
+  /// (verify/cone.h), unchanged cones resolve from the persistent verdict
+  /// cache keyed on (cone_hash_a, cone_hash_b, engine, bounds), only
+  /// changed cones run an engine, and the per-cone verdicts are stitched
+  /// back into the whole-design verdict.  Pairs whose output counts differ
+  /// fall back to the whole-netlist path.  RTL jobs are unaffected.
+  bool incremental = false;
 };
 
 /// A long-running multi-circuit verification service: jobs are submitted as

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/blif.h"
+#include "verify/parallel_verify.h"
+
+namespace eda::verify {
+
+class ConeError : public kernel::KernelError {
+ public:
+  explicit ConeError(const std::string& what) : kernel::KernelError(what) {}
+};
+
+/// One positionally paired output cone from two netlists under comparison:
+/// the unit of incremental re-verification.  The whole-design equivalence
+/// question "do A and B agree on every output?" decomposes exactly into
+/// one such pair per output — each output's behaviour is a function of its
+/// cone alone — so per-pair verdicts stitch back losslessly
+/// (stitch_verdicts below).
+struct ConePair {
+  std::string output;  ///< A-side output name (labels counterexamples)
+  std::uint64_t hash_a = 0, hash_b = 0;  ///< canonical cone digests
+  circuit::GateNetlist a, b;             ///< io::extract_cones netlists
+};
+
+/// Decompose both netlists (io::extract_cones) and pair the cones by
+/// output position — the same matching the engines apply to whole
+/// netlists.  Throws ConeError when the output counts differ (no
+/// positional pairing exists; the caller should fall back to a
+/// whole-netlist check, which diagnoses the interface mismatch).
+std::vector<ConePair> pair_cones(const circuit::GateNetlist& a,
+                                 const circuit::GateNetlist& b);
+
+/// One schedulable unit for the pool: prove a single cone pair with an
+/// engine under resource bounds.
+struct ConeJob {
+  const ConePair* pair = nullptr;
+  Engine engine = Engine::Eijk;
+  VerifyOptions opts;
+};
+
+/// Prove one cone pair.  Structurally identical cones (byte-equal
+/// canonical netlists — the unchanged cones of an edited design meeting a
+/// cold cache, or a self-pair) short-circuit to EQUIV without touching an
+/// engine; combinationally identical cones are caught by folding the
+/// hash-consed miter (build_miter) to a constant; everything else runs
+/// the requested engine on the pair.
+VerifyResult check_cone(const ConeJob& job);
+
+/// Independent cone obligations fanned across the global pool, results in
+/// input order — check_parallel, one level finer-grained.
+std::vector<VerifyResult> check_cones_parallel(
+    const std::vector<ConeJob>& jobs);
+
+/// Build the miter of two netlists sharing their primary inputs: a
+/// single-output netlist whose output is OR over outputs of
+/// (a_i XOR b_i) — 0 exactly when the sides agree.  Construction
+/// hash-conses every combinational gate (with constant folding and
+/// double-negation/absorption rules), so logic the two sides share — the
+/// common case when B is a small edit of A — is built ONCE and feeds both
+/// sides' outputs; combinationally equal sides fold the miter output all
+/// the way to a constant 0, which check_cone turns into an engine-free
+/// verdict.  Flip-flops are per-side (register correspondence across
+/// sides is the engines' job, not the builder's).  Throws ConeError on an
+/// input-count mismatch.
+circuit::GateNetlist build_miter(const circuit::GateNetlist& a,
+                                 const circuit::GateNetlist& b);
+
+/// True when the miter's output literal folded to the given constant.
+bool miter_output_is_const(const circuit::GateNetlist& miter, bool value);
+
+/// Per-cone verdict plus its cache provenance, ready for stitching.
+struct ConeVerdict {
+  std::string output;
+  VerifyResult result;
+  bool cache_hit = false;
+};
+
+/// The whole-design verdict reassembled from per-cone verdicts, with
+/// honest accounting: a design is EQUIV iff every cone completed EQUIV;
+/// any completed NONEQUIV cone short-circuits the whole design to a
+/// completed NONEQUIV verdict (one differing output disproves equivalence
+/// regardless of cones still unresolved), with `counterexample` naming
+/// the first such output; otherwise an incomplete cone leaves the design
+/// incomplete.
+struct StitchedVerdict {
+  bool completed = false;
+  bool equivalent = false;
+  std::string counterexample;  ///< first NONEQUIV cone's output name
+  std::size_t cones = 0;
+  std::size_t hits = 0;      ///< cones served from a verdict cache
+  std::size_t reproved = 0;  ///< cones that had to be re-proved
+};
+
+StitchedVerdict stitch_verdicts(const std::vector<ConeVerdict>& cones);
+
+}  // namespace eda::verify

@@ -190,6 +190,95 @@ TEST(BlifStructuralHash, StructuralEditsChangeTheDigest) {
   EXPECT_EQ(h_and, io::structural_hash(tiny(GateOp::And, false)));
 }
 
+TEST(ConeHash, StableUnderConstructionOrderAndRenaming) {
+  // Two netlists with the SAME two cones but different gate interleavings
+  // and different spellings: per-cone digests must match pairwise even
+  // though the whole-netlist digests differ (node order is interface for
+  // the whole net, not for a cone).
+  GateNetlist n1;
+  {
+    LitId a = n1.add_input("a"), b = n1.add_input("b");
+    LitId u = n1.add_gate(GateOp::And, a, b);
+    LitId v = n1.add_gate(GateOp::Xor, a, b);
+    n1.add_output("o1", u);
+    n1.add_output("o2", v);
+  }
+  GateNetlist n2;
+  {
+    LitId a = n2.add_input("pa"), b = n2.add_input("pb");
+    LitId v = n2.add_gate(GateOp::Xor, a, b);  // reversed gate order
+    LitId u = n2.add_gate(GateOp::And, a, b);
+    n2.add_output("q1", u);
+    n2.add_output("q2", v);
+  }
+  std::vector<std::uint64_t> h1 = io::cone_hashes(n1);
+  std::vector<std::uint64_t> h2 = io::cone_hashes(n2);
+  ASSERT_EQ(h1.size(), 2u);
+  ASSERT_EQ(h2.size(), 2u);
+  EXPECT_EQ(h1[0], h2[0]);
+  EXPECT_EQ(h1[1], h2[1]);
+  EXPECT_NE(h1[0], h1[1]);  // And-cone and Xor-cone are different cones
+  EXPECT_NE(io::structural_hash(n1), io::structural_hash(n2));
+}
+
+TEST(ConeHash, StableAcrossBlifRoundTrip) {
+  // The first write/parse decomposes Xor covers into sum-of-products, so
+  // in-memory digests legitimately move once.  What the incremental cache
+  // keys rely on is stability WITHIN the parsed domain — every side of a
+  // blif-pair job comes from a file — so a parsed netlist must be a
+  // round-trip fixed point.
+  GateNetlist net = eda::testlib::random_netlist_multi(0xc09e, 4, 40, 3, 4);
+  GateNetlist once = io::parse_blif_string(io::write_blif(net, "m"));
+  GateNetlist twice = io::parse_blif_string(io::write_blif(once, "m"));
+  ASSERT_EQ(io::extract_cones(once).size(), io::extract_cones(net).size());
+  EXPECT_EQ(io::cone_hashes(once), io::cone_hashes(twice));
+}
+
+TEST(ConeHash, SingleGateFunctionalChangeIsDistinct) {
+  auto two_cone = [](GateOp op0) {
+    GateNetlist net;
+    LitId a = net.add_input("a"), b = net.add_input("b");
+    net.add_output("o1", net.add_gate(op0, a, b));
+    net.add_output("o2", net.add_gate(GateOp::Xor, a, b));
+    return net;
+  };
+  std::vector<std::uint64_t> h_and = io::cone_hashes(two_cone(GateOp::And));
+  std::vector<std::uint64_t> h_or = io::cone_hashes(two_cone(GateOp::Or));
+  EXPECT_NE(h_and[0], h_or[0]);  // the edited cone moved...
+  EXPECT_EQ(h_and[1], h_or[1]);  // ...the untouched one did not
+}
+
+TEST(ConeHash, SharedLogicConesHashIndependently) {
+  // Both outputs read the shared gate s; an edit beyond s in cone o2 must
+  // leave cone o1's digest untouched (each cone is self-contained).
+  GateNetlist net;
+  LitId a = net.add_input("a"), b = net.add_input("b");
+  LitId s = net.add_gate(GateOp::And, a, b);
+  net.add_output("o1", net.add_gate(GateOp::Xor, s, a));
+  net.add_output("o2", net.add_gate(GateOp::Or, s, b));
+  GateNetlist edited =
+      eda::testlib::mutate_cone(net, 1, eda::testlib::ConeEdit::Equivalent);
+  std::vector<std::uint64_t> h0 = io::cone_hashes(net);
+  std::vector<std::uint64_t> h1 = io::cone_hashes(edited);
+  EXPECT_EQ(h0[0], h1[0]);
+  EXPECT_NE(h0[1], h1[1]);
+}
+
+TEST(ConeHash, DffConesIncludeNextStateLogic) {
+  // A cone reaches THROUGH flip-flops: editing a flop's next-state
+  // function changes the digest of every cone reading that flop.
+  auto machine = [](GateOp next_op) {
+    GateNetlist net;
+    LitId a = net.add_input("a");
+    LitId d = net.add_dff("d", false);
+    net.set_dff_next(d, net.add_gate(next_op, d, a));
+    net.add_output("y", d);
+    return net;
+  };
+  EXPECT_NE(io::cone_hashes(machine(GateOp::And))[0],
+            io::cone_hashes(machine(GateOp::Or))[0]);
+}
+
 TEST(Verilog, EmitsStructuralModule) {
   auto fig2 = eda::bench_gen::make_fig2(2);
   GateNetlist net = c::bit_blast(fig2.rtl);

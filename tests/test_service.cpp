@@ -19,6 +19,7 @@
 #include "service/manifest.h"
 #include "service/sweep.h"
 #include "service/verify_service.h"
+#include "testlib/gen.h"
 #include "verify/parallel_verify.h"
 
 namespace svc = eda::service;
@@ -33,6 +34,14 @@ svc::JobSpec job(const std::string& circuit, svc::Method method,
   spec.method = method;
   spec.timeout_sec = timeout;
   return spec;
+}
+
+/// Write a netlist to a BLIF file under the test temp dir.
+std::string write_blif_file(const eda::circuit::GateNetlist& net,
+                            const std::string& stem) {
+  std::string path = ::testing::TempDir() + "/" + stem + ".blif";
+  std::ofstream(path) << eda::io::write_blif(net, stem);
+  return path;
 }
 
 }  // namespace
@@ -391,6 +400,164 @@ TEST(VerifyService, StreamingSubmitDrain) {
   EXPECT_TRUE(second[0].theorem_cache_hit);
   EXPECT_EQ(service.stats().jobs, 3u);
   EXPECT_TRUE(service.drain().empty());
+}
+
+// --- Incremental (cone-partitioned) blif-pair jobs -------------------------
+
+namespace {
+
+svc::ServiceOptions inc_opts(unsigned jobs = 1, bool share = true) {
+  svc::ServiceOptions opts;
+  opts.jobs = jobs;
+  opts.share_cache = share;
+  opts.incremental = true;
+  return opts;
+}
+
+}  // namespace
+
+TEST(IncrementalService, ReprovesOnlyTheChangedConeAcrossRestart) {
+  using eda::testlib::ConeEdit;
+  const int kCones = 5;
+  eda::circuit::GateNetlist a =
+      eda::testlib::random_netlist_multi(81, 5, 60, 3, kCones);
+  eda::circuit::GateNetlist b = a;
+  for (int i = 0; i < kCones; ++i) {
+    b = eda::testlib::mutate_cone(b, static_cast<std::size_t>(i),
+                                  ConeEdit::EquivalentOpaque);
+  }
+  std::string pa = write_blif_file(a, "inc_a");
+  std::string pb = write_blif_file(b, "inc_b");
+  std::string pe = write_blif_file(
+      eda::testlib::mutate_cone(b, 3, ConeEdit::Equivalent), "inc_e");
+  std::string cache = ::testing::TempDir() + "/inc_cache.bin";
+
+  {
+    svc::VerifyService cold(inc_opts());
+    svc::JobResult r =
+        cold.run_one(job("blif:" + pa + "," + pb, svc::Method::Eijk));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.equivalent);
+    EXPECT_EQ(r.cones, static_cast<std::size_t>(kCones));
+    EXPECT_EQ(r.cones_reproved, static_cast<std::size_t>(kCones));
+    EXPECT_EQ(r.cone_hits, 0u);
+    EXPECT_FALSE(r.result_cache_hit);
+    cold.save_cache(cache);
+  }
+  // Fresh service instance = process restart; only the cache file carries
+  // over.  The replay of the 1-cone edit must re-prove exactly that cone.
+  svc::VerifyService warm(inc_opts());
+  ASSERT_TRUE(warm.load_cache(cache).loaded);
+  svc::JobResult r =
+      warm.run_one(job("blif:" + pa + "," + pe, svc::Method::Eijk));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_EQ(r.cones, static_cast<std::size_t>(kCones));
+  EXPECT_EQ(r.cones_reproved, 1u);
+  EXPECT_EQ(r.cone_hits, static_cast<std::size_t>(kCones - 1));
+  // And an untouched resubmission is a full cache hit.
+  svc::JobResult same =
+      warm.run_one(job("blif:" + pa + "," + pb, svc::Method::Eijk));
+  EXPECT_TRUE(same.result_cache_hit);
+  EXPECT_EQ(same.cones_reproved, 0u);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+  std::remove(pe.c_str());
+  std::remove(cache.c_str());
+}
+
+TEST(IncrementalService, NonequivNamesTheDifferingOutput) {
+  using eda::testlib::ConeEdit;
+  eda::circuit::GateNetlist a =
+      eda::testlib::random_netlist_multi(83, 4, 40, 2, 4);
+  eda::circuit::GateNetlist b =
+      eda::testlib::mutate_cone(a, 2, ConeEdit::Different);
+  std::string pa = write_blif_file(a, "neq_a");
+  std::string pb = write_blif_file(b, "neq_b");
+  svc::VerifyService service(inc_opts());
+  svc::JobResult r =
+      service.run_one(job("blif:" + pa + "," + pb, svc::Method::Eijk));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.counterexample, "out2");
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(IncrementalService, StitchedVerdictsAgreeWithWholeNetlistPath) {
+  // The acceptance property: over a seeded corpus of edited pairs, the
+  // cone-partitioned path and the whole-netlist path reach the same
+  // verdict.
+  using eda::testlib::ConeEdit;
+  for (std::uint64_t seed : {101u, 102u, 103u}) {
+    eda::circuit::GateNetlist a =
+        eda::testlib::random_netlist_multi(seed, 4, 50, 3, 3);
+    for (ConeEdit edit : {ConeEdit::Equivalent, ConeEdit::EquivalentOpaque,
+                          ConeEdit::Different}) {
+      eda::circuit::GateNetlist b = eda::testlib::mutate_cone(
+          a, static_cast<std::size_t>(seed % 3), edit);
+      std::string pa = write_blif_file(a, "agree_a");
+      std::string pb = write_blif_file(b, "agree_b");
+      svc::JobSpec spec = job("blif:" + pa + "," + pb, svc::Method::Eijk);
+      svc::VerifyService inc(inc_opts());
+      svc::VerifyService whole({1, true});
+      svc::JobResult ri = inc.run_one(spec);
+      svc::JobResult rw = whole.run_one(spec);
+      ASSERT_TRUE(ri.ok) << ri.error;
+      ASSERT_TRUE(rw.ok) << rw.error;
+      EXPECT_EQ(ri.completed, rw.completed)
+          << "seed " << seed << " edit " << static_cast<int>(edit);
+      EXPECT_EQ(ri.equivalent, rw.equivalent)
+          << "seed " << seed << " edit " << static_cast<int>(edit);
+      std::remove(pa.c_str());
+      std::remove(pb.c_str());
+    }
+  }
+}
+
+TEST(IncrementalService, FallsBackOnOutputCountMismatch) {
+  // No positional cone pairing exists: the job takes the whole-netlist
+  // path, which diagnoses the interface mismatch as engine failure
+  // (incomplete), not a crash — and reports no cone accounting.
+  eda::circuit::GateNetlist a =
+      eda::testlib::random_netlist_multi(91, 4, 30, 2, 3);
+  eda::circuit::GateNetlist b =
+      eda::testlib::random_netlist_multi(91, 4, 30, 2, 2);
+  std::string pa = write_blif_file(a, "mis_a");
+  std::string pb = write_blif_file(b, "mis_b");
+  svc::VerifyService service(inc_opts());
+  svc::JobResult r =
+      service.run_one(job("blif:" + pa + "," + pb, svc::Method::Eijk));
+  EXPECT_EQ(r.cones, 0u);
+  EXPECT_FALSE(r.ok && r.completed && r.equivalent);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(IncrementalService, NoSharedCacheStillStitchesWithoutCaching) {
+  using eda::testlib::ConeEdit;
+  eda::circuit::GateNetlist a =
+      eda::testlib::random_netlist_multi(97, 4, 40, 2, 3);
+  eda::circuit::GateNetlist b =
+      eda::testlib::mutate_cone(a, 0, ConeEdit::EquivalentOpaque);
+  std::string pa = write_blif_file(a, "nc_a");
+  std::string pb = write_blif_file(b, "nc_b");
+  svc::VerifyService service(inc_opts(1, /*share=*/false));
+  svc::JobSpec spec = job("blif:" + pa + "," + pb, svc::Method::Eijk);
+  svc::JobResult r1 = service.run_one(spec);
+  svc::JobResult r2 = service.run_one(spec);
+  for (const svc::JobResult& r : {r1, r2}) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.equivalent);
+    EXPECT_EQ(r.cones, 3u);
+    EXPECT_EQ(r.cones_reproved, 3u);  // nothing is ever served from cache
+    EXPECT_EQ(r.cone_hits, 0u);
+  }
+  EXPECT_EQ(service.stats().results.hits, 0u);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
 }
 
 // --- JSON output -----------------------------------------------------------

@@ -1,5 +1,7 @@
 #include "testlib/gen.h"
 
+#include <stdexcept>
+
 #include "theories/numeral.h"
 
 namespace eda::testlib {
@@ -95,8 +97,15 @@ Term eq_tower(int depth, const std::string& leaf) {
   return t;
 }
 
-circuit::GateNetlist random_netlist(std::uint64_t seed, int inputs,
-                                    int gates, int ffs) {
+namespace {
+
+/// Shared body of random_netlist / random_netlist_multi: the machine
+/// without its output list.  Returns the literal construction order so the
+/// wrappers can tap outputs.  The rng stream is consumed identically for
+/// both wrappers — same seed, same internal logic.
+circuit::GateNetlist random_machine(std::uint64_t seed, int inputs,
+                                    int gates, int ffs,
+                                    std::vector<circuit::LitId>& lits) {
   using circuit::GateNetlist;
   using circuit::GateOp;
   using circuit::LitId;
@@ -105,7 +114,6 @@ circuit::GateNetlist random_netlist(std::uint64_t seed, int inputs,
     return static_cast<int>(rng() % static_cast<std::uint64_t>(n));
   };
   GateNetlist net;
-  std::vector<LitId> lits;
   for (int i = 0; i < inputs; ++i) {
     lits.push_back(net.add_input("in" + std::to_string(i)));
   }
@@ -131,9 +139,98 @@ circuit::GateNetlist random_netlist(std::uint64_t seed, int inputs,
                           static_cast<int>(lits.size()) / 2 + 1))];
     net.set_dff_next(net.dffs()[static_cast<std::size_t>(i)], next);
   }
+  return net;
+}
+
+}  // namespace
+
+circuit::GateNetlist random_netlist(std::uint64_t seed, int inputs,
+                                    int gates, int ffs) {
+  std::vector<circuit::LitId> lits;
+  circuit::GateNetlist net = random_machine(seed, inputs, gates, ffs, lits);
   net.add_output("out", lits.back());
   net.validate();
   return net;
+}
+
+circuit::GateNetlist random_netlist_multi(std::uint64_t seed, int inputs,
+                                          int gates, int ffs, int outputs) {
+  std::vector<circuit::LitId> lits;
+  circuit::GateNetlist net = random_machine(seed, inputs, gates, ffs, lits);
+  if (outputs <= 0 || static_cast<std::size_t>(outputs) > lits.size()) {
+    throw std::out_of_range("random_netlist_multi: bad output count");
+  }
+  // Tap distinct literals from the tail: out0 is the last literal (same
+  // cone as random_netlist's "out"), out1 the one before, and so on.
+  for (int i = 0; i < outputs; ++i) {
+    net.add_output("out" + std::to_string(i),
+                   lits[lits.size() - 1 - static_cast<std::size_t>(i)]);
+  }
+  net.validate();
+  return net;
+}
+
+circuit::GateNetlist mutate_cone(const circuit::GateNetlist& net,
+                                 std::size_t output_idx, ConeEdit edit) {
+  using circuit::GateNetlist;
+  using circuit::GateOp;
+  using circuit::LitId;
+  if (output_idx >= net.outputs().size()) {
+    throw std::out_of_range("mutate_cone: bad output index");
+  }
+  // Rebuild node-for-node (the netlist API has no output re-pointing), so
+  // every original literal keeps its id and the inverters append at the
+  // end — the other cones' canonical extraction never sees them.
+  GateNetlist out;
+  for (const circuit::GateNode& n : net.nodes()) {
+    switch (n.op) {
+      case GateOp::Const0:
+        out.add_const(false);
+        break;
+      case GateOp::Const1:
+        out.add_const(true);
+        break;
+      case GateOp::Input:
+        out.add_input(n.name);
+        break;
+      case GateOp::Dff:
+        out.add_dff(n.name, n.init);
+        break;
+      case GateOp::Not:
+        out.add_gate(GateOp::Not, n.a);
+        break;
+      default:
+        out.add_gate(n.op, n.a, n.b);
+        break;
+    }
+  }
+  for (LitId d : net.dffs()) out.set_dff_next(d, net.node(d).next);
+  for (std::size_t i = 0; i < net.outputs().size(); ++i) {
+    const auto& [name, lit] = net.outputs()[i];
+    LitId target = lit;
+    if (i == output_idx) {
+      switch (edit) {
+        case ConeEdit::Equivalent:
+          target = out.add_gate(GateOp::Not, out.add_gate(GateOp::Not, lit));
+          break;
+        case ConeEdit::EquivalentOpaque: {
+          if (net.inputs().empty()) {
+            throw std::out_of_range(
+                "mutate_cone: EquivalentOpaque needs a primary input");
+          }
+          LitId red = out.add_gate(GateOp::And, lit, net.inputs().front());
+          target = out.add_gate(GateOp::Or, lit, red);
+          break;
+        }
+        case ConeEdit::Different:
+          target = out.add_gate(GateOp::Not, lit);
+          break;
+      }
+    }
+    out.add_output(name, target);
+  }
+  out.validate();
+  return out;
 }
 
 }  // namespace eda::testlib

@@ -63,4 +63,38 @@ kernel::Term eq_tower(int depth, const std::string& leaf = "x");
 circuit::GateNetlist random_netlist(std::uint64_t seed, int inputs,
                                     int gates, int ffs);
 
+/// Multi-output variant: the same random machine (identical rng stream, so
+/// equal seeds share all internal logic with random_netlist) but with
+/// `outputs` primary outputs tapping distinct literals from the tail of
+/// the construction — the N-cone designs the incremental-verification
+/// tests and the bench edit-replay leg mutate one cone of.  Requires
+/// outputs <= inputs + ffs + gates.
+circuit::GateNetlist random_netlist_multi(std::uint64_t seed, int inputs,
+                                          int gates, int ffs, int outputs);
+
+/// The two single-cone edits with KNOWN semantics, applied at one primary
+/// output's tap (so every other output's cone — including cones sharing
+/// logic with the edited one — is structurally untouched):
+///
+///   Equivalent — insert a double inverter before the output.  The cone's
+///     structure (and hence its canonical hash) changes, its function does
+///     not: the mutated design must still verify EQUIV.
+///   EquivalentOpaque — insert the absorption redundancy
+///     Or(x, And(x, in0)) before the output.  Also function-preserving,
+///     but unlike the double inverter it is NOT removed by syntactic
+///     simplification (no local rewrite rule fires), so proving the
+///     mutated cone equivalent costs a real engine run — the edit the
+///     bench uses to measure incremental re-verification honestly.
+///     Requires the netlist to have at least one primary input.
+///   Different  — insert a single inverter.  The output is complemented on
+///     EVERY input and state, so the design is NONEQUIV with this output
+///     as the counterexample.
+enum class ConeEdit { Equivalent, EquivalentOpaque, Different };
+
+/// Rebuild `net` with `edit` applied to outputs()[output_idx].  Node ids
+/// of the original netlist are preserved (new inverters append at the
+/// end); throws std::out_of_range on a bad index.
+circuit::GateNetlist mutate_cone(const circuit::GateNetlist& net,
+                                 std::size_t output_idx, ConeEdit edit);
+
 }  // namespace eda::testlib

@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Bench-regression gate: compare a fresh BENCH_kernel.json against the
-committed baseline and fail if any micro metric regressed.
+"""Bench-regression gate: compare a fresh benchmark JSON against the
+committed baseline and fail if any metric regressed.
 
 Usage:
     bench_compare.py --baseline bench/baselines/BENCH_kernel.baseline.json \
         --current BENCH_kernel.json [--threshold 15]
+    bench_compare.py --baseline bench/baselines/BENCH_service.baseline.json \
+        --current BENCH_service.json --section service_metrics \
+        --higher-is-better --threshold 40 --floor-ns 0.1
 
-Exit status 1 when any `micro_ns_per_op` metric is more than --threshold
-percent slower than the baseline, or when a baseline metric disappeared
-from the current run (a silently dropped benchmark must not pass the gate).
-Faster-than-baseline results are reported; refresh the baseline in a
+The compared metrics live in the flat dict named by --section (default
+micro_ns_per_op).  By default lower is better (latencies); with
+--higher-is-better the direction flips (ratios, speedups, throughput).
+Exit status 1 when any metric is more than --threshold percent worse than
+the baseline, or when a baseline metric disappeared from the current run
+(a silently dropped benchmark must not pass the gate).  Regressions
+smaller than --floor-ns in absolute terms are ignored: tiny metrics
+jitter past any percentage threshold on shared runners.
+Better-than-baseline results are reported; refresh the baseline in a
 dedicated PR when an optimisation makes them permanent (see
 bench/baselines/ for provenance).
 """
@@ -26,11 +34,14 @@ def main() -> int:
     parser.add_argument("--threshold", type=float, default=15.0,
                         help="max allowed regression, percent (default 15)")
     parser.add_argument("--floor-ns", type=float, default=0.5,
-                        help="ignore regressions smaller than this many "
-                             "ns/op in absolute terms (default 0.5): "
-                             "sub-ns metrics like a pointer-compare "
-                             "equality check jitter past any percentage "
-                             "threshold on shared runners")
+                        help="ignore regressions smaller than this in "
+                             "absolute metric units (default 0.5)")
+    parser.add_argument("--section", default="micro_ns_per_op",
+                        help="name of the flat metric dict to compare "
+                             "(default micro_ns_per_op)")
+    parser.add_argument("--higher-is-better", action="store_true",
+                        help="larger metric values are better (ratios, "
+                             "speedups) — the regression direction flips")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -38,30 +49,35 @@ def main() -> int:
     with open(args.current) as f:
         current = json.load(f)
 
-    base_micro = baseline.get("micro_ns_per_op", {})
-    cur_micro = current.get("micro_ns_per_op", {})
-    if not base_micro:
-        print("bench_compare: baseline has no micro_ns_per_op section")
+    base_metrics = baseline.get(args.section, {})
+    cur_metrics = current.get(args.section, {})
+    if not base_metrics:
+        print(f"bench_compare: baseline has no {args.section} section")
         return 1
 
     failures = []
     print(f"{'metric':<32} {'baseline':>12} {'current':>12} {'delta':>8}")
-    for name, base_ns in sorted(base_micro.items()):
-        if name not in cur_micro:
-            print(f"{name:<32} {base_ns:>12.1f} {'MISSING':>12}")
+    for name, base_v in sorted(base_metrics.items()):
+        if name not in cur_metrics:
+            print(f"{name:<32} {base_v:>12.1f} {'MISSING':>12}")
             failures.append(f"{name}: missing from current run")
             continue
-        cur_ns = cur_micro[name]
-        delta = (cur_ns - base_ns) / base_ns * 100.0
+        cur_v = cur_metrics[name]
+        delta = (cur_v - base_v) / base_v * 100.0
+        # Signed "worseness": positive when the current value is on the
+        # bad side of the baseline for this metric's direction.
+        worse_pct = -delta if args.higher_is_better else delta
+        worse_abs = base_v - cur_v if args.higher_is_better else cur_v - base_v
         flag = ""
-        if delta > args.threshold and cur_ns - base_ns > args.floor_ns:
+        if worse_pct > args.threshold and worse_abs > args.floor_ns:
             flag = "  << REGRESSION"
-            failures.append(f"{name}: {base_ns:.1f} -> {cur_ns:.1f} ns/op "
-                            f"(+{delta:.1f}% > {args.threshold:.0f}%)")
-        print(f"{name:<32} {base_ns:>12.1f} {cur_ns:>12.1f} "
+            failures.append(f"{name}: {base_v:.1f} -> {cur_v:.1f} "
+                            f"({worse_pct:+.1f}% worse > "
+                            f"{args.threshold:.0f}%)")
+        print(f"{name:<32} {base_v:>12.1f} {cur_v:>12.1f} "
               f"{delta:>+7.1f}%{flag}")
-    for name in sorted(set(cur_micro) - set(base_micro)):
-        print(f"{name:<32} {'(new)':>12} {cur_micro[name]:>12.1f}")
+    for name in sorted(set(cur_metrics) - set(base_metrics)):
+        print(f"{name:<32} {'(new)':>12} {cur_metrics[name]:>12.1f}")
 
     if failures:
         print(f"\nbench_compare: {len(failures)} metric(s) regressed "
@@ -69,8 +85,8 @@ def main() -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"\nbench_compare: all {len(base_micro)} micro metrics within "
-          f"{args.threshold:.0f}% of baseline")
+    print(f"\nbench_compare: all {len(base_metrics)} {args.section} "
+          f"metrics within {args.threshold:.0f}% of baseline")
     return 0
 
 

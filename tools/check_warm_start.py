@@ -3,6 +3,7 @@
 
 Usage:
     check_warm_start.py SERVICE_warm.json [--min-hit-rate 0.9]
+    check_warm_start.py SERVICE_edit.json --incremental --expect-reproved 1
 
 SERVICE_warm.json is the --json output of the SECOND eda_service run
 against one --cache-file: every retiming-theorem goal it meets was proved
@@ -11,20 +12,69 @@ and a hit rate at least --min-hit-rate.  Verdict misses are NOT gated: an
 engine run that blew its resource budget is deliberately never cached
 (machine state, not a goal property), so a slow first run legitimately
 leaves verdicts to retry.
+
+With --incremental the gate changes to the cone-partitioned path: the run
+is the replay of an edited design against the cache the unedited run
+saved, so across all jobs exactly --expect-reproved cones may have been
+re-proved and every other cone must have been served from the verdict
+cache (and zero theorem misses, as above — blif-pair jobs never touch the
+theorem cache at all).
 """
 
 import argparse
 import json
 
 
+def check_incremental(run: dict, expect_reproved: int) -> int:
+    results = run.get("results")
+    if not results:
+        print("check_warm_start: no results section")
+        return 1
+    cones = sum(r.get("cones", 0) for r in results)
+    hits = sum(r.get("cone_hits", 0) for r in results)
+    reproved = sum(r.get("cones_reproved", 0) for r in results)
+    print(f"check_warm_start: {cones} cone(s) across {len(results)} "
+          f"job(s): {hits} cache hit(s), {reproved} re-proved")
+    if cones == 0:
+        print("check_warm_start: FAIL — no cone accounting in the results "
+              "(was the run started with --incremental?)")
+        return 1
+    if reproved != expect_reproved:
+        print(f"check_warm_start: FAIL — {reproved} cone(s) re-proved, "
+              f"expected exactly {expect_reproved} (an unchanged cone "
+              f"missed the cache, or a changed one hit it)")
+        return 1
+    if hits != cones - expect_reproved:
+        print(f"check_warm_start: FAIL — {hits} hit(s) for "
+              f"{cones - expect_reproved} unchanged cone(s)")
+        return 1
+    theorems = run.get("theorem_cache", {})
+    if theorems.get("misses", 0) != 0:
+        print(f"check_warm_start: FAIL — {theorems.get('misses')} theorem "
+              f"miss(es) on a blif-pair replay")
+        return 1
+    print("check_warm_start: OK (incremental)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("service_json")
     parser.add_argument("--min-hit-rate", type=float, default=0.9)
+    parser.add_argument("--incremental", action="store_true",
+                        help="gate on per-cone accounting instead of the "
+                             "theorem cache")
+    parser.add_argument("--expect-reproved", type=int, default=1,
+                        help="with --incremental: exact number of cones "
+                             "the replay may re-prove (default 1)")
     args = parser.parse_args()
 
     with open(args.service_json) as f:
         run = json.load(f)
+
+    if args.incremental:
+        return check_incremental(run, args.expect_reproved)
+
     theorems = run.get("theorem_cache")
     if theorems is None:
         print("check_warm_start: no theorem_cache section in",

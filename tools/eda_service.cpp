@@ -13,6 +13,9 @@
 //   --jobs N               concurrent job streams (default: hardware)
 //   --serial               run jobs one at a time on the caller
 //   --no-shared-cache      per-job proving, no cross-job amortisation
+//   --incremental          cone-partitioned blif-pair jobs: per-output
+//                          obligations keyed on canonical cone hashes, so
+//                          a warm cache re-proves only the changed cones
 //   --timeout S            override every job's engine timeout
 //   --json FILE            write the structured results
 //   --cache-file FILE      warm-start the shared caches from FILE (corrupt
@@ -41,8 +44,8 @@ namespace {
   std::fprintf(
       stderr,
       "usage: eda_service (--manifest FILE | --sweep SPEC) [--jobs N]\n"
-      "                   [--serial] [--no-shared-cache] [--timeout S]\n"
-      "                   [--json FILE] [--cache-file FILE]\n"
+      "                   [--serial] [--no-shared-cache] [--incremental]\n"
+      "                   [--timeout S] [--json FILE] [--cache-file FILE]\n"
       "                   [--require-cache-hits]\n");
   std::exit(2);
 }
@@ -62,7 +65,8 @@ int main(int argc, char** argv) {
       cache_path;
   std::optional<double> timeout;
   unsigned jobs = 0;
-  bool serial = false, share_cache = true, require_hits = false;
+  bool serial = false, share_cache = true, require_hits = false,
+       incremental = false;
 
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
@@ -86,6 +90,7 @@ int main(int argc, char** argv) {
         jobs = static_cast<unsigned>(n);
       } else if (arg == "--serial") serial = true;
       else if (arg == "--no-shared-cache") share_cache = false;
+      else if (arg == "--incremental") incremental = true;
       else if (arg == "--timeout") {
         std::string v = next();
         timeout = std::stod(v, &used);
@@ -128,10 +133,13 @@ int main(int argc, char** argv) {
   // --serial keeps the pool minimal; run_one never schedules on it.
   opts.jobs = serial ? 1 : jobs;
   opts.share_cache = share_cache;
+  opts.incremental = incremental;
   unsigned threads =
       serial ? 1 : (jobs == 0 ? kernel::default_thread_count() : jobs);
-  std::printf("eda_service: %zu job(s), %u stream(s), shared cache %s\n\n",
-              specs.size(), threads, share_cache ? "on" : "off");
+  std::printf(
+      "eda_service: %zu job(s), %u stream(s), shared cache %s%s\n\n",
+      specs.size(), threads, share_cache ? "on" : "off",
+      incremental ? ", incremental cones" : "");
 
   service::VerifyService svc(opts);
   if (cache_path) {
@@ -161,9 +169,16 @@ int main(int argc, char** argv) {
     std::string cache;
     if (r.theorem_cache_hit) cache += "thm ";
     if (r.result_cache_hit) cache += "res";
+    if (r.cones > 0) {
+      cache += " cones " + std::to_string(r.cone_hits) + "/" +
+               std::to_string(r.cones) + " hit";
+    }
     std::printf("%-28s %-6s %-5s %5d %7d %9.3f %9.3f %s\n", r.name.c_str(),
                 service::method_name(r.method), status_of(r), r.ff, r.gates,
                 r.synth_sec, r.verify_sec, cache.c_str());
+    if (!r.counterexample.empty()) {
+      std::printf("    ^ differs at output '%s'\n", r.counterexample.c_str());
+    }
     if (!r.ok) std::printf("    ^ %s\n", r.error.c_str());
   }
 

@@ -1,0 +1,109 @@
+// make_cone_corpus — deterministic multi-cone BLIF corpus for the CI
+// incremental smoke gate.
+//
+//   make_cone_corpus --dir DIR [--cones N] [--seed S]
+//
+// Writes into DIR:
+//   base_a.blif     N-cone random design A
+//   base_b.blif     A with an opaque-equivalent edit in EVERY cone (so a
+//                   cold A-vs-B check must genuinely prove all N cones)
+//   edit_b.blif     base_b with ONE more equivalent edit in cone 0 — the
+//                   "engineer touched one output" replay input
+//   cold.manifest   blif:base_a,base_b eijk
+//   edit.manifest   blif:base_a,edit_b eijk
+//
+// CI runs cold.manifest with --incremental --cache-file, then
+// edit.manifest against the saved cache, and asserts (check_warm_start.py
+// --incremental) that exactly one cone was re-proved.
+//
+// exit status: 0 ok, 1 I/O failure, 2 usage.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+
+#include "io/blif.h"
+#include "testlib/gen.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "make_cone_corpus: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: make_cone_corpus --dir DIR [--cones N] [--seed S]\n");
+  std::exit(2);
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  int cones = 8;
+  std::uint64_t seed = 20260808;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    auto next = [&]() -> std::string {
+      if (a + 1 >= argc) usage(("missing value after " + arg).c_str());
+      return argv[++a];
+    };
+    if (arg == "--dir") {
+      dir = next();
+    } else if (arg == "--cones") {
+      cones = std::stoi(next());
+      if (cones < 2 || cones > 64) usage("--cones must be in 2..64");
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+  if (dir.empty()) usage("need --dir");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // ok if it already exists
+  if (ec) {
+    std::fprintf(stderr, "make_cone_corpus: cannot create %s: %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+
+  using eda::testlib::ConeEdit;
+  eda::circuit::GateNetlist a = eda::testlib::random_netlist_multi(
+      seed, /*inputs=*/6, /*gates=*/10 * cones, /*ffs=*/4, cones);
+  eda::circuit::GateNetlist b = a;
+  for (int i = 0; i < cones; ++i) {
+    b = eda::testlib::mutate_cone(b, static_cast<std::size_t>(i),
+                                  ConeEdit::EquivalentOpaque);
+  }
+  eda::circuit::GateNetlist edit =
+      eda::testlib::mutate_cone(b, 0, ConeEdit::Equivalent);
+
+  const std::string a_path = dir + "/base_a.blif";
+  const std::string b_path = dir + "/base_b.blif";
+  const std::string e_path = dir + "/edit_b.blif";
+  bool ok = write_file(a_path, eda::io::write_blif(a, "base_a")) &&
+            write_file(b_path, eda::io::write_blif(b, "base_b")) &&
+            write_file(e_path, eda::io::write_blif(edit, "edit_b")) &&
+            write_file(dir + "/cold.manifest",
+                       "blif:" + a_path + "," + b_path +
+                           " eijk timeout=60 name=cold\n") &&
+            write_file(dir + "/edit.manifest",
+                       "blif:" + a_path + "," + e_path +
+                           " eijk timeout=60 name=edit\n");
+  if (!ok) {
+    std::fprintf(stderr, "make_cone_corpus: cannot write into %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::printf("make_cone_corpus: %d cones, seed %llu -> %s\n", cones,
+              static_cast<unsigned long long>(seed), dir.c_str());
+  return 0;
+}
