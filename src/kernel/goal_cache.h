@@ -69,6 +69,44 @@ class GoalCache {
     return {it->second, inserted};
   }
 
+  /// First half of a two-phase get_or_prove_if, for callers that want to
+  /// batch the proving of many missed goals (e.g. the service's batched
+  /// BDD kernel): a present entry counts a hit and is returned; an absent
+  /// one counts NOTHING yet — the caller is expected to prove the goal and
+  /// publish() the result, which is where the miss lands.  A lookup that
+  /// is never followed by its publish under-counts one miss; pair them.
+  std::optional<Value> lookup(const Term& goal, bool* was_hit = nullptr) {
+    if (auto v = find(goal)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (was_hit != nullptr) *was_hit = true;
+      return v;
+    }
+    if (was_hit != nullptr) *was_hit = false;
+    return std::nullopt;
+  }
+
+  /// Second half: publish the value proved for a goal whose lookup()
+  /// missed, returning the canonical entry.  Accounting matches
+  /// get_or_prove_if exactly — an insert counts the miss, losing the
+  /// publication race counts a hit (the obligation is served by the shared
+  /// entry), and `cacheable = false` (a budget-blown verdict, machine
+  /// state rather than a goal property) skips insertion but still counts
+  /// the miss — so k submissions of one goal through lookup()/publish()
+  /// still yield exactly 1 miss and k-1 hits.
+  Value publish(const Term& goal, Value value, bool cacheable = true) {
+    if (!cacheable) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return value;
+    }
+    auto [canonical, inserted] = emplace(goal, std::move(value));
+    if (inserted) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return canonical;
+  }
+
   /// The service entry point: return the cached value for `goal`, proving
   /// it with `prove()` on a miss.  `was_hit` (optional) reports whether the
   /// returned value came from the shared cache.

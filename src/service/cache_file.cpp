@@ -16,8 +16,9 @@ namespace {
 
 /// Application-schema tag inside the (already version-gated) kernel
 /// container: bump when the cache *contents* change shape — e.g. a new
-/// section — without touching the node-table wire format.
-constexpr std::uint32_t kCacheSchema = 1;
+/// section — without touching the node-table wire format.  Schema 2 added
+/// the sim pre-filter provenance fields to serialized verdicts.
+constexpr std::uint32_t kCacheSchema = 2;
 
 void encode_thm(kernel::Encoder& enc, const kernel::Thm& th) {
   enc.thm(th);
@@ -31,6 +32,9 @@ void encode_verdict(kernel::Encoder& enc, const verify::VerifyResult& v) {
   enc.u64(static_cast<std::uint64_t>(v.iterations));
   enc.f64(v.seconds);
   enc.u64(v.peak);
+  enc.u8(v.sim_refuted ? 1 : 0);
+  enc.u64(v.sim_vectors);
+  enc.str(v.counterexample);
 }
 
 verify::VerifyResult decode_verdict(kernel::Decoder& dec) {
@@ -40,6 +44,9 @@ verify::VerifyResult decode_verdict(kernel::Decoder& dec) {
   v.iterations = static_cast<int>(dec.u64());
   v.seconds = dec.f64();
   v.peak = static_cast<std::size_t>(dec.u64());
+  v.sim_refuted = dec.u8() != 0;
+  v.sim_vectors = dec.u64();
+  v.counterexample = dec.str();
   return v;
 }
 

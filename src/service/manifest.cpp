@@ -175,6 +175,8 @@ std::string results_to_json(const std::vector<JobResult>& results,
     out += "\"cones\": " + std::to_string(r.cones) + ", ";
     out += "\"cone_hits\": " + std::to_string(r.cone_hits) + ", ";
     out += "\"cones_reproved\": " + std::to_string(r.cones_reproved) + ", ";
+    out += "\"sim_refuted\": " + std::to_string(r.sim_refuted) + ", ";
+    out += "\"sim_vectors\": " + std::to_string(r.sim_vectors) + ", ";
     out += "\"counterexample\": \"" + json_escape(r.counterexample) + "\", ";
     out += "\"error\": \"" + json_escape(r.error) + "\"}";
     out += (i + 1 < results.size()) ? ",\n" : "\n";

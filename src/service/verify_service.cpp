@@ -16,8 +16,10 @@
 #include "kernel/parallel.h"
 #include "kernel/thm.h"
 #include "service/spec_util.h"
+#include "sim/bitsim.h"
 #include "theories/numeral.h"
 #include "theories/pair_theory.h"
+#include "verify/batch_bdd.h"
 #include "verify/cone.h"
 #include "verify/retime_match.h"
 
@@ -252,6 +254,10 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
     Resolved rc = resolve_circuit(spec.circuit);
     verify::VerifyOptions vopts;
     vopts.timeout_sec = spec.timeout_sec;
+    sim::SimOptions sim_opts;
+    sim_opts.vectors = opts.sim_vectors;
+    sim_opts.frames = opts.sim_frames;
+    sim_opts.seed = opts.sim_seed;
 
     if (rc.is_pair) {
       verify::Engine eng = *engine_of(spec.method);
@@ -271,32 +277,92 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
         std::vector<verify::ConePair> pairs =
             verify::pair_cones(rc.net_a, rc.net_b);
         std::vector<verify::ConeVerdict> cones(pairs.size());
-        kernel::parallel_for(
-            pairs.size(),
-            [&](std::size_t i) {
-              const verify::ConePair& p = pairs[i];
-              verify::ConeJob job{&p, eng, vopts};
-              verify::ConeVerdict& cv = cones[i];
-              cv.output = p.output;
-              if (opts.share_cache) {
-                kernel::Term key = cone_key(p.hash_a, p.hash_b, eng,
-                                            spec.timeout_sec, vopts);
-                cv.result = verdicts.get_or_prove_if(
-                    key, [&] { return verify::check_cone(job); },
-                    [](const verify::VerifyResult& res) {
-                      return res.completed;
-                    },
-                    &cv.cache_hit);
-              } else {
-                cv.result = verify::check_cone(job);
-              }
-            },
-            pool);
+        std::vector<verify::ConeJob> cjobs(pairs.size());
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+          cjobs[i] = {&pairs[i], eng, vopts, opts.use_sim, sim_opts};
+          cones[i].output = pairs[i].output;
+        }
+        if (opts.share_cache && opts.batch_bdd) {
+          // Phase A (parallel): cache lookup, then the engine-free cheap
+          // tiers — identity, miter fold, sim refutation.  Phase B: the
+          // surviving cones run together on the shared-pool batched BDD
+          // kernel.  Publication happens last, with lookup()/publish()
+          // pairing preserving the cache's 1-miss/k-1-hit accounting.
+          std::vector<std::optional<verify::VerifyResult>> settled(
+              pairs.size());
+          std::vector<std::uint64_t> spent(pairs.size(), 0);
+          // optional: Term has no default construction (every Term is a
+          // real interned node).
+          std::vector<std::optional<kernel::Term>> keys(pairs.size());
+          kernel::parallel_for(
+              pairs.size(),
+              [&](std::size_t i) {
+                keys[i] = cone_key(pairs[i].hash_a, pairs[i].hash_b, eng,
+                                   spec.timeout_sec, vopts);
+                if (auto v =
+                        verdicts.lookup(*keys[i], &cones[i].cache_hit)) {
+                  settled[i] = *v;
+                  return;
+                }
+                settled[i] = verify::check_cone_fast(cjobs[i], &spent[i]);
+              },
+              pool);
+          std::vector<std::size_t> rest;
+          std::vector<verify::CheckJob> engine_jobs;
+          for (std::size_t i = 0; i < pairs.size(); ++i) {
+            if (settled[i]) continue;
+            rest.push_back(i);
+            engine_jobs.push_back({&pairs[i].a, &pairs[i].b, eng, vopts});
+          }
+          std::vector<verify::VerifyResult> proved =
+              verify::check_batch(engine_jobs);
+          for (std::size_t k = 0; k < rest.size(); ++k) {
+            proved[k].sim_vectors = spent[rest[k]];
+            settled[rest[k]] = proved[k];
+          }
+          for (std::size_t i = 0; i < pairs.size(); ++i) {
+            cones[i].result =
+                cones[i].cache_hit
+                    ? *settled[i]
+                    : verdicts.publish(*keys[i], *settled[i],
+                                       settled[i]->completed);
+          }
+        } else if (opts.batch_bdd) {
+          // No cache to consult: the whole decomposition goes through the
+          // batched fast-tiers + shared-pool kernel pipeline directly.
+          std::vector<verify::VerifyResult> rs =
+              verify::check_cones_batched(cjobs);
+          for (std::size_t i = 0; i < pairs.size(); ++i) {
+            cones[i].result = rs[i];
+          }
+        } else {
+          kernel::parallel_for(
+              pairs.size(),
+              [&](std::size_t i) {
+                verify::ConeVerdict& cv = cones[i];
+                if (opts.share_cache) {
+                  kernel::Term key = cone_key(pairs[i].hash_a,
+                                              pairs[i].hash_b, eng,
+                                              spec.timeout_sec, vopts);
+                  cv.result = verdicts.get_or_prove_if(
+                      key, [&] { return verify::check_cone(cjobs[i]); },
+                      [](const verify::VerifyResult& res) {
+                        return res.completed;
+                      },
+                      &cv.cache_hit);
+                } else {
+                  cv.result = verify::check_cone(cjobs[i]);
+                }
+              },
+              pool);
+        }
         verify::StitchedVerdict sv = verify::stitch_verdicts(cones);
         r.cones = sv.cones;
         r.cone_hits = sv.hits;
         r.cones_reproved = sv.reproved;
         r.counterexample = sv.counterexample;
+        r.sim_refuted = sv.sim_refuted;
+        r.sim_vectors = sv.sim_vectors;
         r.completed = sv.completed;
         r.equivalent = sv.equivalent;
         // "Cache hit" at job granularity = every cone came from cache.
@@ -307,6 +373,26 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
         return r;
       }
       auto run_engine = [&] {
+        // Pre-filter inside the prove lambda: a sim refutation is an
+        // engine-independent truth (it holds from every initial register
+        // state), so caching it under the engine key is sound, and a
+        // cache hit skips the simulation along with the engine.
+        if (opts.use_sim) {
+          sim::RefuteResult sr = sim::refute(rc.net_a, rc.net_b, sim_opts);
+          if (sr.refuted) {
+            verify::VerifyResult sv;
+            sv.completed = true;
+            sv.equivalent = false;
+            sv.sim_refuted = true;
+            sv.sim_vectors = sr.vectors;
+            sv.counterexample = sr.cex.output;
+            return sv;
+          }
+          verify::VerifyResult ev =
+              verify::run_check({&rc.net_a, &rc.net_b, eng, vopts});
+          ev.sim_vectors = sr.vectors;
+          return ev;
+        }
         return verify::run_check({&rc.net_a, &rc.net_b, eng, vopts});
       };
       verify::VerifyResult v;
@@ -333,6 +419,9 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
       r.verify_sec = seconds_since(tv);
       r.completed = v.completed;
       r.equivalent = v.equivalent;
+      r.sim_refuted = v.sim_refuted ? 1 : 0;
+      r.sim_vectors = v.sim_vectors;
+      r.counterexample = v.counterexample;
       r.ok = true;
       r.total_sec = seconds_since(t0);
       return r;
@@ -390,6 +479,25 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
         // runs — a verdict-cache hit skips it.
         auto run_engine = [&] {
           circuit::GateNetlist gb = circuit::bit_blast(retimed);
+          // Same pre-filter as the blif-pair path; on RTL jobs the pair
+          // came out of the retiming kernel, so a refutation here would
+          // flag a kernel bug — which is exactly why the fuzz leg runs it.
+          if (opts.use_sim) {
+            sim::RefuteResult sr = sim::refute(ga, gb, sim_opts);
+            if (sr.refuted) {
+              verify::VerifyResult sv;
+              sv.completed = true;
+              sv.equivalent = false;
+              sv.sim_refuted = true;
+              sv.sim_vectors = sr.vectors;
+              sv.counterexample = sr.cex.output;
+              return sv;
+            }
+            verify::VerifyResult ev =
+                verify::run_check({&ga, &gb, eng, vopts});
+            ev.sim_vectors = sr.vectors;
+            return ev;
+          }
           return verify::run_check({&ga, &gb, eng, vopts});
         };
         verify::VerifyResult v;
@@ -414,6 +522,9 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
         }
         r.completed = v.completed;
         r.equivalent = v.equivalent;
+        r.sim_refuted = v.sim_refuted ? 1 : 0;
+        r.sim_vectors = v.sim_vectors;
+        r.counterexample = v.counterexample;
         break;
       }
     }

@@ -77,6 +77,13 @@ struct JobResult {
   std::size_t cone_hits = 0;
   std::size_t cones_reproved = 0;
   std::string counterexample;
+  /// Simulation pre-filter accounting (sim/bitsim.h), on every engine
+  /// path: `sim_refuted` counts obligations the pre-filter settled NONEQUIV
+  /// before any BDD was built (0 or 1 for whole-netlist jobs, a cone count
+  /// on the incremental path); `sim_vectors` totals the random stimulus
+  /// spent, including on pairs that passed through to an engine.
+  std::size_t sim_refuted = 0;
+  std::uint64_t sim_vectors = 0;
 };
 
 struct ServiceStats {
@@ -103,6 +110,21 @@ struct ServiceOptions {
   /// back into the whole-design verdict.  Pairs whose output counts differ
   /// fall back to the whole-netlist path.  RTL jobs are unaffected.
   bool incremental = false;
+  /// Bit-parallel simulation pre-filter (sim/bitsim.h): before an engine
+  /// builds any BDDs, drive both sides with `sim_vectors` shared random
+  /// vectors (`sim_frames` cycles each, flops starting at X) and settle the
+  /// obligation NONEQUIV — with a concrete counterexample — on any lane
+  /// mismatch.  Sound against every engine's init semantics (the X init
+  /// makes a refutation hold from all initial register states), so the
+  /// verdict is cached under the same key an engine verdict would be.
+  bool use_sim = true;
+  int sim_vectors = 256;
+  int sim_frames = 4;
+  std::uint64_t sim_seed = 0x5eedf17e;
+  /// Run the incremental path's engine tail on the batched BDD kernel
+  /// (verify/batch_bdd.h): one shared node pool and a lock-step apply loop
+  /// across all surviving cones, instead of one BddManager per cone.
+  bool batch_bdd = true;
 };
 
 /// A long-running multi-circuit verification service: jobs are submitted as

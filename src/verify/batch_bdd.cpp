@@ -1,0 +1,198 @@
+#include "verify/batch_bdd.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "verify/symbolic.h"
+
+namespace eda::verify {
+
+using bdd::BddId;
+using bdd::BddManager;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-task traversal state, one record per live BDD job.  The arrays
+/// inside (partitions, dep_targets) plus the scalar frontier/reached pairs
+/// are the structure-of-arrays complement to the shared manager: everything
+/// node-shaped lives in the manager, everything task-shaped lives here.
+struct Task {
+  const CheckJob* job = nullptr;
+  Product p;
+  std::vector<BddId> partitions;  // TR conjuncts; single entry for smv
+  std::vector<int> dep_targets;   // eijk+: B-side state vars to reduce
+  BddId reached = 0, frontier = 0;
+  bool done = false;
+  bool poisoned = false;  // shared pool blew up under this task
+  VerifyResult res;
+};
+
+/// One fixpoint iteration for one task — the loop body of eijk_check /
+/// smv_check verbatim, with `res.seconds` accruing only this task's own
+/// step time so batch timeouts mean the same thing as per-job timeouts.
+void step_task(BddManager& mgr, Task& t) {
+  Clock::time_point tick = Clock::now();
+  auto charge = [&] {
+    t.res.seconds +=
+        std::chrono::duration<double>(Clock::now() - tick).count();
+  };
+  ++t.res.iterations;
+  t.res.peak = std::max(t.res.peak, mgr.node_table_size());
+  if (t.res.seconds > t.job->opts.timeout_sec) {
+    t.done = true;  // completed stays false: timed out
+    return;
+  }
+
+  BddId img_frontier = t.frontier;
+  std::vector<BddId> parts = t.partitions;
+  if (t.job->engine == Engine::EijkPlus) {
+    // Functional-dependency reduction, as in eijk_check: a state variable
+    // whose on/off projections are disjoint on the frontier is a function
+    // of the rest; image in the reduced space with the dependency as an
+    // extra partition.
+    for (int v : mgr.support(img_frontier)) {
+      if (std::find(t.dep_targets.begin(), t.dep_targets.end(), v) ==
+          t.dep_targets.end()) {
+        continue;
+      }
+      BddId on = mgr.exists(mgr.land(img_frontier, mgr.var(v)), {v});
+      BddId off = mgr.exists(mgr.land(img_frontier, mgr.nvar(v)), {v});
+      if (mgr.land(on, off) == mgr.false_bdd()) {
+        parts.push_back(mgr.lxnor(mgr.var(v), on));
+        img_frontier = mgr.exists(img_frontier, {v});
+      }
+    }
+  }
+
+  BddId img = partitioned_image(mgr, img_frontier, parts, t.p.quantify);
+  img = mgr.rename(img, t.p.next_to_present);
+  BddId next_reached = mgr.lor(t.reached, img);
+  if (next_reached == t.reached) {
+    t.res.peak = std::max(t.res.peak, mgr.node_table_size());
+    t.res.completed = true;
+    t.res.equivalent =
+        mgr.land(t.reached, t.p.miscompare) == mgr.false_bdd();
+    t.done = true;
+    charge();
+    return;
+  }
+  t.frontier = img;
+  t.reached = next_reached;
+  charge();
+}
+
+}  // namespace
+
+std::vector<VerifyResult> check_batch(const std::vector<CheckJob>& jobs) {
+  std::vector<VerifyResult> out(jobs.size());
+  std::vector<std::size_t> bdd_jobs;
+  int vars = 1;
+  std::size_t max_limit = 0, sum_limit = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].engine == Engine::SisFsm) {
+      out[i] = run_check(jobs[i]);  // explicit-state: nothing to share
+      continue;
+    }
+    vars = std::max(vars, product_var_count(*jobs[i].a, *jobs[i].b));
+    max_limit = std::max(max_limit, jobs[i].opts.node_limit);
+    sum_limit += jobs[i].opts.node_limit;
+    bdd_jobs.push_back(i);
+  }
+  if (bdd_jobs.empty()) return out;
+  // The pool holds every task's nodes at once (the manager never frees),
+  // so one job's limit is far too small a budget for a big batch: size it
+  // to the whole batch's aggregate budget, capped at 8x the largest job —
+  // comparable to what the per-job path's concurrent managers could have
+  // allocated in aggregate.  Tasks the capped pool still can't finish are
+  // re-run per-job below, so the cap costs performance, never verdicts.
+  std::size_t node_limit = std::min(sum_limit, 8 * max_limit);
+
+  // Tasks reuse the same variable indices (every product machine numbers
+  // its variables from 0), which is what makes the shared pool pay:
+  // identical logic in different cones interns to identical nodes.
+  BddManager mgr(vars, node_limit);
+  std::vector<Task> tasks(bdd_jobs.size());
+  for (std::size_t k = 0; k < bdd_jobs.size(); ++k) {
+    Task& t = tasks[k];
+    t.job = &jobs[bdd_jobs[k]];
+    Clock::time_point tick = Clock::now();
+    try {
+      t.p = build_product(mgr, *t.job->a, *t.job->b);
+      if (t.job->engine == Engine::Smv) {
+        BddId tr = mgr.true_bdd();
+        for (std::size_t i = 0; i < t.p.a.next_fn.size(); ++i) {
+          tr = mgr.land(tr,
+                        mgr.lxnor(mgr.var(t.p.a.next_vars[i]),
+                                  t.p.a.next_fn[i]));
+        }
+        for (std::size_t i = 0; i < t.p.b.next_fn.size(); ++i) {
+          tr = mgr.land(tr,
+                        mgr.lxnor(mgr.var(t.p.b.next_vars[i]),
+                                  t.p.b.next_fn[i]));
+        }
+        t.partitions.push_back(tr);
+      } else {
+        for (std::size_t i = 0; i < t.p.a.next_fn.size(); ++i) {
+          t.partitions.push_back(mgr.lxnor(mgr.var(t.p.a.next_vars[i]),
+                                           t.p.a.next_fn[i]));
+        }
+        for (std::size_t i = 0; i < t.p.b.next_fn.size(); ++i) {
+          t.partitions.push_back(mgr.lxnor(mgr.var(t.p.b.next_vars[i]),
+                                           t.p.b.next_fn[i]));
+        }
+      }
+      for (int i = 0; i < t.p.layout.nb; ++i) {
+        t.dep_targets.push_back(t.p.layout.b_state(i));
+      }
+      t.reached = t.frontier = mgr.land(t.p.a.init, t.p.b.init);
+    } catch (const bdd::BddError&) {
+      t.done = true;  // interface mismatch or pool blowup during build
+      t.poisoned = true;
+    }
+    t.res.seconds +=
+        std::chrono::duration<double>(Clock::now() - tick).count();
+  }
+
+  // Unified lock-step loop: round-robin one image step per live task per
+  // round.  Short tasks retire early and stop paying; long tasks keep the
+  // warmed apply cache.
+  bool any_live = true;
+  while (any_live) {
+    any_live = false;
+    for (Task& t : tasks) {
+      if (t.done) continue;
+      try {
+        step_task(mgr, t);
+      } catch (const bdd::BddError&) {
+        // The shared pool is over its limit: stop batching this task and
+        // remember to re-run it on its own manager below.
+        t.done = true;
+        t.poisoned = true;
+      }
+      if (!t.done) any_live = true;
+    }
+  }
+  // Per-job fallback for pool casualties: a task the SHARED pool starved
+  // gets the same private manager and private node budget the non-batched
+  // path would have given it, so batching never changes a verdict — a
+  // task that fails here fails identically per-job.  (Timeout/limit
+  // failures of the task's own making keep their incomplete result.)
+  for (Task& t : tasks) {
+    if (!t.poisoned || t.res.completed) continue;
+    double spent = t.res.seconds;
+    try {
+      t.res = run_check(*t.job);
+    } catch (const bdd::BddError&) {
+      // Same failure on a private pool: genuinely incomplete.
+    }
+    t.res.seconds += spent;
+  }
+  for (std::size_t k = 0; k < bdd_jobs.size(); ++k) {
+    out[bdd_jobs[k]] = tasks[k].res;
+  }
+  return out;
+}
+
+}  // namespace eda::verify

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "verify/parallel_verify.h"
+
+namespace eda::verify {
+
+/// Batched BDD traversal: advance many independent equivalence obligations
+/// together through ONE shared BddManager instead of one manager per job.
+///
+/// The shared unique/ite tables are the point — cones split off the same
+/// design share most of their logic, so their product machines build
+/// largely identical BDDs; in a shared pool those collapse to the same
+/// nodes and the apply cache warms across jobs.  Per-job state lives in
+/// structure-of-arrays task records (reached/frontier/partitions/result),
+/// and a unified lock-step loop gives every live task one image step per
+/// round, so no single blow-up-prone job starves the rest of progress.
+///
+/// Verdict semantics are identical to run_check per job: the traversal per
+/// task is the same partitioned-image (eijk), dependency-reduced (eijk+)
+/// or monolithic-relation (smv) fixpoint, just interleaved.  Per-task
+/// timeouts are measured on time actually spent inside that task's steps.
+/// The pool's node budget is the batch's aggregate per-job budget (capped
+/// at 8x the largest single job — the manager never frees, so the pool
+/// must hold every task's nodes at once); if it still blows up, the
+/// starved tasks are transparently re-run on private managers with their
+/// own per-job limits, so batching can cost time but never changes a
+/// verdict.  SisFsm jobs are explicit-state, have nothing to share, and
+/// are dispatched straight to run_check.
+std::vector<VerifyResult> check_batch(const std::vector<CheckJob>& jobs);
+
+}  // namespace eda::verify

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
 namespace eda::verify {
 
@@ -19,6 +21,15 @@ struct VerifyResult {
   int iterations = 0;       // traversal steps
   double seconds = 0.0;
   std::size_t peak = 0;     // peak BDD nodes / explicit states
+  /// Simulation pre-filter provenance (sim/bitsim.h): a NONEQUIV verdict
+  /// with `sim_refuted` was settled by bit-parallel random simulation
+  /// before any engine ran, `sim_vectors` counting the stimulus spent
+  /// (also set, with sim_refuted false, when the pre-filter ran and
+  /// passed the pair through).  `counterexample` names the differing
+  /// output for NONEQUIV verdicts that carry a concrete witness.
+  bool sim_refuted = false;
+  std::uint64_t sim_vectors = 0;
+  std::string counterexample;
 };
 
 }  // namespace eda::verify

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "kernel/parallel.h"
+#include "verify/batch_bdd.h"
 
 namespace eda::verify {
 
@@ -197,8 +198,10 @@ bool miter_output_is_const(const GateNetlist& miter, bool value) {
   return value ? op == GateOp::Const1 : op == GateOp::Const0;
 }
 
-VerifyResult check_cone(const ConeJob& job) {
+std::optional<VerifyResult> check_cone_fast(const ConeJob& job,
+                                            std::uint64_t* sim_spent) {
   const ConePair& p = *job.pair;
+  if (sim_spent != nullptr) *sim_spent = 0;
   // Tier 1: byte-identical canonical cones — equal graphs compute equal
   // functions; no engine, no miter.
   if (structurally_identical(p.a, p.b)) {
@@ -219,14 +222,75 @@ VerifyResult check_cone(const ConeJob& job) {
     v.equivalent = miter_output_is_const(miter, false);
     return v;
   }
-  // Tier 3: the requested engine on the pair.
-  return run_check({&p.a, &p.b, job.engine, job.opts});
+  // Tier 3: bit-parallel random simulation.  X-pessimistic flop init
+  // makes a refutation hold for every initial register assignment, so
+  // NONEQUIV here agrees with any engine's verdict; a pass-through says
+  // nothing and falls to the engine.
+  if (job.use_sim) {
+    sim::RefuteResult r = sim::refute(p, job.sim);
+    if (r.refuted) {
+      VerifyResult v;
+      v.completed = true;
+      v.equivalent = false;
+      v.sim_refuted = true;
+      v.sim_vectors = r.vectors;
+      v.counterexample = r.cex.output;
+      return v;
+    }
+    if (sim_spent != nullptr) *sim_spent = r.vectors;
+  }
+  return std::nullopt;
+}
+
+VerifyResult check_cone(const ConeJob& job) {
+  std::uint64_t spent = 0;
+  if (std::optional<VerifyResult> v = check_cone_fast(job, &spent)) {
+    return *v;
+  }
+  // Tier 4: the requested engine on the pair.
+  VerifyResult v = run_check({&job.pair->a, &job.pair->b, job.engine,
+                              job.opts});
+  v.sim_vectors = spent;  // the pre-filter's spend rides on the verdict
+  return v;
 }
 
 std::vector<VerifyResult> check_cones_parallel(
     const std::vector<ConeJob>& jobs) {
   return kernel::parallel_map(
       jobs, [](const ConeJob& job) { return check_cone(job); });
+}
+
+std::vector<VerifyResult> check_cones_batched(
+    const std::vector<ConeJob>& jobs) {
+  struct Fast {
+    std::optional<VerifyResult> verdict;
+    std::uint64_t sim_spent = 0;
+  };
+  // The cheap tiers are embarrassingly parallel; fan them out first.
+  std::vector<Fast> fast = kernel::parallel_map(jobs, [](const ConeJob& j) {
+    Fast f;
+    f.verdict = check_cone_fast(j, &f.sim_spent);
+    return f;
+  });
+  std::vector<VerifyResult> out(jobs.size());
+  std::vector<std::size_t> survivors;
+  std::vector<CheckJob> engine_jobs;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (fast[i].verdict) {
+      out[i] = *fast[i].verdict;
+    } else {
+      survivors.push_back(i);
+      engine_jobs.push_back(
+          {&jobs[i].pair->a, &jobs[i].pair->b, jobs[i].engine, jobs[i].opts});
+    }
+  }
+  // The EQUIV-heavy tail runs on the shared-pool lock-step kernel.
+  std::vector<VerifyResult> proved = check_batch(engine_jobs);
+  for (std::size_t k = 0; k < survivors.size(); ++k) {
+    proved[k].sim_vectors = fast[survivors[k]].sim_spent;
+    out[survivors[k]] = proved[k];
+  }
+  return out;
 }
 
 StitchedVerdict stitch_verdicts(const std::vector<ConeVerdict>& cones) {
@@ -239,6 +303,8 @@ StitchedVerdict stitch_verdicts(const std::vector<ConeVerdict>& cones) {
     } else {
       ++s.reproved;
     }
+    if (c.result.sim_refuted) ++s.sim_refuted;
+    s.sim_vectors += c.result.sim_vectors;
     if (c.result.completed && !c.result.equivalent &&
         s.counterexample.empty()) {
       s.counterexample = c.output;

@@ -4,7 +4,10 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "io/blif.h"
+#include "sim/bitsim.h"
 #include "verify/parallel_verify.h"
 
 namespace eda::verify {
@@ -35,24 +38,44 @@ std::vector<ConePair> pair_cones(const circuit::GateNetlist& a,
                                  const circuit::GateNetlist& b);
 
 /// One schedulable unit for the pool: prove a single cone pair with an
-/// engine under resource bounds.
+/// engine under resource bounds.  `use_sim` inserts the bit-parallel
+/// simulation pre-filter (sim/bitsim.h) between the miter fold and the
+/// engine call — refuting most NONEQUIV pairs in microseconds.
 struct ConeJob {
   const ConePair* pair = nullptr;
   Engine engine = Engine::Eijk;
   VerifyOptions opts;
+  bool use_sim = true;
+  sim::SimOptions sim;
 };
 
-/// Prove one cone pair.  Structurally identical cones (byte-equal
-/// canonical netlists — the unchanged cones of an edited design meeting a
-/// cold cache, or a self-pair) short-circuit to EQUIV without touching an
-/// engine; combinationally identical cones are caught by folding the
-/// hash-consed miter (build_miter) to a constant; everything else runs
-/// the requested engine on the pair.
+/// Prove one cone pair, cheapest evidence first:
+///   tier 1  byte-identical canonical cones — free EQUIV;
+///   tier 2  the hash-consed miter folds to a constant — free verdict;
+///   tier 3  bit-parallel random simulation refutes the pair (use_sim) —
+///           microsecond NONEQUIV with a concrete counterexample;
+///   tier 4  the requested engine.
 VerifyResult check_cone(const ConeJob& job);
+
+/// Tiers 1-3 only: the engine-free fast path, shared by check_cone and
+/// the service's batched pipeline.  nullopt means the cheap tiers could
+/// not settle the pair and an engine must run; `sim_spent`, when given,
+/// receives the stimulus the pre-filter burned on the pass-through so the
+/// engine verdict can still account for it.
+std::optional<VerifyResult> check_cone_fast(
+    const ConeJob& job, std::uint64_t* sim_spent = nullptr);
 
 /// Independent cone obligations fanned across the global pool, results in
 /// input order — check_parallel, one level finer-grained.
 std::vector<VerifyResult> check_cones_parallel(
+    const std::vector<ConeJob>& jobs);
+
+/// As check_cones_parallel, but the jobs that survive the cheap tiers run
+/// on the batched BDD kernel (verify/batch_bdd.h): one shared node pool
+/// and a unified lock-step apply loop across the whole EQUIV tail, instead
+/// of one BddManager per cone.  Verdicts are identical to the per-job
+/// path; the sharing only amortises allocation and cache traffic.
+std::vector<VerifyResult> check_cones_batched(
     const std::vector<ConeJob>& jobs);
 
 /// Build the miter of two netlists sharing their primary inputs: a
@@ -93,6 +116,8 @@ struct StitchedVerdict {
   std::size_t cones = 0;
   std::size_t hits = 0;      ///< cones served from a verdict cache
   std::size_t reproved = 0;  ///< cones that had to be re-proved
+  std::size_t sim_refuted = 0;       ///< cones settled by the sim tier
+  std::uint64_t sim_vectors = 0;     ///< total pre-filter stimulus spent
 };
 
 StitchedVerdict stitch_verdicts(const std::vector<ConeVerdict>& cones);

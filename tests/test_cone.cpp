@@ -183,7 +183,10 @@ TEST(CheckCone, ShortCircuitsAndEngineVerdicts) {
   std::vector<v::ConePair> eq_pairs = v::pair_cones(a, eq);
   std::vector<v::ConeJob> jobs;
   for (const v::ConePair& p : eq_pairs) {
-    jobs.push_back({&p, v::Engine::Eijk, opts});
+    v::ConeJob j;
+    j.pair = &p;
+    j.opts = opts;
+    jobs.push_back(j);
   }
   // Cone 1 is untouched (identity short-circuit), cone 0 needs the engine
   // (the absorption redundancy defeats the miter folding).
@@ -195,7 +198,10 @@ TEST(CheckCone, ShortCircuitsAndEngineVerdicts) {
   }
 
   std::vector<v::ConePair> ne_pairs = v::pair_cones(a, ne);
-  v::VerifyResult bad = v::check_cone({&ne_pairs[0], v::Engine::Eijk, opts});
+  v::ConeJob ne_job;
+  ne_job.pair = &ne_pairs[0];
+  ne_job.opts = opts;
+  v::VerifyResult bad = v::check_cone(ne_job);
   EXPECT_TRUE(bad.completed);
   EXPECT_FALSE(bad.equivalent);
 }

@@ -1,10 +1,37 @@
 #include "testlib/gen.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "theories/numeral.h"
 
 namespace eda::testlib {
+
+std::uint64_t stimulus_seed() {
+  // Resolved and logged exactly once; function-local static init is
+  // thread-safe, so concurrent first calls agree on the value.
+  static const std::uint64_t seed = [] {
+    std::uint64_t s = 0x5eedf17eULL;
+    if (const char* env = std::getenv("EDA_SEED")) {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(env, &end, 0);
+      if (end != env && *end == '\0') {
+        s = static_cast<std::uint64_t>(v);
+      } else {
+        std::fprintf(stderr,
+                     "testlib: malformed EDA_SEED '%s' ignored, using "
+                     "default\n",
+                     env);
+      }
+    }
+    std::printf("testlib: stimulus seed %llu (override with EDA_SEED)\n",
+                static_cast<unsigned long long>(s));
+    std::fflush(stdout);
+    return s;
+  }();
+  return seed;
+}
 
 namespace k = eda::kernel;
 using k::Term;

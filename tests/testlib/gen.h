@@ -17,6 +17,16 @@
 
 namespace eda::testlib {
 
+/// The suite-wide base seed for every randomized test and bench stimulus:
+/// the EDA_SEED environment variable when set (decimal or 0x-hex, full
+/// token), else a fixed default.  Resolved once per process and logged to
+/// stdout on first use, so every ctest log and bench JSON records the seed
+/// it actually ran under — a failing randomized case replays exactly with
+/// `EDA_SEED=<logged value>`.  Suites deriving many seeds should offset
+/// from this base (seed + case index), keeping cases distinct but all
+/// anchored to the one logged value.
+std::uint64_t stimulus_seed();
+
 /// Deterministic generator of random *well-typed* kernel terms.
 ///
 /// All structural decisions (shapes, types, which variable a leaf picks)

@@ -16,6 +16,14 @@
 //   --incremental          cone-partitioned blif-pair jobs: per-output
 //                          obligations keyed on canonical cone hashes, so
 //                          a warm cache re-proves only the changed cones
+//   --no-sim               disable the bit-parallel simulation pre-filter
+//                          (every obligation goes straight to its engine)
+//   --sim-vectors N        random vectors per refutation attempt (default
+//                          256, rounded up to whole 64-lane words)
+//   --sim-seed S           stimulus seed for the pre-filter
+//   --no-batch-bdd         disable the shared-pool batched BDD kernel on
+//                          the incremental engine tail (one BddManager
+//                          per cone instead)
 //   --timeout S            override every job's engine timeout
 //   --json FILE            write the structured results
 //   --cache-file FILE      warm-start the shared caches from FILE (corrupt
@@ -45,8 +53,9 @@ namespace {
       stderr,
       "usage: eda_service (--manifest FILE | --sweep SPEC) [--jobs N]\n"
       "                   [--serial] [--no-shared-cache] [--incremental]\n"
-      "                   [--timeout S] [--json FILE] [--cache-file FILE]\n"
-      "                   [--require-cache-hits]\n");
+      "                   [--no-sim] [--sim-vectors N] [--sim-seed S]\n"
+      "                   [--no-batch-bdd] [--timeout S] [--json FILE]\n"
+      "                   [--cache-file FILE] [--require-cache-hits]\n");
   std::exit(2);
 }
 
@@ -66,7 +75,9 @@ int main(int argc, char** argv) {
   std::optional<double> timeout;
   unsigned jobs = 0;
   bool serial = false, share_cache = true, require_hits = false,
-       incremental = false;
+       incremental = false, use_sim = true, batch_bdd = true;
+  int sim_vectors = 256;
+  std::optional<std::uint64_t> sim_seed;
 
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
@@ -91,7 +102,21 @@ int main(int argc, char** argv) {
       } else if (arg == "--serial") serial = true;
       else if (arg == "--no-shared-cache") share_cache = false;
       else if (arg == "--incremental") incremental = true;
-      else if (arg == "--timeout") {
+      else if (arg == "--no-sim") use_sim = false;
+      else if (arg == "--no-batch-bdd") batch_bdd = false;
+      else if (arg == "--sim-vectors") {
+        std::string v = next();
+        int n = std::stoi(v, &used);
+        if (used != v.size() || n < 1 || n > 1'000'000) {
+          usage("--sim-vectors must be an integer in 1..1000000");
+        }
+        sim_vectors = n;
+      } else if (arg == "--sim-seed") {
+        std::string v = next();
+        unsigned long long s = std::stoull(v, &used);
+        if (used != v.size()) usage("--sim-seed must be an integer");
+        sim_seed = static_cast<std::uint64_t>(s);
+      } else if (arg == "--timeout") {
         std::string v = next();
         timeout = std::stod(v, &used);
         if (used != v.size() || !(*timeout > 0.0)) {
@@ -134,12 +159,20 @@ int main(int argc, char** argv) {
   opts.jobs = serial ? 1 : jobs;
   opts.share_cache = share_cache;
   opts.incremental = incremental;
+  opts.use_sim = use_sim;
+  opts.sim_vectors = sim_vectors;
+  opts.batch_bdd = batch_bdd;
+  if (sim_seed) opts.sim_seed = *sim_seed;
   unsigned threads =
       serial ? 1 : (jobs == 0 ? kernel::default_thread_count() : jobs);
   std::printf(
-      "eda_service: %zu job(s), %u stream(s), shared cache %s%s\n\n",
+      "eda_service: %zu job(s), %u stream(s), shared cache %s%s, sim "
+      "pre-filter %s (%d vectors, seed %llu)%s\n\n",
       specs.size(), threads, share_cache ? "on" : "off",
-      incremental ? ", incremental cones" : "");
+      incremental ? ", incremental cones" : "",
+      use_sim ? "on" : "off", sim_vectors,
+      static_cast<unsigned long long>(opts.sim_seed),
+      batch_bdd ? ", batched bdd" : "");
 
   service::VerifyService svc(opts);
   if (cache_path) {
@@ -172,6 +205,10 @@ int main(int argc, char** argv) {
     if (r.cones > 0) {
       cache += " cones " + std::to_string(r.cone_hits) + "/" +
                std::to_string(r.cones) + " hit";
+    }
+    if (r.sim_refuted > 0) {
+      cache += " sim-refuted " + std::to_string(r.sim_refuted) + " (" +
+               std::to_string(r.sim_vectors) + " vec)";
     }
     std::printf("%-28s %-6s %-5s %5d %7d %9.3f %9.3f %s\n", r.name.c_str(),
                 service::method_name(r.method), status_of(r), r.ff, r.gates,

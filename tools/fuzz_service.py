@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Continuous fuzz/soundness gate for the verification service.
+
+Generates seeded BLIF pairs with KNOWN ground truth (make_fuzz_pair:
+testlib random_netlist_multi + per-cone edits with known semantics) and
+pushes each through eda_service in four configurations:
+
+    whole-pair            whole-pair --no-sim
+    --incremental         --incremental --no-sim
+
+failing the run if ANY configuration crashes, hangs, or disagrees with
+the generator's ground truth.  The sim-vs-no-sim axis is the soundness
+gate for the bit-parallel pre-filter (a refutation the engine would not
+have produced is a lane-semantics bug); the incremental axis runs the
+same obligations through cone decomposition and the batched BDD kernel,
+so the two engines cross-check each other on every case.
+
+Counterexample names are checked for *presence*, not exact spelling:
+with several edited cones the simulator may legitimately surface a
+different output than the generator's first edit.  But a sim-refuted
+NONEQUIV verdict with no concrete counterexample is a reporting bug and
+fails.
+
+On failure the case's BLIFs, manifest and all service JSON land in
+--out-dir (uploaded as a CI artifact); the printed seed reproduces the
+case exactly:
+
+    build/make_fuzz_pair --dir repro --seed <seed> --edit <edit>
+
+Exit status: 0 all cases agree, 1 any disagreement/crash, 2 usage.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+EDITS = ["equivalent", "opaque", "different", "mixed"]
+DEFAULT_SEED_BASE = 0x5EEDF17E
+
+
+def run_case(build, case_dir, seed, edit, timeout):
+    """Returns (failures, artifacts) for one seeded case; artifacts is a
+    list of file paths worth keeping when failures is non-empty."""
+    failures = []
+    artifacts = []
+
+    gen = subprocess.run(
+        [os.path.join(build, "make_fuzz_pair"), "--dir", case_dir,
+         "--seed", str(seed), "--edit", edit],
+        capture_output=True, text=True, timeout=timeout)
+    if gen.returncode != 0:
+        return ([f"make_fuzz_pair failed (rc={gen.returncode}): "
+                 f"{gen.stderr.strip()}"], artifacts)
+    truth = {}
+    for line in gen.stdout.splitlines():
+        if "=" in line:
+            for tok in line.split():
+                k, _, v = tok.partition("=")
+                truth[k] = v
+    expect_equiv = truth.get("expect") == "EQ"
+    artifacts += [os.path.join(case_dir, n)
+                  for n in ("a.blif", "b.blif", "pair.manifest")]
+
+    configs = [
+        ("sim", []),
+        ("nosim", ["--no-sim"]),
+        ("inc_sim", ["--incremental"]),
+        ("inc_nosim", ["--incremental", "--no-sim"]),
+    ]
+    for tag, extra in configs:
+        out_json = os.path.join(case_dir, f"result_{tag}.json")
+        artifacts.append(out_json)
+        cmd = [os.path.join(build, "eda_service"),
+               "--manifest", os.path.join(case_dir, "pair.manifest"),
+               "--json", out_json] + extra
+        try:
+            svc = subprocess.run(cmd, capture_output=True, text=True,
+                                 timeout=timeout)
+        except subprocess.TimeoutExpired:
+            failures.append(f"[{tag}] eda_service hung (> {timeout}s)")
+            continue
+        # rc 1 is eda_service's documented "some job failed" status — the
+        # JSON check below reports the specific job; anything else
+        # (usage rc 2, signals rc < 0) is a crash/driver bug.
+        if svc.returncode not in (0, 1):
+            failures.append(
+                f"[{tag}] eda_service crashed (rc={svc.returncode}): "
+                f"{svc.stderr.strip()[-500:]}")
+            continue
+        try:
+            with open(out_json) as f:
+                results = json.load(f)["results"]
+        except (OSError, ValueError, KeyError) as e:
+            failures.append(f"[{tag}] unreadable service JSON: {e}")
+            continue
+        if len(results) != 1:
+            failures.append(f"[{tag}] expected 1 result, got {len(results)}")
+            continue
+        r = results[0]
+        if not r["ok"] or not r["completed"]:
+            failures.append(
+                f"[{tag}] job did not complete: ok={r['ok']} "
+                f"completed={r['completed']} error={r.get('error', '')!r}")
+            continue
+        if r["equivalent"] != expect_equiv:
+            failures.append(
+                f"[{tag}] VERDICT DISAGREES with ground truth: service says "
+                f"{'EQUIV' if r['equivalent'] else 'NONEQUIV'}, generator "
+                f"says {truth.get('expect')}")
+        if "nosim" in tag and r.get("sim_refuted", 0) > 0:
+            failures.append(
+                f"[{tag}] sim_refuted={r['sim_refuted']} although the "
+                f"pre-filter was disabled")
+        if r.get("sim_refuted", 0) > 0 and not r.get("counterexample"):
+            failures.append(
+                f"[{tag}] sim-refuted verdict carries no concrete "
+                f"counterexample")
+    return (failures, artifacts)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="fuzz eda_service against known-truth seeded pairs")
+    ap.add_argument("--build-dir", default="build",
+                    help="directory holding make_fuzz_pair and eda_service")
+    ap.add_argument("--cases", type=int, default=24,
+                    help="number of seeded cases (default 24)")
+    ap.add_argument("--seed-base", type=lambda s: int(s, 0), default=None,
+                    help="first seed; default EDA_SEED env or 0x5eedf17e")
+    ap.add_argument("--timeout", type=float, default=120.0,
+                    help="per-process timeout in seconds")
+    ap.add_argument("--out-dir", default="fuzz_artifacts",
+                    help="where failing cases' repro files are kept")
+    args = ap.parse_args()
+
+    base = args.seed_base
+    if base is None:
+        try:
+            base = int(os.environ.get("EDA_SEED", ""), 0)
+        except ValueError:
+            base = DEFAULT_SEED_BASE
+    print(f"fuzz_service: {args.cases} cases from seed base {base} "
+          f"(override with EDA_SEED or --seed-base)")
+
+    for tool in ("make_fuzz_pair", "eda_service"):
+        path = os.path.join(args.build_dir, tool)
+        if not (os.path.exists(path) or os.path.exists(path + ".exe")):
+            print(f"fuzz_service: {path} not found (build first)",
+                  file=sys.stderr)
+            return 2
+
+    failed_seeds = []
+    with tempfile.TemporaryDirectory(prefix="fuzz_service.") as tmp:
+        for i in range(args.cases):
+            seed = base + i
+            edit = EDITS[i % len(EDITS)]
+            case_dir = os.path.join(tmp, f"case_{seed}")
+            try:
+                failures, artifacts = run_case(
+                    args.build_dir, case_dir, seed, edit, args.timeout)
+            except subprocess.TimeoutExpired:
+                failures, artifacts = ["make_fuzz_pair hung"], []
+            if failures:
+                failed_seeds.append((seed, edit))
+                keep = os.path.join(args.out_dir, f"seed_{seed}_{edit}")
+                os.makedirs(keep, exist_ok=True)
+                for path in artifacts:
+                    if os.path.exists(path):
+                        shutil.copy(path, keep)
+                print(f"FAIL seed={seed} edit={edit}  "
+                      f"(repro files in {keep})")
+                for f in failures:
+                    print(f"     {f}")
+            else:
+                print(f"ok   seed={seed} edit={edit}")
+
+    if failed_seeds:
+        print(f"\nfuzz_service: {len(failed_seeds)}/{args.cases} cases "
+              f"FAILED: " +
+              ", ".join(f"{s} ({e})" for s, e in failed_seeds))
+        print("reproduce one with: "
+              f"{args.build_dir}/make_fuzz_pair --dir repro "
+              f"--seed <seed> --edit <edit>")
+        return 1
+    print(f"fuzz_service: all {args.cases} cases agree with ground truth")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+// make_fuzz_pair — one seeded BLIF pair with KNOWN ground truth, for the
+// CI fuzz/soundness gate (tools/fuzz_service.py).
+//
+//   make_fuzz_pair --dir DIR --seed S [--cones N]
+//                  [--edit equivalent|opaque|different|mixed]
+//
+// Builds an N-cone random design (testlib random_netlist_multi) and a
+// B side derived from it by per-cone edits with known semantics
+// (testlib mutate_cone):
+//
+//   equivalent   double inverter in every cone          -> EQUIV
+//   opaque       absorption redundancy in every cone    -> EQUIV, but
+//                opaque to syntactic folding AND to simulation: every
+//                cone must reach a real engine
+//   different    single inverter in one seeded cone     -> NONEQUIV
+//   mixed        seeded per-cone draw over all three    -> computed
+//
+// Writes DIR/a.blif, DIR/b.blif and DIR/pair.manifest, and prints the
+// ground truth as `expect=EQ` or `expect=NEQ` (plus, for NONEQUIV, the
+// first edited output as `expect_output=NAME`) for the driver to compare
+// against the service verdict.  The same seed always reproduces the same
+// pair — a failing seed IS the repro.
+//
+// exit status: 0 ok, 1 I/O failure, 2 usage.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <system_error>
+
+#include "io/blif.h"
+#include "testlib/gen.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "make_fuzz_pair: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: make_fuzz_pair --dir DIR --seed S [--cones N]\n"
+               "                      [--edit "
+               "equivalent|opaque|different|mixed]\n");
+  std::exit(2);
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir, edit = "mixed";
+  int cones = 6;
+  std::uint64_t seed = 1;
+  bool have_seed = false;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    auto next = [&]() -> std::string {
+      if (a + 1 >= argc) usage(("missing value after " + arg).c_str());
+      return argv[++a];
+    };
+    if (arg == "--dir") {
+      dir = next();
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+      have_seed = true;
+    } else if (arg == "--cones") {
+      cones = std::stoi(next());
+      if (cones < 1 || cones > 64) usage("--cones must be in 1..64");
+    } else if (arg == "--edit") {
+      edit = next();
+      if (edit != "equivalent" && edit != "opaque" && edit != "different" &&
+          edit != "mixed") {
+        usage("--edit must be equivalent, opaque, different or mixed");
+      }
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+  if (dir.empty()) usage("need --dir");
+  if (!have_seed) usage("need --seed (a fuzz case without one is not "
+                        "reproducible)");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "make_fuzz_pair: cannot create %s: %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+
+  using eda::testlib::ConeEdit;
+  // Modest sizes keep a single case sub-second even through the slowest
+  // engine; the fuzz budget comes from running many seeds, not big ones.
+  eda::circuit::GateNetlist a = eda::testlib::random_netlist_multi(
+      seed, /*inputs=*/5, /*gates=*/8 * cones, /*ffs=*/3, cones);
+  eda::circuit::GateNetlist b = a;
+  // Edit decisions draw from their own stream (seed ^ salt) so they are
+  // independent of the netlist structure draw.
+  std::mt19937_64 rng(seed ^ 0xed17ULL);
+  // For --edit different: exactly one seeded cone differs; the rest carry
+  // an opaque edit so the pair still exercises the engine path.
+  int diff_cone =
+      static_cast<int>(rng() % static_cast<std::uint64_t>(cones));
+  bool nonequiv = false;
+  std::string first_diff;
+  for (int i = 0; i < cones; ++i) {
+    ConeEdit e;
+    if (edit == "equivalent") {
+      e = ConeEdit::Equivalent;
+    } else if (edit == "opaque") {
+      e = ConeEdit::EquivalentOpaque;
+    } else if (edit == "different") {
+      e = i == diff_cone ? ConeEdit::Different : ConeEdit::EquivalentOpaque;
+    } else {  // mixed
+      switch (rng() % 3) {
+        case 0: e = ConeEdit::Equivalent; break;
+        case 1: e = ConeEdit::EquivalentOpaque; break;
+        default: e = ConeEdit::Different; break;
+      }
+    }
+    if (e == ConeEdit::Different && first_diff.empty()) {
+      nonequiv = true;
+      first_diff = a.outputs()[static_cast<std::size_t>(i)].first;
+    }
+    b = eda::testlib::mutate_cone(b, static_cast<std::size_t>(i), e);
+  }
+
+  const std::string a_path = dir + "/a.blif";
+  const std::string b_path = dir + "/b.blif";
+  bool ok = write_file(a_path, eda::io::write_blif(a, "fuzz_a")) &&
+            write_file(b_path, eda::io::write_blif(b, "fuzz_b")) &&
+            write_file(dir + "/pair.manifest",
+                       "blif:" + a_path + "," + b_path +
+                           " eijk timeout=60 name=fuzz\n");
+  if (!ok) {
+    std::fprintf(stderr, "make_fuzz_pair: cannot write into %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::printf("seed=%llu cones=%d edit=%s\n",
+              static_cast<unsigned long long>(seed), cones, edit.c_str());
+  std::printf("expect=%s\n", nonequiv ? "NEQ" : "EQ");
+  if (nonequiv) std::printf("expect_output=%s\n", first_diff.c_str());
+  return 0;
+}
