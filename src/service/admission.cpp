@@ -1,0 +1,249 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <ctime>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "kernel/parallel.h"
+
+namespace eda::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double cpu_seconds() {
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+struct AdmissionQueue::Impl {
+  Impl(VerifyService& svc_, AdmissionOptions opts_)
+      : svc(svc_), opts(opts_), paused(opts_.start_paused) {}
+
+  struct Pending {
+    JobSpec spec;
+    std::size_t ticket = 0;
+    Clock::time_point submitted;
+  };
+
+  void worker_loop();
+  void dispatch(Pending p);
+  std::size_t queued_locked() const;
+
+  VerifyService& svc;
+  AdmissionOptions opts;
+
+  mutable std::mutex mu;
+  std::condition_variable work_cv;   ///< workers: work available / resume
+  std::condition_variable done_cv;   ///< drain: a job finished
+  /// FIFO deque per priority level, highest level first: dispatch pops the
+  /// front of the first non-empty deque, so equal-priority jobs run in
+  /// admission order and a higher-priority admission overtakes without
+  /// reordering anything already at its own level.
+  std::map<int, std::deque<Pending>, std::greater<int>> queues;
+  std::vector<std::optional<JobResult>> results;  ///< indexed by ticket
+  std::vector<std::size_t> dispatched;            ///< tickets, run order
+  std::size_t completed = 0;
+  bool paused = false;
+  bool stopping = false;
+  bool window_open = false;
+  Clock::time_point window_t0;
+  double window_cpu0 = 0.0;
+  std::vector<std::thread> workers;
+};
+
+std::size_t AdmissionQueue::Impl::queued_locked() const {
+  std::size_t n = 0;
+  for (const auto& [prio, q] : queues) n += q.size();
+  return n;
+}
+
+void AdmissionQueue::Impl::dispatch(Pending p) {
+  JobResult r;
+  if (p.spec.deadline_ms > 0.0) {
+    double waited = ms_since(p.submitted);
+    double remaining = p.spec.deadline_ms - waited;
+    if (remaining <= 0.0) {
+      // Expired in the queue: never reaches an engine.  ok stays true —
+      // the service did exactly what the deadline asked of it.
+      r.circuit = p.spec.circuit;
+      r.method = p.spec.method;
+      r.name = p.spec.name.empty()
+                   ? p.spec.circuit + "/" + method_name(p.spec.method)
+                   : p.spec.name;
+      r.ok = true;
+      r.verdict = VerdictClass::DeadlineExpired;
+      svc.record_skipped(r);
+      std::lock_guard<std::mutex> lock(mu);
+      results[p.ticket] = std::move(r);
+      ++completed;
+      done_cv.notify_all();
+      return;
+    }
+    // Dispatched with time left: the engine budget (and the retry guard's
+    // deadline) shrink to what remains, measured from NOW — run_job's
+    // deadline clock starts when it starts.
+    p.spec.deadline_ms = remaining;
+    p.spec.timeout_sec = std::min(p.spec.timeout_sec, remaining / 1000.0);
+  }
+  try {
+    r = svc.run_scheduled(p.spec);
+  } catch (const std::exception& e) {
+    // run_scheduled classifies everything itself; this is the last-ditch
+    // net so a bug in the service layer cannot kill a dispatch stream.
+    r.circuit = p.spec.circuit;
+    r.method = p.spec.method;
+    r.name = p.spec.name;
+    r.ok = false;
+    r.error = e.what();
+    r.verdict = VerdictClass::InternalError;
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  results[p.ticket] = std::move(r);
+  ++completed;
+  done_cv.notify_all();
+}
+
+void AdmissionQueue::Impl::worker_loop() {
+  for (;;) {
+    Pending p;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      work_cv.wait(lock, [&] {
+        return stopping || (!paused && queued_locked() > 0);
+      });
+      if (stopping) return;
+      for (auto& [prio, q] : queues) {
+        if (q.empty()) continue;
+        p = std::move(q.front());
+        q.pop_front();
+        break;
+      }
+      dispatched.push_back(p.ticket);
+    }
+    dispatch(std::move(p));
+  }
+}
+
+AdmissionQueue::AdmissionQueue(VerifyService& svc, AdmissionOptions opts)
+    : impl_(std::make_unique<Impl>(svc, opts)) {
+  unsigned streams = opts.streams == 0
+                         ? kernel::default_thread_count()
+                         : opts.streams;
+  impl_->workers.reserve(streams);
+  for (unsigned i = 0; i < streams; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] {
+      impl->worker_loop();
+    });
+  }
+}
+
+AdmissionQueue::~AdmissionQueue() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+}
+
+Admission AdmissionQueue::try_submit(JobSpec spec) {
+  Admission a;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::size_t depth = impl_->queued_locked();
+  a.queue_depth = depth;
+  if (depth >= impl_->opts.max_depth) {
+    // Structured backpressure: the client learns it was load, not its
+    // request, and how deep the backlog stands.
+    a.accepted = false;
+    a.reason = "RETRY_LATER: admission queue full (depth " +
+               std::to_string(depth) + "/" +
+               std::to_string(impl_->opts.max_depth) +
+               "); back off and resubmit";
+    return a;
+  }
+  if (!impl_->window_open) {
+    impl_->window_open = true;
+    impl_->window_t0 = Clock::now();
+    impl_->window_cpu0 = cpu_seconds();
+  }
+  a.accepted = true;
+  a.ticket = impl_->results.size();
+  a.queue_depth = depth + 1;
+  Impl::Pending p;
+  p.ticket = a.ticket;
+  p.submitted = Clock::now();
+  int priority = spec.priority;
+  p.spec = std::move(spec);
+  impl_->results.emplace_back(std::nullopt);
+  impl_->queues[priority].push_back(std::move(p));
+  impl_->work_cv.notify_one();
+  return a;
+}
+
+std::vector<JobResult> AdmissionQueue::drain() {
+  resume();  // a paused queue can never finish a drain
+  std::vector<JobResult> out;
+  bool window_open = false;
+  Clock::time_point window_t0{};
+  double window_cpu0 = 0.0;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] {
+      return impl_->completed == impl_->results.size() &&
+             impl_->queued_locked() == 0;
+    });
+    out.reserve(impl_->results.size());
+    for (std::optional<JobResult>& r : impl_->results) {
+      out.push_back(std::move(*r));
+    }
+    // dispatched is deliberately kept: it is the queue's lifetime
+    // dispatch log (tests assert the schedule after a drain).
+    impl_->results.clear();
+    impl_->completed = 0;
+    window_open = impl_->window_open;
+    window_t0 = impl_->window_t0;
+    window_cpu0 = impl_->window_cpu0;
+    impl_->window_open = false;
+  }
+  if (window_open) {
+    impl_->svc.record_window(
+        std::chrono::duration<double>(Clock::now() - window_t0).count(),
+        cpu_seconds() - window_cpu0);
+  }
+  return out;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->queued_locked();
+}
+
+void AdmissionQueue::resume() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->paused = false;
+  }
+  impl_->work_cv.notify_all();
+}
+
+std::vector<std::size_t> AdmissionQueue::dispatch_order() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->dispatched;
+}
+
+}  // namespace eda::service

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/verify_service.h"
+
+namespace eda::service {
+
+/// Tunables for the admission front.
+struct AdmissionOptions {
+  /// Queued (not yet dispatched) jobs beyond this are rejected with
+  /// RETRY_LATER — the service sheds load at the door instead of growing
+  /// an unbounded backlog it can never work off.
+  std::size_t max_depth = 256;
+  /// Dispatch streams (worker threads); 0 = hardware default.  Each
+  /// stream runs one job at a time; the job itself still fans its cone
+  /// obligations over the service's pool.
+  unsigned streams = 0;
+  /// Start with dispatch paused; resume() releases it.  Tests use this to
+  /// stage a queue deterministically (ordering, backpressure, deadline
+  /// expiry) before any job runs.
+  bool start_paused = false;
+};
+
+/// try_submit's answer: admitted with a ticket, or rejected with
+/// backpressure.
+struct Admission {
+  bool accepted = false;
+  std::size_t ticket = 0;      ///< index of this job in the next drain()
+  std::size_t queue_depth = 0; ///< queued jobs at the decision point
+  std::string reason;          ///< "RETRY_LATER: ..." when rejected
+};
+
+/// Bounded admission queue in front of a VerifyService: jobs carry a
+/// priority and an optional deadline, dispatch order is
+/// highest-priority-first with FIFO fairness inside each priority level,
+/// and a full queue rejects new work with a structured RETRY_LATER
+/// carrying the current depth as a client backoff hint.
+///
+/// Deadlines are enforced at both ends of the queue: a job still queued
+/// when its deadline passes is skipped with a DEADLINE_EXPIRED verdict
+/// (it never reaches an engine), and a job dispatched close to its
+/// deadline has its engine budget capped to the time remaining, so a
+/// late-running proof cannot blow through the deadline it was admitted
+/// under.
+///
+/// The front owns the batch timing window (first admission to drain) and
+/// reports it to the service via record_window, so ServiceStats read the
+/// same as they do for direct submit()/drain() use.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(VerifyService& svc, AdmissionOptions opts = {});
+  ~AdmissionQueue();
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admit a job, or reject it with backpressure.  Never blocks.
+  Admission try_submit(JobSpec spec);
+
+  /// Release dispatch if paused, wait for every admitted job, and return
+  /// their results in ticket order.  The queue restarts empty afterwards.
+  std::vector<JobResult> drain();
+
+  /// Jobs admitted but not yet dispatched.
+  std::size_t depth() const;
+
+  /// Release a start_paused queue.
+  void resume();
+
+  /// Tickets in the order they were dispatched (tests assert the
+  /// priority/FIFO schedule on a paused, pre-loaded queue).
+  std::vector<std::size_t> dispatch_order() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace eda::service

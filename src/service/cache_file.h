@@ -15,7 +15,8 @@ namespace eda::service {
 using TheoremCache = kernel::GoalCache<kernel::Thm>;
 using VerdictCache = kernel::GoalCache<verify::VerifyResult>;
 
-/// Raised by PersistentCacheFile::save on I/O failure (load never throws —
+/// Raised by PersistentCacheFile::save on I/O failure or when the cache
+/// lock cannot be acquired before `lock_timeout_ms` (load never throws —
 /// a cache file is an optimisation, so every load problem is a diagnosed
 /// cold start instead).
 class CacheFileError : public kernel::KernelError {
@@ -32,24 +33,52 @@ struct CacheLoadResult {
   std::string note;         ///< human diagnostic (why cold, or a summary)
 };
 
-/// Atomic, corruption-tolerant persistence for the service's goal caches.
+/// Tunables for the save critical section.  The defaults suit production;
+/// tests shrink them to exercise stale-lock recovery and contention
+/// timeouts in milliseconds instead of tens of seconds.
+struct CacheFileOptions {
+  /// How long save() waits for the cache lock before throwing.
+  int lock_timeout_ms = 10000;
+  /// A lock file older than this is a crashed saver's leftover: save()
+  /// breaks it and proceeds.
+  int stale_lock_ms = 30000;
+  /// Temp files older than this found by load() are orphans from crashed
+  /// savers and are removed.
+  int orphan_tmp_ms = 60000;
+  /// Merge the on-disk entries into the snapshot before writing (see
+  /// class comment).  Off means last-writer-wins whole-file replacement.
+  bool merge_on_save = true;
+};
+
+/// Atomic, corruption-tolerant, multi-process persistence for the
+/// service's goal caches.
 ///
-/// save() serialises both caches (kernel/serialize.h wire format: interned
-/// term DAGs written once per node, versioned header, FNV-1a checksum) to
-/// `path + ".tmp.<n>"` and renames over `path`, so readers only ever see a
-/// complete file — concurrent savers each write their own temp file and
-/// the last rename wins.
+/// save() takes a lock file (`path + ".lock"`, O_CREAT|O_EXCL, with
+/// stale-lock breaking so a crashed saver cannot wedge the store), then
+/// LOAD-MERGES the current on-disk entries into its own snapshot — live
+/// entries win on key collision, every key survives — serialises the
+/// union (kernel/serialize.h wire format: interned term DAGs written once
+/// per node, versioned header, FNV-1a checksum) to a unique temp file,
+/// fsyncs it, renames over `path` and fsyncs the directory.  N processes
+/// sharing one theorem store therefore lose nothing to save races, and a
+/// power cut mid-save leaves either the old file or the new one, never a
+/// torn hybrid.
 ///
 /// load() is the tolerant inverse: a missing, truncated, bit-flipped or
 /// version-skewed file yields `loaded == false` with a diagnostic note and
 /// admits ZERO entries — decoding stages into scratch caches and merges
 /// only after the whole file validated, so corruption can never leave
-/// partial state in a live service.
+/// partial state in a live service.  It also sweeps orphaned `*.tmp.*`
+/// files left by crashed savers.
 class PersistentCacheFile {
  public:
   explicit PersistentCacheFile(std::string path) : path_(std::move(path)) {}
+  PersistentCacheFile(std::string path, CacheFileOptions opts)
+      : path_(std::move(path)), opts_(opts) {}
 
   const std::string& path() const { return path_; }
+  const CacheFileOptions& options() const { return opts_; }
+  void set_options(const CacheFileOptions& opts) { opts_ = opts; }
 
   void save(const TheoremCache& theorems, const VerdictCache& verdicts)
       const;
@@ -66,6 +95,7 @@ class PersistentCacheFile {
 
  private:
   std::string path_;
+  CacheFileOptions opts_;
 };
 
 }  // namespace eda::service

@@ -1,0 +1,164 @@
+#include "service/fault.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "service/spec_util.h"
+
+namespace eda::service {
+
+namespace {
+
+/// splitmix64 finalizer: the draw must be a pure, well-mixed function of
+/// (seed, site, visit) so schedules replay exactly and sites with similar
+/// names or adjacent visit numbers stay uncorrelated.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h = (h ^ static_cast<unsigned char>(*s)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  sites_[0].name = kFaultEngineBdd;
+  sites_[1].name = kFaultBatchPool;
+  sites_[2].name = kFaultAlloc;
+  sites_[3].name = kFaultWorker;
+  sites_[4].name = kFaultCacheWrite;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::Site* FaultInjector::find(const std::string& site) {
+  for (Site& s : sites_) {
+    if (site == s.name) return &s;
+  }
+  return nullptr;
+}
+
+const FaultInjector::Site* FaultInjector::find(
+    const std::string& site) const {
+  for (const Site& s : sites_) {
+    if (site == s.name) return &s;
+  }
+  return nullptr;
+}
+
+void FaultInjector::reset() {
+  enabled_.store(false, std::memory_order_release);
+  seed_ = 0;
+  rate_ = 0.0;
+  for (Site& s : sites_) {
+    s.armed.store(false, std::memory_order_relaxed);
+    s.visits.store(0, std::memory_order_relaxed);
+    s.injected.store(0, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  reset();
+  if (spec.empty() || spec == "off") return;
+
+  std::uint64_t seed = 0;
+  double rate = -1.0;
+  bool have_seed = false, have_sites = false;
+  std::vector<std::string> armed_sites;
+  for (const std::string& field : detail::split(spec, ',', false)) {
+    std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      throw FaultSpecError("fault spec: expected key=value, got '" + field +
+                           "'");
+    }
+    std::string key = field.substr(0, eq);
+    std::string value = field.substr(eq + 1);
+    auto bad_value = [&]() -> FaultSpecError {
+      return FaultSpecError("fault spec: bad value for '" + key + "'");
+    };
+    if (key == "seed") {
+      try {
+        std::size_t used = 0;
+        seed = std::stoull(value, &used);
+        if (used != value.size()) throw bad_value();
+      } catch (const FaultSpecError&) {
+        throw;
+      } catch (const std::exception&) {
+        throw bad_value();
+      }
+      have_seed = true;
+    } else if (key == "rate") {
+      try {
+        std::size_t used = 0;
+        rate = std::stod(value, &used);
+        if (used != value.size() || !(rate >= 0.0) || !(rate <= 1.0)) {
+          throw bad_value();
+        }
+      } catch (const FaultSpecError&) {
+        throw;
+      } catch (const std::exception&) {
+        throw bad_value();
+      }
+    } else if (key == "sites") {
+      armed_sites = detail::split(value, '+', false);
+      have_sites = true;
+    } else {
+      throw FaultSpecError("fault spec: unknown key '" + key + "'");
+    }
+  }
+  if (!have_seed || rate < 0.0 || !have_sites || armed_sites.empty()) {
+    throw FaultSpecError(
+        "fault spec: need seed=S,rate=R,sites=a+b (or 'off')");
+  }
+  for (const std::string& name : armed_sites) {
+    Site* s = find(name);
+    if (s == nullptr) {
+      throw FaultSpecError("fault spec: unknown site '" + name +
+                           "' (sites: engine_bdd, batch_pool, alloc, "
+                           "worker, cache_write)");
+    }
+    s->armed.store(true, std::memory_order_relaxed);
+  }
+  seed_ = seed;
+  rate_ = rate;
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::configure_from_env() {
+  const char* spec = std::getenv("EDA_FAULTS");
+  if (spec != nullptr && *spec != '\0') configure(spec);
+}
+
+bool FaultInjector::should_fail(const char* site) {
+  if (!enabled_.load(std::memory_order_relaxed)) return false;
+  Site* s = find(site);
+  if (s == nullptr || !s->armed.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  std::uint64_t visit = s->visits.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t draw = mix64(seed_ ^ fnv1a(site) ^ (visit * 0x9e37ULL));
+  // Map the top 53 bits into [0, 1): exact enough for a chaos schedule and
+  // immune to the modulo bias a % draw would carry.
+  double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  if (u >= rate_) return false;
+  s->injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t FaultInjector::injected(const char* site) const {
+  const Site* s = find(site);
+  return s == nullptr ? 0 : s->injected.load(std::memory_order_relaxed);
+}
+
+}  // namespace eda::service

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "kernel/error.h"
+
+namespace eda::service {
+
+/// The named injection sites.  A site is instrumented code that asks the
+/// process-wide FaultInjector "should this visit fail?" and, when told
+/// yes, raises the failure the site models.  Sites are compiled in
+/// unconditionally (one relaxed atomic load when injection is off) so the
+/// chaos leg tests the exact binary that ships.
+///
+///   engine_bdd    a per-job BDD engine run raises BddError (pool failure)
+///   batch_pool    the shared-pool batched kernel raises BddError, forcing
+///                 the degrade-to-per-job-managers ladder
+///   alloc         an engine run raises std::bad_alloc
+///   worker        a worker thread raises a generic exception mid-job
+///   cache_write   a cache save writes a truncated payload (torn write /
+///                 crashed saver), which the next load must diagnose
+inline constexpr const char* kFaultEngineBdd = "engine_bdd";
+inline constexpr const char* kFaultBatchPool = "batch_pool";
+inline constexpr const char* kFaultAlloc = "alloc";
+inline constexpr const char* kFaultWorker = "worker";
+inline constexpr const char* kFaultCacheWrite = "cache_write";
+
+class FaultSpecError : public kernel::KernelError {
+ public:
+  explicit FaultSpecError(const std::string& what)
+      : kernel::KernelError(what) {}
+};
+
+/// Deterministic seeded fault injection, flag/env-driven.
+///
+/// A schedule is `seed=S,rate=R,sites=a+b+c`: each visit to an armed site
+/// draws a pure function of (seed, site name, per-site visit counter) and
+/// fails when the draw lands under `rate` — so one (seed, schedule) pair
+/// reproduces the exact same fault sequence on every run, which is what
+/// lets a failing chaos schedule be replayed bit-for-bit.  Sites not
+/// listed never fire; `off` (or the empty spec) disarms everything.
+///
+/// Thread safety: configuration is publish-once-then-read (the service
+/// front configures before submitting any job; configure must not race
+/// active sites); the per-site visit counters are atomics, so concurrent
+/// workers draw disjoint visit numbers.
+class FaultInjector {
+ public:
+  /// The process-wide injector every instrumented site consults.
+  static FaultInjector& instance();
+
+  /// Parse and arm a schedule spec (see class comment).  Throws
+  /// FaultSpecError on a malformed spec; `off` / empty disarms.
+  void configure(const std::string& spec);
+
+  /// Arm from the EDA_FAULTS environment variable when set (same grammar);
+  /// a no-op when unset.  Throws FaultSpecError on a malformed value.
+  void configure_from_env();
+
+  /// Disarm every site and zero the visit/injection counters.
+  void reset();
+
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// One visit to `site`: true when this visit must fail.  The hot path
+  /// when injection is off is a single relaxed load.
+  bool should_fail(const char* site);
+
+  /// Total failures injected at `site` since the last configure/reset
+  /// (chaos drivers and tests assert on these).
+  std::uint64_t injected(const char* site) const;
+
+  std::uint64_t seed() const { return seed_; }
+  double rate() const { return rate_; }
+
+ private:
+  FaultInjector();
+
+  struct Site {
+    const char* name = "";
+    std::atomic<bool> armed{false};
+    std::atomic<std::uint64_t> visits{0};
+    std::atomic<std::uint64_t> injected{0};
+  };
+
+  Site* find(const std::string& site);
+  const Site* find(const std::string& site) const;
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t seed_ = 0;
+  double rate_ = 0.0;
+  std::array<Site, 5> sites_;
+};
+
+}  // namespace eda::service

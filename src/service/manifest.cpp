@@ -122,6 +122,20 @@ std::vector<JobSpec> parse_manifest(std::istream& in) {
           spec.seed = static_cast<std::uint32_t>(seed);
         } else if (key == "name") {
           spec.name = value;
+        } else if (key == "priority") {
+          int prio = std::stoi(value, &used);
+          if (used != value.size()) throw std::invalid_argument(value);
+          spec.priority = prio;
+        } else if (key == "deadline_ms") {
+          spec.deadline_ms = detail::parse_positive_double(
+              "manifest line " + std::to_string(lineno) + ": deadline_ms",
+              value);
+        } else if (key == "max_retries") {
+          int retries = std::stoi(value, &used);
+          if (used != value.size() || retries < 0 || retries > 100) {
+            throw std::invalid_argument(value);
+          }
+          spec.max_retries = retries;
         } else {
           manifest_error(lineno, "unknown key '" + key + "'");
         }
@@ -177,6 +191,10 @@ std::string results_to_json(const std::vector<JobResult>& results,
     out += "\"cones_reproved\": " + std::to_string(r.cones_reproved) + ", ";
     out += "\"sim_refuted\": " + std::to_string(r.sim_refuted) + ", ";
     out += "\"sim_vectors\": " + std::to_string(r.sim_vectors) + ", ";
+    out += "\"verdict\": \"" +
+           std::string(verdict_class_name(r.verdict)) + "\", ";
+    out += "\"attempts\": " + std::to_string(r.attempts) + ", ";
+    out += "\"backoff_ms\": " + fmt_double(r.backoff_ms) + ", ";
     out += "\"counterexample\": \"" + json_escape(r.counterexample) + "\", ";
     out += "\"error\": \"" + json_escape(r.error) + "\"}";
     out += (i + 1 < results.size()) ? ",\n" : "\n";

@@ -1,5 +1,6 @@
 #include "service/verify_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <ctime>
 #include <fstream>
@@ -9,12 +10,14 @@
 
 #include "bench_gen/fig2.h"
 #include "bench_gen/iwls.h"
+#include "bdd/bdd.h"
 #include "circuit/bitblast.h"
 #include "hash/compile.h"
 #include "hash/retime_step.h"
 #include "io/blif.h"
 #include "kernel/parallel.h"
 #include "kernel/thm.h"
+#include "service/fault.h"
 #include "service/spec_util.h"
 #include "sim/bitsim.h"
 #include "theories/numeral.h"
@@ -258,6 +261,18 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
     sim_opts.vectors = opts.sim_vectors;
     sim_opts.frames = opts.sim_frames;
     sim_opts.seed = opts.sim_seed;
+    // Every engine run below goes through run_guarded with this policy:
+    // exceptions classified instead of propagated, retryable failures
+    // re-run with escalated budgets and capped backoff.
+    RetryPolicy policy;
+    policy.max_retries =
+        spec.max_retries >= 0 ? spec.max_retries : opts.max_retries;
+    policy.backoff_ms = opts.retry_backoff_ms;
+    policy.backoff_cap_ms = opts.retry_backoff_cap_ms;
+    policy.escalation = opts.retry_escalation;
+    policy.deadline_sec =
+        spec.deadline_ms > 0.0 ? spec.deadline_ms / 1000.0 : 0.0;
+    policy.really_sleep = opts.retry_sleep;
 
     if (rc.is_pair) {
       verify::Engine eng = *engine_of(spec.method);
@@ -282,6 +297,21 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
           cjobs[i] = {&pairs[i], eng, vopts, opts.use_sim, sim_opts};
           cones[i].output = pairs[i].output;
         }
+        // Per-cone retry accounting, indexed so the parallel sections
+        // never race on `r`; reduced into the job result after stitching.
+        std::vector<int> cone_attempts(pairs.size(), 0);
+        std::vector<double> cone_backoff(pairs.size(), 0.0);
+        auto guarded_cone = [&](std::size_t i) {
+          GuardedRun g = run_guarded(
+              policy, vopts, [&](const verify::VerifyOptions& cur) {
+                verify::ConeJob j = cjobs[i];
+                j.opts = cur;
+                return verify::check_cone(j);
+              });
+          cone_attempts[i] = g.attempts;
+          cone_backoff[i] = g.backoff_ms;
+          return g.result;
+        };
         if (opts.share_cache && opts.batch_bdd) {
           // Phase A (parallel): cache lookup, then the engine-free cheap
           // tiers — identity, miter fold, sim refutation.  Phase B: the
@@ -314,8 +344,22 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
             rest.push_back(i);
             engine_jobs.push_back({&pairs[i].a, &pairs[i].b, eng, vopts});
           }
-          std::vector<verify::VerifyResult> proved =
-              verify::check_batch(engine_jobs);
+          std::vector<verify::VerifyResult> proved;
+          try {
+            if (FaultInjector::instance().should_fail(kFaultBatchPool)) {
+              throw bdd::BddError("injected batched-pool failure");
+            }
+            proved = verify::check_batch(engine_jobs);
+          } catch (const std::exception&) {
+            // Degrade ladder: the shared-pool kernel failed wholesale, so
+            // every surviving cone falls back to its own private manager
+            // under the retry guard — slower, never a different verdict.
+            proved.resize(engine_jobs.size());
+            kernel::parallel_for(
+                rest.size(),
+                [&](std::size_t k) { proved[k] = guarded_cone(rest[k]); },
+                pool);
+          }
           for (std::size_t k = 0; k < rest.size(); ++k) {
             proved[k].sim_vectors = spent[rest[k]];
             settled[rest[k]] = proved[k];
@@ -330,8 +374,18 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
         } else if (opts.batch_bdd) {
           // No cache to consult: the whole decomposition goes through the
           // batched fast-tiers + shared-pool kernel pipeline directly.
-          std::vector<verify::VerifyResult> rs =
-              verify::check_cones_batched(cjobs);
+          std::vector<verify::VerifyResult> rs;
+          try {
+            if (FaultInjector::instance().should_fail(kFaultBatchPool)) {
+              throw bdd::BddError("injected batched-pool failure");
+            }
+            rs = verify::check_cones_batched(cjobs);
+          } catch (const std::exception&) {
+            rs.resize(cjobs.size());
+            kernel::parallel_for(
+                pairs.size(), [&](std::size_t i) { rs[i] = guarded_cone(i); },
+                pool);
+          }
           for (std::size_t i = 0; i < pairs.size(); ++i) {
             cones[i].result = rs[i];
           }
@@ -345,13 +399,13 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
                                               pairs[i].hash_b, eng,
                                               spec.timeout_sec, vopts);
                   cv.result = verdicts.get_or_prove_if(
-                      key, [&] { return verify::check_cone(cjobs[i]); },
+                      key, [&] { return guarded_cone(i); },
                       [](const verify::VerifyResult& res) {
                         return res.completed;
                       },
                       &cv.cache_hit);
                 } else {
-                  cv.result = verify::check_cone(cjobs[i]);
+                  cv.result = guarded_cone(i);
                 }
               },
               pool);
@@ -365,6 +419,23 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
         r.sim_vectors = sv.sim_vectors;
         r.completed = sv.completed;
         r.equivalent = sv.equivalent;
+        if (sv.completed) {
+          r.verdict = sv.equivalent ? VerdictClass::Equiv
+                                    : VerdictClass::Nonequiv;
+        } else {
+          // The job inherits the first unresolved cone's failure class.
+          r.verdict = VerdictClass::Unknown;
+          for (const verify::ConeVerdict& cv : cones) {
+            if (!cv.result.completed) {
+              r.verdict = classify_result(cv.result);
+              break;
+            }
+          }
+        }
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+          r.attempts = std::max(r.attempts, cone_attempts[i]);
+          r.backoff_ms += cone_backoff[i];
+        }
         // "Cache hit" at job granularity = every cone came from cache.
         r.result_cache_hit = sv.reproved == 0;
         r.verify_sec = seconds_since(tv);
@@ -372,7 +443,7 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
         r.total_sec = seconds_since(t0);
         return r;
       }
-      auto run_engine = [&] {
+      auto run_engine = [&](const verify::VerifyOptions& cur) {
         // Pre-filter inside the prove lambda: a sim refutation is an
         // engine-independent truth (it holds from every initial register
         // state), so caching it under the engine key is sound, and a
@@ -389,11 +460,17 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
             return sv;
           }
           verify::VerifyResult ev =
-              verify::run_check({&rc.net_a, &rc.net_b, eng, vopts});
+              verify::run_check({&rc.net_a, &rc.net_b, eng, cur});
           ev.sim_vectors = sr.vectors;
           return ev;
         }
-        return verify::run_check({&rc.net_a, &rc.net_b, eng, vopts});
+        return verify::run_check({&rc.net_a, &rc.net_b, eng, cur});
+      };
+      auto guarded_engine = [&] {
+        GuardedRun g = run_guarded(policy, vopts, run_engine);
+        r.attempts = std::max(r.attempts, g.attempts);
+        r.backoff_ms += g.backoff_ms;
+        return g.result;
       };
       verify::VerifyResult v;
       if (opts.share_cache) {
@@ -410,15 +487,16 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
                              thy::mk_numeral(io::structural_hash(rc.net_b))),
                 engine_bounds_term(eng, spec.timeout_sec, vopts)));
         v = verdicts.get_or_prove_if(
-            key, run_engine,
+            key, guarded_engine,
             [](const verify::VerifyResult& res) { return res.completed; },
             &r.result_cache_hit);
       } else {
-        v = run_engine();
+        v = guarded_engine();
       }
       r.verify_sec = seconds_since(tv);
       r.completed = v.completed;
       r.equivalent = v.equivalent;
+      r.verdict = classify_result(v);
       r.sim_refuted = v.sim_refuted ? 1 : 0;
       r.sim_vectors = v.sim_vectors;
       r.counterexample = v.counterexample;
@@ -460,6 +538,7 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
         (void)thm;
         r.completed = true;
         r.equivalent = true;
+        r.verdict = VerdictClass::Equiv;
         break;
       case Method::Match: {
         circuit::Rtl retimed = hash::conventional_retime(rc.rtl, rc.cut);
@@ -467,6 +546,8 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
             verify::verify_retiming(rc.rtl, retimed, spec.seed);
         r.completed = true;
         r.equivalent = m.equivalent;
+        r.verdict =
+            m.equivalent ? VerdictClass::Equiv : VerdictClass::Nonequiv;
         break;
       }
       default: {
@@ -477,7 +558,7 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
         verify::Engine eng = *engine_of(spec.method);
         // The retimed side is only bit-blasted when the engine actually
         // runs — a verdict-cache hit skips it.
-        auto run_engine = [&] {
+        auto run_engine = [&](const verify::VerifyOptions& cur) {
           circuit::GateNetlist gb = circuit::bit_blast(retimed);
           // Same pre-filter as the blif-pair path; on RTL jobs the pair
           // came out of the retiming kernel, so a refutation here would
@@ -494,11 +575,17 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
               return sv;
             }
             verify::VerifyResult ev =
-                verify::run_check({&ga, &gb, eng, vopts});
+                verify::run_check({&ga, &gb, eng, cur});
             ev.sim_vectors = sr.vectors;
             return ev;
           }
-          return verify::run_check({&ga, &gb, eng, vopts});
+          return verify::run_check({&ga, &gb, eng, cur});
+        };
+        auto guarded_engine = [&] {
+          GuardedRun g = run_guarded(policy, vopts, run_engine);
+          r.attempts = std::max(r.attempts, g.attempts);
+          r.backoff_ms += g.backoff_ms;
+          return g.result;
         };
         verify::VerifyResult v;
         if (opts.share_cache) {
@@ -514,14 +601,15 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
           kernel::Term key = thy::mk_pair(
               pair_goal, engine_bounds_term(eng, spec.timeout_sec, vopts));
           v = verdicts.get_or_prove_if(
-              key, run_engine,
+              key, guarded_engine,
               [](const verify::VerifyResult& res) { return res.completed; },
               &r.result_cache_hit);
         } else {
-          v = run_engine();
+          v = guarded_engine();
         }
         r.completed = v.completed;
         r.equivalent = v.equivalent;
+        r.verdict = classify_result(v);
         r.sim_refuted = v.sim_refuted ? 1 : 0;
         r.sim_vectors = v.sim_vectors;
         r.counterexample = v.counterexample;
@@ -530,11 +618,25 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
     }
     r.verify_sec = seconds_since(tv);
     r.ok = true;
+  } catch (const ServiceError& e) {
+    // A malformed spec can never be fixed by retrying.
+    r.ok = false;
+    r.error = e.what();
+    r.verdict = VerdictClass::InvalidRequest;
+  } catch (const verify::ConeError& e) {
+    r.ok = false;
+    r.error = e.what();
+    r.verdict = VerdictClass::InvalidRequest;
+  } catch (const io::IoError& e) {
+    r.ok = false;
+    r.error = e.what();
+    r.verdict = VerdictClass::InvalidRequest;
   } catch (const std::exception& e) {
     // Failure isolation: a bad netlist, an illegal cut or an engine error
     // fails this job only; the batch continues.
     r.ok = false;
     r.error = e.what();
+    r.verdict = classify_exception(e);
   }
   r.total_sec = seconds_since(t0);
   return r;
@@ -620,6 +722,26 @@ JobResult VerifyService::run_one(const JobSpec& spec) {
   impl_->wall_total += r.total_sec;
   impl_->cpu_total += cpu_seconds() - cpu0;
   return r;
+}
+
+JobResult VerifyService::run_scheduled(const JobSpec& spec) {
+  JobResult r = impl_->run_job(spec);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ++impl_->jobs_total;
+  if (!r.ok) ++impl_->failed_total;
+  return r;
+}
+
+void VerifyService::record_window(double wall_sec, double cpu_sec) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->wall_total += wall_sec;
+  impl_->cpu_total += cpu_sec;
+}
+
+void VerifyService::record_skipped(const JobResult& r) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ++impl_->jobs_total;
+  if (!r.ok) ++impl_->failed_total;
 }
 
 ServiceStats VerifyService::stats() const {

@@ -9,6 +9,7 @@
 #include "kernel/error.h"
 #include "kernel/goal_cache.h"
 #include "service/cache_file.h"
+#include "service/guard.h"
 #include "verify/parallel_verify.h"
 
 namespace eda::service {
@@ -51,6 +52,16 @@ struct JobSpec {
   Method method = Method::Hash;
   double timeout_sec = 5.0;
   std::uint32_t seed = 1;  ///< Match co-simulation seed
+  /// Admission scheduling (service/admission.h): higher priority runs
+  /// first, FIFO within a priority level.
+  int priority = 0;
+  /// Wall-clock deadline from submission (0 = none).  A job still queued
+  /// past its deadline is skipped with a DEADLINE_EXPIRED verdict; a job
+  /// dispatched near it has its engine budget capped to what remains.
+  double deadline_ms = 0.0;
+  /// Per-job retry budget for classified retryable failures; -1 uses
+  /// ServiceOptions::max_retries.
+  int max_retries = -1;
 };
 
 struct JobResult {
@@ -84,6 +95,15 @@ struct JobResult {
   /// spent, including on pairs that passed through to an engine.
   std::size_t sim_refuted = 0;
   std::uint64_t sim_vectors = 0;
+  /// Classified verdict (service/guard.h): EQUIV/NONEQUIV for completed
+  /// answers, a failure class (TIMEOUT, RESOURCE_EXHAUSTED,
+  /// INTERNAL_ERROR, DEADLINE_EXPIRED, INVALID_REQUEST, ...) otherwise.
+  VerdictClass verdict = VerdictClass::Unknown;
+  /// Guarded-engine retry accounting: attempts actually made (0 when no
+  /// guarded engine ran — cache hits, hash/match jobs) and the total
+  /// backoff slept between them.
+  int attempts = 0;
+  double backoff_ms = 0.0;
 };
 
 struct ServiceStats {
@@ -125,6 +145,17 @@ struct ServiceOptions {
   /// (verify/batch_bdd.h): one shared node pool and a lock-step apply loop
   /// across all surviving cones, instead of one BddManager per cone.
   bool batch_bdd = true;
+  /// Retry policy for classified retryable engine failures (TIMEOUT,
+  /// RESOURCE_EXHAUSTED, INTERNAL_ERROR — see service/guard.h): up to
+  /// `max_retries` extra attempts per obligation, budgets escalating by
+  /// `retry_escalation` per attempt, capped exponential backoff between
+  /// them.  `retry_sleep = false` (tests) accounts the backoff without
+  /// sleeping it.
+  int max_retries = 2;
+  double retry_backoff_ms = 25.0;
+  double retry_backoff_cap_ms = 1000.0;
+  double retry_escalation = 2.0;
+  bool retry_sleep = true;
 };
 
 /// A long-running multi-circuit verification service: jobs are submitted as
@@ -159,6 +190,15 @@ class VerifyService {
   /// Run one job inline on the calling thread against the same caches
   /// (the serial path; also what pool workers execute).
   JobResult run_one(const JobSpec& spec);
+
+  /// The admission front's entry points (service/admission.h), splitting
+  /// run_one's accounting: run_scheduled executes a job and counts it in
+  /// the job/failure totals but NOT in the wall/CPU window (the front owns
+  /// the batch window and reports it via record_window); record_skipped
+  /// accounts a job the front never dispatched (deadline expiry).
+  JobResult run_scheduled(const JobSpec& spec);
+  void record_window(double wall_sec, double cpu_sec);
+  void record_skipped(const JobResult& r);
 
   /// Warm start: merge a previously saved cache file into the shared
   /// caches (entries proved in this process win on conflict).  The proof

@@ -42,6 +42,7 @@ void step_task(BddManager& mgr, Task& t) {
   t.res.peak = std::max(t.res.peak, mgr.node_table_size());
   if (t.res.seconds > t.job->opts.timeout_sec) {
     t.done = true;  // completed stays false: timed out
+    t.res.failure = FailureKind::Timeout;
     return;
   }
 
@@ -150,6 +151,7 @@ std::vector<VerifyResult> check_batch(const std::vector<CheckJob>& jobs) {
     } catch (const bdd::BddError&) {
       t.done = true;  // interface mismatch or pool blowup during build
       t.poisoned = true;
+      t.res.failure = FailureKind::ResourceExhausted;
     }
     t.res.seconds +=
         std::chrono::duration<double>(Clock::now() - tick).count();
@@ -170,6 +172,7 @@ std::vector<VerifyResult> check_batch(const std::vector<CheckJob>& jobs) {
         // remember to re-run it on its own manager below.
         t.done = true;
         t.poisoned = true;
+        t.res.failure = FailureKind::ResourceExhausted;
       }
       if (!t.done) any_live = true;
     }
@@ -186,6 +189,7 @@ std::vector<VerifyResult> check_batch(const std::vector<CheckJob>& jobs) {
       t.res = run_check(*t.job);
     } catch (const bdd::BddError&) {
       // Same failure on a private pool: genuinely incomplete.
+      t.res.failure = FailureKind::ResourceExhausted;
     }
     t.res.seconds += spent;
   }

@@ -15,9 +15,36 @@ struct VerifyOptions {
   std::size_t state_limit = 2'000'000;  // explicit states (SIS-style)
 };
 
+/// Why a run failed to complete, recorded at the engine's give-up point so
+/// the service layer can classify the verdict honestly (a blown wall clock
+/// is retryable with a bigger budget; a BDD pool blow-up wants node-limit
+/// escalation; an unexpected exception is a bug or an injected fault).
+/// `None` on every completed run.
+enum class FailureKind : std::uint8_t {
+  None = 0,
+  Timeout = 1,            // wall-clock budget exceeded
+  ResourceExhausted = 2,  // BDD node pool / explicit-state / memory budget
+  InternalError = 3,      // unexpected exception (engine bug, injected fault)
+};
+
+inline const char* failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::None:
+      return "none";
+    case FailureKind::Timeout:
+      return "timeout";
+    case FailureKind::ResourceExhausted:
+      return "resource_exhausted";
+    case FailureKind::InternalError:
+      return "internal_error";
+  }
+  return "?";  // unreachable
+}
+
 struct VerifyResult {
   bool completed = false;   // finished within the resource bounds
   bool equivalent = false;  // verdict (valid only when completed)
+  FailureKind failure = FailureKind::None;  // why !completed, when known
   int iterations = 0;       // traversal steps
   double seconds = 0.0;
   std::size_t peak = 0;     // peak BDD nodes / explicit states

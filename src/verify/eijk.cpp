@@ -51,6 +51,7 @@ VerifyResult eijk_check(const circuit::GateNetlist& a,
       res.peak = std::max(res.peak, mgr.node_table_size());
       if (elapsed() > opts.timeout_sec) {
         res.seconds = elapsed();
+        res.failure = FailureKind::Timeout;
         return res;
       }
 
@@ -92,6 +93,7 @@ VerifyResult eijk_check(const circuit::GateNetlist& a,
   } catch (const bdd::BddError&) {
     res.seconds = elapsed();
     res.completed = false;
+    res.failure = FailureKind::ResourceExhausted;
     return res;
   }
 }

@@ -23,7 +23,13 @@ VerifyResult sis_fsm_check(const circuit::GateNetlist& a,
     return res;
   }
   const std::size_t ni = a.inputs().size();
-  if (ni > 24) return res;  // input enumeration hopeless; report "-"
+  if (ni > 24) {
+    // Input enumeration hopeless; report "-".  This is a capability limit,
+    // not a transient budget: escalation cannot help, but the class is
+    // still "resources" (the state space, not the wall clock, is the wall).
+    res.failure = FailureKind::ResourceExhausted;
+    return res;
+  }
 
   circuit::GateSimulator sa(a), sb(b);
   std::vector<bool> init;
@@ -42,6 +48,9 @@ VerifyResult sis_fsm_check(const circuit::GateNetlist& a,
         visited.size() > opts.state_limit) {
       res.seconds = elapsed();
       res.peak = visited.size();
+      res.failure = elapsed() > opts.timeout_sec
+                        ? FailureKind::Timeout
+                        : FailureKind::ResourceExhausted;
       return res;  // "-"
     }
     std::vector<bool> state = queue.front();

@@ -36,7 +36,11 @@ VerifyResult smv_check(const circuit::GateNetlist& a,
     for (;;) {
       ++res.iterations;
       res.peak = std::max(res.peak, mgr.node_table_size());
-      if (elapsed() > opts.timeout_sec) return res;  // timed out
+      if (elapsed() > opts.timeout_sec) {
+        res.seconds = elapsed();
+        res.failure = FailureKind::Timeout;
+        return res;
+      }
       // Image: exists inputs, present. frontier /\ TR, then rename
       // next->present.
       BddId img = mgr.and_exists(frontier, tr, p.quantify);
@@ -54,6 +58,7 @@ VerifyResult smv_check(const circuit::GateNetlist& a,
   } catch (const bdd::BddError&) {
     res.seconds = elapsed();
     res.completed = false;  // node blow-up counts as "-" in the tables
+    res.failure = FailureKind::ResourceExhausted;
     return res;
   }
 }

@@ -28,12 +28,35 @@
 //   --json FILE            write the structured results
 //   --cache-file FILE      warm-start the shared caches from FILE (corrupt
 //                          or missing files start cold, with a diagnostic)
-//                          and save them back after the batch drains
+//                          and save them back after the batch drains —
+//                          merge-on-save under a lock file, so concurrent
+//                          processes sharing FILE lose no entries
 //   --require-cache-hits   exit 1 unless the shared caches served at least
 //                          one obligation (CI gate for the service loop)
+//   --max-retries N        extra attempts per obligation on a classified
+//                          retryable failure (TIMEOUT, RESOURCE_EXHAUSTED,
+//                          INTERNAL_ERROR), budgets escalating 2x per
+//                          attempt with capped exponential backoff
+//                          (default 2)
+//   --deadline-ms N        per-job wall-clock deadline from admission:
+//                          jobs still queued past it are skipped with a
+//                          DEADLINE_EXPIRED verdict, dispatched jobs have
+//                          their engine budget capped to the remainder
+//   --queue-depth N        admission queue bound; jobs beyond it are
+//                          rejected with a structured RETRY_LATER verdict
+//                          carrying the queue depth (default: fits the
+//                          whole manifest)
+//   --faults SPEC          deterministic fault injection for chaos runs:
+//                          seed=S,rate=R,sites=a+b (sites: engine_bdd,
+//                          batch_pool, alloc, worker, cache_write); also
+//                          read from EDA_FAULTS, the flag winning
 //
-// exit status: 0 all jobs ok, 1 any job failed (or gate violated), 2 usage.
+// exit status: 0 every job ended EQUIV or NONEQUIV, 1 any job ended in a
+// failure-class verdict (TIMEOUT, RESOURCE_EXHAUSTED, INTERNAL_ERROR,
+// DEADLINE_EXPIRED, RETRY_LATER, INVALID_REQUEST, ...) or a gate was
+// violated, 2 usage.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -41,6 +64,8 @@
 #include <vector>
 
 #include "kernel/parallel.h"
+#include "service/admission.h"
+#include "service/fault.h"
 #include "service/manifest.h"
 #include "service/sweep.h"
 #include "service/verify_service.h"
@@ -55,14 +80,24 @@ namespace {
       "                   [--serial] [--no-shared-cache] [--incremental]\n"
       "                   [--no-sim] [--sim-vectors N] [--sim-seed S]\n"
       "                   [--no-batch-bdd] [--timeout S] [--json FILE]\n"
-      "                   [--cache-file FILE] [--require-cache-hits]\n");
+      "                   [--cache-file FILE] [--require-cache-hits]\n"
+      "                   [--max-retries N] [--deadline-ms N]\n"
+      "                   [--queue-depth N] [--faults SPEC]\n");
   std::exit(2);
 }
 
 const char* status_of(const eda::service::JobResult& r) {
   if (!r.ok) return "ERROR";
-  if (!r.completed) return "LIMIT";
-  return r.equivalent ? "EQ" : "NEQ";
+  switch (r.verdict) {
+    case eda::service::VerdictClass::Equiv:
+      return "EQ";
+    case eda::service::VerdictClass::Nonequiv:
+      return "NEQ";
+    default:
+      // A failure-class (or unknown) verdict prints its wire name, so the
+      // table says WHY a job has no answer.
+      return eda::service::verdict_class_name(r.verdict);
+  }
 }
 
 }  // namespace
@@ -71,12 +106,14 @@ int main(int argc, char** argv) {
   using namespace eda;
 
   std::optional<std::string> manifest_path, sweep_spec, json_path,
-      cache_path;
-  std::optional<double> timeout;
+      cache_path, fault_spec;
+  std::optional<double> timeout, deadline_ms;
+  std::optional<std::size_t> queue_depth;
   unsigned jobs = 0;
   bool serial = false, share_cache = true, require_hits = false,
        incremental = false, use_sim = true, batch_bdd = true;
   int sim_vectors = 256;
+  int max_retries = 2;
   std::optional<std::uint64_t> sim_seed;
 
   for (int a = 1; a < argc; ++a) {
@@ -125,6 +162,27 @@ int main(int argc, char** argv) {
       } else if (arg == "--json") json_path = next();
       else if (arg == "--cache-file") cache_path = next();
       else if (arg == "--require-cache-hits") require_hits = true;
+      else if (arg == "--max-retries") {
+        std::string v = next();
+        int n = std::stoi(v, &used);
+        if (used != v.size() || n < 0 || n > 100) {
+          usage("--max-retries must be an integer in 0..100");
+        }
+        max_retries = n;
+      } else if (arg == "--deadline-ms") {
+        std::string v = next();
+        deadline_ms = std::stod(v, &used);
+        if (used != v.size() || !(*deadline_ms > 0.0)) {
+          usage("--deadline-ms must be a positive number of milliseconds");
+        }
+      } else if (arg == "--queue-depth") {
+        std::string v = next();
+        long n = std::stol(v, &used);
+        if (used != v.size() || n < 1 || n > 1'000'000) {
+          usage("--queue-depth must be an integer in 1..1000000");
+        }
+        queue_depth = static_cast<std::size_t>(n);
+      } else if (arg == "--faults") fault_spec = next();
       else usage(("unknown option " + arg).c_str());
     } catch (const std::logic_error&) {
       // std::stoi / std::stod on malformed numbers.
@@ -153,6 +211,20 @@ int main(int argc, char** argv) {
   if (timeout) {
     for (service::JobSpec& spec : specs) spec.timeout_sec = *timeout;
   }
+  if (deadline_ms) {
+    for (service::JobSpec& spec : specs) spec.deadline_ms = *deadline_ms;
+  }
+
+  // Fault injection: EDA_FAULTS first, --faults overriding — both must be
+  // armed before any job can run.
+  try {
+    service::FaultInjector::instance().configure_from_env();
+    if (fault_spec) {
+      service::FaultInjector::instance().configure(*fault_spec);
+    }
+  } catch (const service::FaultSpecError& e) {
+    usage(e.what());
+  }
 
   service::ServiceOptions opts;
   // --serial keeps the pool minimal; run_one never schedules on it.
@@ -162,6 +234,7 @@ int main(int argc, char** argv) {
   opts.use_sim = use_sim;
   opts.sim_vectors = sim_vectors;
   opts.batch_bdd = batch_bdd;
+  opts.max_retries = max_retries;
   if (sim_seed) opts.sim_seed = *sim_seed;
   unsigned threads =
       serial ? 1 : (jobs == 0 ? kernel::default_thread_count() : jobs);
@@ -173,6 +246,12 @@ int main(int argc, char** argv) {
       use_sim ? "on" : "off", sim_vectors,
       static_cast<unsigned long long>(opts.sim_seed),
       batch_bdd ? ", batched bdd" : "");
+  if (service::FaultInjector::instance().enabled()) {
+    std::printf("faults: armed (seed %llu, rate %.2f)\n\n",
+                static_cast<unsigned long long>(
+                    service::FaultInjector::instance().seed()),
+                service::FaultInjector::instance().rate());
+  }
 
   service::VerifyService svc(opts);
   if (cache_path) {
@@ -193,7 +272,43 @@ int main(int argc, char** argv) {
       results.push_back(svc.run_one(spec));
     }
   } else {
-    results = svc.run_batch(specs);
+    // Jobs enter through the admission front: bounded queue,
+    // priority/deadline scheduling, structured RETRY_LATER backpressure.
+    // By default the queue is sized to the whole manifest; --queue-depth
+    // shrinks it to exercise load shedding.
+    service::AdmissionOptions aopts;
+    aopts.max_depth =
+        queue_depth ? *queue_depth
+                    : std::max<std::size_t>(specs.size(), 256);
+    aopts.streams = threads;
+    service::AdmissionQueue queue(svc, aopts);
+    std::vector<bool> accepted(specs.size(), false);
+    std::vector<service::JobResult> shed(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      service::Admission ad = queue.try_submit(specs[i]);
+      accepted[i] = ad.accepted;
+      if (!ad.accepted) {
+        service::JobResult r;
+        r.circuit = specs[i].circuit;
+        r.method = specs[i].method;
+        r.name = specs[i].name.empty()
+                     ? specs[i].circuit + "/" +
+                           service::method_name(specs[i].method)
+                     : specs[i].name;
+        r.ok = true;  // the service worked; it shed load as designed
+        r.verdict = service::VerdictClass::RetryLater;
+        r.error = ad.reason;
+        svc.record_skipped(r);
+        shed[i] = std::move(r);
+      }
+    }
+    std::vector<service::JobResult> ran = queue.drain();
+    std::size_t next = 0;
+    results.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      results.push_back(accepted[i] ? std::move(ran[next++])
+                                    : std::move(shed[i]));
+    }
   }
 
   std::printf("%-28s %-6s %-5s %5s %7s %9s %9s %s\n", "name", "method",
@@ -210,13 +325,18 @@ int main(int argc, char** argv) {
       cache += " sim-refuted " + std::to_string(r.sim_refuted) + " (" +
                std::to_string(r.sim_vectors) + " vec)";
     }
+    if (r.attempts > 1) {
+      cache += " attempts " + std::to_string(r.attempts) + " (backoff " +
+               std::to_string(static_cast<long long>(r.backoff_ms)) +
+               " ms)";
+    }
     std::printf("%-28s %-6s %-5s %5d %7d %9.3f %9.3f %s\n", r.name.c_str(),
                 service::method_name(r.method), status_of(r), r.ff, r.gates,
                 r.synth_sec, r.verify_sec, cache.c_str());
     if (!r.counterexample.empty()) {
       std::printf("    ^ differs at output '%s'\n", r.counterexample.c_str());
     }
-    if (!r.ok) std::printf("    ^ %s\n", r.error.c_str());
+    if (!r.error.empty()) std::printf("    ^ %s\n", r.error.c_str());
   }
 
   service::ServiceStats st = svc.stats();
@@ -264,7 +384,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  bool any_failed = st.failed > 0 || save_failed;
+  // Exit on classified verdicts, not just crashed jobs: a TIMEOUT or a
+  // DEADLINE_EXPIRED is an unanswered obligation, and CI must see it.  A
+  // completed NONEQUIV is an *answer* (exit 0 — the caller reads the
+  // verdict, not the exit code, to learn which way it went).
+  bool any_failed = save_failed;
+  for (const service::JobResult& r : results) {
+    if (!r.ok || service::verdict_is_failure(r.verdict)) any_failed = true;
+  }
   if (require_hits && st.theorems.hits + st.results.hits == 0) {
     std::fprintf(stderr,
                  "eda_service: --require-cache-hits: no obligation was "
