@@ -76,6 +76,14 @@ bool write_file(const std::string& path, const std::string& text) {
   return static_cast<bool>(out);
 }
 
+/// (jobs, share) service options — the old flat positional init, regrouped.
+eda::service::ServiceOptions service_opts(unsigned jobs, bool share) {
+  eda::service::ServiceOptions opts;
+  opts.jobs = jobs;
+  opts.cache.share = share;
+  return opts;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,7 +143,7 @@ int main(int argc, char** argv) {
   // warm interner/memo state every configuration then sees identically.
   eda::thy::retiming_thm();
   {
-    eda::service::VerifyService warm({1, false});
+    eda::service::VerifyService warm(service_opts(1, false));
     for (const eda::service::JobSpec& spec : specs) {
       eda::service::JobResult r = warm.run_one(spec);
       if (!r.ok) {
@@ -153,7 +161,7 @@ int main(int argc, char** argv) {
   double serial_sec = 0.0;
   std::vector<double> serial_lat;
   {
-    eda::service::VerifyService svc({1, false});
+    eda::service::VerifyService svc(service_opts(1, false));
     auto t0 = Clock::now();
     for (const eda::service::JobSpec& spec : specs) {
       serial_lat.push_back(svc.run_one(spec).total_sec);
@@ -169,7 +177,7 @@ int main(int argc, char** argv) {
   eda::service::ServiceStats batched_stats;
   unsigned threads = jobs == 0 ? eda::kernel::default_thread_count() : jobs;
   {
-    eda::service::VerifyService svc({jobs, true});
+    eda::service::VerifyService svc(service_opts(jobs, true));
     auto t0 = Clock::now();
     batched_lat = latencies(svc.run_batch(specs));
     batched_sec = seconds_since(t0);
@@ -184,7 +192,7 @@ int main(int argc, char** argv) {
   std::vector<double> warm_lat;
   eda::service::ServiceStats warm_stats;
   {
-    eda::service::VerifyService svc({jobs, true});
+    eda::service::VerifyService svc(service_opts(jobs, true));
     auto t0 = Clock::now();
     eda::service::CacheLoadResult lr = svc.load_cache(cache_path);
     if (!lr.loaded) {

@@ -210,9 +210,9 @@ int main(int argc, char** argv) {
                          std::size_t& sim_refuted_jobs,
                          std::size_t& missing_cex, bool& all_ok) {
     eda::service::ServiceOptions sopts;
-    sopts.share_cache = false;  // every pair proves itself, both configs
-    sopts.use_sim = use_sim;
-    sopts.sim_seed = seed;
+    sopts.cache.share = false;  // every pair proves itself, both configs
+    sopts.sim.enabled = use_sim;
+    sopts.sim.seed = seed;
     eda::service::VerifyService svc(sopts);
     auto t0 = Clock::now();
     std::vector<eda::service::JobResult> rs = svc.run_batch(specs);

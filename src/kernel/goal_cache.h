@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "kernel/error.h"
+#include "kernel/shard.h"
 #include "kernel/terms.h"
 
 namespace eda::kernel {
@@ -92,10 +93,14 @@ class GoalCache {
   /// entry), and `cacheable = false` (a budget-blown verdict, machine
   /// state rather than a goal property) skips insertion but still counts
   /// the miss — so k submissions of one goal through lookup()/publish()
-  /// still yield exactly 1 miss and k-1 hits.
-  Value publish(const Term& goal, Value value, bool cacheable = true) {
+  /// still yield exactly 1 miss and k-1 hits.  `inserted_out` (optional)
+  /// reports whether this call published the entry (false on a lost race
+  /// and for uncacheable values) — the cache-backend seam forwards it.
+  Value publish(const Term& goal, Value value, bool cacheable = true,
+                bool* inserted_out = nullptr) {
     if (!cacheable) {
       misses_.fetch_add(1, std::memory_order_relaxed);
+      if (inserted_out != nullptr) *inserted_out = false;
       return value;
     }
     auto [canonical, inserted] = emplace(goal, std::move(value));
@@ -104,6 +109,7 @@ class GoalCache {
     } else {
       hits_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (inserted_out != nullptr) *inserted_out = inserted;
     return canonical;
   }
 
@@ -230,9 +236,7 @@ class GoalCache {
   };
 
   static std::size_t shard_index(const Term& goal) {
-    std::size_t h =
-        goal.hash() * static_cast<std::size_t>(0x9e3779b97f4a7c15ULL);
-    return (h >> (sizeof(std::size_t) * 4)) % kShards;
+    return shard_index_of(goal.hash(), kShards);
   }
   Shard& shard_of(const Term& goal) { return shards_[shard_index(goal)]; }
   const Shard& shard_of(const Term& goal) const {

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "kernel/shard.h"
+
 namespace eda::kernel {
 
 /// A sharded, reader-writer-locked memo table for pure functions over
@@ -62,13 +64,9 @@ class ConcurrentMemo {
 
   // Pointer keys hash to themselves and arena-allocated nodes share
   // alignment, so `Hash{}(key) % kShards` would put every entry in shard
-  // 0.  Multiply-mix and take high bits instead.
+  // 0.  kernel/shard.h multiply-mixes and takes high bits instead.
   static std::size_t shard_index(const Key& key) {
-    std::size_t h = Hash{}(key) *
-                    static_cast<std::size_t>(0x9e3779b97f4a7c15ULL);
-    // Width-relative shift (half the word) — a literal >>32 would be UB
-    // on 32-bit targets.
-    return (h >> (sizeof(std::size_t) * 4)) % kShards;
+    return shard_index_of(Hash{}(key), kShards);
   }
   Shard& shard_of(const Key& key) { return shards_[shard_index(key)]; }
   const Shard& shard_of(const Key& key) const {

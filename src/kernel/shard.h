@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eda::kernel {
+
+/// Fibonacci-multiply a hash so its entropy reaches the top bits.
+/// Structural and pointer-derived hashes carry their information in the
+/// low/middle bits (arena-allocated nodes share alignment, structural
+/// hashes are built bottom-up), so the recurring ROADMAP trap is a shard
+/// selector computing `h % kShards` directly and collapsing everything
+/// into shard 0.  Every selector — GoalCache, ConcurrentMemo, the
+/// eda_cached daemon — must go through this one mixer.
+inline std::size_t shard_mix(std::size_t h) {
+  return h * static_cast<std::size_t>(0x9e3779b97f4a7c15ULL);
+}
+
+/// Shard index for hash `h` over `shards` shards: multiply-mix, then take
+/// the HIGH bits (width-relative shift — a literal >>32 would be UB on
+/// 32-bit targets) before reducing.
+inline std::size_t shard_index_of(std::size_t h, std::size_t shards) {
+  return (shard_mix(h) >> (sizeof(std::size_t) * 4)) % shards;
+}
+
+}  // namespace eda::kernel

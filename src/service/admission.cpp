@@ -40,9 +40,33 @@ struct AdmissionQueue::Impl {
     Clock::time_point submitted;
   };
 
+  /// One tenant's FIFO backlog at a priority level.
+  struct TenantQueue {
+    std::string tenant;
+    std::deque<Pending> q;
+  };
+
+  /// One priority level: its tenants (in first-seen order) plus the
+  /// weighted-round-robin dispatch state.  `cursor` is the tenant whose
+  /// turn it is; `credits` is how many consecutive dispatches it has left
+  /// this round (initialised from its weight when its turn starts).
+  struct Level {
+    std::vector<TenantQueue> tenants;
+    std::size_t cursor = 0;
+    unsigned credits = 0;
+
+    std::size_t queued() const {
+      std::size_t n = 0;
+      for (const TenantQueue& tq : tenants) n += tq.q.size();
+      return n;
+    }
+  };
+
   void worker_loop();
   void dispatch(Pending p);
   std::size_t queued_locked() const;
+  unsigned weight_of(const std::string& tenant) const;
+  Pending pop_locked(Level& lv);
 
   VerifyService& svc;
   AdmissionOptions opts;
@@ -50,11 +74,12 @@ struct AdmissionQueue::Impl {
   mutable std::mutex mu;
   std::condition_variable work_cv;   ///< workers: work available / resume
   std::condition_variable done_cv;   ///< drain: a job finished
-  /// FIFO deque per priority level, highest level first: dispatch pops the
-  /// front of the first non-empty deque, so equal-priority jobs run in
-  /// admission order and a higher-priority admission overtakes without
-  /// reordering anything already at its own level.
-  std::map<int, std::deque<Pending>, std::greater<int>> queues;
+  /// Per-priority levels, highest first: dispatch takes from the first
+  /// non-empty level, weighted round-robin across its tenants, FIFO
+  /// within a tenant — so a higher-priority admission overtakes without
+  /// reordering anything already at its own level, and one tenant's flood
+  /// delays but never starves its peers.
+  std::map<int, Level, std::greater<int>> queues;
   std::vector<std::optional<JobResult>> results;  ///< indexed by ticket
   std::vector<std::size_t> dispatched;            ///< tickets, run order
   std::size_t completed = 0;
@@ -68,8 +93,38 @@ struct AdmissionQueue::Impl {
 
 std::size_t AdmissionQueue::Impl::queued_locked() const {
   std::size_t n = 0;
-  for (const auto& [prio, q] : queues) n += q.size();
+  for (const auto& [prio, lv] : queues) n += lv.queued();
   return n;
+}
+
+unsigned AdmissionQueue::Impl::weight_of(const std::string& tenant) const {
+  auto it = opts.tenant_weights.find(tenant);
+  if (it == opts.tenant_weights.end()) return 1;
+  return it->second == 0 ? 1 : it->second;  // a zero weight would starve
+}
+
+/// Weighted-round-robin pop from a non-empty level: the cursor tenant
+/// keeps dispatching until its credits (= weight) for this round are
+/// spent or its queue empties, then the turn passes on.  Empty tenant
+/// queues are skipped without consuming a turn.
+AdmissionQueue::Impl::Pending AdmissionQueue::Impl::pop_locked(Level& lv) {
+  for (;;) {
+    if (lv.cursor >= lv.tenants.size()) lv.cursor = 0;
+    TenantQueue& tq = lv.tenants[lv.cursor];
+    if (tq.q.empty()) {
+      lv.credits = 0;
+      ++lv.cursor;
+      continue;
+    }
+    if (lv.credits == 0) lv.credits = weight_of(tq.tenant);
+    Pending p = std::move(tq.q.front());
+    tq.q.pop_front();
+    if (--lv.credits == 0 || tq.q.empty()) {
+      lv.credits = 0;
+      ++lv.cursor;
+    }
+    return p;
+  }
 }
 
 void AdmissionQueue::Impl::dispatch(Pending p) {
@@ -82,6 +137,7 @@ void AdmissionQueue::Impl::dispatch(Pending p) {
       // the service did exactly what the deadline asked of it.
       r.circuit = p.spec.circuit;
       r.method = p.spec.method;
+      r.tenant = p.spec.tenant;
       r.name = p.spec.name.empty()
                    ? p.spec.circuit + "/" + method_name(p.spec.method)
                    : p.spec.name;
@@ -107,6 +163,7 @@ void AdmissionQueue::Impl::dispatch(Pending p) {
     // net so a bug in the service layer cannot kill a dispatch stream.
     r.circuit = p.spec.circuit;
     r.method = p.spec.method;
+    r.tenant = p.spec.tenant;
     r.name = p.spec.name;
     r.ok = false;
     r.error = e.what();
@@ -127,10 +184,9 @@ void AdmissionQueue::Impl::worker_loop() {
         return stopping || (!paused && queued_locked() > 0);
       });
       if (stopping) return;
-      for (auto& [prio, q] : queues) {
-        if (q.empty()) continue;
-        p = std::move(q.front());
-        q.pop_front();
+      for (auto& [prio, lv] : queues) {
+        if (lv.queued() == 0) continue;
+        p = pop_locked(lv);
         break;
       }
       dispatched.push_back(p.ticket);
@@ -188,9 +244,22 @@ Admission AdmissionQueue::try_submit(JobSpec spec) {
   p.ticket = a.ticket;
   p.submitted = Clock::now();
   int priority = spec.priority;
+  std::string tenant = spec.tenant;
   p.spec = std::move(spec);
   impl_->results.emplace_back(std::nullopt);
-  impl_->queues[priority].push_back(std::move(p));
+  Impl::Level& lv = impl_->queues[priority];
+  Impl::TenantQueue* tq = nullptr;
+  for (Impl::TenantQueue& cand : lv.tenants) {
+    if (cand.tenant == tenant) {
+      tq = &cand;
+      break;
+    }
+  }
+  if (tq == nullptr) {
+    lv.tenants.push_back(Impl::TenantQueue{std::move(tenant), {}});
+    tq = &lv.tenants.back();
+  }
+  tq->q.push_back(std::move(p));
   impl_->work_cv.notify_one();
   return a;
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,13 @@ struct AdmissionOptions {
   /// stage a queue deterministically (ordering, backpressure, deadline
   /// expiry) before any job runs.
   bool start_paused = false;
+  /// Tenant fairness within each priority level: dispatch cycles tenants
+  /// in weighted round-robin, each tenant taking `weight` consecutive
+  /// dispatches per round (absent tenants weigh 1, FIFO within a tenant).
+  /// One tenant flooding the queue can therefore delay — never starve —
+  /// the others at its priority.  With a single tenant the schedule is
+  /// exactly the old per-level FIFO.
+  std::map<std::string, unsigned> tenant_weights;
 };
 
 /// try_submit's answer: admitted with a ticket, or rejected with
@@ -35,10 +43,11 @@ struct Admission {
 };
 
 /// Bounded admission queue in front of a VerifyService: jobs carry a
-/// priority and an optional deadline, dispatch order is
-/// highest-priority-first with FIFO fairness inside each priority level,
-/// and a full queue rejects new work with a structured RETRY_LATER
-/// carrying the current depth as a client backoff hint.
+/// priority, a tenant and an optional deadline, dispatch order is
+/// highest-priority-first with weighted round-robin across tenants (FIFO
+/// within a tenant) inside each priority level, and a full queue rejects
+/// new work with a structured RETRY_LATER carrying the current depth as a
+/// client backoff hint.
 ///
 /// Deadlines are enforced at both ends of the queue: a job still queued
 /// when its deadline passes is skipped with a DEADLINE_EXPIRED verdict

@@ -1,0 +1,54 @@
+#include "service/cache_backend.h"
+
+namespace eda::service {
+
+std::optional<kernel::Thm> InProcessBackend::lookup_theorem(
+    const kernel::Term& goal, bool* was_hit) {
+  return theorems_.lookup(goal, was_hit);
+}
+
+std::pair<kernel::Thm, bool> InProcessBackend::publish_theorem(
+    const kernel::Term& goal, kernel::Thm thm) {
+  bool inserted = false;
+  kernel::Thm canonical = theorems_.publish(goal, std::move(thm),
+                                            /*cacheable=*/true, &inserted);
+  return {std::move(canonical), inserted};
+}
+
+std::optional<verify::VerifyResult> InProcessBackend::lookup_verdict(
+    const kernel::Term& key, bool* was_hit) {
+  return verdicts_.lookup(key, was_hit);
+}
+
+std::pair<verify::VerifyResult, bool> InProcessBackend::publish_verdict(
+    const kernel::Term& key, verify::VerifyResult v, bool cacheable) {
+  bool inserted = false;
+  verify::VerifyResult canonical =
+      verdicts_.publish(key, std::move(v), cacheable, &inserted);
+  return {std::move(canonical), inserted};
+}
+
+BackendStats InProcessBackend::stats() const {
+  BackendStats st;
+  st.theorems = theorems_.stats();
+  st.verdicts = verdicts_.stats();
+  return st;
+}
+
+CacheLoadResult InProcessBackend::warm_start(const std::string& path) {
+  return PersistentCacheFile(path).load(theorems_, verdicts_);
+}
+
+void InProcessBackend::persist(const std::string& path) const {
+  PersistentCacheFile(path).save(theorems_, verdicts_);
+}
+
+CacheLoadResult FileBackend::warm_start(const std::string& path) {
+  return PersistentCacheFile(path, opts_).load(theorems(), verdicts());
+}
+
+void FileBackend::persist(const std::string& path) const {
+  PersistentCacheFile(path, opts_).save(theorems(), verdicts());
+}
+
+}  // namespace eda::service

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "kernel/goal_cache.h"
+#include "kernel/thm.h"
+#include "service/cache_file.h"
+#include "verify/common.h"
+
+namespace eda::service {
+
+/// Per-backend accounting: the GoalCache hit/miss contract for both
+/// sections, plus the remote client's degradation counters (always zero
+/// for local backends).
+struct BackendStats {
+  kernel::GoalCacheStats theorems;
+  kernel::GoalCacheStats verdicts;
+  std::uint64_t remote_failures = 0;  ///< transport errors observed
+  std::uint64_t degraded_ops = 0;     ///< ops served locally while degraded
+};
+
+/// The ONE seam through which the service reads/writes theorem and verdict
+/// entries.  Implementations: InProcessBackend (the plain shared
+/// GoalCaches), FileBackend (bound to a PersistentCacheFile path with
+/// merge-on-save), RemoteBackend (remote_backend.h — an eda_cached client
+/// that degrades to an in-process fallback).
+///
+/// The primitives carry the GoalCache accounting contract verbatim, so
+/// hit/miss statistics live in exactly one place no matter which call
+/// shape the service uses:
+///
+///   lookup_*    present counts a hit and returns the canonical entry;
+///               absent counts NOTHING (the caller is expected to prove
+///               the goal and publish the result, which is where the miss
+///               lands — a lookup never followed by its publish
+///               under-counts one miss).
+///   publish_*   an insert counts the miss; losing the publication race
+///               counts a hit (the obligation is served by the shared
+///               canonical entry, which is returned); `cacheable = false`
+///               counts the miss WITHOUT inserting.  k submissions of one
+///               goal therefore always yield exactly 1 miss and k-1 hits.
+///
+/// The composed get_or_prove_* helpers below are the service's call shape;
+/// they add no accounting of their own.
+class CacheBackend {
+ public:
+  virtual ~CacheBackend() = default;
+
+  /// "in-process", "file", "remote" — for diagnostics.
+  virtual const char* name() const = 0;
+
+  virtual std::optional<kernel::Thm> lookup_theorem(
+      const kernel::Term& goal, bool* was_hit = nullptr) = 0;
+  /// Returns (canonical theorem, inserted-by-this-call).
+  virtual std::pair<kernel::Thm, bool> publish_theorem(
+      const kernel::Term& goal, kernel::Thm thm) = 0;
+
+  virtual std::optional<verify::VerifyResult> lookup_verdict(
+      const kernel::Term& key, bool* was_hit = nullptr) = 0;
+  /// Returns (canonical verdict, inserted-by-this-call).  With
+  /// `cacheable = false` the fresh value is returned uninserted (and the
+  /// miss still counted) — a budget-blown verdict describes the machine,
+  /// not the goal.
+  virtual std::pair<verify::VerifyResult, bool> publish_verdict(
+      const kernel::Term& key, verify::VerifyResult v, bool cacheable) = 0;
+
+  virtual BackendStats stats() const = 0;
+
+  /// Merge a previously saved cache file into the backend (admission
+  /// bypasses the hit/miss counters — warm-start provenance honesty).
+  /// Never throws: missing/corrupt/skewed files are diagnosed cold starts.
+  virtual CacheLoadResult warm_start(const std::string& path) = 0;
+
+  /// Snapshot the backend's entries to `path` (PersistentCacheFile
+  /// semantics: locked, merged, atomic).  Throws CacheFileError on I/O
+  /// failure.
+  virtual void persist(const std::string& path) const = 0;
+
+  /// Backend-bound persistence (FileBackend writes its bound path; others
+  /// no-op).  Throws CacheFileError on I/O failure.
+  virtual void flush() {}
+
+  /// The service entry points, composed from the primitives so every call
+  /// shape shares one accounting implementation.
+  template <typename Fn>
+  kernel::Thm get_or_prove_theorem(const kernel::Term& goal, Fn&& prove,
+                                   bool* was_hit = nullptr) {
+    if (auto v = lookup_theorem(goal, was_hit)) return *v;
+    auto [canonical, inserted] = publish_theorem(goal, prove());
+    if (!inserted && was_hit != nullptr) *was_hit = true;  // lost the race
+    return canonical;
+  }
+
+  template <typename Fn, typename Pred>
+  verify::VerifyResult get_or_prove_verdict(const kernel::Term& key,
+                                            Fn&& prove, Pred&& should_cache,
+                                            bool* was_hit = nullptr) {
+    if (auto v = lookup_verdict(key, was_hit)) return *v;
+    verify::VerifyResult fresh = prove();
+    bool cacheable = should_cache(fresh);
+    auto [canonical, inserted] =
+        publish_verdict(key, std::move(fresh), cacheable);
+    if (cacheable && !inserted && was_hit != nullptr) *was_hit = true;
+    return canonical;
+  }
+};
+
+/// Today's behaviour behind the new seam: two shared in-process
+/// GoalCaches, nothing else.
+class InProcessBackend : public CacheBackend {
+ public:
+  const char* name() const override { return "in-process"; }
+
+  std::optional<kernel::Thm> lookup_theorem(const kernel::Term& goal,
+                                            bool* was_hit) override;
+  std::pair<kernel::Thm, bool> publish_theorem(const kernel::Term& goal,
+                                               kernel::Thm thm) override;
+  std::optional<verify::VerifyResult> lookup_verdict(
+      const kernel::Term& key, bool* was_hit) override;
+  std::pair<verify::VerifyResult, bool> publish_verdict(
+      const kernel::Term& key, verify::VerifyResult v,
+      bool cacheable) override;
+
+  BackendStats stats() const override;
+  CacheLoadResult warm_start(const std::string& path) override;
+  void persist(const std::string& path) const override;
+
+  /// The owned caches, for the file layer and tests.
+  TheoremCache& theorems() { return theorems_; }
+  VerdictCache& verdicts() { return verdicts_; }
+  const TheoremCache& theorems() const { return theorems_; }
+  const VerdictCache& verdicts() const { return verdicts_; }
+
+ private:
+  TheoremCache theorems_;
+  VerdictCache verdicts_;
+};
+
+/// InProcessBackend bound to a cache file: warm_start()/persist() default
+/// to the bound path and flush() runs a merge-on-save there, preserving
+/// the PR 8 multi-process union semantics.
+class FileBackend : public InProcessBackend {
+ public:
+  explicit FileBackend(std::string path, CacheFileOptions opts = {})
+      : path_(std::move(path)), opts_(opts) {}
+
+  const char* name() const override { return "file"; }
+  const std::string& path() const { return path_; }
+
+  CacheLoadResult warm_start(const std::string& path) override;
+  void persist(const std::string& path) const override;
+
+  /// Load the bound file.
+  CacheLoadResult open() { return warm_start(path_); }
+  /// Merge-on-save to the bound file.
+  void flush() override { persist(path_); }
+
+ private:
+  std::string path_;
+  CacheFileOptions opts_;
+};
+
+}  // namespace eda::service

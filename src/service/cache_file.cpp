@@ -35,6 +35,8 @@ void encode_thm(kernel::Encoder& enc, const kernel::Thm& th) {
 
 kernel::Thm decode_thm(kernel::Decoder& dec) { return dec.thm(); }
 
+}  // namespace
+
 void encode_verdict(kernel::Encoder& enc, const verify::VerifyResult& v) {
   enc.u8(v.completed ? 1 : 0);
   enc.u8(v.equivalent ? 1 : 0);
@@ -66,6 +68,8 @@ verify::VerifyResult decode_verdict(kernel::Decoder& dec) {
   v.counterexample = dec.str();
   return v;
 }
+
+namespace {
 
 /// Split `path` into (directory, filename); "." for a bare filename.
 std::pair<std::string, std::string> split_path(const std::string& path) {

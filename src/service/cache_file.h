@@ -5,10 +5,18 @@
 
 #include "kernel/error.h"
 #include "kernel/goal_cache.h"
+#include "kernel/serialize.h"
 #include "kernel/thm.h"
 #include "verify/common.h"
 
 namespace eda::service {
+
+/// Wire codec for one engine verdict, shared by the cache file and the
+/// eda_cached remote protocol (service/remote_proto.h) so a verdict has
+/// exactly one serialized shape.  decode throws kernel::SerializeError on
+/// out-of-range fields.
+void encode_verdict(kernel::Encoder& enc, const verify::VerifyResult& v);
+verify::VerifyResult decode_verdict(kernel::Decoder& dec);
 
 /// The shared obligation caches the service persists (see
 /// verify_service.h for what the keys are).

@@ -122,6 +122,8 @@ std::vector<JobSpec> parse_manifest(std::istream& in) {
           spec.seed = static_cast<std::uint32_t>(seed);
         } else if (key == "name") {
           spec.name = value;
+        } else if (key == "tenant") {
+          spec.tenant = value;
         } else if (key == "priority") {
           int prio = std::stoi(value, &used);
           if (used != value.size()) throw std::invalid_argument(value);
@@ -164,6 +166,10 @@ std::string results_to_json(const std::vector<JobResult>& results,
   out += "  \"threads\": " + std::to_string(threads) + ",\n";
   out += "  \"wall_sec\": " + fmt_double(stats.wall_sec) + ",\n";
   out += "  \"cpu_sec\": " + fmt_double(stats.cpu_sec) + ",\n";
+  out += "  \"backend\": \"" + json_escape(stats.backend) + "\",\n";
+  out += "  \"remote_failures\": " + std::to_string(stats.remote_failures) +
+         ",\n";
+  out += "  \"degraded_ops\": " + std::to_string(stats.degraded_ops) + ",\n";
   append_cache_json(out, "theorem_cache", stats.theorems);
   append_cache_json(out, "result_cache", stats.results);
   out += "  \"results\": [\n";
@@ -171,6 +177,7 @@ std::string results_to_json(const std::vector<JobResult>& results,
     const JobResult& r = results[i];
     out += "    {\"name\": \"" + json_escape(r.name) + "\", ";
     out += "\"circuit\": \"" + json_escape(r.circuit) + "\", ";
+    out += "\"tenant\": \"" + json_escape(r.tenant) + "\", ";
     out += "\"method\": \"" + std::string(method_name(r.method)) + "\", ";
     out += "\"ok\": " + std::string(r.ok ? "true" : "false") + ", ";
     out += "\"completed\": " + std::string(r.completed ? "true" : "false") +

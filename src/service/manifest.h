@@ -14,7 +14,9 @@ namespace eda::service {
 ///
 /// where <circuit> follows the JobSpec grammar, <method> is one of
 /// hash/match/eijk/eijk+/smv/sis, and the optional key=value fields are
-/// `timeout=SECONDS`, `seed=N` and `name=LABEL`.  A '#' at the start of
+/// `timeout=SECONDS`, `seed=N`, `name=LABEL`, `tenant=LABEL`,
+/// `priority=N`, `deadline_ms=MS` and `max_retries=N`.  A '#' at the
+/// start of
 /// the line or after whitespace begins a comment (one embedded in a token,
 /// as in sweep-generated names like `fig2:4/hash#0`, is literal); blank
 /// lines are skipped.  Throws ServiceError (with the line number) on

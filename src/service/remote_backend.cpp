@@ -1,0 +1,312 @@
+#include "service/remote_backend.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "kernel/serialize.h"
+#include "service/guard.h"
+
+namespace eda::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+struct RemoteBackend::Impl {
+  explicit Impl(RemoteBackendOptions opts_) : opts(std::move(opts_)) {
+    addr = parse_remote_address(opts.server);
+    backoff.max_retries = 0;  // unused fields; only the curve matters
+    backoff.backoff_ms = opts.backoff_ms;
+    backoff.backoff_cap_ms = opts.backoff_cap_ms;
+  }
+
+  ~Impl() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// One request/response exchange under the connection mutex.  Returns
+  /// the reply payload, or nullopt when the daemon is unreachable (which
+  /// opens/extends the degradation window).  Never throws.
+  std::optional<std::string> exchange(const std::string& request) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (Clock::now() < degraded_until) {
+      degraded_ops.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    if (fd < 0) {
+      fd = connect_remote(addr, opts.connect_timeout_ms,
+                          opts.io_timeout_ms);
+      if (fd < 0) {
+        return fail("cannot connect to " + addr.display);
+      }
+    }
+    std::string reply;
+    if (!write_frame(fd, request) ||
+        !read_frame(fd, reply, kMaxResponseFrame)) {
+      return fail("request to " + addr.display + " failed mid-flight");
+    }
+    consecutive_failures = 0;
+    return reply;
+  }
+
+  /// Record a transport failure: close the socket, bump the counters and
+  /// open a capped-exponential backoff window (RETRY_LATER semantics —
+  /// the next op inside the window is served locally, the first one after
+  /// it probes the daemon again).
+  std::nullopt_t fail(const std::string& what) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+    ++consecutive_failures;
+    remote_failures.fetch_add(1, std::memory_order_relaxed);
+    double wait = retry_backoff_ms(backoff, consecutive_failures);
+    degraded_until =
+        Clock::now() +
+        std::chrono::microseconds(static_cast<long long>(wait * 1000.0));
+    last_error = what;
+    return std::nullopt;
+  }
+
+  kernel::Encoder request(RemoteOp op) const {
+    kernel::Encoder enc;
+    enc.u32(kRemoteProtoVersion);
+    enc.u8(static_cast<std::uint8_t>(op));
+    enc.str(opts.tenant);
+    return enc;
+  }
+
+  /// Validate a reply header; returns a Decoder positioned at the body
+  /// and the status, or nullopt (degrading) on malformation/version skew.
+  std::optional<RemoteStatus> reply_status(kernel::Decoder& dec) {
+    std::uint32_t version = dec.u32();
+    if (version != kRemoteProtoVersion) return std::nullopt;
+    std::uint8_t status = dec.u8();
+    if (status > static_cast<std::uint8_t>(RemoteStatus::Error)) {
+      return std::nullopt;
+    }
+    return static_cast<RemoteStatus>(status);
+  }
+
+  std::optional<kernel::Thm> remote_lookup_thm(const kernel::Term& goal) {
+    kernel::Encoder enc = request(RemoteOp::LookupThm);
+    enc.term(goal);
+    auto reply = exchange(enc.finish());
+    if (!reply) return std::nullopt;
+    try {
+      kernel::Decoder dec(*reply);
+      auto status = reply_status(dec);
+      if (status && *status == RemoteStatus::Ok) return dec.thm();
+    } catch (const kernel::KernelError&) {
+      // Corrupt reply: treat like a dead daemon, never like a miss that
+      // could poison accounting.
+      std::lock_guard<std::mutex> lock(mu);
+      fail("malformed reply from " + addr.display);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<verify::VerifyResult> remote_lookup_verdict(
+      const kernel::Term& key) {
+    kernel::Encoder enc = request(RemoteOp::LookupVerdict);
+    enc.term(key);
+    auto reply = exchange(enc.finish());
+    if (!reply) return std::nullopt;
+    try {
+      kernel::Decoder dec(*reply);
+      auto status = reply_status(dec);
+      if (status && *status == RemoteStatus::Ok) {
+        return decode_verdict(dec);
+      }
+    } catch (const kernel::KernelError&) {
+      std::lock_guard<std::mutex> lock(mu);
+      fail("malformed reply from " + addr.display);
+    }
+    return std::nullopt;
+  }
+
+  void remote_publish_thm(const kernel::Term& goal,
+                          const kernel::Thm& th) {
+    kernel::Encoder enc = request(RemoteOp::PublishThm);
+    enc.term(goal);
+    enc.thm(th);
+    (void)exchange(enc.finish());  // best-effort; the fallback has it
+  }
+
+  void remote_publish_verdict(const kernel::Term& key,
+                              const verify::VerifyResult& v) {
+    kernel::Encoder enc = request(RemoteOp::PublishVerdict);
+    enc.term(key);
+    encode_verdict(enc, v);
+    (void)exchange(enc.finish());
+  }
+
+  std::optional<std::string> remote_snapshot() {
+    kernel::Encoder enc = request(RemoteOp::Snapshot);
+    auto reply = exchange(enc.finish());
+    if (!reply) return std::nullopt;
+    try {
+      kernel::Decoder dec(*reply);
+      auto status = reply_status(dec);
+      if (status && *status == RemoteStatus::Ok) return dec.str();
+    } catch (const kernel::KernelError&) {
+      std::lock_guard<std::mutex> lock(mu);
+      fail("malformed reply from " + addr.display);
+    }
+    return std::nullopt;
+  }
+
+  bool ping() {
+    kernel::Encoder enc = request(RemoteOp::Ping);
+    return exchange(enc.finish()).has_value();
+  }
+
+  RemoteBackendOptions opts;
+  RemoteAddress addr;
+  RetryPolicy backoff;
+
+  std::mutex mu;  ///< guards fd + degradation state
+  int fd = -1;
+  int consecutive_failures = 0;
+  Clock::time_point degraded_until{};
+  std::string last_error;
+
+  /// The safety net: every publish lands here first, lookups fall back
+  /// here, and counters bypass it (the contract lives in the atomics
+  /// below, not in the fallback's own).
+  InProcessBackend fallback;
+
+  std::atomic<std::uint64_t> thm_hits{0};
+  std::atomic<std::uint64_t> thm_misses{0};
+  std::atomic<std::uint64_t> verd_hits{0};
+  std::atomic<std::uint64_t> verd_misses{0};
+  std::atomic<std::uint64_t> remote_failures{0};
+  std::atomic<std::uint64_t> degraded_ops{0};
+};
+
+RemoteBackend::RemoteBackend(RemoteBackendOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts))) {
+  // Probe once so a client fronting a dead daemon degrades (and says so)
+  // immediately instead of on its first obligation.
+  impl_->ping();
+}
+
+RemoteBackend::~RemoteBackend() = default;
+
+std::optional<kernel::Thm> RemoteBackend::lookup_theorem(
+    const kernel::Term& goal, bool* was_hit) {
+  if (auto v = impl_->fallback.theorems().find(goal)) {
+    impl_->thm_hits.fetch_add(1, std::memory_order_relaxed);
+    if (was_hit != nullptr) *was_hit = true;
+    return v;
+  }
+  if (auto v = impl_->remote_lookup_thm(goal)) {
+    // Write-back: repeats of this goal stay off the wire, and a daemon
+    // death after this point cannot un-serve the obligation.
+    impl_->fallback.theorems().emplace(goal, *v);
+    impl_->thm_hits.fetch_add(1, std::memory_order_relaxed);
+    if (was_hit != nullptr) *was_hit = true;
+    return v;
+  }
+  if (was_hit != nullptr) *was_hit = false;
+  return std::nullopt;
+}
+
+std::pair<kernel::Thm, bool> RemoteBackend::publish_theorem(
+    const kernel::Term& goal, kernel::Thm thm) {
+  auto [canonical, inserted] =
+      impl_->fallback.theorems().emplace(goal, std::move(thm));
+  if (inserted) {
+    impl_->thm_misses.fetch_add(1, std::memory_order_relaxed);
+    impl_->remote_publish_thm(goal, canonical);
+  } else {
+    impl_->thm_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return {canonical, inserted};
+}
+
+std::optional<verify::VerifyResult> RemoteBackend::lookup_verdict(
+    const kernel::Term& key, bool* was_hit) {
+  if (auto v = impl_->fallback.verdicts().find(key)) {
+    impl_->verd_hits.fetch_add(1, std::memory_order_relaxed);
+    if (was_hit != nullptr) *was_hit = true;
+    return v;
+  }
+  if (auto v = impl_->remote_lookup_verdict(key)) {
+    impl_->fallback.verdicts().emplace(key, *v);
+    impl_->verd_hits.fetch_add(1, std::memory_order_relaxed);
+    if (was_hit != nullptr) *was_hit = true;
+    return v;
+  }
+  if (was_hit != nullptr) *was_hit = false;
+  return std::nullopt;
+}
+
+std::pair<verify::VerifyResult, bool> RemoteBackend::publish_verdict(
+    const kernel::Term& key, verify::VerifyResult v, bool cacheable) {
+  if (!cacheable) {
+    impl_->verd_misses.fetch_add(1, std::memory_order_relaxed);
+    return {std::move(v), false};
+  }
+  auto [canonical, inserted] =
+      impl_->fallback.verdicts().emplace(key, std::move(v));
+  if (inserted) {
+    impl_->verd_misses.fetch_add(1, std::memory_order_relaxed);
+    impl_->remote_publish_verdict(key, canonical);
+  } else {
+    impl_->verd_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return {canonical, inserted};
+}
+
+BackendStats RemoteBackend::stats() const {
+  BackendStats st = impl_->fallback.stats();
+  // The fallback's own counters never move (find/emplace are count-free);
+  // its entry counts are real.  The hit/miss contract lives here.
+  st.theorems.hits = impl_->thm_hits.load(std::memory_order_relaxed);
+  st.theorems.misses = impl_->thm_misses.load(std::memory_order_relaxed);
+  st.verdicts.hits = impl_->verd_hits.load(std::memory_order_relaxed);
+  st.verdicts.misses = impl_->verd_misses.load(std::memory_order_relaxed);
+  st.remote_failures =
+      impl_->remote_failures.load(std::memory_order_relaxed);
+  st.degraded_ops = impl_->degraded_ops.load(std::memory_order_relaxed);
+  return st;
+}
+
+CacheLoadResult RemoteBackend::warm_start(const std::string& path) {
+  return impl_->fallback.warm_start(path);
+}
+
+void RemoteBackend::persist(const std::string& path) const {
+  TheoremCache merged_thms;
+  VerdictCache merged_verdicts;
+  for (auto& [goal, th] : impl_->fallback.theorems().snapshot()) {
+    merged_thms.emplace(goal, std::move(th));
+  }
+  for (auto& [key, v] : impl_->fallback.verdicts().snapshot()) {
+    merged_verdicts.emplace(key, std::move(v));
+  }
+  if (auto blob = impl_->remote_snapshot()) {
+    // A skewed/corrupt snapshot is skipped (decode admits zero entries),
+    // never fatal: the local half still gets persisted.
+    PersistentCacheFile::decode(*blob, merged_thms, merged_verdicts);
+  }
+  PersistentCacheFile(path).save(merged_thms, merged_verdicts);
+}
+
+bool RemoteBackend::healthy() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->fd >= 0 && Clock::now() >= impl_->degraded_until;
+}
+
+std::string RemoteBackend::last_error() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->last_error;
+}
+
+}  // namespace eda::service

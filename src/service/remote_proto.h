@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "kernel/error.h"
+
+namespace eda::service {
+
+/// Raised by the remote-cache transport helpers on address malformation or
+/// unrecoverable socket setup failures (bind, listen).  Per-request I/O
+/// errors are NOT exceptions — the client degrades to its in-process
+/// fallback instead (see remote_backend.h).
+class RemoteCacheError : public kernel::KernelError {
+ public:
+  explicit RemoteCacheError(const std::string& what)
+      : kernel::KernelError(what) {}
+};
+
+/// eda_cached wire protocol version.  Every request and response payload
+/// opens with this u32; a daemon refuses skewed clients with a
+/// STATUS_ERROR reply (a cache is regenerable, so skew handling is
+/// "degrade", never migration).  The payload itself rides inside the PR 5
+/// kernel container (magic, kSerializeVersion, FNV-1a checksum), so the
+/// transport inherits the serializer's corruption detection wholesale.
+inline constexpr std::uint32_t kRemoteProtoVersion = 1;
+
+/// Request opcodes.  All requests carry (version, opcode, tenant) followed
+/// by the op-specific body; all responses carry (version, status) followed
+/// by the op-specific body.
+enum class RemoteOp : std::uint8_t {
+  Ping = 0,           ///< -> Ok (liveness / version handshake)
+  LookupThm = 1,      ///< term(goal) -> Ok thm | NotFound
+  PublishThm = 2,     ///< term(goal), thm -> Ok u8(inserted)
+  LookupVerdict = 3,  ///< term(key) -> Ok verdict | NotFound
+  PublishVerdict = 4, ///< term(key), verdict -> Ok u8(inserted)
+  Stats = 5,          ///< -> Ok u32(shards), u64 x4 (entries/lookups/hits),
+                      ///<    u64(tenants seen)
+  Snapshot = 6,       ///< -> Ok str(PersistentCacheFile::encode blob)
+};
+
+enum class RemoteStatus : std::uint8_t {
+  Ok = 0,
+  NotFound = 1,
+  Error = 2,  ///< body: str(diagnostic)
+};
+
+/// A parsed --cache-server / --socket / --listen address:
+///   unix:/path/to.sock   Unix domain socket (also a bare path with a '/')
+///   host:port            TCP (numeric IPv4 or "localhost")
+struct RemoteAddress {
+  bool is_unix = false;
+  std::string path;        ///< unix socket path
+  std::string host;        ///< TCP host
+  int port = 0;            ///< TCP port
+  std::string display;     ///< canonical spelling for diagnostics
+};
+
+/// Parse an address spec; throws RemoteCacheError on malformation.
+RemoteAddress parse_remote_address(const std::string& spec);
+
+/// Length-prefixed framing over a connected socket: u32 little-endian
+/// payload length, then the payload bytes (an Encoder::finish() container).
+/// Both return false on any short read/write, EOF or oversized frame —
+/// the caller treats the connection as dead.  Writes suppress SIGPIPE.
+bool write_frame(int fd, const std::string& payload);
+bool read_frame(int fd, std::string& payload, std::size_t max_bytes);
+
+/// Frames beyond this are protocol violations (or a desynced stream) on
+/// the request path; snapshot responses size the limit to the store.
+inline constexpr std::size_t kMaxRequestFrame = 64u << 20;
+inline constexpr std::size_t kMaxResponseFrame = 256u << 20;
+
+/// Connect a client socket (with timeout, in ms) to `addr`; returns the fd
+/// or -1.  The fd has send/receive timeouts of `io_timeout_ms` applied so
+/// a wedged daemon degrades the client instead of hanging it.
+int connect_remote(const RemoteAddress& addr, int connect_timeout_ms,
+                   int io_timeout_ms);
+
+/// Bind + listen on `addr` (unlinking a stale unix socket file first);
+/// returns the listening fd or throws RemoteCacheError.  For TCP with
+/// port 0, `bound_port` receives the kernel-chosen port.
+int listen_remote(const RemoteAddress& addr, int backlog, int* bound_port);
+
+}  // namespace eda::service

@@ -18,6 +18,7 @@
 #include "kernel/parallel.h"
 #include "kernel/thm.h"
 #include "service/fault.h"
+#include "service/remote_backend.h"
 #include "service/spec_util.h"
 #include "sim/bitsim.h"
 #include "theories/numeral.h"
@@ -205,21 +206,47 @@ std::optional<Method> parse_method(const std::string& name) {
   return std::nullopt;
 }
 
+namespace {
+
+/// Build the one CacheBackend the service runs against, from the cache
+/// policy group: remote when a server is named, file when a cache file is
+/// bound, in-process otherwise.  With sharing off the backend is never
+/// consulted, so the plain in-process one suffices.
+std::unique_ptr<CacheBackend> make_backend(const ServiceOptions& opts) {
+  const CachePolicy& c = opts.cache;
+  if (c.share && !c.server.empty()) {
+    RemoteBackendOptions ro;
+    ro.server = c.server;
+    ro.tenant = c.tenant;
+    ro.connect_timeout_ms = c.remote_connect_timeout_ms;
+    ro.io_timeout_ms = c.remote_io_timeout_ms;
+    ro.backoff_ms = c.remote_backoff_ms;
+    ro.backoff_cap_ms = c.remote_backoff_cap_ms;
+    return std::make_unique<RemoteBackend>(std::move(ro));
+  }
+  if (c.share && !c.file.empty()) {
+    return std::make_unique<FileBackend>(c.file, c.file_options);
+  }
+  return std::make_unique<InProcessBackend>();
+}
+
+}  // namespace
+
 struct VerifyService::Impl {
   explicit Impl(ServiceOptions opts_)
-      : opts(opts_),
-        pool(opts_.jobs == 0 ? kernel::default_thread_count() : opts_.jobs) {}
+      : opts(std::move(opts_)),
+        pool(opts.jobs == 0 ? kernel::default_thread_count() : opts.jobs),
+        backend(make_backend(opts)) {}
 
   JobResult run_job(const JobSpec& spec);
 
   ServiceOptions opts;
   kernel::ThreadPool pool;
-  /// The shared obligation caches, both keyed on interned goal terms
-  /// (alpha-hashed): the retiming theorem for a (f, g, q) instantiation,
-  /// and the engine verdict for a (h_a, q_a, h_b, q_b, engine, bounds)
-  /// check.
-  kernel::GoalCache<kernel::Thm> theorems;
-  kernel::GoalCache<verify::VerifyResult> verdicts;
+  /// The shared obligation cache seam (service/cache_backend.h), keyed on
+  /// interned goal terms (alpha-hashed): the retiming theorem for a
+  /// (f, g, q) instantiation, and the engine verdict for a
+  /// (h_a, q_a, h_b, q_b, engine, bounds) check.
+  std::unique_ptr<CacheBackend> backend;
 
   std::mutex mu;
   std::vector<std::future<JobResult>> inflight;
@@ -236,6 +263,7 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
   JobResult r;
   r.circuit = spec.circuit;
   r.method = spec.method;
+  r.tenant = spec.tenant.empty() ? opts.cache.tenant : spec.tenant;
   r.name = spec.name.empty()
                ? spec.circuit + "/" + method_name(spec.method)
                : spec.name;
@@ -258,21 +286,16 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
     verify::VerifyOptions vopts;
     vopts.timeout_sec = spec.timeout_sec;
     sim::SimOptions sim_opts;
-    sim_opts.vectors = opts.sim_vectors;
-    sim_opts.frames = opts.sim_frames;
-    sim_opts.seed = opts.sim_seed;
+    sim_opts.vectors = opts.sim.vectors;
+    sim_opts.frames = opts.sim.frames;
+    sim_opts.seed = opts.sim.seed;
     // Every engine run below goes through run_guarded with this policy:
-    // exceptions classified instead of propagated, retryable failures
-    // re-run with escalated budgets and capped backoff.
-    RetryPolicy policy;
-    policy.max_retries =
-        spec.max_retries >= 0 ? spec.max_retries : opts.max_retries;
-    policy.backoff_ms = opts.retry_backoff_ms;
-    policy.backoff_cap_ms = opts.retry_backoff_cap_ms;
-    policy.escalation = opts.retry_escalation;
+    // the service-wide retry group, specialised by the job's own retry
+    // budget and deadline.
+    RetryPolicy policy = opts.retry;
+    if (spec.max_retries >= 0) policy.max_retries = spec.max_retries;
     policy.deadline_sec =
         spec.deadline_ms > 0.0 ? spec.deadline_ms / 1000.0 : 0.0;
-    policy.really_sleep = opts.retry_sleep;
 
     if (rc.is_pair) {
       verify::Engine eng = *engine_of(spec.method);
@@ -294,7 +317,7 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
         std::vector<verify::ConeVerdict> cones(pairs.size());
         std::vector<verify::ConeJob> cjobs(pairs.size());
         for (std::size_t i = 0; i < pairs.size(); ++i) {
-          cjobs[i] = {&pairs[i], eng, vopts, opts.use_sim, sim_opts};
+          cjobs[i] = {&pairs[i], eng, vopts, opts.sim.enabled, sim_opts};
           cones[i].output = pairs[i].output;
         }
         // Per-cone retry accounting, indexed so the parallel sections
@@ -312,7 +335,7 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
           cone_backoff[i] = g.backoff_ms;
           return g.result;
         };
-        if (opts.share_cache && opts.batch_bdd) {
+        if (opts.cache.share && opts.batch_bdd) {
           // Phase A (parallel): cache lookup, then the engine-free cheap
           // tiers — identity, miter fold, sim refutation.  Phase B: the
           // surviving cones run together on the shared-pool batched BDD
@@ -329,8 +352,8 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
               [&](std::size_t i) {
                 keys[i] = cone_key(pairs[i].hash_a, pairs[i].hash_b, eng,
                                    spec.timeout_sec, vopts);
-                if (auto v =
-                        verdicts.lookup(*keys[i], &cones[i].cache_hit)) {
+                if (auto v = backend->lookup_verdict(*keys[i],
+                                                     &cones[i].cache_hit)) {
                   settled[i] = *v;
                   return;
                 }
@@ -368,8 +391,10 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
             cones[i].result =
                 cones[i].cache_hit
                     ? *settled[i]
-                    : verdicts.publish(*keys[i], *settled[i],
-                                       settled[i]->completed);
+                    : backend
+                          ->publish_verdict(*keys[i], *settled[i],
+                                            settled[i]->completed)
+                          .first;
           }
         } else if (opts.batch_bdd) {
           // No cache to consult: the whole decomposition goes through the
@@ -394,11 +419,11 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
               pairs.size(),
               [&](std::size_t i) {
                 verify::ConeVerdict& cv = cones[i];
-                if (opts.share_cache) {
+                if (opts.cache.share) {
                   kernel::Term key = cone_key(pairs[i].hash_a,
                                               pairs[i].hash_b, eng,
                                               spec.timeout_sec, vopts);
-                  cv.result = verdicts.get_or_prove_if(
+                  cv.result = backend->get_or_prove_verdict(
                       key, [&] { return guarded_cone(i); },
                       [](const verify::VerifyResult& res) {
                         return res.completed;
@@ -448,7 +473,7 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
         // engine-independent truth (it holds from every initial register
         // state), so caching it under the engine key is sound, and a
         // cache hit skips the simulation along with the engine.
-        if (opts.use_sim) {
+        if (opts.sim.enabled) {
           sim::RefuteResult sr = sim::refute(rc.net_a, rc.net_b, sim_opts);
           if (sr.refuted) {
             verify::VerifyResult sv;
@@ -473,7 +498,7 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
         return g.result;
       };
       verify::VerifyResult v;
-      if (opts.share_cache) {
+      if (opts.cache.share) {
         // Raw netlist pairs have no term-level goal, but they DO have a
         // structural identity: key the verdict on both structural netlist
         // hashes (io/blif.h — name-independent, so re-exports of the same
@@ -486,7 +511,7 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
                 thy::mk_pair(thy::mk_numeral(io::structural_hash(rc.net_a)),
                              thy::mk_numeral(io::structural_hash(rc.net_b))),
                 engine_bounds_term(eng, spec.timeout_sec, vopts)));
-        v = verdicts.get_or_prove_if(
+        v = backend->get_or_prove_verdict(
             key, guarded_engine,
             [](const verify::VerifyResult& res) { return res.completed; },
             &r.result_cache_hit);
@@ -514,14 +539,14 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
     auto ts = Clock::now();
     std::optional<hash::CompiledCircuit> comp;
     kernel::Thm thm = [&] {
-      if (!opts.share_cache) {
+      if (!opts.cache.share) {
         return hash::formal_retime(rc.rtl, rc.cut).theorem;
       }
       comp = hash::compile(rc.rtl);
       hash::SplitCircuit split = hash::compile_split(rc.rtl, rc.cut);
       kernel::Term goal =
           thy::mk_pair(split.f, thy::mk_pair(split.g, comp->q));
-      return theorems.get_or_prove(
+      return backend->get_or_prove_theorem(
           goal,
           [&] { return hash::formal_retime(rc.rtl, rc.cut).theorem; },
           &r.theorem_cache_hit);
@@ -563,7 +588,7 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
           // Same pre-filter as the blif-pair path; on RTL jobs the pair
           // came out of the retiming kernel, so a refutation here would
           // flag a kernel bug — which is exactly why the fuzz leg runs it.
-          if (opts.use_sim) {
+          if (opts.sim.enabled) {
             sim::RefuteResult sr = sim::refute(ga, gb, sim_opts);
             if (sr.refuted) {
               verify::VerifyResult sv;
@@ -588,7 +613,7 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
           return g.result;
         };
         verify::VerifyResult v;
-        if (opts.share_cache) {
+        if (opts.cache.share) {
           // A *completed* engine verdict is a pure function of (both
           // compiled circuits, engine, resource bounds); key on exactly
           // that.  A run that blew its wall-clock/node/state budget is a
@@ -600,7 +625,7 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
               thy::mk_pair(comp->q, thy::mk_pair(compb.h, compb.q)));
           kernel::Term key = thy::mk_pair(
               pair_goal, engine_bounds_term(eng, spec.timeout_sec, vopts));
-          v = verdicts.get_or_prove_if(
+          v = backend->get_or_prove_verdict(
               key, guarded_engine,
               [](const verify::VerifyResult& res) { return res.completed; },
               &r.result_cache_hit);
@@ -706,11 +731,11 @@ std::vector<JobResult> VerifyService::run_batch(
 }
 
 CacheLoadResult VerifyService::load_cache(const std::string& path) {
-  return PersistentCacheFile(path).load(impl_->theorems, impl_->verdicts);
+  return impl_->backend->warm_start(path);
 }
 
 void VerifyService::save_cache(const std::string& path) const {
-  PersistentCacheFile(path).save(impl_->theorems, impl_->verdicts);
+  impl_->backend->persist(path);
 }
 
 JobResult VerifyService::run_one(const JobSpec& spec) {
@@ -746,14 +771,24 @@ void VerifyService::record_skipped(const JobResult& r) {
 
 ServiceStats VerifyService::stats() const {
   ServiceStats st;
-  st.theorems = impl_->theorems.stats();
-  st.results = impl_->verdicts.stats();
+  BackendStats bs = impl_->backend->stats();
+  st.theorems = bs.theorems;
+  st.results = bs.verdicts;
+  st.backend = impl_->backend->name();
+  st.remote_failures = bs.remote_failures;
+  st.degraded_ops = bs.degraded_ops;
   std::lock_guard<std::mutex> lock(impl_->mu);
   st.jobs = impl_->jobs_total;
   st.failed = impl_->failed_total;
   st.wall_sec = impl_->wall_total;
   st.cpu_sec = impl_->cpu_total;
   return st;
+}
+
+CacheBackend& VerifyService::cache_backend() { return *impl_->backend; }
+
+const CacheBackend& VerifyService::cache_backend() const {
+  return *impl_->backend;
 }
 
 }  // namespace eda::service

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -8,6 +9,7 @@
 
 #include "kernel/error.h"
 #include "kernel/goal_cache.h"
+#include "service/cache_backend.h"
 #include "service/cache_file.h"
 #include "service/guard.h"
 #include "verify/parallel_verify.h"
@@ -60,13 +62,18 @@ struct JobSpec {
   /// dispatched near it has its engine budget capped to what remains.
   double deadline_ms = 0.0;
   /// Per-job retry budget for classified retryable failures; -1 uses
-  /// ServiceOptions::max_retries.
+  /// ServiceOptions::retry.max_retries.
   int max_retries = -1;
+  /// Submitting tenant: drives admission fairness (weighted round-robin
+  /// across tenants within a priority level) and labels remote-cache
+  /// requests.  Empty uses CachePolicy::tenant.
+  std::string tenant;
 };
 
 struct JobResult {
   std::string name;
   std::string circuit;
+  std::string tenant;  ///< echoed from the spec (admission fairness audit)
   Method method = Method::Hash;
   bool ok = false;           ///< ran to completion without error
   std::string error;         ///< diagnostic when !ok
@@ -113,15 +120,80 @@ struct ServiceStats {
   kernel::GoalCacheStats results;   ///< shared engine-verdict cache
   double wall_sec = 0.0;            ///< batch wall time (submit to drain)
   double cpu_sec = 0.0;             ///< process CPU over the same window
+  std::string backend;              ///< CacheBackend::name() in use
+  /// Remote-tier health (zero for in-process/file backends): transport
+  /// failures seen and cache ops served locally during backoff windows.
+  std::uint64_t remote_failures = 0;
+  std::uint64_t degraded_ops = 0;
+};
+
+/// Where the shared theorem/verdict caches live and how jobs reach them.
+/// The service builds exactly one CacheBackend from this group:
+///
+///   server non-empty  -> RemoteBackend against an eda_cached daemon at
+///                        `server` ("unix:/path" or "host:port"), wrapped
+///                        around an in-process fallback so a dead daemon
+///                        degrades instead of failing;
+///   file non-empty    -> FileBackend bound to `file` (PR 8 merge-on-save
+///                        semantics on every persist);
+///   otherwise         -> InProcessBackend (today's behaviour).
+struct CachePolicy {
+  /// Share the caches across jobs.  Off = every job proves its own
+  /// obligations (the serial-loop baseline bench_service measures
+  /// against); off also disables the backend selection above.
+  bool share = true;
+  std::string file;   ///< bound cache file (FileBackend), "" = none
+  CacheFileOptions file_options;
+  std::string server; ///< eda_cached address (RemoteBackend), "" = none
+  std::string tenant = "default";  ///< label on every remote request
+  int remote_connect_timeout_ms = 1000;
+  int remote_io_timeout_ms = 5000;
+  /// Degradation backoff after a remote transport failure (capped
+  /// exponential; see service/remote_backend.h).
+  double remote_backoff_ms = 25.0;
+  double remote_backoff_cap_ms = 2000.0;
+};
+
+/// Bit-parallel simulation pre-filter (sim/bitsim.h): before an engine
+/// builds any BDDs, drive both sides with `vectors` shared random vectors
+/// (`frames` cycles each, flops starting at X) and settle the obligation
+/// NONEQUIV — with a concrete counterexample — on any lane mismatch.
+/// Sound against every engine's init semantics (the X init makes a
+/// refutation hold from all initial register states), so the verdict is
+/// cached under the same key an engine verdict would be.
+struct SimPolicy {
+  bool enabled = true;
+  int vectors = 256;
+  int frames = 4;
+  std::uint64_t seed = 0x5eedf17e;
+};
+
+/// Admission-front defaults the service front (tools/eda_service.cpp)
+/// maps onto service/admission.h: queue capacity and the per-tenant
+/// weighted-round-robin shares used within each priority level.
+struct QueuePolicy {
+  std::size_t depth = 256;
+  /// tenant -> WRR weight (dispatches per round); absent tenants get 1.
+  std::map<std::string, unsigned> tenant_weights;
 };
 
 struct ServiceOptions {
   /// Concurrent job streams (pool worker threads); 0 = hardware default.
   unsigned jobs = 0;
-  /// Share the theorem/verdict caches across jobs.  Off = every job proves
-  /// its own obligations (the serial-loop baseline bench_service measures
-  /// against).
-  bool share_cache = true;
+  /// Cache placement/sharing (the CacheBackend seam).  NOTE: deliberately
+  /// the second member and NOT a bool, so pre-regroup positional inits
+  /// like `{1, true}` fail to compile instead of silently changing
+  /// meaning.
+  CachePolicy cache;
+  SimPolicy sim;
+  /// Retry policy for classified retryable engine failures (TIMEOUT,
+  /// RESOURCE_EXHAUSTED, INTERNAL_ERROR — see service/guard.h): up to
+  /// `retry.max_retries` extra attempts per obligation, budgets escalating
+  /// by `retry.escalation` per attempt, capped exponential backoff between
+  /// them.  `retry.really_sleep = false` (tests) accounts the backoff
+  /// without sleeping it.
+  RetryPolicy retry;
+  QueuePolicy queue;
   /// Cone-partitioned incremental verification for blif-pair jobs: each
   /// pair decomposes into one obligation per primary output
   /// (verify/cone.h), unchanged cones resolve from the persistent verdict
@@ -130,32 +202,10 @@ struct ServiceOptions {
   /// back into the whole-design verdict.  Pairs whose output counts differ
   /// fall back to the whole-netlist path.  RTL jobs are unaffected.
   bool incremental = false;
-  /// Bit-parallel simulation pre-filter (sim/bitsim.h): before an engine
-  /// builds any BDDs, drive both sides with `sim_vectors` shared random
-  /// vectors (`sim_frames` cycles each, flops starting at X) and settle the
-  /// obligation NONEQUIV — with a concrete counterexample — on any lane
-  /// mismatch.  Sound against every engine's init semantics (the X init
-  /// makes a refutation hold from all initial register states), so the
-  /// verdict is cached under the same key an engine verdict would be.
-  bool use_sim = true;
-  int sim_vectors = 256;
-  int sim_frames = 4;
-  std::uint64_t sim_seed = 0x5eedf17e;
   /// Run the incremental path's engine tail on the batched BDD kernel
   /// (verify/batch_bdd.h): one shared node pool and a lock-step apply loop
   /// across all surviving cones, instead of one BddManager per cone.
   bool batch_bdd = true;
-  /// Retry policy for classified retryable engine failures (TIMEOUT,
-  /// RESOURCE_EXHAUSTED, INTERNAL_ERROR — see service/guard.h): up to
-  /// `max_retries` extra attempts per obligation, budgets escalating by
-  /// `retry_escalation` per attempt, capped exponential backoff between
-  /// them.  `retry_sleep = false` (tests) accounts the backoff without
-  /// sleeping it.
-  int max_retries = 2;
-  double retry_backoff_ms = 25.0;
-  double retry_backoff_cap_ms = 1000.0;
-  double retry_escalation = 2.0;
-  bool retry_sleep = true;
 };
 
 /// A long-running multi-circuit verification service: jobs are submitted as
@@ -215,6 +265,12 @@ class VerifyService {
   void save_cache(const std::string& path) const;
 
   ServiceStats stats() const;
+
+  /// The cache seam the service is running against (in-process, file or
+  /// remote — see CachePolicy).  Exposed for conformance tests and the
+  /// service front's health diagnostics.
+  CacheBackend& cache_backend();
+  const CacheBackend& cache_backend() const;
 
  private:
   struct Impl;

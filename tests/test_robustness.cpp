@@ -57,6 +57,14 @@ svc::JobSpec job(const std::string& circuit, svc::Method method) {
   return spec;
 }
 
+/// (jobs, share) service options — the old flat positional init, regrouped.
+svc::ServiceOptions sopts(unsigned jobs, bool share = true) {
+  svc::ServiceOptions opts;
+  opts.jobs = jobs;
+  opts.cache.share = share;
+  return opts;
+}
+
 /// Caches with `entries` goals keyed off a distinct per-writer stem, so
 /// two writers' key sets are disjoint by construction.
 void fill_disjoint(svc::TheoremCache& thms, svc::VerdictCache& verdicts,
@@ -272,8 +280,8 @@ TEST_F(FaultTest, ServiceReportsClassifiedVerdictWithRetryAccounting) {
       "seed=5,rate=1.0,sites=engine_bdd");
   svc::ServiceOptions opts;
   opts.jobs = 1;
-  opts.max_retries = 1;
-  opts.retry_sleep = false;
+  opts.retry.max_retries = 1;
+  opts.retry.really_sleep = false;
   svc::VerifyService service(opts);
   svc::JobResult r = service.run_one(job("fig2:3", svc::Method::Eijk));
   EXPECT_FALSE(r.completed);
@@ -298,7 +306,7 @@ TEST_F(FaultTest, FaultsClearedTheSameJobCompletesEquiv) {
 // --- Admission queue -------------------------------------------------------
 
 TEST(Admission, DispatchIsPriorityOrderedFifoWithinLevel) {
-  svc::VerifyService service({1, true});
+  svc::VerifyService service(sopts(1));
   svc::AdmissionOptions aopts;
   aopts.streams = 1;           // one stream => the schedule is total
   aopts.start_paused = true;   // stage the whole queue before any dispatch
@@ -322,8 +330,60 @@ TEST(Admission, DispatchIsPriorityOrderedFifoWithinLevel) {
   EXPECT_EQ(front.dispatch_order(), expect);
 }
 
+TEST(Admission, TenantWeightedRoundRobinPreventsFloodStarvation) {
+  // Tenant "heavy" (weight 2) floods the queue before "light" (no
+  // configured weight, defaults to 1) submits two jobs.  FIFO would make
+  // light wait out the whole flood; WRR interleaves the round as
+  // heavy,heavy,light — one tenant's flood delays but never starves its
+  // peers, and within each tenant admission order is preserved.
+  svc::VerifyService service(sopts(1));
+  svc::AdmissionOptions aopts;
+  aopts.streams = 1;           // one stream => the schedule is total
+  aopts.start_paused = true;   // stage the whole queue before any dispatch
+  aopts.tenant_weights["heavy"] = 2;
+  svc::AdmissionQueue front(service, aopts);
+  const char* tenants[] = {"heavy", "heavy", "heavy", "heavy",
+                           "light", "light"};
+  for (const char* tenant : tenants) {
+    svc::JobSpec spec = job("fig2:3", svc::Method::Hash);
+    spec.tenant = tenant;
+    ASSERT_TRUE(front.try_submit(spec).accepted);
+  }
+  std::vector<svc::JobResult> results = front.drain();
+  ASSERT_EQ(results.size(), 6u);
+  for (const svc::JobResult& r : results) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.verdict, svc::VerdictClass::Equiv);
+  }
+  // Results carry their tenant label back to the client.
+  EXPECT_EQ(results[0].tenant, "heavy");
+  EXPECT_EQ(results[4].tenant, "light");
+  std::vector<std::size_t> expect = {0, 1, 4, 2, 3, 5};
+  EXPECT_EQ(front.dispatch_order(), expect);
+}
+
+TEST(Admission, SingleTenantWeightedRoundRobinIsPlainFifo) {
+  // With one tenant per level the WRR machinery must reduce exactly to
+  // the old FIFO schedule, whatever weight is configured.
+  svc::VerifyService service(sopts(1));
+  svc::AdmissionOptions aopts;
+  aopts.streams = 1;
+  aopts.start_paused = true;
+  aopts.tenant_weights["default"] = 7;
+  svc::AdmissionQueue front(service, aopts);
+  for (int i = 0; i < 4; ++i) {
+    svc::JobSpec spec = job("fig2:3", svc::Method::Hash);
+    spec.tenant = "default";
+    ASSERT_TRUE(front.try_submit(spec).accepted);
+  }
+  std::vector<svc::JobResult> results = front.drain();
+  ASSERT_EQ(results.size(), 4u);
+  std::vector<std::size_t> expect = {0, 1, 2, 3};
+  EXPECT_EQ(front.dispatch_order(), expect);
+}
+
 TEST(Admission, FullQueueShedsLoadWithStructuredRetryLater) {
-  svc::VerifyService service({1, true});
+  svc::VerifyService service(sopts(1));
   svc::AdmissionOptions aopts;
   aopts.max_depth = 2;
   aopts.streams = 1;
@@ -345,7 +405,7 @@ TEST(Admission, FullQueueShedsLoadWithStructuredRetryLater) {
 }
 
 TEST(Admission, DeadlineExpiredInQueueNeverReachesAnEngine) {
-  svc::VerifyService service({1, true});
+  svc::VerifyService service(sopts(1));
   svc::AdmissionOptions aopts;
   aopts.streams = 1;
   aopts.start_paused = true;

@@ -35,6 +35,14 @@ std::string temp_path(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
+/// (jobs, share) service options — the old flat positional init, regrouped.
+svc::ServiceOptions sopts(unsigned jobs, bool share = true) {
+  svc::ServiceOptions opts;
+  opts.jobs = jobs;
+  opts.cache.share = share;
+  return opts;
+}
+
 /// A small but non-trivial cache pair to persist: refl/assume-derived
 /// theorems over generated goals, plus a few verdicts.
 void fill_caches(svc::TheoremCache& thms, svc::VerdictCache& verdicts,
@@ -360,7 +368,7 @@ TEST(CacheFileCorruption, CorruptFileOnDiskStartsServiceCold) {
     std::ofstream out(path, std::ios::binary);
     out << "EDAC garbage that is long enough to look like a header";
   }
-  svc::VerifyService service({1, true});
+  svc::VerifyService service(sopts(1));
   svc::CacheLoadResult r = service.load_cache(path);
   EXPECT_FALSE(r.loaded);
   EXPECT_NE(r.note.find("cold"), std::string::npos);
@@ -375,7 +383,7 @@ TEST(CacheFileConcurrency, SaveWhileDrainingProducesLoadableFiles) {
   // Every intermediate file is complete (atomic rename) and the final one
   // reflects the drained service.
   std::string path = temp_path("concurrent_save.bin");
-  svc::VerifyService service({2, true});
+  svc::VerifyService service(sopts(2));
   std::vector<svc::JobSpec> specs;
   for (int n = 2; n <= 6; ++n) {
     svc::JobSpec spec;
@@ -404,7 +412,7 @@ TEST(CacheFileConcurrency, SaveWhileDrainingProducesLoadableFiles) {
   // A post-drain save must carry every proved theorem: a fresh service
   // warm-started from it re-runs the batch without a single theorem miss.
   service.save_cache(path);
-  svc::VerifyService warm({2, true});
+  svc::VerifyService warm(sopts(2));
   svc::CacheLoadResult wl = warm.load_cache(path);
   ASSERT_TRUE(wl.loaded) << wl.note;
   EXPECT_EQ(wl.theorems, specs.size());

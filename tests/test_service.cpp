@@ -36,6 +36,14 @@ svc::JobSpec job(const std::string& circuit, svc::Method method,
   return spec;
 }
 
+/// (jobs, share) options — the old flat positional init, regrouped.
+svc::ServiceOptions sopts(unsigned jobs, bool share = true) {
+  svc::ServiceOptions opts;
+  opts.jobs = jobs;
+  opts.cache.share = share;
+  return opts;
+}
+
 /// Write a netlist to a BLIF file under the test temp dir.
 std::string write_blif_file(const eda::circuit::GateNetlist& net,
                             const std::string& stem) {
@@ -187,7 +195,7 @@ TEST(ServiceFrontEnd, SweepGridExpansion) {
 // --- The service itself ----------------------------------------------------
 
 TEST(VerifyService, SecondIdenticalObligationIsACacheHit) {
-  svc::VerifyService service({1, true});
+  svc::VerifyService service(sopts(1));
   // Serial submission: deterministic hit attribution.
   svc::JobResult first = service.run_one(job("fig2:4", svc::Method::Eijk));
   svc::JobResult again = service.run_one(job("fig2:4", svc::Method::Eijk));
@@ -213,7 +221,7 @@ TEST(VerifyService, SecondIdenticalObligationIsACacheHit) {
 }
 
 TEST(VerifyService, SharedCacheOffProvesEveryObligation) {
-  svc::VerifyService service({1, false});
+  svc::VerifyService service(sopts(1, false));
   service.run_one(job("fig2:3", svc::Method::Hash));
   svc::JobResult again = service.run_one(job("fig2:3", svc::Method::Hash));
   ASSERT_TRUE(again.ok) << again.error;
@@ -223,7 +231,7 @@ TEST(VerifyService, SharedCacheOffProvesEveryObligation) {
 }
 
 TEST(VerifyService, ResultsKeepSubmitOrder) {
-  svc::VerifyService service({4, true});
+  svc::VerifyService service(sopts(4));
   std::vector<svc::JobSpec> specs;
   for (int n = 2; n <= 6; ++n) {
     svc::JobSpec spec = job("fig2:" + std::to_string(n), svc::Method::Hash);
@@ -240,7 +248,7 @@ TEST(VerifyService, ResultsKeepSubmitOrder) {
 }
 
 TEST(VerifyService, FailureIsolation) {
-  svc::VerifyService service({2, true});
+  svc::VerifyService service(sopts(2));
   std::vector<svc::JobSpec> specs{
       job("fig2:4", svc::Method::Eijk),
       job("warp:9", svc::Method::Eijk),            // unknown generator
@@ -282,7 +290,7 @@ TEST(VerifyService, BlifPairJobsVerifyFiles) {
     std::ofstream(pb) << eda::io::write_blif(
         eda::circuit::bit_blast(res.retimed), "b");
   }
-  svc::VerifyService service({1, true});
+  svc::VerifyService service(sopts(1));
   svc::JobResult r =
       service.run_one(job("blif:" + pa + "," + pb, svc::Method::Eijk));
   ASSERT_TRUE(r.ok) << r.error;
@@ -315,12 +323,12 @@ TEST(VerifyService, WarmStartAcrossServiceInstances) {
       job("fig2:4", svc::Method::Match),
   };
   {
-    svc::VerifyService cold({2, true});
+    svc::VerifyService cold(sopts(2));
     std::vector<svc::JobResult> results = cold.run_batch(specs);
     for (const svc::JobResult& r : results) ASSERT_TRUE(r.ok) << r.error;
     cold.save_cache(path);
   }
-  svc::VerifyService warm({2, true});
+  svc::VerifyService warm(sopts(2));
   svc::CacheLoadResult lr = warm.load_cache(path);
   ASSERT_TRUE(lr.loaded) << lr.note;
   EXPECT_EQ(lr.theorems, 3u);  // fig2:3, fig2:4, mult:3
@@ -342,11 +350,11 @@ TEST(VerifyService, WarmStartKeepsVerdictProvenanceHonest) {
   // service has zero hits/misses until traffic actually arrives.
   std::string path = ::testing::TempDir() + "/svc_honest.bin";
   {
-    svc::VerifyService cold({1, true});
+    svc::VerifyService cold(sopts(1));
     cold.run_one(job("fig2:3", svc::Method::Hash));
     cold.save_cache(path);
   }
-  svc::VerifyService warm({1, true});
+  svc::VerifyService warm(sopts(1));
   svc::CacheLoadResult lr = warm.load_cache(path);
   ASSERT_TRUE(lr.loaded) << lr.note;
   svc::ServiceStats st = warm.stats();
@@ -364,7 +372,7 @@ TEST(VerifyService, BatchMatchesSerialVerdicts) {
     specs.push_back(job("fig2:" + std::to_string(n), svc::Method::Eijk));
     specs.push_back(job("fig2:" + std::to_string(n), svc::Method::Sis));
   }
-  svc::VerifyService service({4, true});
+  svc::VerifyService service(sopts(4));
   std::vector<svc::JobResult> batched = service.run_batch(specs);
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -388,7 +396,7 @@ TEST(VerifyService, BatchMatchesSerialVerdicts) {
 }
 
 TEST(VerifyService, StreamingSubmitDrain) {
-  svc::VerifyService service({2, true});
+  svc::VerifyService service(sopts(2));
   service.submit(job("fig2:3", svc::Method::Hash));
   service.submit(job("fig2:4", svc::Method::Hash));
   std::vector<svc::JobResult> first = service.drain();
@@ -409,7 +417,7 @@ namespace {
 svc::ServiceOptions inc_opts(unsigned jobs = 1, bool share = true) {
   svc::ServiceOptions opts;
   opts.jobs = jobs;
-  opts.share_cache = share;
+  opts.cache.share = share;
   opts.incremental = true;
   return opts;
 }
@@ -502,7 +510,7 @@ TEST(IncrementalService, StitchedVerdictsAgreeWithWholeNetlistPath) {
       std::string pb = write_blif_file(b, "agree_b");
       svc::JobSpec spec = job("blif:" + pa + "," + pb, svc::Method::Eijk);
       svc::VerifyService inc(inc_opts());
-      svc::VerifyService whole({1, true});
+      svc::VerifyService whole(sopts(1));
       svc::JobResult ri = inc.run_one(spec);
       svc::JobResult rw = whole.run_one(spec);
       ASSERT_TRUE(ri.ok) << ri.error;
@@ -563,7 +571,7 @@ TEST(IncrementalService, NoSharedCacheStillStitchesWithoutCaching) {
 // --- JSON output -----------------------------------------------------------
 
 TEST(ServiceJson, ShapeAndEscaping) {
-  svc::VerifyService service({1, true});
+  svc::VerifyService service(sopts(1));
   std::vector<svc::JobResult> results;
   results.push_back(service.run_one(job("fig2:4", svc::Method::Eijk)));
   results.push_back(service.run_one(job("warp:1", svc::Method::Eijk)));

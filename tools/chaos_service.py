@@ -23,6 +23,13 @@ against one --cache-file on disjoint corpora and then replays the union:
 both verdicts must come back as cache hits, i.e. neither writer's entries
 were lost to the save race.
 
+A daemon-kill phase runs a known-truth batch through --cache-server with
+an eda_cached daemon that is SIGKILLed mid-batch, then a second batch
+against a daemon address that never answered at all.  The remote tier is
+an optimisation, never an authority: both runs must complete every job
+with the ground-truth verdict (failures classified, never wrong), and
+the dead-from-the-start run must report the degradation it survived.
+
 On failure, the case's BLIFs, manifest and service JSON land in
 --out-dir (uploaded as a CI artifact); the printed seed and fault spec
 reproduce the schedule bit-for-bit.
@@ -37,6 +44,7 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import time
 
 EDITS = ["equivalent", "opaque", "different", "mixed"]
 SITES = [
@@ -210,6 +218,129 @@ def run_merge_phase(build, tmp, seed, cones, timeout):
     return failures, artifacts
 
 
+def build_fleet_corpus(build, ddir, seed, cones, timeout, jobs):
+    """A combined manifest of `jobs` known-truth pairs with mixed edits.
+    Returns (expectations by job name, manifest path, artifacts)."""
+    expect = {}
+    artifacts = []
+    combined = os.path.join(ddir, "fleet.manifest")
+    with open(combined, "w") as out:
+        for i in range(jobs):
+            d = os.path.join(ddir, f"pair_{i}")
+            edit = EDITS[i % len(EDITS)]
+            truth = ground_truth(build, d, seed + i, edit, cones, timeout)
+            name = f"fleet{i}"
+            expect[name] = truth.get("expect") == "EQ"
+            with open(os.path.join(d, "pair.manifest")) as f:
+                out.write(f.read().replace("name=fuzz", f"name={name}"))
+            artifacts += [os.path.join(d, n)
+                          for n in ("a.blif", "b.blif", "pair.manifest")]
+    artifacts.append(combined)
+    return expect, combined, artifacts
+
+
+def check_fleet_run(tag, svc, out_json, expect, failures):
+    """The remote-tier soundness contract for one batch: no crash, every
+    completed verdict matches ground truth, the rest classified."""
+    if svc.returncode not in (0, 1):
+        failures.append(f"[{tag}] eda_service crashed (rc={svc.returncode})")
+        return None
+    try:
+        with open(out_json) as f:
+            run = json.load(f)
+    except (OSError, ValueError) as e:
+        failures.append(f"[{tag}] unreadable service JSON: {e}")
+        return None
+    results = run.get("results", [])
+    if len(results) != len(expect):
+        failures.append(f"[{tag}] expected {len(expect)} results, "
+                        f"got {len(results)}")
+        return run
+    for r in results:
+        verdict = r.get("verdict", "")
+        if r["completed"]:
+            if r["equivalent"] != expect.get(r["name"]):
+                failures.append(
+                    f"[{tag}] WRONG VERDICT for {r['name']} with a dying "
+                    f"cache daemon: service says "
+                    f"{'EQUIV' if r['equivalent'] else 'NONEQUIV'}")
+            if verdict not in ANSWER_VERDICTS:
+                failures.append(f"[{tag}] completed job {r['name']} carries "
+                                f"non-answer verdict {verdict!r}")
+        elif verdict not in FAILURE_VERDICTS:
+            failures.append(f"[{tag}] unanswered job {r['name']} carries "
+                            f"unclassified verdict {verdict!r}")
+    return run
+
+
+def run_daemon_kill_phase(build, tmp, seed, cones, timeout):
+    """The remote cache tier under daemon loss: one batch whose eda_cached
+    is SIGKILLed mid-flight, one batch against a daemon that never
+    existed.  Verdicts must stay ground-truth sound either way.  Returns
+    (failures, artifacts)."""
+    failures = []
+    ddir = os.path.join(tmp, "daemon_kill")
+    os.makedirs(ddir, exist_ok=True)
+    expect, manifest, artifacts = build_fleet_corpus(
+        build, ddir, seed, cones, timeout, jobs=8)
+    sock = os.path.join(ddir, "cached.sock")
+
+    daemon = subprocess.Popen(
+        [os.path.join(build, "eda_cached"), "--socket", sock],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    try:
+        for _ in range(100):
+            if os.path.exists(sock):
+                break
+            time.sleep(0.05)
+        else:
+            failures.append("[daemon] eda_cached never bound its socket")
+            return failures, artifacts
+
+        out_json = os.path.join(ddir, "daemon_kill.json")
+        artifacts.append(out_json)
+        svc = subprocess.Popen(
+            [os.path.join(build, "eda_service"), "--manifest", manifest,
+             "--jobs", "2", "--cache-server", "unix:" + sock,
+             "--json", out_json],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        time.sleep(1.0)  # let the batch get going, then pull the plug
+        daemon.kill()
+        daemon.wait()
+        try:
+            svc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            svc.kill()
+            failures.append("[daemon] eda_service hung after the daemon "
+                            "was killed mid-batch")
+            return failures, artifacts
+        check_fleet_run("daemon-kill", svc, out_json, expect, failures)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    # Dead from the very start: degradation must be immediate, visible in
+    # the accounting, and cost nothing but the round trips.
+    out_json = os.path.join(ddir, "daemon_dead.json")
+    artifacts.append(out_json)
+    svc = subprocess.run(
+        [os.path.join(build, "eda_service"), "--manifest", manifest,
+         "--jobs", "2",
+         "--cache-server", "unix:" + os.path.join(ddir, "never.sock"),
+         "--json", out_json],
+        capture_output=True, text=True, timeout=timeout)
+    run = check_fleet_run("daemon-dead", svc, out_json, expect, failures)
+    if run is not None:
+        if run.get("backend") != "remote":
+            failures.append(f"[daemon-dead] backend is "
+                            f"{run.get('backend')!r}, expected 'remote'")
+        if run.get("remote_failures", 0) < 1:
+            failures.append("[daemon-dead] no transport failure recorded "
+                            "against a daemon that never existed")
+    return failures, artifacts
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="chaos-test eda_service under deterministic fault "
@@ -228,6 +359,8 @@ def main():
                     help="where failing schedules' repro files are kept")
     ap.add_argument("--skip-merge", action="store_true",
                     help="skip the two-writer merge-on-save phase")
+    ap.add_argument("--skip-daemon", action="store_true",
+                    help="skip the kill-eda_cached-mid-batch phase")
     args = ap.parse_args()
 
     base = args.seed_base
@@ -295,6 +428,28 @@ def main():
             else:
                 print("ok   merge-on-save: 2 concurrent writers, "
                       "union preserved")
+
+        if not args.skip_daemon:
+            try:
+                failures, artifacts = run_daemon_kill_phase(
+                    args.build_dir, tmp, base + 200_000, args.cones,
+                    args.timeout)
+            except (RuntimeError, subprocess.TimeoutExpired) as e:
+                failures, artifacts = [str(e)], []
+            if failures:
+                failed.append((base + 200_000, "daemon-kill", "-"))
+                keep = os.path.join(args.out_dir, "daemon_kill")
+                os.makedirs(keep, exist_ok=True)
+                for path in artifacts:
+                    if os.path.exists(path):
+                        shutil.copy(path, keep)
+                print(f"FAIL daemon-kill phase (repro files in {keep})")
+                for f in failures:
+                    print(f"     {f}")
+            else:
+                print("ok   daemon-kill: eda_cached SIGKILLed mid-batch "
+                      "and absent entirely; every verdict ground-truth "
+                      "sound, failures classified")
 
     if failed:
         print(f"\nchaos_service: {len(failed)} schedule(s) VIOLATED the "

@@ -31,6 +31,16 @@
 //                          and save them back after the batch drains —
 //                          merge-on-save under a lock file, so concurrent
 //                          processes sharing FILE lose no entries
+//   --cache-server ADDR    share the caches through an eda_cached daemon at
+//                          ADDR ("unix:/path" or "host:port"): lookups and
+//                          publishes go to the daemon, every publish also
+//                          lands in an in-process fallback, and a dead or
+//                          unreachable daemon degrades the client to that
+//                          fallback (RETRY_LATER-style capped backoff) —
+//                          verdicts are never lost and never wrong
+//   --tenant NAME          tenant label for remote-cache requests and
+//                          admission fairness (weighted round-robin across
+//                          tenants within each priority level)
 //   --require-cache-hits   exit 1 unless the shared caches served at least
 //                          one obligation (CI gate for the service loop)
 //   --max-retries N        extra attempts per obligation on a classified
@@ -80,7 +90,8 @@ namespace {
       "                   [--serial] [--no-shared-cache] [--incremental]\n"
       "                   [--no-sim] [--sim-vectors N] [--sim-seed S]\n"
       "                   [--no-batch-bdd] [--timeout S] [--json FILE]\n"
-      "                   [--cache-file FILE] [--require-cache-hits]\n"
+      "                   [--cache-file FILE] [--cache-server ADDR]\n"
+      "                   [--tenant NAME] [--require-cache-hits]\n"
       "                   [--max-retries N] [--deadline-ms N]\n"
       "                   [--queue-depth N] [--faults SPEC]\n");
   std::exit(2);
@@ -106,7 +117,7 @@ int main(int argc, char** argv) {
   using namespace eda;
 
   std::optional<std::string> manifest_path, sweep_spec, json_path,
-      cache_path, fault_spec;
+      cache_path, cache_server, tenant, fault_spec;
   std::optional<double> timeout, deadline_ms;
   std::optional<std::size_t> queue_depth;
   unsigned jobs = 0;
@@ -161,6 +172,8 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--json") json_path = next();
       else if (arg == "--cache-file") cache_path = next();
+      else if (arg == "--cache-server") cache_server = next();
+      else if (arg == "--tenant") tenant = next();
       else if (arg == "--require-cache-hits") require_hits = true;
       else if (arg == "--max-retries") {
         std::string v = next();
@@ -229,13 +242,20 @@ int main(int argc, char** argv) {
   service::ServiceOptions opts;
   // --serial keeps the pool minimal; run_one never schedules on it.
   opts.jobs = serial ? 1 : jobs;
-  opts.share_cache = share_cache;
+  opts.cache.share = share_cache;
   opts.incremental = incremental;
-  opts.use_sim = use_sim;
-  opts.sim_vectors = sim_vectors;
+  opts.sim.enabled = use_sim;
+  opts.sim.vectors = sim_vectors;
   opts.batch_bdd = batch_bdd;
-  opts.max_retries = max_retries;
-  if (sim_seed) opts.sim_seed = *sim_seed;
+  opts.retry.max_retries = max_retries;
+  if (sim_seed) opts.sim.seed = *sim_seed;
+  if (cache_server) opts.cache.server = *cache_server;
+  if (tenant) {
+    opts.cache.tenant = *tenant;
+    for (service::JobSpec& spec : specs) {
+      if (spec.tenant.empty()) spec.tenant = *tenant;
+    }
+  }
   unsigned threads =
       serial ? 1 : (jobs == 0 ? kernel::default_thread_count() : jobs);
   std::printf(
@@ -244,7 +264,7 @@ int main(int argc, char** argv) {
       specs.size(), threads, share_cache ? "on" : "off",
       incremental ? ", incremental cones" : "",
       use_sim ? "on" : "off", sim_vectors,
-      static_cast<unsigned long long>(opts.sim_seed),
+      static_cast<unsigned long long>(opts.sim.seed),
       batch_bdd ? ", batched bdd" : "");
   if (service::FaultInjector::instance().enabled()) {
     std::printf("faults: armed (seed %llu, rate %.2f)\n\n",
@@ -254,6 +274,18 @@ int main(int argc, char** argv) {
   }
 
   service::VerifyService svc(opts);
+  if (cache_server) {
+    service::ServiceStats st0 = svc.stats();
+    if (st0.remote_failures > 0) {
+      std::printf(
+          "cache: daemon at %s unreachable — degraded to the in-process "
+          "fallback (will re-probe with backoff)\n\n",
+          cache_server->c_str());
+    } else {
+      std::printf("cache: connected to eda_cached at %s (tenant %s)\n\n",
+                  cache_server->c_str(), opts.cache.tenant.c_str());
+    }
+  }
   if (cache_path) {
     // Warm start.  load_cache never throws: a bad file is a diagnosed
     // cold start, so a corrupted cache can never take the service down.
@@ -279,8 +311,9 @@ int main(int argc, char** argv) {
     service::AdmissionOptions aopts;
     aopts.max_depth =
         queue_depth ? *queue_depth
-                    : std::max<std::size_t>(specs.size(), 256);
+                    : std::max<std::size_t>(specs.size(), opts.queue.depth);
     aopts.streams = threads;
+    aopts.tenant_weights = opts.queue.tenant_weights;
     service::AdmissionQueue queue(svc, aopts);
     std::vector<bool> accepted(specs.size(), false);
     std::vector<service::JobResult> shed(specs.size());
@@ -291,6 +324,7 @@ int main(int argc, char** argv) {
         service::JobResult r;
         r.circuit = specs[i].circuit;
         r.method = specs[i].method;
+        r.tenant = specs[i].tenant;
         r.name = specs[i].name.empty()
                      ? specs[i].circuit + "/" +
                            service::method_name(specs[i].method)
@@ -353,6 +387,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(st.results.hits),
               static_cast<unsigned long long>(st.results.misses),
               st.results.hit_rate());
+  if (st.backend == "remote") {
+    std::printf(
+        "remote  cache: %llu transport failure(s), %llu op(s) served "
+        "locally while degraded\n",
+        static_cast<unsigned long long>(st.remote_failures),
+        static_cast<unsigned long long>(st.degraded_ops));
+  }
 
   // Results JSON before the cache save: the verdicts of a successful run
   // must reach their consumer even when persisting the cache fails (disk
