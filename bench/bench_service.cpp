@@ -37,6 +37,7 @@
 
 #include "io/blif.h"
 #include "kernel/parallel.h"
+#include "service/cache_server.h"
 #include "service/sweep.h"
 #include "service/verify_service.h"
 #include "testlib/gen.h"
@@ -284,6 +285,87 @@ int main(int argc, char** argv) {
                    replay_r.ok ? "ok" : replay_r.error.c_str());
     }
   }
+  // Remote leg: the fleet scenario — an incremental cone sweep against an
+  // embedded eda_cached daemon, measuring REMOTE ROUND TRIPS per job.
+  // Cold, the batched client must issue exactly one LookupBatch and one
+  // PublishBatch for the whole decomposition (<= 2 exchanges); warm, one
+  // LookupBatch serves every cone.  The same warm replay with batching
+  // off shows the per-entry chattiness the v2 frames collapse — their
+  // ratio is the machine-independent regression metric.
+  const int kRemoteCones = 12;
+  std::uint64_t remote_cold_rts = 0, remote_warm_rts = 0,
+                remote_perentry_rts = 0;
+  bool remote_ok = false;
+  {
+    using eda::testlib::ConeEdit;
+    std::string sock = out_path + ".cached.sock";
+    std::remove(sock.c_str());
+    eda::service::CacheServerOptions sopts;
+    sopts.listen = "unix:" + sock;
+    sopts.shards = 4;
+    eda::service::CacheServer daemon(sopts);
+    daemon.start();
+
+    eda::circuit::GateNetlist rnet_a = eda::testlib::random_netlist_multi(
+        /*seed=*/20260809, /*inputs=*/8, /*gates=*/40 * kRemoteCones,
+        /*ffs=*/10, kRemoteCones);
+    eda::circuit::GateNetlist rnet_b = rnet_a;
+    for (int i = 0; i < kRemoteCones; ++i) {
+      rnet_b = eda::testlib::mutate_cone(rnet_b, static_cast<std::size_t>(i),
+                                         ConeEdit::EquivalentOpaque);
+    }
+    const std::string ra_path = out_path + ".remote_a.blif";
+    const std::string rb_path = out_path + ".remote_b.blif";
+    if (!write_file(ra_path, eda::io::write_blif(rnet_a, "remote_a")) ||
+        !write_file(rb_path, eda::io::write_blif(rnet_b, "remote_b"))) {
+      std::fprintf(stderr, "bench_service: cannot write remote-leg BLIFs\n");
+      return 1;
+    }
+    eda::service::JobSpec rjob;
+    rjob.circuit = "blif:" + ra_path + "," + rb_path;
+    rjob.method = eda::service::Method::Eijk;
+    rjob.timeout_sec = 60.0;
+    auto remote_opts = [&](bool batch) {
+      eda::service::ServiceOptions o;
+      o.jobs = jobs;
+      o.incremental = true;
+      o.cache.server = "unix:" + sock;
+      o.cache.remote_pool = 4;
+      o.cache.remote_batch = batch;
+      return o;
+    };
+    auto run_remote = [&](bool batch, std::uint64_t* rts) {
+      eda::service::VerifyService svc(remote_opts(batch));
+      std::uint64_t rt0 = svc.stats().remote_round_trips;
+      eda::service::JobResult r = svc.run_one(rjob);
+      eda::service::ServiceStats st = svc.stats();
+      *rts = st.remote_round_trips - rt0;
+      return r.ok && r.completed && r.equivalent &&
+             st.remote_failures == 0 &&
+             r.cones == static_cast<std::size_t>(kRemoteCones);
+    };
+    // Cold fills the daemon; the two warm replays (batched, then
+    // per-entry) must serve every cone from it with identical verdicts.
+    bool cold_ok = run_remote(true, &remote_cold_rts);
+    bool warm_ok = run_remote(true, &remote_warm_rts);
+    bool perentry_ok = run_remote(false, &remote_perentry_rts);
+    remote_ok = cold_ok && warm_ok && perentry_ok;
+    if (!remote_ok) {
+      std::fprintf(stderr,
+                   "bench_service: remote leg failed (cold %d, warm %d, "
+                   "per-entry %d)\n",
+                   cold_ok, warm_ok, perentry_ok);
+    }
+    std::remove(ra_path.c_str());
+    std::remove(rb_path.c_str());
+    daemon.stop();
+    std::remove(sock.c_str());
+  }
+  double remote_rt_reduction =
+      remote_warm_rts > 0 ? static_cast<double>(remote_perentry_rts) /
+                                static_cast<double>(remote_warm_rts)
+                          : 0.0;
+
   // Exactly one cone was edited by construction, so the other cones - 1
   // are unchanged; a rate below 1.0 means a hash-stability bug forced an
   // unchanged cone back to the engine.
@@ -323,6 +405,13 @@ int main(int argc, char** argv) {
       "cold %.3f s -> replay %.3f s (%.1fx)\n",
       edit_cones, edit_reproved, edit_unchanged_hit_rate, edit_cold_sec,
       edit_replay_sec, edit_speedup);
+  std::printf(
+      "  remote: %d cones, round trips cold %llu / warm %llu / per-entry "
+      "%llu (batching cuts warm traffic %.1fx)\n",
+      kRemoteCones, static_cast<unsigned long long>(remote_cold_rts),
+      static_cast<unsigned long long>(remote_warm_rts),
+      static_cast<unsigned long long>(remote_perentry_rts),
+      remote_rt_reduction);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -373,6 +462,12 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"edit_cold_seconds\": %.4f,\n", edit_cold_sec);
   std::fprintf(f, "  \"edit_replay_seconds\": %.4f,\n", edit_replay_sec);
   std::fprintf(f, "  \"edit_speedup\": %.3f,\n", edit_speedup);
+  std::fprintf(f, "  \"remote_cold_round_trips\": %llu,\n",
+               static_cast<unsigned long long>(remote_cold_rts));
+  std::fprintf(f, "  \"remote_warm_round_trips\": %llu,\n",
+               static_cast<unsigned long long>(remote_warm_rts));
+  std::fprintf(f, "  \"remote_perentry_round_trips\": %llu,\n",
+               static_cast<unsigned long long>(remote_perentry_rts));
   // Ratio metrics for the bench_compare.py regression gate
   // (--section service_metrics --higher-is-better): machine-speed
   // independent, so one committed baseline holds across runners.
@@ -381,7 +476,9 @@ int main(int argc, char** argv) {
                serial_tp > 0 ? batched_tp / serial_tp : 0.0);
   std::fprintf(f, "    \"warm_vs_cold_ratio\": %.3f,\n",
                warm_sec > 0 ? batched_sec / warm_sec : 0.0);
-  std::fprintf(f, "    \"edit_speedup\": %.3f\n", edit_speedup);
+  std::fprintf(f, "    \"edit_speedup\": %.3f,\n", edit_speedup);
+  std::fprintf(f, "    \"remote_batch_rt_reduction\": %.3f\n",
+               remote_rt_reduction);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -418,6 +515,28 @@ int main(int argc, char** argv) {
                    "bench_service: --check: edit-replay speedup %.1fx < "
                    "10x (cold %.3f s, replay %.3f s)\n",
                    edit_speedup, edit_cold_sec, edit_replay_sec);
+      return 1;
+    }
+    // The pipelined-I/O acceptance gate: a batched incremental sweep is
+    // at most TWO remote exchanges per job (one lookup frame, one publish
+    // frame), warm or cold, and batching beats per-entry traffic.
+    if (!remote_ok || remote_cold_rts > 2 || remote_warm_rts > 2) {
+      std::fprintf(stderr,
+                   "bench_service: --check: remote leg used %llu cold / "
+                   "%llu warm round trips for one job, expected <= 2 "
+                   "each\n",
+                   static_cast<unsigned long long>(remote_cold_rts),
+                   static_cast<unsigned long long>(remote_warm_rts));
+      return 1;
+    }
+    if (remote_rt_reduction < 4.0) {
+      std::fprintf(stderr,
+                   "bench_service: --check: batching cut warm remote "
+                   "traffic only %.1fx (per-entry %llu vs batched %llu), "
+                   "expected >= 4x\n",
+                   remote_rt_reduction,
+                   static_cast<unsigned long long>(remote_perentry_rts),
+                   static_cast<unsigned long long>(remote_warm_rts));
       return 1;
     }
   }

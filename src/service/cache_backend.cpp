@@ -2,6 +2,30 @@
 
 namespace eda::service {
 
+std::vector<std::optional<verify::VerifyResult>>
+CacheBackend::lookup_verdicts(const std::vector<kernel::Term>& keys,
+                              std::vector<std::uint8_t>* was_hit) {
+  std::vector<std::optional<verify::VerifyResult>> out;
+  out.reserve(keys.size());
+  if (was_hit != nullptr) was_hit->assign(keys.size(), 0);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    bool hit = false;
+    out.push_back(lookup_verdict(keys[i], &hit));
+    if (was_hit != nullptr) (*was_hit)[i] = hit ? 1 : 0;
+  }
+  return out;
+}
+
+std::vector<std::pair<verify::VerifyResult, bool>>
+CacheBackend::publish_verdicts(std::vector<VerdictPublish> entries) {
+  std::vector<std::pair<verify::VerifyResult, bool>> out;
+  out.reserve(entries.size());
+  for (VerdictPublish& e : entries) {
+    out.push_back(publish_verdict(e.key, std::move(e.value), e.cacheable));
+  }
+  return out;
+}
+
 std::optional<kernel::Thm> InProcessBackend::lookup_theorem(
     const kernel::Term& goal, bool* was_hit) {
   return theorems_.lookup(goal, was_hit);

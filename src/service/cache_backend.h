@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "kernel/goal_cache.h"
 #include "kernel/thm.h"
@@ -21,6 +22,19 @@ struct BackendStats {
   kernel::GoalCacheStats verdicts;
   std::uint64_t remote_failures = 0;  ///< transport errors observed
   std::uint64_t degraded_ops = 0;     ///< ops served locally while degraded
+  /// Successful remote request/response exchanges, version handshakes
+  /// excluded (always zero for local backends).  The batched cone sweep
+  /// is gated on this: one lookup frame + one publish frame per
+  /// incremental job, instead of O(#cones).
+  std::uint64_t remote_round_trips = 0;
+};
+
+/// One entry of a batched verdict publication (publish_verdicts):
+/// publish_verdict semantics per entry.
+struct VerdictPublish {
+  kernel::Term key;
+  verify::VerifyResult value;
+  bool cacheable = true;
 };
 
 /// The ONE seam through which the service reads/writes theorem and verdict
@@ -67,6 +81,22 @@ class CacheBackend {
   /// not the goal.
   virtual std::pair<verify::VerifyResult, bool> publish_verdict(
       const kernel::Term& key, verify::VerifyResult v, bool cacheable) = 0;
+
+  /// Batched forms of the verdict primitives, carrying the SAME per-entry
+  /// accounting contract: lookup_verdicts counts one hit per entry found
+  /// (nothing per absent entry, with `was_hit[i]` mirroring the single
+  /// lookup's out-param); publish_verdicts counts one miss per insert /
+  /// uncacheable entry and one hit per lost race, returning each entry's
+  /// (canonical verdict, inserted) pair.  The defaults loop over the
+  /// single-entry primitives — local backends get batching for free;
+  /// RemoteBackend overrides both with ONE LookupBatch/PublishBatch wire
+  /// frame, which is what turns an incremental cone sweep's O(#cones)
+  /// round trips into two.
+  virtual std::vector<std::optional<verify::VerifyResult>> lookup_verdicts(
+      const std::vector<kernel::Term>& keys,
+      std::vector<std::uint8_t>* was_hit = nullptr);
+  virtual std::vector<std::pair<verify::VerifyResult, bool>>
+  publish_verdicts(std::vector<VerdictPublish> entries);
 
   virtual BackendStats stats() const = 0;
 

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <list>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
@@ -35,6 +36,9 @@ struct StoreShard {
 struct CacheServer::Impl {
   explicit Impl(CacheServerOptions opts_) : opts(std::move(opts_)) {
     if (opts.shards == 0) opts.shards = 1;
+    opts.max_proto_version =
+        std::clamp(opts.max_proto_version, kRemoteProtoMinVersion,
+                   kRemoteProtoVersion);
     shards.reserve(opts.shards);
     for (std::size_t i = 0; i < opts.shards; ++i) {
       shards.push_back(std::make_unique<StoreShard>());
@@ -50,6 +54,7 @@ struct CacheServer::Impl {
   void snapshot_loop();
   std::string handle_request(const std::string& request);
   void do_snapshot() const;
+  void reap_finished();
 
   CacheServerOptions opts;
   RemoteAddress addr;
@@ -66,13 +71,23 @@ struct CacheServer::Impl {
   std::atomic<std::uint64_t> publishes{0};
   std::atomic<std::uint64_t> connections{0};
   std::atomic<std::uint64_t> bad_requests{0};
+  std::atomic<std::uint64_t> batch_frames{0};
 
   mutable std::mutex tenants_mu;
   std::unordered_set<std::string> tenants;
 
-  std::mutex conns_mu;
+  /// One per connection.  The handler thread sets `done` as its last act;
+  /// the accept loop joins and erases done handlers on every iteration, so
+  /// a daemon serving short-lived clients never accumulates dead joinable
+  /// threads (only stop() joins the still-live ones).
+  struct Handler {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  mutable std::mutex conns_mu;
   std::vector<int> conn_fds;
-  std::vector<std::thread> conn_threads;
+  std::list<std::unique_ptr<Handler>> handlers;
 
   std::thread accepter;
   std::thread snapshotter;
@@ -82,14 +97,17 @@ struct CacheServer::Impl {
 
 std::string CacheServer::Impl::handle_request(const std::string& request) {
   kernel::Encoder reply;
-  reply.u32(kRemoteProtoVersion);
   try {
     kernel::Decoder dec(request);
     std::uint32_t version = dec.u32();
-    if (version != kRemoteProtoVersion) {
+    // Replies echo the request's version so v1 clients keep parsing a v2
+    // daemon's answers; a FUTURE client's version is answered at ours.
+    reply.u32(std::min(version, opts.max_proto_version));
+    if (version < kRemoteProtoMinVersion ||
+        version > opts.max_proto_version) {
       reply.u8(static_cast<std::uint8_t>(RemoteStatus::Error));
       reply.str("protocol version skew (client " + std::to_string(version) +
-                ", daemon " + std::to_string(kRemoteProtoVersion) + ")");
+                ", daemon " + std::to_string(opts.max_proto_version) + ")");
       bad_requests.fetch_add(1, std::memory_order_relaxed);
       return reply.finish();
     }
@@ -102,6 +120,12 @@ std::string CacheServer::Impl::handle_request(const std::string& request) {
     switch (op) {
       case RemoteOp::Ping: {
         reply.u8(static_cast<std::uint8_t>(RemoteStatus::Ok));
+        // Version advertisement: v1 clients never read the Ping body, so
+        // appending it is backward-compatible; its absence is how clients
+        // recognise a v1 daemon.
+        if (opts.max_proto_version >= kRemoteProtoBatchVersion) {
+          reply.u32(opts.max_proto_version);
+        }
         break;
       }
       case RemoteOp::LookupThm: {
@@ -186,6 +210,88 @@ std::string CacheServer::Impl::handle_request(const std::string& request) {
         reply.str(PersistentCacheFile::encode(merged_thms, merged_verdicts));
         break;
       }
+      case RemoteOp::LookupBatch: {
+        if (version < kRemoteProtoBatchVersion) {
+          bad_requests.fetch_add(1, std::memory_order_relaxed);
+          reply.u8(static_cast<std::uint8_t>(RemoteStatus::Error));
+          reply.str("batch opcodes require protocol v2");
+          return reply.finish();
+        }
+        batch_frames.fetch_add(1, std::memory_order_relaxed);
+        // Decode the whole batch once, fan entries across shards, answer
+        // with one frame.  Per-entry counters move exactly as they would
+        // for the equivalent per-entry request sequence.
+        std::uint32_t nt = dec.u32();
+        std::vector<kernel::Term> goals;
+        goals.reserve(nt);
+        for (std::uint32_t i = 0; i < nt; ++i) goals.push_back(dec.term());
+        std::uint32_t nv = dec.u32();
+        std::vector<kernel::Term> keys;
+        keys.reserve(nv);
+        for (std::uint32_t i = 0; i < nv; ++i) keys.push_back(dec.term());
+        reply.u8(static_cast<std::uint8_t>(RemoteStatus::Ok));
+        reply.u32(nt);
+        for (const kernel::Term& goal : goals) {
+          lookups.fetch_add(1, std::memory_order_relaxed);
+          if (auto v = shard_for(goal).theorems.find(goal)) {
+            lookup_hits.fetch_add(1, std::memory_order_relaxed);
+            reply.u8(1);
+            reply.thm(*v);
+          } else {
+            reply.u8(0);
+          }
+        }
+        reply.u32(nv);
+        for (const kernel::Term& key : keys) {
+          lookups.fetch_add(1, std::memory_order_relaxed);
+          if (auto v = shard_for(key).verdicts.find(key)) {
+            lookup_hits.fetch_add(1, std::memory_order_relaxed);
+            reply.u8(1);
+            encode_verdict(reply, *v);
+          } else {
+            reply.u8(0);
+          }
+        }
+        break;
+      }
+      case RemoteOp::PublishBatch: {
+        if (version < kRemoteProtoBatchVersion) {
+          bad_requests.fetch_add(1, std::memory_order_relaxed);
+          reply.u8(static_cast<std::uint8_t>(RemoteStatus::Error));
+          reply.str("batch opcodes require protocol v2");
+          return reply.finish();
+        }
+        batch_frames.fetch_add(1, std::memory_order_relaxed);
+        std::uint32_t nt = dec.u32();
+        std::vector<std::uint8_t> thm_inserted;
+        thm_inserted.reserve(nt);
+        for (std::uint32_t i = 0; i < nt; ++i) {
+          kernel::Term goal = dec.term();
+          kernel::Thm th = dec.thm();
+          publishes.fetch_add(1, std::memory_order_relaxed);
+          thm_inserted.push_back(
+              shard_for(goal).theorems.emplace(goal, std::move(th)).second
+                  ? 1
+                  : 0);
+        }
+        std::uint32_t nv = dec.u32();
+        std::vector<std::uint8_t> verd_inserted;
+        verd_inserted.reserve(nv);
+        for (std::uint32_t i = 0; i < nv; ++i) {
+          kernel::Term key = dec.term();
+          verify::VerifyResult v = decode_verdict(dec);
+          publishes.fetch_add(1, std::memory_order_relaxed);
+          verd_inserted.push_back(
+              shard_for(key).verdicts.emplace(key, std::move(v)).second ? 1
+                                                                        : 0);
+        }
+        reply.u8(static_cast<std::uint8_t>(RemoteStatus::Ok));
+        reply.u32(nt);
+        for (std::uint8_t b : thm_inserted) reply.u8(b);
+        reply.u32(nv);
+        for (std::uint8_t b : verd_inserted) reply.u8(b);
+        break;
+      }
       default: {
         bad_requests.fetch_add(1, std::memory_order_relaxed);
         reply.u8(static_cast<std::uint8_t>(RemoteStatus::Error));
@@ -202,7 +308,9 @@ std::string CacheServer::Impl::handle_request(const std::string& request) {
     // diagnostic rather than silently dropping the connection.
     bad_requests.fetch_add(1, std::memory_order_relaxed);
     kernel::Encoder err;
-    err.u32(kRemoteProtoVersion);
+    // Version 1: the lowest common denominator every client can parse —
+    // the request may have been too malformed to know the sender's.
+    err.u32(kRemoteProtoMinVersion);
     err.u8(static_cast<std::uint8_t>(RemoteStatus::Error));
     err.str(e.what());
     return err.finish();
@@ -227,8 +335,33 @@ void CacheServer::Impl::handle_connection(int fd) {
   ::close(fd);
 }
 
+/// Join and drop every handler whose connection has ended.  Joining a
+/// done handler is instantaneous (the thread's last act was setting the
+/// flag), and moving them out of the list first keeps the join outside
+/// conns_mu, which live handlers still take to deregister their fd.
+void CacheServer::Impl::reap_finished() {
+  std::vector<std::unique_ptr<Handler>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    for (auto it = handlers.begin(); it != handlers.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = handlers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& h : finished) {
+    if (h->thread.joinable()) h->thread.join();
+  }
+}
+
 void CacheServer::Impl::accept_loop() {
   while (!stopping.load(std::memory_order_relaxed)) {
+    // Reap on every iteration (accept or 200 ms timeout), so the thread
+    // count tracks LIVE connections even when no new client arrives.
+    reap_finished();
     struct pollfd pfd{listen_fd, POLLIN, 0};
     int rc = ::poll(&pfd, 1, 200);
     if (rc <= 0) continue;
@@ -241,7 +374,12 @@ void CacheServer::Impl::accept_loop() {
       return;
     }
     conn_fds.push_back(fd);
-    conn_threads.emplace_back([this, fd] { handle_connection(fd); });
+    handlers.push_back(std::make_unique<Handler>());
+    Handler* h = handlers.back().get();
+    h->thread = std::thread([this, fd, h] {
+      handle_connection(fd);
+      h->done.store(true, std::memory_order_release);
+    });
   }
 }
 
@@ -326,15 +464,17 @@ void CacheServer::stop() {
   // Wake the accept loop (poll timeout catches it) and every blocked
   // per-connection recv.
   if (im.accepter.joinable()) im.accepter.join();
-  std::vector<std::thread> threads;
+  std::list<std::unique_ptr<Impl::Handler>> handlers;
   {
     std::lock_guard<std::mutex> lock(im.conns_mu);
     for (int fd : im.conn_fds) ::shutdown(fd, SHUT_RDWR);
     im.conn_fds.clear();
-    threads = std::move(im.conn_threads);
-    im.conn_threads.clear();
+    handlers = std::move(im.handlers);
+    im.handlers.clear();
   }
-  for (std::thread& t : threads) t.join();
+  for (auto& h : handlers) {
+    if (h->thread.joinable()) h->thread.join();
+  }
   if (im.snapshotter.joinable()) im.snapshotter.join();
   if (im.listen_fd >= 0) {
     ::close(im.listen_fd);
@@ -364,6 +504,11 @@ CacheServerStats CacheServer::stats() const {
   st.publishes = im.publishes.load(std::memory_order_relaxed);
   st.connections = im.connections.load(std::memory_order_relaxed);
   st.bad_requests = im.bad_requests.load(std::memory_order_relaxed);
+  st.batch_frames = im.batch_frames.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(im.conns_mu);
+    st.live_handlers = im.handlers.size();
+  }
   {
     std::lock_guard<std::mutex> lock(im.tenants_mu);
     st.tenants = im.tenants.size();

@@ -26,6 +26,11 @@ struct CacheServerOptions {
   CacheFileOptions file_options;
   /// Periodic snapshot interval in ms (0 = only on stop()).
   int snapshot_ms = 0;
+  /// Highest protocol version this daemon speaks.  The default is the
+  /// current kRemoteProtoVersion; tests pin 1 to emulate a pre-batch v1
+  /// daemon for version-skew interop coverage (the Ping reply then omits
+  /// the version advertisement and batch opcodes are rejected).
+  std::uint32_t max_proto_version = kRemoteProtoVersion;
 };
 
 struct CacheServerStats {
@@ -38,12 +43,18 @@ struct CacheServerStats {
   std::uint64_t connections = 0;
   std::uint64_t bad_requests = 0;
   std::uint64_t tenants = 0;  ///< distinct tenant labels seen
+  std::uint64_t batch_frames = 0;  ///< LookupBatch/PublishBatch served
+  /// Handler threads currently tracked (live connections plus any finished
+  /// handlers not yet reaped by the accept loop) — the soak test's bound.
+  std::size_t live_handlers = 0;
 };
 
 /// The sharded remote theorem-cache store + socket front of eda_cached,
 /// embeddable in-process so the conformance tests can kill and restart a
 /// daemon deterministically.  One accept thread, one handler thread per
-/// connection, length-prefixed kernel-container frames
+/// connection (finished handlers are reaped by the accept loop, so a
+/// long-lived daemon's thread count is bounded by its LIVE connections,
+/// not its lifetime total), length-prefixed kernel-container frames
 /// (service/remote_proto.h).  Decoding a request re-interns its terms
 /// through the kernel, so alpha-equivalent goals from different clients
 /// land on the same entry — the whole point of the shared tier.

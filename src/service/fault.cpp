@@ -35,6 +35,7 @@ FaultInjector::FaultInjector() {
   sites_[2].name = kFaultAlloc;
   sites_[3].name = kFaultWorker;
   sites_[4].name = kFaultCacheWrite;
+  sites_[5].name = kFaultRemoteStall;
 }
 
 FaultInjector& FaultInjector::instance() {
@@ -126,7 +127,7 @@ void FaultInjector::configure(const std::string& spec) {
     if (s == nullptr) {
       throw FaultSpecError("fault spec: unknown site '" + name +
                            "' (sites: engine_bdd, batch_pool, alloc, "
-                           "worker, cache_write)");
+                           "worker, cache_write, remote_stall)");
     }
     s->armed.store(true, std::memory_order_relaxed);
   }

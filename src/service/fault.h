@@ -22,11 +22,15 @@ namespace eda::service {
 ///   worker        a worker thread raises a generic exception mid-job
 ///   cache_write   a cache save writes a truncated payload (torn write /
 ///                 crashed saver), which the next load must diagnose
+///   remote_stall  a remote-cache exchange wedges mid-frame (half the
+///                 request bytes sent, then nothing) — the client must
+///                 close and reconnect, never reuse the desynced stream
 inline constexpr const char* kFaultEngineBdd = "engine_bdd";
 inline constexpr const char* kFaultBatchPool = "batch_pool";
 inline constexpr const char* kFaultAlloc = "alloc";
 inline constexpr const char* kFaultWorker = "worker";
 inline constexpr const char* kFaultCacheWrite = "cache_write";
+inline constexpr const char* kFaultRemoteStall = "remote_stall";
 
 class FaultSpecError : public kernel::KernelError {
  public:
@@ -92,7 +96,7 @@ class FaultInjector {
   std::atomic<bool> enabled_{false};
   std::uint64_t seed_ = 0;
   double rate_ = 0.0;
-  std::array<Site, 5> sites_;
+  std::array<Site, 6> sites_;
 };
 
 }  // namespace eda::service

@@ -170,6 +170,8 @@ std::string results_to_json(const std::vector<JobResult>& results,
   out += "  \"remote_failures\": " + std::to_string(stats.remote_failures) +
          ",\n";
   out += "  \"degraded_ops\": " + std::to_string(stats.degraded_ops) + ",\n";
+  out += "  \"remote_round_trips\": " +
+         std::to_string(stats.remote_round_trips) + ",\n";
   append_cache_json(out, "theorem_cache", stats.theorems);
   append_cache_json(out, "result_cache", stats.results);
   out += "  \"results\": [\n";

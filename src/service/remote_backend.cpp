@@ -2,11 +2,14 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
+#include <vector>
 
 #include "kernel/serialize.h"
+#include "service/fault.h"
 #include "service/guard.h"
 
 namespace eda::service {
@@ -18,74 +21,211 @@ using Clock = std::chrono::steady_clock;
 }  // namespace
 
 struct RemoteBackend::Impl {
+  /// One pooled socket.  The mutex serializes exchanges on THIS socket
+  /// only; distinct connections carry requests concurrently.
+  struct Conn {
+    std::mutex mu;
+    int fd = -1;
+  };
+
+  struct LockedConn {
+    Conn* conn = nullptr;
+    std::unique_lock<std::mutex> lock;
+  };
+
   explicit Impl(RemoteBackendOptions opts_) : opts(std::move(opts_)) {
     addr = parse_remote_address(opts.server);
     backoff.max_retries = 0;  // unused fields; only the curve matters
     backoff.backoff_ms = opts.backoff_ms;
     backoff.backoff_cap_ms = opts.backoff_cap_ms;
+    opts.pool = std::clamp(opts.pool, 1, 64);
+    opts.max_proto_version = std::clamp(
+        opts.max_proto_version, kRemoteProtoMinVersion, kRemoteProtoVersion);
+    conns.reserve(static_cast<std::size_t>(opts.pool));
+    for (int i = 0; i < opts.pool; ++i) {
+      conns.push_back(std::make_unique<Conn>());
+    }
   }
 
   ~Impl() {
-    if (fd >= 0) ::close(fd);
+    for (auto& c : conns) {
+      if (c->fd >= 0) ::close(c->fd);
+    }
   }
 
-  /// One request/response exchange under the connection mutex.  Returns
-  /// the reply payload, or nullopt when the daemon is unreachable (which
-  /// opens/extends the degradation window).  Never throws.
-  std::optional<std::string> exchange(const std::string& request) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (Clock::now() < degraded_until) {
-      degraded_ops.fetch_add(1, std::memory_order_relaxed);
-      return std::nullopt;
+  /// Pick a pooled connection: one try_lock sweep from the round-robin
+  /// cursor (an idle socket wins immediately), falling back to a blocking
+  /// lock on the cursor's choice when every socket is busy.
+  LockedConn acquire() {
+    std::size_t start =
+        next_conn.fetch_add(1, std::memory_order_relaxed) % conns.size();
+    for (std::size_t k = 0; k < conns.size(); ++k) {
+      Conn& c = *conns[(start + k) % conns.size()];
+      std::unique_lock<std::mutex> l(c.mu, std::try_to_lock);
+      if (l.owns_lock()) return {&c, std::move(l)};
     }
-    if (fd < 0) {
-      fd = connect_remote(addr, opts.connect_timeout_ms,
-                          opts.io_timeout_ms);
-      if (fd < 0) {
-        return fail("cannot connect to " + addr.display);
+    Conn& c = *conns[start];
+    return {&c, std::unique_lock<std::mutex>(c.mu)};
+  }
+
+  /// Version handshake on a freshly connected socket (c.mu held): ping at
+  /// v1 — the one request every daemon answers — and read the daemon's
+  /// max version out of the reply body (absent = a v1 daemon).  The
+  /// negotiated min(client, daemon) gates the batch opcodes.
+  bool negotiate(Conn& c) {
+    kernel::Encoder enc;
+    enc.u32(kRemoteProtoMinVersion);
+    enc.u8(static_cast<std::uint8_t>(RemoteOp::Ping));
+    enc.str(opts.tenant);
+    std::string reply;
+    if (!write_frame(c.fd, enc.finish()) ||
+        !read_frame(c.fd, reply, kMaxResponseFrame)) {
+      return false;
+    }
+    // Not counted in round_trips: the counter measures cache exchanges
+    // (what batching collapses), not per-connection setup.
+    std::uint32_t peer = kRemoteProtoMinVersion;
+    try {
+      kernel::Decoder dec(reply);
+      std::uint32_t version = dec.u32();
+      std::uint8_t status = dec.u8();
+      if (version < kRemoteProtoMinVersion ||
+          version > kRemoteProtoVersion ||
+          status != static_cast<std::uint8_t>(RemoteStatus::Ok)) {
+        return false;
+      }
+      if (!dec.at_end()) peer = dec.u32();
+    } catch (const kernel::KernelError&) {
+      return false;  // corrupt handshake: the connection is no good
+    }
+    peer = std::clamp(peer, kRemoteProtoMinVersion, opts.max_proto_version);
+    peer_version.store(static_cast<int>(peer), std::memory_order_relaxed);
+    return true;
+  }
+
+  /// One request/response exchange on a pooled connection.  Returns the
+  /// reply payload, or nullopt when the daemon is unreachable (which
+  /// opens/extends the shared degradation window).  Never throws.
+  std::optional<std::string> exchange(const std::string& request) {
+    {
+      std::lock_guard<std::mutex> lock(state_mu);
+      if (Clock::now() < degraded_until) {
+        degraded_ops.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
       }
     }
-    std::string reply;
-    if (!write_frame(fd, request) ||
-        !read_frame(fd, reply, kMaxResponseFrame)) {
-      return fail("request to " + addr.display + " failed mid-flight");
+    LockedConn lc = acquire();
+    Conn& c = *lc.conn;
+    if (c.fd < 0) {
+      c.fd = connect_remote(addr, opts.connect_timeout_ms,
+                            opts.io_timeout_ms);
+      if (c.fd < 0) {
+        return fail(c, "cannot connect to " + addr.display);
+      }
+      open_conns.fetch_add(1, std::memory_order_relaxed);
+      if (!negotiate(c)) {
+        return fail(c, "version handshake with " + addr.display +
+                           " failed");
+      }
     }
-    consecutive_failures = 0;
+    if (FaultInjector::instance().should_fail(kFaultRemoteStall)) {
+      // Wedge mid-frame: the daemon is now holding half a request and
+      // this stream is desynchronized — the only sound recovery is to
+      // close and reconnect, which is exactly what fail() forces.
+      (void)write_frame_wedged(c.fd, request);
+      return fail(c, "injected mid-frame stall to " + addr.display);
+    }
+    std::string reply;
+    if (!write_frame(c.fd, request) ||
+        !read_frame(c.fd, reply, kMaxResponseFrame)) {
+      return fail(c, "request to " + addr.display + " failed mid-flight");
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mu);
+      consecutive_failures = 0;
+    }
+    round_trips.fetch_add(1, std::memory_order_relaxed);
     return reply;
   }
 
-  /// Record a transport failure: close the socket, bump the counters and
-  /// open a capped-exponential backoff window (RETRY_LATER semantics —
-  /// the next op inside the window is served locally, the first one after
-  /// it probes the daemon again).
-  std::nullopt_t fail(const std::string& what) {
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
-    }
+  /// Open/extend the shared capped-exponential backoff window
+  /// (RETRY_LATER semantics — ops inside the window are served locally,
+  /// the first one after it probes the daemon again).
+  void open_backoff_window(const std::string& what) {
+    std::lock_guard<std::mutex> lock(state_mu);
     ++consecutive_failures;
     remote_failures.fetch_add(1, std::memory_order_relaxed);
     double wait = retry_backoff_ms(backoff, consecutive_failures);
     degraded_until =
         Clock::now() +
         std::chrono::microseconds(static_cast<long long>(wait * 1000.0));
-    last_error = what;
+    last_error_str = what;
+  }
+
+  /// Record a transport failure on `c` (c.mu held): close the socket and
+  /// open the shared backoff window.
+  std::nullopt_t fail(Conn& c, const std::string& what) {
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+      open_conns.fetch_sub(1, std::memory_order_relaxed);
+    }
+    open_backoff_window(what);
     return std::nullopt;
   }
 
+  /// A malformed (but checksum-passing) reply could mean a desynchronized
+  /// stream; the conservative recovery is to drop every idle connection
+  /// and degrade.  Busy connections fail on their own next use — their
+  /// SO_RCVTIMEO bounds the wait.
+  void fail_all(const std::string& what) {
+    for (auto& cp : conns) {
+      std::unique_lock<std::mutex> l(cp->mu, std::try_to_lock);
+      if (l.owns_lock() && cp->fd >= 0) {
+        ::close(cp->fd);
+        cp->fd = -1;
+        open_conns.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    open_backoff_window(what);
+  }
+
+  /// Per-entry request header.  Always stamped v1: the per-entry bodies
+  /// are identical in both versions, so staying at the floor keeps a v2
+  /// client wire-compatible with every daemon without re-negotiating.
   kernel::Encoder request(RemoteOp op) const {
     kernel::Encoder enc;
-    enc.u32(kRemoteProtoVersion);
+    enc.u32(kRemoteProtoMinVersion);
     enc.u8(static_cast<std::uint8_t>(op));
     enc.str(opts.tenant);
     return enc;
   }
 
-  /// Validate a reply header; returns a Decoder positioned at the body
-  /// and the status, or nullopt (degrading) on malformation/version skew.
+  /// Batch request header (only built once v2 was negotiated).
+  kernel::Encoder batch_request(RemoteOp op) const {
+    kernel::Encoder enc;
+    enc.u32(kRemoteProtoBatchVersion);
+    enc.u8(static_cast<std::uint8_t>(op));
+    enc.str(opts.tenant);
+    return enc;
+  }
+
+  bool batch_capable() const {
+    return opts.batch &&
+           opts.max_proto_version >= kRemoteProtoBatchVersion &&
+           peer_version.load(std::memory_order_relaxed) >=
+               static_cast<int>(kRemoteProtoBatchVersion);
+  }
+
+  /// Validate a reply header; returns the status, or nullopt on
+  /// malformation/version skew.  Any version up to ours is fine — a v2
+  /// daemon echoes the request's version, a v1 daemon always says 1.
   std::optional<RemoteStatus> reply_status(kernel::Decoder& dec) {
     std::uint32_t version = dec.u32();
-    if (version != kRemoteProtoVersion) return std::nullopt;
+    if (version < kRemoteProtoMinVersion ||
+        version > kRemoteProtoVersion) {
+      return std::nullopt;
+    }
     std::uint8_t status = dec.u8();
     if (status > static_cast<std::uint8_t>(RemoteStatus::Error)) {
       return std::nullopt;
@@ -105,8 +245,7 @@ struct RemoteBackend::Impl {
     } catch (const kernel::KernelError&) {
       // Corrupt reply: treat like a dead daemon, never like a miss that
       // could poison accounting.
-      std::lock_guard<std::mutex> lock(mu);
-      fail("malformed reply from " + addr.display);
+      fail_all("malformed reply from " + addr.display);
     }
     return std::nullopt;
   }
@@ -124,8 +263,7 @@ struct RemoteBackend::Impl {
         return decode_verdict(dec);
       }
     } catch (const kernel::KernelError&) {
-      std::lock_guard<std::mutex> lock(mu);
-      fail("malformed reply from " + addr.display);
+      fail_all("malformed reply from " + addr.display);
     }
     return std::nullopt;
   }
@@ -146,6 +284,91 @@ struct RemoteBackend::Impl {
     (void)exchange(enc.finish());
   }
 
+  /// One LookupBatch frame for `keys` (verdict section only).  Returns
+  /// nullopt when batching cannot be used at all (v1 peer, batching off,
+  /// daemon refused the opcode) — the caller then goes per-entry.  A
+  /// transport failure mid-batch returns all-absent: the failure already
+  /// counted and opened the backoff window, so retrying each entry
+  /// individually would only multiply degraded ops.
+  std::optional<std::vector<std::optional<verify::VerifyResult>>>
+  remote_lookup_verdict_batch(const std::vector<kernel::Term>& keys) {
+    if (!batch_capable()) return std::nullopt;
+    kernel::Encoder enc = batch_request(RemoteOp::LookupBatch);
+    enc.u32(0);  // no theorem entries on this path
+    enc.u32(static_cast<std::uint32_t>(keys.size()));
+    for (const kernel::Term& key : keys) enc.term(key);
+    std::vector<std::optional<verify::VerifyResult>> out(keys.size());
+    auto reply = exchange(enc.finish());
+    if (!reply) return out;
+    try {
+      kernel::Decoder dec(*reply);
+      auto status = reply_status(dec);
+      if (!status) {
+        throw kernel::SerializeError("bad batch reply header");
+      }
+      if (*status != RemoteStatus::Ok) {
+        // A daemon that downgraded underneath us refuses the opcode;
+        // fall back to per-entry traffic from here on.
+        return std::nullopt;
+      }
+      if (dec.u32() != 0) {
+        throw kernel::SerializeError("unexpected theorem section");
+      }
+      std::uint32_t nv = dec.u32();
+      if (nv != keys.size()) {
+        throw kernel::SerializeError("batch reply entry-count mismatch");
+      }
+      for (std::uint32_t i = 0; i < nv; ++i) {
+        if (dec.u8() != 0) out[i] = decode_verdict(dec);
+      }
+      return out;
+    } catch (const kernel::KernelError&) {
+      fail_all("malformed batch reply from " + addr.display);
+      out.assign(keys.size(), std::nullopt);
+      return out;
+    }
+  }
+
+  /// One PublishBatch frame (verdict section only; best-effort like every
+  /// remote publish).  Returns false when batching cannot be used — the
+  /// caller then publishes per-entry.
+  bool remote_publish_verdict_batch(
+      const std::vector<std::pair<kernel::Term, verify::VerifyResult>>&
+          entries) {
+    if (!batch_capable()) return false;
+    kernel::Encoder enc = batch_request(RemoteOp::PublishBatch);
+    enc.u32(0);  // no theorem entries on this path
+    enc.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& [key, v] : entries) {
+      enc.term(key);
+      encode_verdict(enc, v);
+    }
+    auto reply = exchange(enc.finish());
+    if (!reply) return true;  // attempted; failure already accounted
+    try {
+      kernel::Decoder dec(*reply);
+      auto status = reply_status(dec);
+      if (!status) {
+        throw kernel::SerializeError("bad batch reply header");
+      }
+      if (*status != RemoteStatus::Ok) return false;  // daemon downgraded
+      // Per-entry inserted bits: protocol-validated even though the
+      // client's accounting is local-first (the daemon's insert/race
+      // outcome never changes what THIS process proved).
+      if (dec.u32() != 0) {
+        throw kernel::SerializeError("unexpected theorem section");
+      }
+      std::uint32_t nv = dec.u32();
+      if (nv != entries.size()) {
+        throw kernel::SerializeError("batch reply entry-count mismatch");
+      }
+      for (std::uint32_t i = 0; i < nv; ++i) (void)dec.u8();
+    } catch (const kernel::KernelError&) {
+      fail_all("malformed batch reply from " + addr.display);
+    }
+    return true;
+  }
+
   std::optional<std::string> remote_snapshot() {
     kernel::Encoder enc = request(RemoteOp::Snapshot);
     auto reply = exchange(enc.finish());
@@ -155,8 +378,7 @@ struct RemoteBackend::Impl {
       auto status = reply_status(dec);
       if (status && *status == RemoteStatus::Ok) return dec.str();
     } catch (const kernel::KernelError&) {
-      std::lock_guard<std::mutex> lock(mu);
-      fail("malformed reply from " + addr.display);
+      fail_all("malformed reply from " + addr.display);
     }
     return std::nullopt;
   }
@@ -170,11 +392,16 @@ struct RemoteBackend::Impl {
   RemoteAddress addr;
   RetryPolicy backoff;
 
-  std::mutex mu;  ///< guards fd + degradation state
-  int fd = -1;
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::atomic<std::size_t> next_conn{0};
+  std::atomic<int> open_conns{0};
+  /// min(client, daemon) from the Ping handshake; 0 before any handshake.
+  std::atomic<int> peer_version{0};
+
+  std::mutex state_mu;  ///< guards the shared degradation state
   int consecutive_failures = 0;
   Clock::time_point degraded_until{};
-  std::string last_error;
+  std::string last_error_str;
 
   /// The safety net: every publish lands here first, lookups fall back
   /// here, and counters bypass it (the contract lives in the atomics
@@ -187,12 +414,14 @@ struct RemoteBackend::Impl {
   std::atomic<std::uint64_t> verd_misses{0};
   std::atomic<std::uint64_t> remote_failures{0};
   std::atomic<std::uint64_t> degraded_ops{0};
+  std::atomic<std::uint64_t> round_trips{0};
 };
 
 RemoteBackend::RemoteBackend(RemoteBackendOptions opts)
     : impl_(std::make_unique<Impl>(std::move(opts))) {
   // Probe once so a client fronting a dead daemon degrades (and says so)
-  // immediately instead of on its first obligation.
+  // immediately instead of on its first obligation.  On a live daemon the
+  // probe doubles as the version handshake.
   impl_->ping();
 }
 
@@ -264,6 +493,77 @@ std::pair<verify::VerifyResult, bool> RemoteBackend::publish_verdict(
   return {canonical, inserted};
 }
 
+std::vector<std::optional<verify::VerifyResult>>
+RemoteBackend::lookup_verdicts(const std::vector<kernel::Term>& keys,
+                               std::vector<std::uint8_t>* was_hit) {
+  std::vector<std::optional<verify::VerifyResult>> out(keys.size());
+  if (was_hit != nullptr) was_hit->assign(keys.size(), 0);
+  // Local fallback first, per entry — identical to the single lookup's
+  // first tier, and what keeps repeats off the wire entirely.
+  std::vector<std::size_t> miss_idx;
+  std::vector<kernel::Term> miss_keys;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (auto v = impl_->fallback.verdicts().find(keys[i])) {
+      impl_->verd_hits.fetch_add(1, std::memory_order_relaxed);
+      out[i] = *v;
+      if (was_hit != nullptr) (*was_hit)[i] = 1;
+    } else {
+      miss_idx.push_back(i);
+      miss_keys.push_back(keys[i]);
+    }
+  }
+  if (miss_idx.empty()) return out;
+  auto settle = [&](std::size_t j, const verify::VerifyResult& v) {
+    std::size_t i = miss_idx[j];
+    impl_->fallback.verdicts().emplace(keys[i], v);
+    impl_->verd_hits.fetch_add(1, std::memory_order_relaxed);
+    out[i] = v;
+    if (was_hit != nullptr) (*was_hit)[i] = 1;
+  };
+  if (auto batch = impl_->remote_lookup_verdict_batch(miss_keys)) {
+    for (std::size_t j = 0; j < miss_keys.size(); ++j) {
+      if ((*batch)[j]) settle(j, *(*batch)[j]);
+    }
+    return out;
+  }
+  // v1 daemon or batching disabled: per-entry remote lookups.
+  for (std::size_t j = 0; j < miss_keys.size(); ++j) {
+    if (auto v = impl_->remote_lookup_verdict(miss_keys[j])) settle(j, *v);
+  }
+  return out;
+}
+
+std::vector<std::pair<verify::VerifyResult, bool>>
+RemoteBackend::publish_verdicts(std::vector<VerdictPublish> entries) {
+  std::vector<std::pair<verify::VerifyResult, bool>> out;
+  out.reserve(entries.size());
+  // Local-first per entry (the process keeps its proof no matter what the
+  // socket does), collecting the fresh inserts for one remote frame.
+  std::vector<std::pair<kernel::Term, verify::VerifyResult>> fresh;
+  for (VerdictPublish& e : entries) {
+    if (!e.cacheable) {
+      impl_->verd_misses.fetch_add(1, std::memory_order_relaxed);
+      out.emplace_back(std::move(e.value), false);
+      continue;
+    }
+    auto [canonical, inserted] =
+        impl_->fallback.verdicts().emplace(e.key, std::move(e.value));
+    if (inserted) {
+      impl_->verd_misses.fetch_add(1, std::memory_order_relaxed);
+      fresh.emplace_back(e.key, canonical);
+    } else {
+      impl_->verd_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    out.emplace_back(std::move(canonical), inserted);
+  }
+  if (!fresh.empty() && !impl_->remote_publish_verdict_batch(fresh)) {
+    for (const auto& [key, v] : fresh) {
+      impl_->remote_publish_verdict(key, v);
+    }
+  }
+  return out;
+}
+
 BackendStats RemoteBackend::stats() const {
   BackendStats st = impl_->fallback.stats();
   // The fallback's own counters never move (find/emplace are count-free);
@@ -275,6 +575,8 @@ BackendStats RemoteBackend::stats() const {
   st.remote_failures =
       impl_->remote_failures.load(std::memory_order_relaxed);
   st.degraded_ops = impl_->degraded_ops.load(std::memory_order_relaxed);
+  st.remote_round_trips =
+      impl_->round_trips.load(std::memory_order_relaxed);
   return st;
 }
 
@@ -300,13 +602,18 @@ void RemoteBackend::persist(const std::string& path) const {
 }
 
 bool RemoteBackend::healthy() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return impl_->fd >= 0 && Clock::now() >= impl_->degraded_until;
+  if (impl_->open_conns.load(std::memory_order_relaxed) <= 0) return false;
+  std::lock_guard<std::mutex> lock(impl_->state_mu);
+  return Clock::now() >= impl_->degraded_until;
 }
 
 std::string RemoteBackend::last_error() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return impl_->last_error;
+  std::lock_guard<std::mutex> lock(impl_->state_mu);
+  return impl_->last_error_str;
+}
+
+int RemoteBackend::negotiated_version() const {
+  return impl_->peer_version.load(std::memory_order_relaxed);
 }
 
 }  // namespace eda::service

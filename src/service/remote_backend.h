@@ -20,6 +20,18 @@ struct RemoteBackendOptions {
   /// probe reconnects.  RETRY_LATER semantics, applied to the cache tier.
   double backoff_ms = 25.0;
   double backoff_cap_ms = 2000.0;
+  /// Connection pool size.  Each pooled socket is independently
+  /// mutex-guarded, so up to `pool` exchanges run concurrently; pool = 1
+  /// reproduces the PR 9 single-socket semantics (and counters) exactly.
+  /// Degradation state is SHARED: any connection's transport failure
+  /// opens the one backoff window, any success closes it.
+  int pool = 4;
+  /// Use v2 LookupBatch/PublishBatch frames when the daemon negotiated
+  /// v2+ on Ping; off forces per-entry ops even against a v2 daemon.
+  bool batch = true;
+  /// Highest protocol version this client speaks.  Tests pin 1 to emulate
+  /// a pre-batch v1 client against a v2 daemon.
+  std::uint32_t max_proto_version = kRemoteProtoVersion;
 };
 
 /// CacheBackend speaking the eda_cached framed protocol, wrapped around an
@@ -38,9 +50,10 @@ struct RemoteBackendOptions {
 ///     hits per goal) and is maintained HERE, in one place, regardless of
 ///     where an entry was found.
 ///
-/// Thread safety: one connection guarded by a mutex (requests serialize;
-/// obligations dwarf round-trips), counters atomic, fallback caches are
-/// GoalCaches.
+/// Thread safety: a pool of independently mutex-guarded connections
+/// (exchanges on distinct sockets pipeline; pool = 1 restores the PR 9
+/// serialized-socket behaviour), one shared degradation window guarded by
+/// its own mutex, counters atomic, fallback caches are GoalCaches.
 class RemoteBackend : public CacheBackend {
  public:
   explicit RemoteBackend(RemoteBackendOptions opts);
@@ -58,6 +71,17 @@ class RemoteBackend : public CacheBackend {
       const kernel::Term& key, verify::VerifyResult v,
       bool cacheable) override;
 
+  /// Batched overrides: local-fallback consultation per entry, then ONE
+  /// LookupBatch frame for the local misses / ONE PublishBatch frame for
+  /// the fresh inserts.  Against a v1 daemon (or with batching disabled)
+  /// they degrade to the per-entry ops; the accounting contract is
+  /// identical either way.
+  std::vector<std::optional<verify::VerifyResult>> lookup_verdicts(
+      const std::vector<kernel::Term>& keys,
+      std::vector<std::uint8_t>* was_hit) override;
+  std::vector<std::pair<verify::VerifyResult, bool>> publish_verdicts(
+      std::vector<VerdictPublish> entries) override;
+
   BackendStats stats() const override;
 
   /// Loads into the local fallback only (the daemon warms itself from its
@@ -69,10 +93,14 @@ class RemoteBackend : public CacheBackend {
   /// usable warm-start file even if the daemon dies later.
   void persist(const std::string& path) const override;
 
-  /// True when the last exchange succeeded and no backoff window is open.
+  /// True when at least one pooled connection is open and no backoff
+  /// window is open.
   bool healthy() const;
   /// Last transport diagnostic ("" when none).
   std::string last_error() const;
+  /// Protocol version negotiated with the daemon on Ping (0 before any
+  /// successful handshake; batching engages at >= 2).
+  int negotiated_version() const;
 
  private:
   struct Impl;

@@ -123,6 +123,19 @@ bool read_frame(int fd, std::string& payload, std::size_t max_bytes) {
   return len == 0 || read_all(fd, payload.data(), len);
 }
 
+bool write_frame_wedged(int fd, const std::string& payload) {
+  if (payload.size() > 0xffffffffULL) return false;
+  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char hdr[4] = {static_cast<char>(len & 0xff),
+                 static_cast<char>((len >> 8) & 0xff),
+                 static_cast<char>((len >> 16) & 0xff),
+                 static_cast<char>((len >> 24) & 0xff)};
+  // Half the bytes the header promised: the peer blocks on the remainder
+  // until the connection is closed under it.
+  return write_all(fd, hdr, 4) &&
+         write_all(fd, payload.data(), payload.size() / 2);
+}
+
 int connect_remote(const RemoteAddress& addr, int connect_timeout_ms,
                    int io_timeout_ms) {
   int fd = -1;
@@ -186,12 +199,26 @@ int listen_remote(const RemoteAddress& addr, int backlog, int* bound_port) {
       throw RemoteCacheError(std::string("socket: ") +
                              std::strerror(errno));
     }
-    // A previous daemon's socket file blocks bind with EADDRINUSE even
-    // though nobody is listening; a fresh daemon owns the path.
-    ::unlink(addr.path.c_str());
     sockaddr_un sa{};
     sa.sun_family = AF_UNIX;
     std::strncpy(sa.sun_path, addr.path.c_str(), sizeof(sa.sun_path) - 1);
+    // A socket file left by an uncleanly-dead daemon blocks bind with
+    // EADDRINUSE even though nobody is listening.  Probe-connect to tell
+    // the two cases apart: a live listener accepts (the path is genuinely
+    // taken — refuse rather than steal it), a dead file refuses (safe to
+    // unlink and rebind).
+    int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      bool live =
+          ::connect(probe, reinterpret_cast<sockaddr*>(&sa), sizeof sa) == 0;
+      ::close(probe);
+      if (live) {
+        ::close(fd);
+        throw RemoteCacheError("cannot listen on " + addr.display +
+                               ": a live daemon already owns this socket");
+      }
+      ::unlink(addr.path.c_str());
+    }
     if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0 ||
         ::listen(fd, backlog) != 0) {
       int err = errno;

@@ -19,18 +19,34 @@ class RemoteCacheError : public kernel::KernelError {
 };
 
 /// eda_cached wire protocol version.  Every request and response payload
-/// opens with this u32; a daemon refuses skewed clients with a
-/// STATUS_ERROR reply (a cache is regenerable, so skew handling is
+/// opens with a u32 version; a daemon refuses versions above its own with
+/// a STATUS_ERROR reply (a cache is regenerable, so skew handling is
 /// "degrade", never migration).  The payload itself rides inside the PR 5
 /// kernel container (magic, kSerializeVersion, FNV-1a checksum), so the
 /// transport inherits the serializer's corruption detection wholesale.
-inline constexpr std::uint32_t kRemoteProtoVersion = 1;
+///
+/// v1  per-entry ops (Ping..Snapshot below).
+/// v2  adds LookupBatch/PublishBatch — N theorem/verdict entries per
+///     frame, one round trip for a whole cone sweep.
+///
+/// Negotiation happens on Ping: a client pings at version 1 (every daemon
+/// answers it) and a v2+ daemon appends its own max version to the Ping
+/// reply body, which v1 clients never read.  The client then batches iff
+/// min(client, daemon) >= 2.  Per-entry requests stay stamped version 1 —
+/// their bodies are identical in both versions, so a v2 client is
+/// wire-indistinguishable from a v1 client until it sends a batch frame.
+/// Replies echo the request's version; error replies for undecodable
+/// requests use version 1 (parseable by every client).
+inline constexpr std::uint32_t kRemoteProtoVersion = 2;
+inline constexpr std::uint32_t kRemoteProtoMinVersion = 1;
+/// First version carrying the batch opcodes.
+inline constexpr std::uint32_t kRemoteProtoBatchVersion = 2;
 
 /// Request opcodes.  All requests carry (version, opcode, tenant) followed
 /// by the op-specific body; all responses carry (version, status) followed
 /// by the op-specific body.
 enum class RemoteOp : std::uint8_t {
-  Ping = 0,           ///< -> Ok (liveness / version handshake)
+  Ping = 0,           ///< -> Ok [u32(daemon max version), v2+ daemons]
   LookupThm = 1,      ///< term(goal) -> Ok thm | NotFound
   PublishThm = 2,     ///< term(goal), thm -> Ok u8(inserted)
   LookupVerdict = 3,  ///< term(key) -> Ok verdict | NotFound
@@ -38,6 +54,16 @@ enum class RemoteOp : std::uint8_t {
   Stats = 5,          ///< -> Ok u32(shards), u64 x4 (entries/lookups/hits),
                       ///<    u64(tenants seen)
   Snapshot = 6,       ///< -> Ok str(PersistentCacheFile::encode blob)
+  /// v2.  Body: u32 nt, nt x term(goal), u32 nv, nv x term(key).
+  /// Reply: Ok, u32 nt, nt x (u8 present [, thm]),
+  ///            u32 nv, nv x (u8 present [, verdict]).
+  LookupBatch = 7,
+  /// v2.  Body: u32 nt, nt x (term(goal), thm),
+  ///            u32 nv, nv x (term(key), verdict).
+  /// Reply: Ok, u32 nt, nt x u8(inserted), u32 nv, nv x u8(inserted) —
+  /// per-entry inserted bits, so batched publication keeps the GoalCache
+  /// 1-miss/k-1-hit contract observable end to end.
+  PublishBatch = 8,
 };
 
 enum class RemoteStatus : std::uint8_t {
@@ -67,6 +93,12 @@ RemoteAddress parse_remote_address(const std::string& spec);
 bool write_frame(int fd, const std::string& payload);
 bool read_frame(int fd, std::string& payload, std::size_t max_bytes);
 
+/// Fault-injection helper (kFaultRemoteStall): write the length header and
+/// only the first half of the payload, then return — the stream is now
+/// desynchronized mid-frame, exactly like a peer wedging or dying between
+/// send()s.  The caller must treat the connection as dead afterwards.
+bool write_frame_wedged(int fd, const std::string& payload);
+
 /// Frames beyond this are protocol violations (or a desynced stream) on
 /// the request path; snapshot responses size the limit to the store.
 inline constexpr std::size_t kMaxRequestFrame = 64u << 20;
@@ -78,9 +110,11 @@ inline constexpr std::size_t kMaxResponseFrame = 256u << 20;
 int connect_remote(const RemoteAddress& addr, int connect_timeout_ms,
                    int io_timeout_ms);
 
-/// Bind + listen on `addr` (unlinking a stale unix socket file first);
-/// returns the listening fd or throws RemoteCacheError.  For TCP with
-/// port 0, `bound_port` receives the kernel-chosen port.
+/// Bind + listen on `addr`; returns the listening fd or throws
+/// RemoteCacheError.  A stale unix socket file (daemon died uncleanly,
+/// nobody listening) is probe-connected and unlinked only when dead, so a
+/// restart never hits EADDRINUSE — and never steals a LIVE daemon's path.
+/// For TCP with port 0, `bound_port` receives the kernel-chosen port.
 int listen_remote(const RemoteAddress& addr, int backlog, int* bound_port);
 
 }  // namespace eda::service

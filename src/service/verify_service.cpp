@@ -222,6 +222,8 @@ std::unique_ptr<CacheBackend> make_backend(const ServiceOptions& opts) {
     ro.io_timeout_ms = c.remote_io_timeout_ms;
     ro.backoff_ms = c.remote_backoff_ms;
     ro.backoff_cap_ms = c.remote_backoff_cap_ms;
+    ro.pool = c.remote_pool;
+    ro.batch = c.remote_batch;
     return std::make_unique<RemoteBackend>(std::move(ro));
   }
   if (c.share && !c.file.empty()) {
@@ -336,11 +338,15 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
           return g.result;
         };
         if (opts.cache.share && opts.batch_bdd) {
-          // Phase A (parallel): cache lookup, then the engine-free cheap
-          // tiers — identity, miter fold, sim refutation.  Phase B: the
+          // Phase A: build every cone key (parallel), then consult the
+          // cache with ONE batched lookup — against a remote backend that
+          // is a single LookupBatch frame for the whole decomposition —
+          // and run the engine-free cheap tiers (identity, miter fold,
+          // sim refutation) on the misses in parallel.  Phase B: the
           // surviving cones run together on the shared-pool batched BDD
-          // kernel.  Publication happens last, with lookup()/publish()
-          // pairing preserving the cache's 1-miss/k-1-hit accounting.
+          // kernel.  Publication happens last as ONE batched publish,
+          // with lookup()/publish() pairing preserving the cache's
+          // 1-miss/k-1-hit accounting per entry.
           std::vector<std::optional<verify::VerifyResult>> settled(
               pairs.size());
           std::vector<std::uint64_t> spent(pairs.size(), 0);
@@ -352,9 +358,20 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
               [&](std::size_t i) {
                 keys[i] = cone_key(pairs[i].hash_a, pairs[i].hash_b, eng,
                                    spec.timeout_sec, vopts);
-                if (auto v = backend->lookup_verdict(*keys[i],
-                                                     &cones[i].cache_hit)) {
-                  settled[i] = *v;
+              },
+              pool);
+          std::vector<kernel::Term> flat_keys;
+          flat_keys.reserve(pairs.size());
+          for (const auto& k : keys) flat_keys.push_back(*k);
+          std::vector<std::uint8_t> hit_bits;
+          std::vector<std::optional<verify::VerifyResult>> cached =
+              backend->lookup_verdicts(flat_keys, &hit_bits);
+          kernel::parallel_for(
+              pairs.size(),
+              [&](std::size_t i) {
+                cones[i].cache_hit = hit_bits[i] != 0;
+                if (cached[i]) {
+                  settled[i] = *cached[i];
                   return;
                 }
                 settled[i] = verify::check_cone_fast(cjobs[i], &spent[i]);
@@ -387,14 +404,25 @@ JobResult VerifyService::Impl::run_job(const JobSpec& spec) {
             proved[k].sim_vectors = spent[rest[k]];
             settled[rest[k]] = proved[k];
           }
+          // ONE batched publish of everything this job proved (cache
+          // hits are excluded: their lookup already counted, and
+          // re-publishing would turn the 1-miss/k-1-hit contract into
+          // double counting).
+          std::vector<VerdictPublish> pubs;
+          std::vector<std::size_t> pub_idx;
           for (std::size_t i = 0; i < pairs.size(); ++i) {
-            cones[i].result =
-                cones[i].cache_hit
-                    ? *settled[i]
-                    : backend
-                          ->publish_verdict(*keys[i], *settled[i],
-                                            settled[i]->completed)
-                          .first;
+            if (cones[i].cache_hit) {
+              cones[i].result = *settled[i];
+              continue;
+            }
+            pubs.push_back(
+                {*keys[i], *settled[i], settled[i]->completed});
+            pub_idx.push_back(i);
+          }
+          std::vector<std::pair<verify::VerifyResult, bool>> published =
+              backend->publish_verdicts(std::move(pubs));
+          for (std::size_t k = 0; k < pub_idx.size(); ++k) {
+            cones[pub_idx[k]].result = std::move(published[k].first);
           }
         } else if (opts.batch_bdd) {
           // No cache to consult: the whole decomposition goes through the
@@ -777,6 +805,7 @@ ServiceStats VerifyService::stats() const {
   st.backend = impl_->backend->name();
   st.remote_failures = bs.remote_failures;
   st.degraded_ops = bs.degraded_ops;
+  st.remote_round_trips = bs.remote_round_trips;
   std::lock_guard<std::mutex> lock(impl_->mu);
   st.jobs = impl_->jobs_total;
   st.failed = impl_->failed_total;

@@ -125,6 +125,9 @@ struct ServiceStats {
   /// failures seen and cache ops served locally during backoff windows.
   std::uint64_t remote_failures = 0;
   std::uint64_t degraded_ops = 0;
+  /// Successful remote exchanges — the batched incremental path's budget
+  /// is <= 2 of these per job (one LookupBatch + one PublishBatch).
+  std::uint64_t remote_round_trips = 0;
 };
 
 /// Where the shared theorem/verdict caches live and how jobs reach them.
@@ -152,6 +155,14 @@ struct CachePolicy {
   /// exponential; see service/remote_backend.h).
   double remote_backoff_ms = 25.0;
   double remote_backoff_cap_ms = 2000.0;
+  /// Remote connection pool size (--cache-pool): up to this many
+  /// exchanges pipeline on distinct sockets.  1 = PR 9 single-socket
+  /// semantics.
+  int remote_pool = 4;
+  /// Use the v2 LookupBatch/PublishBatch frames when the daemon speaks
+  /// v2 (--no-cache-batch turns this off; v1 daemons force it off via
+  /// version negotiation).
+  bool remote_batch = true;
 };
 
 /// Bit-parallel simulation pre-filter (sim/bitsim.h): before an engine

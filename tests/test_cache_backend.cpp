@@ -19,13 +19,19 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include "kernel/shard.h"
 #include "kernel/terms.h"
 #include "kernel/thm.h"
 #include "service/cache_backend.h"
 #include "service/cache_file.h"
 #include "service/cache_server.h"
+#include "service/fault.h"
 #include "service/remote_backend.h"
+#include "service/remote_proto.h"
 #include "testlib/gen.h"
 
 namespace k = eda::kernel;
@@ -65,7 +71,8 @@ struct Rig {
 };
 
 svc::RemoteBackendOptions remote_opts(const std::string& server,
-                                      const std::string& tenant = "test") {
+                                      const std::string& tenant = "test",
+                                      int pool = 4, bool batch = true) {
   svc::RemoteBackendOptions o;
   o.server = server;
   o.tenant = tenant;
@@ -73,6 +80,8 @@ svc::RemoteBackendOptions remote_opts(const std::string& server,
   // milliseconds, not the production seconds.
   o.backoff_ms = 1.0;
   o.backoff_cap_ms = 50.0;
+  o.pool = pool;
+  o.batch = batch;
   return o;
 }
 
@@ -86,6 +95,11 @@ std::unique_ptr<Rig> make_rig(const std::string& kind,
     std::remove(rig->file.c_str());
     rig->backend = std::make_unique<svc::FileBackend>(rig->file);
   } else {
+    // "remote" plus optional "-pool1" / "-nobatch" suffixes: the battery
+    // must hold at every (pool, batch) corner, pool=1 being the PR 9
+    // single-socket client reproduced exactly.
+    int pool = kind.find("-pool1") != std::string::npos ? 1 : 4;
+    bool batch = kind.find("-nobatch") == std::string::npos;
     std::string sock = temp_path("cached_" + tag + ".sock");
     std::remove(sock.c_str());
     svc::CacheServerOptions sopts;
@@ -93,8 +107,8 @@ std::unique_ptr<Rig> make_rig(const std::string& kind,
     sopts.shards = 4;
     rig->server = std::make_unique<svc::CacheServer>(sopts);
     rig->server->start();
-    rig->backend =
-        std::make_unique<svc::RemoteBackend>(remote_opts(sopts.listen));
+    rig->backend = std::make_unique<svc::RemoteBackend>(
+        remote_opts(sopts.listen, "test", pool, batch));
   }
   return rig;
 }
@@ -381,8 +395,90 @@ TEST_P(BackendConformance, ConcurrentPublishKeepsTheContract) {
   EXPECT_EQ(st.verdicts.entries, 1u);
 }
 
+TEST_P(BackendConformance, BatchedVerdictOpsKeepTheContract) {
+  svc::CacheBackend& b = backend();
+  TermGen gen(0xba7c4);
+  std::vector<Term> keys;
+  while (keys.size() < 6) {
+    Term t = gen.random_goal(4);
+    bool dup = false;
+    for (const Term& s : keys) {
+      if (s == t) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) keys.push_back(t);
+  }
+  const auto n = static_cast<std::uint64_t>(keys.size());
+
+  // A batched lookup of absent keys counts NOTHING, exactly like the
+  // single-entry lookup (the misses land on the paired publish).
+  std::vector<std::uint8_t> hits;
+  std::vector<std::optional<VerifyResult>> found =
+      b.lookup_verdicts(keys, &hits);
+  ASSERT_EQ(found.size(), keys.size());
+  ASSERT_EQ(hits.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_FALSE(found[i].has_value()) << i;
+    EXPECT_EQ(hits[i], 0) << i;
+  }
+  EXPECT_EQ(b.stats().verdicts.hits + b.stats().verdicts.misses, 0u);
+
+  // One batched publish: each insert is a miss; entry 0 is uncacheable
+  // (budget-blown) and counts its miss WITHOUT inserting.
+  std::vector<svc::VerdictPublish> pubs;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    VerifyResult v = verdict(100 + static_cast<int>(i), i % 2 == 0);
+    if (i == 0) v.completed = false;
+    pubs.push_back({keys[i], v, i != 0});
+  }
+  std::vector<std::pair<VerifyResult, bool>> published =
+      b.publish_verdicts(pubs);
+  ASSERT_EQ(published.size(), keys.size());
+  EXPECT_FALSE(published[0].second);  // uncacheable: returned uninserted
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_TRUE(published[i].second) << i;
+    EXPECT_EQ(published[i].first.iterations, 100 + static_cast<int>(i));
+  }
+  svc::BackendStats st = b.stats();
+  EXPECT_EQ(st.verdicts.misses, n);
+  EXPECT_EQ(st.verdicts.hits, 0u);
+  EXPECT_EQ(st.verdicts.entries, n - 1);
+
+  // A second batched publish loses every race on the cached entries
+  // (hits) and finally inserts key 0 (miss); the canonical values are the
+  // FIRST publication's, never the re-submitted ones.
+  std::vector<svc::VerdictPublish> again;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    again.push_back({keys[i], verdict(999), true});
+  }
+  published = b.publish_verdicts(again);
+  EXPECT_TRUE(published[0].second);
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_FALSE(published[i].second) << i;
+    EXPECT_EQ(published[i].first.iterations, 100 + static_cast<int>(i));
+    EXPECT_EQ(published[i].first.equivalent, i % 2 == 0);
+  }
+  st = b.stats();
+  EXPECT_EQ(st.verdicts.misses, n + 1);
+  EXPECT_EQ(st.verdicts.hits, n - 1);
+  EXPECT_EQ(st.verdicts.entries, n);
+
+  // And a batched lookup now hits every entry, was_hit mirroring the
+  // single lookup's out-param per entry.
+  found = b.lookup_verdicts(keys, &hits);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(found[i].has_value()) << i;
+    EXPECT_EQ(hits[i], 1) << i;
+  }
+  EXPECT_EQ(b.stats().verdicts.hits, (n - 1) + n);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
-                         ::testing::Values("in-process", "file", "remote"),
+                         ::testing::Values("in-process", "file", "remote",
+                                           "remote-pool1", "remote-nobatch",
+                                           "remote-pool1-nobatch"),
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            std::string n = info.param;
                            for (char& c : n) {
@@ -440,9 +536,11 @@ struct Fleet {
     server = std::make_unique<svc::CacheServer>(sopts);
   }
 
-  std::unique_ptr<svc::RemoteBackend> client(const std::string& tenant) {
+  std::unique_ptr<svc::RemoteBackend> client(const std::string& tenant,
+                                             int pool = 4,
+                                             bool batch = true) {
     return std::make_unique<svc::RemoteBackend>(
-        remote_opts("unix:" + sock, tenant));
+        remote_opts("unix:" + sock, tenant, pool, batch));
   }
 
   ~Fleet() {
@@ -631,4 +729,260 @@ TEST(RemoteBackend, PersistUnionsLocalFallbackWithDaemonSnapshot) {
   EXPECT_EQ(thms.stats().entries, 2u);
   EXPECT_TRUE(thms.find(only_a).has_value());
   EXPECT_TRUE(thms.find(only_b).has_value());
+}
+
+// --- Batched frames and version negotiation ----------------------------------
+
+namespace {
+
+std::vector<Term> distinct_goals(TermGen& gen, std::size_t n, int size = 4) {
+  std::vector<Term> keys;
+  while (keys.size() < n) {
+    Term t = gen.random_goal(size);
+    bool dup = false;
+    for (const Term& s : keys) {
+      if (s == t) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) keys.push_back(t);
+  }
+  return keys;
+}
+
+}  // namespace
+
+TEST(RemoteBackend, BatchedSweepIsOneFrameEachWayAcrossClients) {
+  Fleet fleet("batchrt");
+  fleet.server->start();
+  auto writer = fleet.client("writer");
+  ASSERT_EQ(writer->negotiated_version(), 2);
+  TermGen gen(0xf4a3e5);
+  std::vector<Term> keys = distinct_goals(gen, 8);
+
+  // 8 fresh verdicts leave in ONE PublishBatch frame.
+  std::uint64_t rt0 = writer->stats().remote_round_trips;
+  std::vector<svc::VerdictPublish> pubs;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    pubs.push_back({keys[i], verdict(200 + static_cast<int>(i)), true});
+  }
+  writer->publish_verdicts(pubs);
+  svc::BackendStats ws = writer->stats();
+  EXPECT_EQ(ws.remote_round_trips, rt0 + 1);
+  EXPECT_EQ(ws.verdicts.misses, 8u);
+
+  // A second client's batched lookup of the same keys is ONE LookupBatch
+  // frame, and the 1-miss/k-1-hit accounting holds across the fleet: the
+  // writer took the 8 misses, the reader gets 8 pure hits.
+  auto reader = fleet.client("reader");
+  std::uint64_t rt1 = reader->stats().remote_round_trips;
+  std::vector<std::uint8_t> hits;
+  std::vector<std::optional<VerifyResult>> found =
+      reader->lookup_verdicts(keys, &hits);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(found[i].has_value()) << i;
+    EXPECT_EQ(found[i]->iterations, 200 + static_cast<int>(i));
+    EXPECT_EQ(hits[i], 1) << i;
+  }
+  svc::BackendStats rs = reader->stats();
+  EXPECT_EQ(rs.remote_round_trips, rt1 + 1);
+  EXPECT_EQ(rs.verdicts.hits, 8u);
+  EXPECT_EQ(rs.verdicts.misses, 0u);
+
+  svc::CacheServerStats ds = fleet.server->stats();
+  EXPECT_GE(ds.batch_frames, 2u);
+  EXPECT_EQ(ds.verdict_entries, 8u);
+}
+
+TEST(RemoteBackend, V2ClientAgainstV1DaemonFallsBackPerEntry) {
+  // A daemon pinned at protocol v1 never advertises a max version on
+  // Ping; the v2 client must notice and stay per-entry — same verdicts,
+  // same accounting, zero batch frames on the wire.
+  std::string sock = temp_path("skew_v1d.sock");
+  std::remove(sock.c_str());
+  svc::CacheServerOptions sopts;
+  sopts.listen = "unix:" + sock;
+  sopts.shards = 4;
+  sopts.max_proto_version = 1;
+  svc::CacheServer server(sopts);
+  server.start();
+  {
+    auto client = std::make_unique<svc::RemoteBackend>(
+        remote_opts(sopts.listen, "modern"));
+    EXPECT_EQ(client->negotiated_version(), 1);
+    TermGen gen(0x5e1);
+    std::vector<Term> keys = distinct_goals(gen, 5);
+    std::vector<svc::VerdictPublish> pubs;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      pubs.push_back({keys[i], verdict(10 + static_cast<int>(i)), true});
+    }
+    client->publish_verdicts(pubs);
+    std::vector<std::uint8_t> hits;
+    auto found = client->lookup_verdicts(keys, &hits);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_TRUE(found[i].has_value()) << i;
+      EXPECT_EQ(hits[i], 1) << i;
+    }
+    svc::BackendStats st = client->stats();
+    EXPECT_EQ(st.verdicts.misses, 5u);
+    EXPECT_EQ(st.verdicts.hits, 5u);
+    EXPECT_EQ(st.remote_failures, 0u);
+    // And a different v1-pinned client still shares the entries.
+    svc::RemoteBackendOptions old_opts =
+        remote_opts(sopts.listen, "legacy");
+    old_opts.max_proto_version = 1;
+    auto old_client = std::make_unique<svc::RemoteBackend>(old_opts);
+    EXPECT_EQ(old_client->negotiated_version(), 1);
+    auto got = old_client->lookup_verdict(keys[0], nullptr);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->iterations, 10);
+  }
+  svc::CacheServerStats ds = server.stats();
+  EXPECT_EQ(ds.batch_frames, 0u);
+  server.stop();
+}
+
+TEST(RemoteBackend, V1ClientAgainstV2DaemonStaysPerEntryAndShares) {
+  // The mirror skew: an old client (max version pinned to 1) against a
+  // current daemon.  Its per-entry frames are wire-identical to v1, so
+  // everything works — and a v2 client sees its entries.
+  Fleet fleet("skew_v1c");
+  fleet.server->start();
+  svc::RemoteBackendOptions old_opts =
+      remote_opts("unix:" + fleet.sock, "legacy");
+  old_opts.max_proto_version = 1;
+  auto old_client = std::make_unique<svc::RemoteBackend>(old_opts);
+  EXPECT_EQ(old_client->negotiated_version(), 1);
+  TermGen gen(0x5e2);
+  Term key = gen.random_goal(4);
+  old_client->publish_verdict(key, verdict(77, false), true);
+
+  auto modern = fleet.client("modern");
+  EXPECT_EQ(modern->negotiated_version(), 2);
+  std::vector<std::uint8_t> hits;
+  auto found = modern->lookup_verdicts({key}, &hits);
+  ASSERT_TRUE(found[0].has_value());
+  EXPECT_EQ(found[0]->iterations, 77);
+  EXPECT_FALSE(found[0]->equivalent);
+  EXPECT_EQ(fleet.server->stats().batch_frames, 1u);  // the lookup only
+}
+
+// --- Transport bugfixes: mid-frame stalls, handler reaping, stale sockets ----
+
+TEST(RemoteBackend, MidFrameStallForcesReconnectWithSoundVerdicts) {
+  Fleet fleet("stall");
+  fleet.server->start();
+  // pool=1 pins every exchange to the one socket the stall wedges.
+  auto client = fleet.client("staller", /*pool=*/1);
+  TermGen gen(0x57a11);
+  Term before = gen.random_goal(4);
+  client->publish_verdict(before, verdict(5, false), true);
+  ASSERT_TRUE(client->healthy());
+
+  // Wedge the next exchange mid-frame: header plus half the payload,
+  // then nothing.  The client must classify it as a transport failure
+  // and close the socket — NEVER leave the desynchronized stream around
+  // for the next request to read garbage from.
+  svc::FaultInjector::instance().configure(
+      "seed=7,rate=1.0,sites=remote_stall");
+  Term wedged = gen.random_goal(4);
+  auto [v, inserted] = client->publish_verdict(wedged, verdict(6), true);
+  EXPECT_TRUE(inserted);  // the local fallback still took it
+  EXPECT_EQ(
+      svc::FaultInjector::instance().injected(svc::kFaultRemoteStall), 1u);
+  svc::BackendStats st = client->stats();
+  EXPECT_GE(st.remote_failures, 1u);
+  EXPECT_FALSE(client->healthy());
+  svc::FaultInjector::instance().reset();
+
+  // Recovery runs on a FRESH connection (the wedged fd is gone), and the
+  // next exchanges return sound verdicts: a second client's entry comes
+  // over the wire exactly as published.
+  auto other = fleet.client("witness");
+  Term shared = gen.random_goal(4);
+  other->publish_verdict(shared, verdict(99, false), true);
+  bool recovered = false;
+  for (int i = 0; i < 500 && !recovered; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    (void)client->lookup_verdict(gen.random_goal(4), nullptr);
+    recovered = client->healthy();
+  }
+  ASSERT_TRUE(recovered) << client->last_error();
+  auto got = client->lookup_verdict(shared, nullptr);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->iterations, 99);
+  EXPECT_FALSE(got->equivalent);
+}
+
+TEST(CacheServer, ReapsFinishedHandlersAcrossManyShortConnections) {
+  // The accept loop must reap finished connection handlers as it goes: a
+  // daemon fronting short-lived clients must not accumulate one dead
+  // joinable thread per connection.
+  Fleet fleet("soak");
+  fleet.server->start();
+  svc::RemoteAddress addr = svc::parse_remote_address("unix:" + fleet.sock);
+  for (int i = 0; i < 200; ++i) {
+    int fd = svc::connect_remote(addr, 1000, 2000);
+    ASSERT_GE(fd, 0) << "connect " << i;
+    eda::kernel::Encoder enc;
+    enc.u32(1);
+    enc.u8(static_cast<std::uint8_t>(svc::RemoteOp::Ping));
+    enc.str("soak");
+    std::string reply;
+    ASSERT_TRUE(svc::write_frame(fd, enc.finish())) << i;
+    ASSERT_TRUE(svc::read_frame(fd, reply, svc::kMaxResponseFrame)) << i;
+    ::close(fd);
+    // Mid-soak the live-handler count must stay bounded by the reap
+    // cadence, nowhere near the number of connections served.
+    EXPECT_LT(fleet.server->stats().live_handlers, 64u) << "at " << i;
+  }
+  // Once the churn stops, the population drains to (near) zero.
+  std::size_t live = 999;
+  for (int i = 0; i < 250; ++i) {
+    live = fleet.server->stats().live_handlers;
+    if (live <= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_LE(live, 1u);
+  EXPECT_GE(fleet.server->stats().connections, 200u);
+}
+
+TEST(CacheServer, RebindsAStaleSocketLeftByUncleanDeath) {
+  // SIGKILL leaves the socket file behind.  The next boot must probe it,
+  // find nothing listening, unlink, and bind — not die with EADDRINUSE.
+  std::string sock = temp_path("stale_boot.sock");
+  std::remove(sock.c_str());
+  {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::snprintf(sa.sun_path, sizeof sa.sun_path, "%s", sock.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa), 0);
+    ::close(fd);  // no unlink: the stale file survives, nothing listens
+  }
+  svc::CacheServerOptions sopts;
+  sopts.listen = "unix:" + sock;
+  sopts.shards = 2;
+  svc::CacheServer server(sopts);
+  server.start();  // must not throw
+  auto client = std::make_unique<svc::RemoteBackend>(
+      remote_opts(sopts.listen, "reborn"));
+  EXPECT_TRUE(client->healthy());
+  client.reset();
+  server.stop();
+}
+
+TEST(CacheServer, RefusesToStealALiveDaemonsSocket) {
+  Fleet fleet("occupied");
+  fleet.server->start();
+  svc::CacheServerOptions sopts;
+  sopts.listen = "unix:" + fleet.sock;
+  sopts.shards = 2;
+  svc::CacheServer usurper(sopts);
+  EXPECT_THROW(usurper.start(), svc::RemoteCacheError);
+  // And the incumbent still serves.
+  auto client = fleet.client("loyal");
+  EXPECT_TRUE(client->healthy());
 }

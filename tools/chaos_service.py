@@ -23,10 +23,12 @@ against one --cache-file on disjoint corpora and then replays the union:
 both verdicts must come back as cache hits, i.e. neither writer's entries
 were lost to the save race.
 
-A daemon-kill phase runs a known-truth batch through --cache-server with
-an eda_cached daemon that is SIGKILLed mid-batch, then a second batch
+A daemon-kill phase runs known-truth batches through --cache-server with
+an eda_cached daemon that is SIGKILLed mid-batch — once with the
+serialized --cache-pool 1 client and once with the pipelined
+--cache-pool 4 batched client, a fresh daemon each — then a final batch
 against a daemon address that never answered at all.  The remote tier is
-an optimisation, never an authority: both runs must complete every job
+an optimisation, never an authority: every run must complete every job
 with the ground-truth verdict (failures classified, never wrong), and
 the dead-from-the-start run must report the degradation it survived.
 
@@ -274,51 +276,56 @@ def check_fleet_run(tag, svc, out_json, expect, failures):
 
 
 def run_daemon_kill_phase(build, tmp, seed, cones, timeout):
-    """The remote cache tier under daemon loss: one batch whose eda_cached
-    is SIGKILLed mid-flight, one batch against a daemon that never
-    existed.  Verdicts must stay ground-truth sound either way.  Returns
+    """The remote cache tier under daemon loss: batches whose eda_cached
+    is SIGKILLed mid-flight — once through the serialized pool=1 client
+    and once through the pipelined pool=4 batched client, each against a
+    fresh daemon — plus one batch against a daemon that never existed.
+    Verdicts must stay ground-truth sound every way.  Returns
     (failures, artifacts)."""
     failures = []
     ddir = os.path.join(tmp, "daemon_kill")
     os.makedirs(ddir, exist_ok=True)
     expect, manifest, artifacts = build_fleet_corpus(
         build, ddir, seed, cones, timeout, jobs=8)
-    sock = os.path.join(ddir, "cached.sock")
 
-    daemon = subprocess.Popen(
-        [os.path.join(build, "eda_cached"), "--socket", sock],
-        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
-    try:
-        for _ in range(100):
-            if os.path.exists(sock):
-                break
-            time.sleep(0.05)
-        else:
-            failures.append("[daemon] eda_cached never bound its socket")
-            return failures, artifacts
-
-        out_json = os.path.join(ddir, "daemon_kill.json")
-        artifacts.append(out_json)
-        svc = subprocess.Popen(
-            [os.path.join(build, "eda_service"), "--manifest", manifest,
-             "--jobs", "2", "--cache-server", "unix:" + sock,
-             "--json", out_json],
+    for pool in (1, 4):
+        tag = f"daemon-kill-pool{pool}"
+        sock = os.path.join(ddir, f"cached_pool{pool}.sock")
+        daemon = subprocess.Popen(
+            [os.path.join(build, "eda_cached"), "--socket", sock],
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
-        time.sleep(1.0)  # let the batch get going, then pull the plug
-        daemon.kill()
-        daemon.wait()
         try:
-            svc.wait(timeout=timeout)
-        except subprocess.TimeoutExpired:
-            svc.kill()
-            failures.append("[daemon] eda_service hung after the daemon "
-                            "was killed mid-batch")
-            return failures, artifacts
-        check_fleet_run("daemon-kill", svc, out_json, expect, failures)
-    finally:
-        if daemon.poll() is None:
+            for _ in range(100):
+                if os.path.exists(sock):
+                    break
+                time.sleep(0.05)
+            else:
+                failures.append(f"[{tag}] eda_cached never bound its "
+                                "socket")
+                continue
+
+            out_json = os.path.join(ddir, f"daemon_kill_pool{pool}.json")
+            artifacts.append(out_json)
+            svc = subprocess.Popen(
+                [os.path.join(build, "eda_service"), "--manifest", manifest,
+                 "--jobs", "2", "--cache-server", "unix:" + sock,
+                 "--cache-pool", str(pool), "--json", out_json],
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+            time.sleep(1.0)  # let the batch get going, then pull the plug
             daemon.kill()
             daemon.wait()
+            try:
+                svc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                svc.kill()
+                failures.append(f"[{tag}] eda_service hung after the "
+                                "daemon was killed mid-batch")
+                return failures, artifacts
+            check_fleet_run(tag, svc, out_json, expect, failures)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
 
     # Dead from the very start: degradation must be immediate, visible in
     # the accounting, and cost nothing but the round trips.

@@ -22,6 +22,14 @@
 //   --snapshot-ms N      also snapshot every N ms (default: only on
 //                        shutdown)
 //
+// Speaks protocol v2 (batched LookupBatch/PublishBatch frames, negotiated
+// per connection on Ping) while still serving v1 per-entry clients.
+//
+// A stale unix socket left by an unclean death (SIGKILL) is probed on
+// boot: if nothing answers it is unlinked and rebound, so restarts never
+// hit EADDRINUSE; if a live daemon answers, startup fails instead of
+// stealing its socket.
+//
 // SIGINT/SIGTERM shut the daemon down cleanly: stop accepting, drain the
 // connection handlers, write a final snapshot, exit 0.  Clients riding a
 // RemoteBackend degrade to their in-process fallback and lose nothing.
@@ -126,11 +134,12 @@ int main(int argc, char** argv) {
   service::CacheServerStats st = server.stats();
   std::printf(
       "eda_cached: served %llu lookup(s) (%llu hit(s)), %llu publish(es) "
-      "over %llu connection(s) from %llu tenant(s); %zu theorem(s), %zu "
-      "verdict(s) in store\n",
+      "(%llu batch frame(s)) over %llu connection(s) from %llu tenant(s); "
+      "%zu theorem(s), %zu verdict(s) in store\n",
       static_cast<unsigned long long>(st.lookups),
       static_cast<unsigned long long>(st.lookup_hits),
       static_cast<unsigned long long>(st.publishes),
+      static_cast<unsigned long long>(st.batch_frames),
       static_cast<unsigned long long>(st.connections),
       static_cast<unsigned long long>(st.tenants), st.theorem_entries,
       st.verdict_entries);

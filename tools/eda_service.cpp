@@ -38,6 +38,13 @@
 //                          unreachable daemon degrades the client to that
 //                          fallback (RETRY_LATER-style capped backoff) —
 //                          verdicts are never lost and never wrong
+//   --cache-pool N         remote-cache connection pool size (default 4):
+//                          up to N exchanges pipeline on distinct sockets;
+//                          1 restores the serialized single-socket client
+//   --no-cache-batch       per-entry remote frames even against a v2
+//                          daemon (batched LookupBatch/PublishBatch frames
+//                          are otherwise negotiated on Ping and collapse
+//                          an incremental cone sweep to <= 2 round trips)
 //   --tenant NAME          tenant label for remote-cache requests and
 //                          admission fairness (weighted round-robin across
 //                          tenants within each priority level)
@@ -58,8 +65,9 @@
 //                          whole manifest)
 //   --faults SPEC          deterministic fault injection for chaos runs:
 //                          seed=S,rate=R,sites=a+b (sites: engine_bdd,
-//                          batch_pool, alloc, worker, cache_write); also
-//                          read from EDA_FAULTS, the flag winning
+//                          batch_pool, alloc, worker, cache_write,
+//                          remote_stall); also read from EDA_FAULTS, the
+//                          flag winning
 //
 // exit status: 0 every job ended EQUIV or NONEQUIV, 1 any job ended in a
 // failure-class verdict (TIMEOUT, RESOURCE_EXHAUSTED, INTERNAL_ERROR,
@@ -91,6 +99,7 @@ namespace {
       "                   [--no-sim] [--sim-vectors N] [--sim-seed S]\n"
       "                   [--no-batch-bdd] [--timeout S] [--json FILE]\n"
       "                   [--cache-file FILE] [--cache-server ADDR]\n"
+      "                   [--cache-pool N] [--no-cache-batch]\n"
       "                   [--tenant NAME] [--require-cache-hits]\n"
       "                   [--max-retries N] [--deadline-ms N]\n"
       "                   [--queue-depth N] [--faults SPEC]\n");
@@ -125,6 +134,8 @@ int main(int argc, char** argv) {
        incremental = false, use_sim = true, batch_bdd = true;
   int sim_vectors = 256;
   int max_retries = 2;
+  int cache_pool = 4;
+  bool cache_batch = true;
   std::optional<std::uint64_t> sim_seed;
 
   for (int a = 1; a < argc; ++a) {
@@ -173,6 +184,14 @@ int main(int argc, char** argv) {
       } else if (arg == "--json") json_path = next();
       else if (arg == "--cache-file") cache_path = next();
       else if (arg == "--cache-server") cache_server = next();
+      else if (arg == "--cache-pool") {
+        std::string v = next();
+        int n = std::stoi(v, &used);
+        if (used != v.size() || n < 1 || n > 64) {
+          usage("--cache-pool must be an integer in 1..64");
+        }
+        cache_pool = n;
+      } else if (arg == "--no-cache-batch") cache_batch = false;
       else if (arg == "--tenant") tenant = next();
       else if (arg == "--require-cache-hits") require_hits = true;
       else if (arg == "--max-retries") {
@@ -250,6 +269,8 @@ int main(int argc, char** argv) {
   opts.retry.max_retries = max_retries;
   if (sim_seed) opts.sim.seed = *sim_seed;
   if (cache_server) opts.cache.server = *cache_server;
+  opts.cache.remote_pool = cache_pool;
+  opts.cache.remote_batch = cache_batch;
   if (tenant) {
     opts.cache.tenant = *tenant;
     for (service::JobSpec& spec : specs) {
@@ -389,8 +410,9 @@ int main(int argc, char** argv) {
               st.results.hit_rate());
   if (st.backend == "remote") {
     std::printf(
-        "remote  cache: %llu transport failure(s), %llu op(s) served "
-        "locally while degraded\n",
+        "remote  cache: %llu round trip(s), %llu transport failure(s), "
+        "%llu op(s) served locally while degraded\n",
+        static_cast<unsigned long long>(st.remote_round_trips),
         static_cast<unsigned long long>(st.remote_failures),
         static_cast<unsigned long long>(st.degraded_ops));
   }
